@@ -1,0 +1,35 @@
+//! Criterion end-to-end benchmarks: one full distributed run per
+//! algorithm at a fixed operating point (wall-clock cost of the simulation,
+//! complementing the round/message tables from the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use dhc_bench::workload::{floored_partitions, OperatingPoint};
+use dhc_core::{run_collect_all, run_dhc1, run_dhc2, run_upcast, DhcConfig};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let n = 256;
+    let pt = OperatingPoint { n, delta: 0.5, c: 6.0 };
+    let g = pt.sample(11).unwrap();
+    let k = floored_partitions(n, 0.5);
+    let mut group = c.benchmark_group("end_to_end_n256");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("dhc2", |b| {
+        b.iter(|| run_dhc2(&g, &DhcConfig::new(12).with_partitions(k)).unwrap().metrics.rounds)
+    });
+    group.bench_function("dhc1", |b| {
+        b.iter(|| run_dhc1(&g, &DhcConfig::new(12).with_partitions(k)).unwrap().metrics.rounds)
+    });
+    group.bench_function("upcast", |b| {
+        b.iter(|| run_upcast(&g, &DhcConfig::new(12)).unwrap().metrics.rounds)
+    });
+    group.bench_function("collect_all", |b| {
+        b.iter(|| run_collect_all(&g, &DhcConfig::new(12)).unwrap().metrics.rounds)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

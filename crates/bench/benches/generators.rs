@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks: random-graph generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dhc_graph::{generator, rng::rng_from_seed};
+
+fn bench_gnp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gnp");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let p = 4.0 * (n as f64).ln() / n as f64; // sparse regime
+        group.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, &n| {
+            b.iter(|| generator::gnp(n, p, &mut rng_from_seed(1)).unwrap())
+        });
+    }
+    for &n in &[1_000usize, 4_000] {
+        group.bench_with_input(BenchmarkId::new("dense_p0.3", n), &n, |b, &n| {
+            b.iter(|| generator::gnp(n, 0.3, &mut rng_from_seed(1)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_gnm_and_regular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("other_generators");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("gnm_10k_nodes_50k_edges", |b| {
+        b.iter(|| generator::gnm(10_000, 50_000, &mut rng_from_seed(2)).unwrap())
+    });
+    group.bench_function("random_regular_5k_d8", |b| {
+        b.iter(|| generator::random_regular(5_000, 8, &mut rng_from_seed(3)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gnp, bench_gnm_and_regular);
+criterion_main!(benches);

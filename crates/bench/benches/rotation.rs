@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks: the sequential rotation solver
+//! (the Upcast root's local cost and the per-step price of Theorem 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dhc_graph::{generator, rng::rng_from_seed, thresholds};
+use dhc_rotation::{greedy, posa, PosaConfig};
+
+fn bench_posa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("posa");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    for &n in &[500usize, 2_000, 8_000] {
+        let p = thresholds::edge_probability(n, 1.0, 12.0);
+        let g = generator::gnp(n, p, &mut rng_from_seed(4)).unwrap();
+        group.bench_with_input(BenchmarkId::new("threshold_density", n), &g, |b, g| {
+            b.iter(|| posa(g, &PosaConfig::default(), &mut rng_from_seed(5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_baseline(c: &mut Criterion) {
+    let n = 2_000;
+    let p = thresholds::edge_probability(n, 1.0, 12.0);
+    let g = generator::gnp(n, p, &mut rng_from_seed(6)).unwrap();
+    c.bench_function("greedy_no_rotation_2k", |b| {
+        b.iter(|| greedy(&g, 3, &mut rng_from_seed(7)))
+    });
+}
+
+criterion_group!(benches, bench_posa, bench_greedy_baseline);
+criterion_main!(benches);

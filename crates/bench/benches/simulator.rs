@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks: CONGEST engine overhead (a full-graph flood
+//! with echo — the primitive every rotation broadcast pays for).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dhc_congest::{Config, Context, Network, NodeId, Protocol};
+use dhc_graph::{generator, rng::rng_from_seed};
+
+/// Flood + halt: each node forwards the token once.
+struct Flood {
+    seen: bool,
+}
+
+impl Protocol for Flood {
+    type Msg = u64;
+    fn init(&mut self, ctx: &mut Context<'_, u64>) {
+        if ctx.node() == 0 {
+            self.seen = true;
+            ctx.send_all(1);
+            ctx.halt();
+        }
+    }
+    fn round(&mut self, ctx: &mut Context<'_, u64>, inbox: &[(NodeId, u64)]) {
+        if !inbox.is_empty() && !self.seen {
+            self.seen = true;
+            ctx.send_all(1);
+        }
+        ctx.halt();
+    }
+}
+
+fn bench_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congest_flood");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    for &n in &[1_000usize, 10_000] {
+        let p = 3.0 * (n as f64).ln() / n as f64;
+        let g = generator::gnp(n, p, &mut rng_from_seed(8)).unwrap();
+        group.bench_with_input(BenchmarkId::new("gnp_sparse", n), &g, |b, g| {
+            b.iter(|| {
+                let nodes = (0..g.node_count()).map(|_| Flood { seen: false }).collect();
+                let mut net = Network::new(g, Config::default(), nodes).unwrap();
+                net.run().unwrap().metrics.messages
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flood);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates the paper's quantitative claims; see EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p dhc-bench --bin experiments -- [--quick|--smoke] [--seed S] <id>...|all
+//! ```
+
+use dhc_bench::experiments::{run_by_id, Effort, ALL_IDS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut effort = Effort::Full;
+    let mut seed = 20180424u64; // paper's arXiv date
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--smoke" => effort = Effort::Smoke,
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage("missing value after --seed"));
+                seed = v.parse().unwrap_or_else(|_| usage("--seed expects an integer"));
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            id if id.starts_with('e') => ids.push(id.to_string()),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if ids.is_empty() {
+        usage("no experiment selected");
+    }
+    println!(
+        "# dhc experiments (effort: {:?}, seed: {seed})\n# Chatterjee, Fathi, Pandurangan, Pham: Distributed Hamiltonian Cycles (ICDCS 2018)\n",
+        effort
+    );
+    for id in ids {
+        let start = Instant::now();
+        match run_by_id(&id, effort, seed) {
+            Ok(report) => {
+                println!("{report}");
+                println!("    [{id} took {:.1}s]\n", start.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: experiments [--quick|--smoke] [--seed S] <e1..e9|all>...");
+    std::process::exit(2)
+}

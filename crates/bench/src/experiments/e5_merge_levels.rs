@@ -1,0 +1,106 @@
+//! **E5 — Lemmas 8 and 9**: every DHC2 merge level succeeds whp — a bridge
+//! exists for every cycle pair — and failures become *less* likely at
+//! higher levels (bigger cycles have more candidate bridges).
+//!
+//! Sweeps the threshold constant `c` downwards into the marginal regime and
+//! classifies every trial outcome: success, Phase-1 failure, or a missing
+//! bridge at a specific merge level.
+
+use crate::table::{f3, Table};
+use crate::workload::{floored_partitions, run_trials, OperatingPoint};
+use dhc_core::{run_dhc2, DhcConfig, DhcError};
+
+use super::Effort;
+
+/// Sweep parameters for E5.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Fixed graph size.
+    pub n: usize,
+    /// Threshold constants to sweep (marginal to comfortable).
+    pub cs: Vec<f64>,
+    /// Trials per point.
+    pub trials: usize,
+}
+
+impl Params {
+    /// Parameters for the given effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Full => Params { n: 512, cs: vec![1.0, 1.5, 2.0, 3.0, 6.0], trials: 10 },
+            Effort::Quick => Params { n: 256, cs: vec![1.5, 3.0, 6.0], trials: 5 },
+            Effort::Smoke => Params { n: 128, cs: vec![6.0], trials: 1 },
+        }
+    }
+}
+
+/// Trial outcome classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Success,
+    Phase1Failed,
+    NoBridgeAt(usize),
+    Other,
+}
+
+/// Runs E5 and renders its report.
+pub fn run(params: &Params, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("E5  Lemmas 8/9: merge-level bridge availability\n");
+    out.push_str(&format!("    n = {}, {} trials per c\n\n", params.n, params.trials));
+    let mut t = Table::new(vec![
+        "c",
+        "p",
+        "success%",
+        "phase1 fail%",
+        "no-bridge%",
+        "no-bridge levels",
+    ]);
+    for &c in &params.cs {
+        let n = params.n;
+        let pt = OperatingPoint { n, delta: 0.5, c };
+        let k = floored_partitions(n, 0.5);
+        let outcomes = run_trials(params.trials, seed ^ (c * 7.0) as u64, |_, s| {
+            let g = pt.sample(s).expect("valid operating point");
+            match run_dhc2(&g, &DhcConfig::new(s ^ 0xE5).with_partitions(k)) {
+                Ok(_) => Outcome::Success,
+                Err(DhcError::PartitionFailed { .. }) => Outcome::Phase1Failed,
+                Err(DhcError::NoBridge { level, .. }) => Outcome::NoBridgeAt(level),
+                Err(_) => Outcome::Other,
+            }
+        });
+        let total = outcomes.len() as f64;
+        let succ = outcomes.iter().filter(|o| **o == Outcome::Success).count() as f64;
+        let p1 = outcomes.iter().filter(|o| **o == Outcome::Phase1Failed).count() as f64;
+        let mut levels: Vec<usize> = outcomes
+            .iter()
+            .filter_map(|o| if let Outcome::NoBridgeAt(l) = o { Some(*l) } else { None })
+            .collect();
+        levels.sort_unstable();
+        let nb = levels.len() as f64;
+        t.row(vec![
+            f3(c),
+            f3(pt.p()),
+            f3(100.0 * succ / total),
+            f3(100.0 * p1 / total),
+            f3(100.0 * nb / total),
+            format!("{levels:?}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\n    paper: bridges exist whp (failure O(n^{-n^{delta/2} ln n}));\n    missing bridges should be rarer than phase-1 failures and concentrate\n    at level 0 (smallest cycles) when they occur at all.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_reports() {
+        let report = run(&Params::for_effort(Effort::Smoke), 5);
+        assert!(report.contains("bridge"));
+    }
+}

@@ -1,0 +1,156 @@
+//! **E9 — the paper's positioning claims (§I)**: on the same graphs,
+//!
+//! * DHC2 and Upcast run in `O~(1/p)` rounds, far below the trivial
+//!   `O(m)`-style collect-everything baseline's message volume;
+//! * plain DRA (`δ = 1`, one partition) is `O~(n)` rounds — the two-phase
+//!   algorithms beat it soundly (this is the paper's motivation for
+//!   partitioning);
+//! * the sequential Angluin–Valiant algorithm needs `Θ(n log n)` *steps*
+//!   even before distribution — the distributed algorithms' rounds are far
+//!   below it for dense graphs.
+
+use crate::stats::summarize;
+use crate::table::{f3, Table};
+use crate::workload::{floored_partitions, run_trials, OperatingPoint};
+use dhc_core::{run_collect_all, run_dhc1, run_dhc2, run_dra, run_upcast, DhcConfig};
+use dhc_graph::rng::rng_from_seed;
+use dhc_rotation::{posa, PosaConfig};
+
+use super::Effort;
+
+/// Sweep parameters for E9.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Fixed graph size.
+    pub n: usize,
+    /// Threshold constant (at `δ = 1/2`).
+    pub c: f64,
+    /// Trials per algorithm.
+    pub trials: usize,
+    /// Whether to include the `O~(n)`-round single-partition DRA
+    /// (expensive to simulate).
+    pub include_dra: bool,
+}
+
+impl Params {
+    /// Parameters for the given effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Full => Params { n: 512, c: 6.0, trials: 3, include_dra: true },
+            Effort::Quick => Params { n: 256, c: 6.0, trials: 2, include_dra: true },
+            Effort::Smoke => Params { n: 128, c: 6.0, trials: 1, include_dra: false },
+        }
+    }
+}
+
+/// Runs E9 and renders its report.
+pub fn run(params: &Params, seed: u64) -> String {
+    let n = params.n;
+    let pt = OperatingPoint { n, delta: 0.5, c: params.c };
+    let k = floored_partitions(n, 0.5);
+    let mut out = String::new();
+    out.push_str("E9  Head-to-head on G(n, c ln n / sqrt(n))\n");
+    out.push_str(&format!(
+        "    n = {}, p = {:.3}, k = {}, {} trials per algorithm\n\n",
+        n,
+        pt.p(),
+        k,
+        params.trials
+    ));
+    let mut t = Table::new(vec!["algorithm", "ok", "rounds med", "messages med", "words med"]);
+
+    type Runner<'a> = Box<dyn Fn(u64) -> Option<(f64, f64, f64)> + Sync + 'a>;
+    let mut algos: Vec<(&str, Runner<'_>)> = vec![
+        (
+            "dhc2",
+            Box::new(move |s| {
+                let g = pt.sample(s).ok()?;
+                let o = run_dhc2(&g, &DhcConfig::new(s ^ 0xE9).with_partitions(k)).ok()?;
+                Some((o.metrics.rounds as f64, o.metrics.messages as f64, o.metrics.words as f64))
+            }),
+        ),
+        (
+            "dhc1",
+            Box::new(move |s| {
+                let g = pt.sample(s).ok()?;
+                let o = run_dhc1(&g, &DhcConfig::new(s ^ 0xE9).with_partitions(k)).ok()?;
+                Some((o.metrics.rounds as f64, o.metrics.messages as f64, o.metrics.words as f64))
+            }),
+        ),
+        (
+            "upcast",
+            Box::new(move |s| {
+                let g = pt.sample(s).ok()?;
+                let o = run_upcast(&g, &DhcConfig::new(s ^ 0xE9)).ok()?;
+                Some((o.metrics.rounds as f64, o.metrics.messages as f64, o.metrics.words as f64))
+            }),
+        ),
+        (
+            "collect-all",
+            Box::new(move |s| {
+                let g = pt.sample(s).ok()?;
+                let o = run_collect_all(&g, &DhcConfig::new(s ^ 0xE9)).ok()?;
+                Some((o.metrics.rounds as f64, o.metrics.messages as f64, o.metrics.words as f64))
+            }),
+        ),
+    ];
+    if params.include_dra {
+        algos.push((
+            "dra (delta=1)",
+            Box::new(move |s| {
+                let g = pt.sample(s).ok()?;
+                let o = run_dra(&g, &DhcConfig::new(s ^ 0xE9)).ok()?;
+                Some((o.metrics.rounds as f64, o.metrics.messages as f64, o.metrics.words as f64))
+            }),
+        ));
+    }
+
+    for (name, f) in &algos {
+        let results = run_trials(params.trials, seed ^ name.len() as u64, |_, s| f(s));
+        let oks: Vec<(f64, f64, f64)> = results.into_iter().flatten().collect();
+        if oks.is_empty() {
+            t.row(vec![name.to_string(), "0".into()]);
+            continue;
+        }
+        let rounds: Vec<f64> = oks.iter().map(|r| r.0).collect();
+        let msgs: Vec<f64> = oks.iter().map(|r| r.1).collect();
+        let words: Vec<f64> = oks.iter().map(|r| r.2).collect();
+        t.row(vec![
+            name.to_string(),
+            oks.len().to_string(),
+            f3(summarize(&rounds).median),
+            f3(summarize(&msgs).median),
+            f3(summarize(&words).median),
+        ]);
+    }
+    // Sequential baseline for context (steps, not rounds).
+    let seq = run_trials(params.trials, seed ^ 0x5E9, |_, s| {
+        let g = pt.sample(s).expect("valid operating point");
+        posa(&g, &PosaConfig::default(), &mut rng_from_seed(s ^ 3))
+            .map(|(_, st)| st.steps as f64)
+            .ok()
+    });
+    let steps: Vec<f64> = seq.into_iter().flatten().collect();
+    out.push_str(&t.render());
+    if !steps.is_empty() {
+        out.push_str(&format!(
+            "\n    sequential Angluin-Valiant: {} steps (median) - the centralized cost\n    the distributed algorithms parallelize.\n",
+            f3(summarize(&steps).median)
+        ));
+    }
+    out.push_str(
+        "    paper: DHC1/DHC2 and Upcast ~ O~(sqrt(n)) rounds; single-partition DRA\n    ~ O~(n) rounds; collect-all moves Theta(m) words to the root.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_reports() {
+        let report = run(&Params::for_effort(Effort::Smoke), 9);
+        assert!(report.contains("Head-to-head"));
+    }
+}

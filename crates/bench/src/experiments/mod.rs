@@ -1,0 +1,75 @@
+//! One module per experiment; see `EXPERIMENTS.md` for the claim map.
+//!
+//! Every experiment exposes `Params` (with `full()`, `quick()`, and tiny
+//! `smoke()` constructors — the latter keeps unit tests fast) and a
+//! `run(&Params, seed) -> String` that renders the report the
+//! `experiments` binary prints.
+
+pub mod e10_ablations;
+pub mod e11_kmachine;
+pub mod e12_other_models;
+pub mod e1_dra_steps;
+pub mod e2_partition_balance;
+pub mod e3_dhc1_scaling;
+pub mod e4_dhc2_scaling;
+pub mod e5_merge_levels;
+pub mod e6_upcast_sqrt;
+pub mod e7_upcast_general;
+pub mod e8_resources;
+pub mod e9_comparison;
+
+/// Effort level shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Full paper-scale sweep (minutes).
+    Full,
+    /// Reduced sweep (tens of seconds).
+    Quick,
+    /// Tiny smoke run for tests (sub-second to seconds).
+    Smoke,
+}
+
+/// Runs one experiment by id (`"e1"` … `"e9"`), returning its report.
+///
+/// # Errors
+///
+/// Returns `Err` with the unknown id for anything else.
+pub fn run_by_id(id: &str, effort: Effort, seed: u64) -> Result<String, String> {
+    let report = match id {
+        "e1" => e1_dra_steps::run(&e1_dra_steps::Params::for_effort(effort), seed),
+        "e2" => {
+            e2_partition_balance::run(&e2_partition_balance::Params::for_effort(effort), seed)
+        }
+        "e3" => e3_dhc1_scaling::run(&e3_dhc1_scaling::Params::for_effort(effort), seed),
+        "e4" => e4_dhc2_scaling::run(&e4_dhc2_scaling::Params::for_effort(effort), seed),
+        "e5" => e5_merge_levels::run(&e5_merge_levels::Params::for_effort(effort), seed),
+        "e6" => e6_upcast_sqrt::run(&e6_upcast_sqrt::Params::for_effort(effort), seed),
+        "e7" => e7_upcast_general::run(&e7_upcast_general::Params::for_effort(effort), seed),
+        "e8" => e8_resources::run(&e8_resources::Params::for_effort(effort), seed),
+        "e9" => e9_comparison::run(&e9_comparison::Params::for_effort(effort), seed),
+        "e10" => e10_ablations::run(&e10_ablations::Params::for_effort(effort), seed),
+        "e11" => e11_kmachine::run(&e11_kmachine::Params::for_effort(effort), seed),
+        "e12" => e12_other_models::run(&e12_other_models::Params::for_effort(effort), seed),
+        other => return Err(format!("unknown experiment id: {other}")),
+    };
+    Ok(report)
+}
+
+/// All experiment ids in order.
+pub const ALL_IDS: [&str; 12] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_error() {
+        assert!(run_by_id("e42", Effort::Smoke, 0).is_err());
+    }
+
+    #[test]
+    fn all_ids_listed() {
+        assert_eq!(ALL_IDS.len(), 12);
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment harness for the paper-reproduction workspace.
+//!
+//! The paper is a theory paper — its "evaluation" is a set of theorems.
+//! This crate regenerates each quantitative claim empirically (see
+//! `EXPERIMENTS.md` at the workspace root for the claim ↔ experiment map):
+//!
+//! * [`stats`] — means, standard deviations, quantiles, and log-log
+//!   power-law fits (for scaling-exponent checks);
+//! * [`table`] — plain-text table rendering used by the `experiments`
+//!   binary;
+//! * [`workload`] — the `G(n, p)` operating points of the paper
+//!   (`p = c ln n / n^δ`) plus trial-sweep plumbing with
+//!   `std::thread`-based parallelism;
+//! * [`experiments`] — one module per experiment (`e1` … `e9`).
+//!
+//! Regenerate everything with:
+//!
+//! ```text
+//! cargo run --release -p dhc-bench --bin experiments -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod stats;
+pub mod table;
+pub mod workload;

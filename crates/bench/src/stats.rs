@@ -1,0 +1,142 @@
+//! Summary statistics and power-law fitting.
+
+/// Summary of a sample of measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (lower middle for even counts).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarizes a sample.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "cannot summarize an empty sample");
+    let count = xs.len();
+    let mean = xs.iter().sum::<f64>() / count as f64;
+    let var = if count > 1 {
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+    } else {
+        0.0
+    };
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in measurements"));
+    Summary {
+        count,
+        mean,
+        stddev: var.sqrt(),
+        min: sorted[0],
+        median: sorted[(count - 1) / 2],
+        max: sorted[count - 1],
+    }
+}
+
+/// Result of fitting `y = a · x^b` by least squares on `(ln x, ln y)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFit {
+    /// The fitted exponent `b`.
+    pub exponent: f64,
+    /// The fitted prefactor `a`.
+    pub prefactor: f64,
+    /// Coefficient of determination of the log-log regression.
+    pub r2: f64,
+}
+
+/// Fits a power law through positive data points.
+///
+/// Used by the scaling experiments: e.g. Theorem 10 predicts DHC2's rounds
+/// scale as `n^δ · polylog(n)`, so the fitted exponent over a sweep of `n`
+/// should land near `δ` (slightly above, because of the polylog factor).
+///
+/// # Panics
+///
+/// Panics if fewer than 2 points are given or any coordinate is ≤ 0.
+pub fn fit_power_law(points: &[(f64, f64)]) -> PowerFit {
+    assert!(points.len() >= 2, "need at least 2 points to fit");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "power-law fit needs positive data, got ({x}, {y})");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let b = (n * sxy - sx * sy) / denom;
+    let a_log = (sy - b * sx) / n;
+    // R^2 of the log-log regression.
+    let mean_y = sy / n;
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs.iter().map(|p| (p.1 - (a_log + b * p.0)).powi(2)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    PowerFit { exponent: b, prefactor: a_log.exp(), r2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.0);
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_empty_panics() {
+        summarize(&[]);
+    }
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let pts: Vec<(f64, f64)> =
+            (1..=6).map(|i| (i as f64, 3.0 * (i as f64).powf(1.5))).collect();
+        let fit = fit_power_law(&pts);
+        assert!((fit.exponent - 1.5).abs() < 1e-9);
+        assert!((fit.prefactor - 3.0).abs() < 1e-9);
+        assert!(fit.r2 > 0.999999);
+    }
+
+    #[test]
+    fn noisy_fit_reasonable() {
+        let pts = vec![(100.0, 51.0), (200.0, 98.0), (400.0, 205.0), (800.0, 395.0)];
+        let fit = fit_power_law(&pts);
+        assert!((fit.exponent - 1.0).abs() < 0.05, "{}", fit.exponent);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn zero_point_panics() {
+        fit_power_law(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Simulation configuration.
+
+/// Engine configuration: round budget, bandwidth, and metric sampling.
+///
+/// # Example
+///
+/// ```
+/// let cfg = dhc_congest::Config::default()
+///     .with_max_rounds(10_000)
+///     .with_bandwidth_words(2);
+/// assert_eq!(cfg.max_rounds, 10_000);
+/// assert_eq!(cfg.bandwidth_words, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Hard cap on simulated rounds; exceeding it is
+    /// [`SimError::RoundLimitExceeded`](crate::SimError::RoundLimitExceeded).
+    pub max_rounds: usize,
+    /// Per-directed-edge, per-round budget in message words (the CONGEST
+    /// `B`, in units of `Θ(log n)`-bit words). Default 1.
+    pub bandwidth_words: usize,
+    /// Sample `Protocol::memory_words` every this many rounds (and at
+    /// halt). 0 disables sampling. Default 16.
+    pub memory_sample_interval: usize,
+    /// Record the per-round message counts (cheap; enables congestion
+    /// plots). Default true.
+    pub record_round_traffic: bool,
+    /// Capacity of the engine event trace (sends, halts, wake-ups);
+    /// 0 (the default) disables tracing.
+    pub trace_capacity: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_rounds: 1_000_000,
+            bandwidth_words: 1,
+            memory_sample_interval: 16,
+            record_round_traffic: true,
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl Config {
+    /// Returns the configuration with the round cap replaced.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Returns the configuration with the per-edge bandwidth replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`.
+    pub fn with_bandwidth_words(mut self, words: usize) -> Self {
+        assert!(words > 0, "bandwidth must be at least one word");
+        self.bandwidth_words = words;
+        self
+    }
+
+    /// Returns the configuration with the memory sampling interval replaced.
+    pub fn with_memory_sample_interval(mut self, interval: usize) -> Self {
+        self.memory_sample_interval = interval;
+        self
+    }
+
+    /// Returns the configuration with event tracing enabled at the given
+    /// capacity.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_congest() {
+        let c = Config::default();
+        assert_eq!(c.bandwidth_words, 1);
+        assert!(c.max_rounds >= 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_bandwidth_rejected() {
+        Config::default().with_bandwidth_words(0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = Config::default()
+            .with_max_rounds(5)
+            .with_bandwidth_words(3)
+            .with_memory_sample_interval(0);
+        assert_eq!((c.max_rounds, c.bandwidth_words, c.memory_sample_interval), (5, 3, 0));
+    }
+}

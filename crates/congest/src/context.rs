@@ -1,0 +1,115 @@
+//! Per-callback node context: the API a protocol uses to interact with
+//! the network.
+
+use crate::{NodeId, Payload, SimError};
+use dhc_graph::Graph;
+
+/// Handle given to [`Protocol`](crate::Protocol) callbacks.
+///
+/// Deliberately exposes only what a CONGEST node may know: its own id, `n`,
+/// its neighbor list, and the current round number — not the global
+/// topology.
+#[derive(Debug)]
+pub struct Context<'a, M: Payload> {
+    pub(crate) node: NodeId,
+    pub(crate) round: usize,
+    pub(crate) graph: &'a Graph,
+    pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
+    pub(crate) halted: &'a mut bool,
+    pub(crate) wake_request: &'a mut Option<usize>,
+    pub(crate) compute: &'a mut u64,
+    pub(crate) fault: &'a mut Option<SimError>,
+}
+
+impl<M: Payload> Context<'_, M> {
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total number of nodes `n` (a global the paper's model provides).
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Current round number (0 during `init`).
+    pub fn round_number(&self) -> usize {
+        self.round
+    }
+
+    /// This node's sorted neighbor list.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.graph.neighbors(self.node)
+    }
+
+    /// This node's degree.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    /// Whether `v` is a neighbor of this node.
+    pub fn is_neighbor(&self, v: NodeId) -> bool {
+        self.graph.has_edge(self.node, v)
+    }
+
+    /// Queues `msg` for delivery to neighbor `to` at the start of the next
+    /// round.
+    ///
+    /// Sending to a non-neighbor records a fault that aborts the simulation
+    /// after this callback (the message is not delivered). Bandwidth is
+    /// enforced per directed edge when the round's sends are collected.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        if to == self.node || !self.is_neighbor(to) {
+            if self.fault.is_none() {
+                *self.fault = Some(SimError::NotANeighbor {
+                    from: self.node,
+                    to,
+                    round: self.round,
+                });
+            }
+            return;
+        }
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends `msg` to every neighbor (one copy per incident edge, as the
+    /// CONGEST model allows).
+    pub fn send_all(&mut self, msg: M) {
+        for i in 0..self.degree() {
+            let to = self.graph.neighbors(self.node)[i];
+            self.outbox.push((to, msg.clone()));
+        }
+    }
+
+    /// Marks this node as terminated. It will not be invoked again and
+    /// messages addressed to it are dropped.
+    pub fn halt(&mut self) {
+        *self.halted = true;
+    }
+
+    /// Requests a wake-up `delta ≥ 1` rounds from now even if no message
+    /// arrives (used for spontaneous actions and timers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0`.
+    pub fn wake_in(&mut self, delta: usize) {
+        assert!(delta >= 1, "wake_in requires delta >= 1");
+        let target = self.round + delta;
+        *self.wake_request = Some(match *self.wake_request {
+            Some(existing) => existing.min(target),
+            None => target,
+        });
+    }
+
+    /// Shorthand for `wake_in(1)`.
+    pub fn stay_awake(&mut self) {
+        self.wake_in(1);
+    }
+
+    /// Charges `units` of local computation to this node (for the
+    /// load-balance metrics; delivered messages already cost one unit each).
+    pub fn charge_compute(&mut self, units: u64) {
+        *self.compute += units;
+    }
+}

@@ -1,0 +1,115 @@
+//! A synchronous **CONGEST**-model simulator.
+//!
+//! The CONGEST model (Peleg, *Distributed Computing: A Locality-Sensitive
+//! Approach*) is the execution model of the paper this workspace reproduces:
+//! computation proceeds in synchronous rounds, and in each round every node
+//! may send one `O(log n)`-bit message across each incident edge. This crate
+//! provides:
+//!
+//! * the [`Protocol`] trait — per-node state machines with an
+//!   inbox-driven `round` callback and a [`Context`] for sending,
+//!   scheduling wake-ups, charging local computation, and halting;
+//! * the [`Network`] engine — deterministic round execution over a
+//!   [`dhc_graph::Graph`] topology with **per-edge bandwidth enforcement**
+//!   (more than `B` message-words across one directed edge in one round is
+//!   a simulation error, exactly the CONGEST constraint);
+//! * [`Metrics`] — rounds, messages, message-words, per-node send/receive/
+//!   compute counters, sampled per-node memory high-water marks, and
+//!   per-round congestion, feeding the paper's "fully distributed"
+//!   experiments (E8).
+//!
+//! The engine is *event-efficient*: only nodes with a non-empty inbox or a
+//! scheduled wake-up are invoked, so simulation cost is proportional to
+//! traffic rather than `n × rounds`.
+//!
+//! # Example
+//!
+//! A two-node ping-pong protocol:
+//!
+//! ```
+//! use dhc_congest::{Config, Context, Network, Payload, Protocol};
+//! use dhc_graph::Graph;
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping(u32);
+//! impl Payload for Ping {
+//!     fn words(&self) -> usize { 1 }
+//! }
+//!
+//! struct Node { hops_left: u32 }
+//! impl Protocol for Node {
+//!     type Msg = Ping;
+//!     fn init(&mut self, ctx: &mut Context<'_, Ping>) {
+//!         if ctx.node() == 0 {
+//!             ctx.send(1, Ping(self.hops_left));
+//!         }
+//!     }
+//!     fn round(&mut self, ctx: &mut Context<'_, Ping>, inbox: &[(usize, Ping)]) {
+//!         for &(from, Ping(k)) in inbox {
+//!             if k == 0 {
+//!                 ctx.halt(); // received the last ping
+//!             } else {
+//!                 ctx.send(from, Ping(k - 1));
+//!                 if k == 1 { ctx.halt(); } // sent the last ping
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), dhc_congest::SimError> {
+//! let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+//! let nodes = vec![Node { hops_left: 3 }, Node { hops_left: 3 }];
+//! let mut net = Network::new(&g, Config::default(), nodes)?;
+//! let report = net.run()?;
+//! assert_eq!(report.metrics.messages, 4); // 3, 2, 1, 0
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod context;
+mod error;
+mod metrics;
+mod network;
+mod payload;
+pub mod trace;
+
+pub use config::Config;
+pub use context::Context;
+pub use error::SimError;
+pub use metrics::{Metrics, Report};
+pub use network::Network;
+pub use payload::Payload;
+pub use trace::{Trace, TraceEvent};
+
+/// Node identifier — same dense index space as [`dhc_graph::NodeId`].
+pub type NodeId = dhc_graph::NodeId;
+
+/// Per-node state machine executed by the [`Network`].
+///
+/// One value of the implementing type exists per node. The engine calls
+/// [`init`](Protocol::init) once before round 1, then
+/// [`round`](Protocol::round) in every round in which the node has incoming
+/// messages or a scheduled wake-up. Messages sent in round `r` are delivered
+/// at the start of round `r + 1`.
+pub trait Protocol {
+    /// The message type exchanged by this protocol.
+    type Msg: Payload;
+
+    /// Called once, before the first round. Sends made here are delivered
+    /// in round 1.
+    fn init(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called in each round where this node is active, with the messages
+    /// delivered this round (sorted by sender id).
+    fn round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[(NodeId, Self::Msg)]);
+
+    /// Approximate local memory footprint in machine words, sampled by the
+    /// engine for the per-node memory metrics. The default (0) opts out.
+    fn memory_words(&self) -> usize {
+        0
+    }
+}

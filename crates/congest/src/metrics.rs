@@ -1,0 +1,169 @@
+//! Execution metrics: the quantities the paper's complexity claims are
+//! stated in (rounds, congestion) plus the "fully distributed" resource
+//! accounting (per-node memory and computation balance).
+
+/// Aggregated measurements from one [`Network`](crate::Network) run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Rounds executed (the paper's primary cost measure).
+    pub rounds: usize,
+    /// Total messages sent (a message to an already-halted node still
+    /// counts: it was transmitted).
+    pub messages: u64,
+    /// Total message volume in `Θ(log n)`-bit words.
+    pub words: u64,
+    /// Messages sent per node.
+    pub sent_per_node: Vec<u64>,
+    /// Messages received per node.
+    pub received_per_node: Vec<u64>,
+    /// Local computation units charged per node (via
+    /// [`Context::charge_compute`](crate::Context::charge_compute), plus one
+    /// unit per delivered message).
+    pub compute_per_node: Vec<u64>,
+    /// Sampled peak of `Protocol::memory_words` per node (0 if the protocol
+    /// opts out or sampling is disabled).
+    pub peak_memory_per_node: Vec<usize>,
+    /// Messages delivered in each round (empty if recording disabled).
+    pub round_traffic: Vec<u64>,
+    /// Largest number of words any directed edge carried in any round.
+    pub max_edge_words: usize,
+    /// Largest number of messages any single node sent in one round
+    /// (the `Δ'` of the Klauck et al. k-machine conversion theorem).
+    pub max_node_sends_per_round: usize,
+}
+
+impl Metrics {
+    pub(crate) fn new(n: usize) -> Self {
+        Metrics {
+            rounds: 0,
+            messages: 0,
+            words: 0,
+            sent_per_node: vec![0; n],
+            received_per_node: vec![0; n],
+            compute_per_node: vec![0; n],
+            peak_memory_per_node: vec![0; n],
+            round_traffic: Vec::new(),
+            max_edge_words: 0,
+            max_node_sends_per_round: 0,
+        }
+    }
+
+    /// Accumulates another run's metrics into this one (used when an
+    /// algorithm executes as several sequential protocol phases): rounds
+    /// and volumes add, per-node peaks take the max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn merge(&mut self, other: &Metrics) {
+        assert_eq!(
+            self.sent_per_node.len(),
+            other.sent_per_node.len(),
+            "cannot merge metrics for different node counts"
+        );
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.words += other.words;
+        for i in 0..self.sent_per_node.len() {
+            self.sent_per_node[i] += other.sent_per_node[i];
+            self.received_per_node[i] += other.received_per_node[i];
+            self.compute_per_node[i] += other.compute_per_node[i];
+            self.peak_memory_per_node[i] =
+                self.peak_memory_per_node[i].max(other.peak_memory_per_node[i]);
+        }
+        self.round_traffic.extend_from_slice(&other.round_traffic);
+        self.max_edge_words = self.max_edge_words.max(other.max_edge_words);
+        self.max_node_sends_per_round =
+            self.max_node_sends_per_round.max(other.max_node_sends_per_round);
+    }
+
+    /// Maximum per-node compute units (load-balance numerator).
+    pub fn max_compute(&self) -> u64 {
+        self.compute_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean per-node compute units (load-balance denominator).
+    pub fn mean_compute(&self) -> f64 {
+        if self.compute_per_node.is_empty() {
+            return 0.0;
+        }
+        self.compute_per_node.iter().sum::<u64>() as f64 / self.compute_per_node.len() as f64
+    }
+
+    /// `max / mean` computation ratio; 1.0 means perfectly balanced.
+    /// Returns 0.0 when nothing was computed.
+    pub fn compute_balance(&self) -> f64 {
+        let mean = self.mean_compute();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.max_compute() as f64 / mean
+        }
+    }
+
+    /// Maximum sampled per-node memory in words.
+    pub fn max_memory(&self) -> usize {
+        self.peak_memory_per_node.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Result of a completed [`Network::run`](crate::Network::run).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Aggregated measurements.
+    pub metrics: Metrics,
+    /// Number of nodes that called [`Context::halt`](crate::Context::halt).
+    pub halted: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_and_maxes() {
+        let mut a = Metrics::new(2);
+        a.rounds = 3;
+        a.messages = 10;
+        a.words = 12;
+        a.sent_per_node = vec![4, 6];
+        a.peak_memory_per_node = vec![5, 1];
+        a.max_edge_words = 2;
+        let mut b = Metrics::new(2);
+        b.rounds = 2;
+        b.messages = 1;
+        b.words = 1;
+        b.sent_per_node = vec![1, 0];
+        b.peak_memory_per_node = vec![2, 9];
+        b.max_edge_words = 1;
+        a.merge(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.messages, 11);
+        assert_eq!(a.sent_per_node, vec![5, 6]);
+        assert_eq!(a.peak_memory_per_node, vec![5, 9]);
+        assert_eq!(a.max_edge_words, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different node counts")]
+    fn merge_rejects_mismatched() {
+        let mut a = Metrics::new(2);
+        a.merge(&Metrics::new(3));
+    }
+
+    #[test]
+    fn balance_ratios() {
+        let mut m = Metrics::new(4);
+        m.compute_per_node = vec![1, 1, 1, 5];
+        assert_eq!(m.max_compute(), 5);
+        assert!((m.mean_compute() - 2.0).abs() < 1e-12);
+        assert!((m.compute_balance() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_of_empty_is_zero() {
+        let m = Metrics::new(0);
+        assert_eq!(m.compute_balance(), 0.0);
+        assert_eq!(m.max_memory(), 0);
+    }
+}

@@ -1,0 +1,573 @@
+//! The synchronous round engine.
+
+use crate::trace::{Trace, TraceEvent};
+use crate::{Config, Context, Metrics, NodeId, Payload, Protocol, Report, SimError};
+use dhc_graph::Graph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A synchronous CONGEST network: a topology, one [`Protocol`] instance per
+/// node, and the round scheduler.
+///
+/// Execution is deterministic: nodes are invoked in ascending id order and
+/// inboxes are sorted by sender. Only nodes with pending messages or
+/// scheduled wake-ups run in a given round.
+pub struct Network<'g, P: Protocol> {
+    graph: &'g Graph,
+    config: Config,
+    nodes: Vec<P>,
+    halted: Vec<bool>,
+    halted_count: usize,
+    /// Inboxes for the *next* round.
+    pending: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Scheduled wake-ups as (round, node).
+    wakes: BinaryHeap<Reverse<(usize, NodeId)>>,
+    round: usize,
+    metrics: Metrics,
+    trace: Trace,
+    finished: bool,
+}
+
+impl<'g, P: Protocol> Network<'g, P> {
+    /// Creates the network and runs every node's `init` (round 0).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NodeCountMismatch`] if `protocols.len() != n`, or any
+    /// fault raised by an `init` callback (e.g. sending to a non-neighbor).
+    pub fn new(graph: &'g Graph, config: Config, protocols: Vec<P>) -> Result<Self, SimError> {
+        if protocols.len() != graph.node_count() {
+            return Err(SimError::NodeCountMismatch {
+                graph_nodes: graph.node_count(),
+                protocols: protocols.len(),
+            });
+        }
+        let n = graph.node_count();
+        let trace_capacity = config.trace_capacity;
+        let mut net = Network {
+            graph,
+            config,
+            nodes: protocols,
+            halted: vec![false; n],
+            halted_count: 0,
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            wakes: BinaryHeap::new(),
+            round: 0,
+            metrics: Metrics::new(n),
+            trace: Trace::with_capacity(trace_capacity),
+            finished: false,
+        };
+        net.init_all()?;
+        Ok(net)
+    }
+
+    fn init_all(&mut self) -> Result<(), SimError> {
+        let ids: Vec<NodeId> = (0..self.nodes.len()).collect();
+        self.invoke(&ids, CallKind::Init, Vec::new())
+    }
+
+    /// Runs rounds until every node halts.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`]; in particular [`SimError::Stalled`] when no node
+    /// can ever run again and [`SimError::RoundLimitExceeded`] at the cap.
+    pub fn run(&mut self) -> Result<Report, SimError> {
+        while !self.finished {
+            self.step()?;
+        }
+        Ok(Report { metrics: self.metrics.clone(), halted: self.halted_count })
+    }
+
+    /// Executes one round. Does nothing once the run has finished.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Network::run).
+    pub fn step(&mut self) -> Result<(), SimError> {
+        if self.finished {
+            return Ok(());
+        }
+        if self.halted_count == self.nodes.len() {
+            self.finished = true;
+            return Ok(());
+        }
+        if self.round >= self.config.max_rounds {
+            return Err(SimError::RoundLimitExceeded {
+                max_rounds: self.config.max_rounds,
+                unhalted: self.nodes.len() - self.halted_count,
+            });
+        }
+        self.round += 1;
+
+        // Active set: nodes with pending messages or due wake-ups.
+        let mut active: Vec<NodeId> = Vec::new();
+        for (v, inbox) in self.pending.iter().enumerate() {
+            if !inbox.is_empty() {
+                active.push(v);
+            }
+        }
+        if active.is_empty() {
+            // Quiescent: fast-forward to the next scheduled wake-up, if any
+            // (the skipped empty rounds still count toward simulated time).
+            match self.wakes.peek() {
+                Some(&Reverse((r, _))) => {
+                    if r > self.round {
+                        self.round = r;
+                    }
+                    if self.round > self.config.max_rounds {
+                        return Err(SimError::RoundLimitExceeded {
+                            max_rounds: self.config.max_rounds,
+                            unhalted: self.nodes.len() - self.halted_count,
+                        });
+                    }
+                }
+                None => {
+                    if self.halted_count == self.nodes.len() {
+                        self.finished = true;
+                        return Ok(());
+                    }
+                    return Err(SimError::Stalled {
+                        round: self.round,
+                        unhalted: self.nodes.len() - self.halted_count,
+                    });
+                }
+            }
+        }
+        while let Some(&Reverse((r, v))) = self.wakes.peek() {
+            if r > self.round {
+                break;
+            }
+            self.wakes.pop();
+            if self.pending[v].is_empty() {
+                active.push(v);
+            }
+        }
+        active.sort_unstable();
+        active.dedup();
+
+        if active.is_empty() {
+            // Every due wake-up belonged to a node that has since halted.
+            if self.halted_count == self.nodes.len() {
+                self.finished = true;
+            }
+            return Ok(());
+        }
+
+        let mut round_messages = 0u64;
+        let mut inboxes: Vec<(NodeId, Vec<(NodeId, P::Msg)>)> = Vec::with_capacity(active.len());
+        for &v in &active {
+            let mut inbox = std::mem::take(&mut self.pending[v]);
+            inbox.sort_by_key(|&(from, _)| from);
+            round_messages += inbox.len() as u64;
+            self.metrics.received_per_node[v] += inbox.len() as u64;
+            self.metrics.compute_per_node[v] += inbox.len() as u64;
+            inboxes.push((v, inbox));
+        }
+        if self.config.record_round_traffic {
+            self.metrics.round_traffic.push(round_messages);
+        }
+
+        // Halted nodes consume (drop) their messages without running.
+        let mut runnable: Vec<NodeId> = Vec::with_capacity(inboxes.len());
+        let mut inbox_of: Vec<Vec<(NodeId, P::Msg)>> = Vec::with_capacity(inboxes.len());
+        for (v, inbox) in inboxes {
+            if !self.halted[v] {
+                runnable.push(v);
+                inbox_of.push(inbox);
+            }
+        }
+        self.invoke(&runnable, CallKind::Round, inbox_of)
+    }
+
+    /// Invokes `init` or `round` on each listed node, collecting sends,
+    /// wake-ups, halts, and faults. For `CallKind::Round`, `inboxes` is
+    /// aligned with `ids`.
+    fn invoke(
+        &mut self,
+        ids: &[NodeId],
+        kind: CallKind,
+        mut inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    ) -> Result<(), SimError> {
+        for (idx, &v) in ids.iter().enumerate() {
+            let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
+            let mut halted = false;
+            let mut wake: Option<usize> = None;
+            let mut compute = 0u64;
+            let mut fault: Option<SimError> = None;
+            {
+                let mut ctx = Context {
+                    node: v,
+                    round: self.round,
+                    graph: self.graph,
+                    outbox: &mut outbox,
+                    halted: &mut halted,
+                    wake_request: &mut wake,
+                    compute: &mut compute,
+                    fault: &mut fault,
+                };
+                match kind {
+                    CallKind::Init => self.nodes[v].init(&mut ctx),
+                    CallKind::Round => {
+                        let inbox = std::mem::take(&mut inboxes[idx]);
+                        self.nodes[v].round(&mut ctx, &inbox);
+                    }
+                }
+            }
+            if let Some(err) = fault {
+                return Err(err);
+            }
+            self.metrics.compute_per_node[v] += compute;
+            if self.config.memory_sample_interval > 0 {
+                let mem = self.nodes[v].memory_words();
+                if mem > self.metrics.peak_memory_per_node[v] {
+                    self.metrics.peak_memory_per_node[v] = mem;
+                }
+            }
+            if outbox.len() > self.metrics.max_node_sends_per_round {
+                self.metrics.max_node_sends_per_round = outbox.len();
+            }
+            // Bandwidth check: words per destination from this sender.
+            outbox.sort_by_key(|&(to, _)| to);
+            let mut i = 0;
+            while i < outbox.len() {
+                let to = outbox[i].0;
+                let mut words = 0usize;
+                let mut j = i;
+                while j < outbox.len() && outbox[j].0 == to {
+                    words += outbox[j].1.words().max(1);
+                    j += 1;
+                }
+                if words > self.config.bandwidth_words {
+                    return Err(SimError::BandwidthExceeded {
+                        from: v,
+                        to,
+                        round: self.round,
+                        attempted_words: words,
+                        budget_words: self.config.bandwidth_words,
+                    });
+                }
+                if words > self.metrics.max_edge_words {
+                    self.metrics.max_edge_words = words;
+                }
+                i = j;
+            }
+            for (to, msg) in outbox {
+                let words = msg.words().max(1);
+                self.metrics.words += words as u64;
+                self.metrics.messages += 1;
+                self.metrics.sent_per_node[v] += 1;
+                if self.trace.is_enabled() {
+                    self.trace.push(TraceEvent::Sent { round: self.round, from: v, to, words });
+                }
+                self.pending[to].push((v, msg));
+            }
+            if let Some(target) = wake {
+                if !halted {
+                    self.wakes.push(Reverse((target, v)));
+                    if self.trace.is_enabled() {
+                        self.trace.push(TraceEvent::WakeScheduled {
+                            round: self.round,
+                            node: v,
+                            target,
+                        });
+                    }
+                }
+            }
+            if halted && !self.halted[v] {
+                self.halted[v] = true;
+                self.halted_count += 1;
+                if self.trace.is_enabled() {
+                    self.trace.push(TraceEvent::Halted { round: self.round, node: v });
+                }
+            }
+        }
+        self.metrics.rounds = self.round;
+        Ok(())
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.round
+    }
+
+    /// Whether every node has halted.
+    pub fn is_finished(&self) -> bool {
+        self.finished || self.halted_count == self.nodes.len()
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The event trace (empty unless `Config::trace_capacity > 0`).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Immutable access to the per-node protocol states (for extracting
+    /// outputs after a run).
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Consumes the network, returning the protocol states.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for Network<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("n", &self.nodes.len())
+            .field("round", &self.round)
+            .field("halted", &self.halted_count)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+/// Which protocol callback [`Network::invoke`] should run.
+#[derive(Clone, Copy, Debug)]
+enum CallKind {
+    Init,
+    Round,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Payload;
+
+    #[derive(Clone, Debug)]
+    struct Token(#[allow(dead_code)] u64);
+    impl Payload for Token {}
+
+    /// Floods a token once from node 0; every node halts after forwarding.
+    struct Flood {
+        seen: bool,
+    }
+    impl Protocol for Flood {
+        type Msg = Token;
+        fn init(&mut self, ctx: &mut Context<'_, Token>) {
+            if ctx.node() == 0 {
+                self.seen = true;
+                ctx.send_all(Token(1));
+                ctx.halt();
+            }
+        }
+        fn round(&mut self, ctx: &mut Context<'_, Token>, inbox: &[(NodeId, Token)]) {
+            if !inbox.is_empty() && !self.seen {
+                self.seen = true;
+                ctx.send_all(Token(1));
+            }
+            ctx.halt();
+        }
+        fn memory_words(&self) -> usize {
+            2
+        }
+    }
+
+    fn flood_nodes(n: usize) -> Vec<Flood> {
+        (0..n).map(|_| Flood { seen: false }).collect()
+    }
+
+    #[test]
+    fn flood_reaches_everyone_on_path() {
+        let g = dhc_graph::generator::path_graph(5);
+        let mut net = Network::new(&g, Config::default(), flood_nodes(5)).unwrap();
+        let report = net.run().unwrap();
+        assert!(net.nodes().iter().all(|f| f.seen));
+        assert_eq!(report.halted, 5);
+        // Token crosses 4 hops; the last forward happens in round 4.
+        assert_eq!(report.metrics.rounds, 4);
+        // Sends: node 0 one, nodes 1-3 two each (send_all), node 4 one.
+        assert_eq!(report.metrics.messages, 8);
+    }
+
+    #[test]
+    fn metrics_count_messages_and_words() {
+        let g = dhc_graph::generator::star(4);
+        let mut net = Network::new(&g, Config::default(), flood_nodes(4)).unwrap();
+        let report = net.run().unwrap();
+        // Node 0 sends 3; each leaf replies to the (halted) hub: 3 more sent.
+        assert_eq!(report.metrics.messages, 6);
+        assert_eq!(report.metrics.words, 6);
+        assert_eq!(report.metrics.sent_per_node, vec![3, 1, 1, 1]);
+        assert_eq!(report.metrics.max_edge_words, 1);
+    }
+
+    #[test]
+    fn memory_peaks_sampled() {
+        let g = dhc_graph::generator::path_graph(3);
+        let mut net = Network::new(&g, Config::default(), flood_nodes(3)).unwrap();
+        let _ = net.run().unwrap();
+        assert!(net.metrics().peak_memory_per_node.iter().all(|&m| m == 2));
+    }
+
+    #[test]
+    fn node_count_mismatch_rejected() {
+        let g = dhc_graph::generator::path_graph(3);
+        assert!(matches!(
+            Network::new(&g, Config::default(), flood_nodes(2)),
+            Err(SimError::NodeCountMismatch { graph_nodes: 3, protocols: 2 })
+        ));
+    }
+
+    /// Sends to a fixed non-neighbor in init.
+    struct BadSender;
+    impl Protocol for BadSender {
+        type Msg = Token;
+        fn init(&mut self, ctx: &mut Context<'_, Token>) {
+            if ctx.node() == 0 {
+                ctx.send(2, Token(0));
+            }
+            ctx.halt();
+        }
+        fn round(&mut self, _: &mut Context<'_, Token>, _: &[(NodeId, Token)]) {}
+    }
+
+    #[test]
+    fn non_neighbor_send_is_error() {
+        let g = dhc_graph::generator::path_graph(3); // 0-1-2: 0 and 2 not adjacent
+        let err = Network::new(&g, Config::default(), vec![BadSender, BadSender, BadSender])
+            .unwrap_err();
+        assert!(matches!(err, SimError::NotANeighbor { from: 0, to: 2, .. }));
+    }
+
+    /// Sends two messages over one edge in one round.
+    struct Chatty;
+    impl Protocol for Chatty {
+        type Msg = Token;
+        fn init(&mut self, ctx: &mut Context<'_, Token>) {
+            if ctx.node() == 0 {
+                ctx.send(1, Token(1));
+                ctx.send(1, Token(2));
+            }
+            ctx.halt();
+        }
+        fn round(&mut self, _: &mut Context<'_, Token>, _: &[(NodeId, Token)]) {}
+    }
+
+    #[test]
+    fn bandwidth_violation_is_error() {
+        let g = dhc_graph::generator::path_graph(2);
+        let err = Network::new(&g, Config::default(), vec![Chatty, Chatty]).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::BandwidthExceeded { from: 0, to: 1, attempted_words: 2, budget_words: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn wider_bandwidth_allows_it() {
+        let g = dhc_graph::generator::path_graph(2);
+        let net = Network::new(
+            &g,
+            Config::default().with_bandwidth_words(2),
+            vec![Chatty, Chatty],
+        );
+        assert!(net.is_ok());
+    }
+
+    /// Node 0 never halts and never acts: stall.
+    struct Sleeper;
+    impl Protocol for Sleeper {
+        type Msg = Token;
+        fn init(&mut self, ctx: &mut Context<'_, Token>) {
+            if ctx.node() != 0 {
+                ctx.halt();
+            }
+        }
+        fn round(&mut self, _: &mut Context<'_, Token>, _: &[(NodeId, Token)]) {}
+    }
+
+    #[test]
+    fn stall_detected() {
+        let g = dhc_graph::generator::path_graph(2);
+        let mut net = Network::new(&g, Config::default(), vec![Sleeper, Sleeper]).unwrap();
+        let err = net.run().unwrap_err();
+        assert!(matches!(err, SimError::Stalled { unhalted: 1, .. }));
+    }
+
+    /// Wakes itself `k` times, then halts.
+    struct Timer {
+        remaining: usize,
+        fired_rounds: Vec<usize>,
+    }
+    impl Protocol for Timer {
+        type Msg = Token;
+        fn init(&mut self, ctx: &mut Context<'_, Token>) {
+            ctx.wake_in(3);
+        }
+        fn round(&mut self, ctx: &mut Context<'_, Token>, _: &[(NodeId, Token)]) {
+            self.fired_rounds.push(ctx.round_number());
+            if self.remaining == 0 {
+                ctx.halt();
+            } else {
+                self.remaining -= 1;
+                ctx.wake_in(2);
+            }
+        }
+    }
+
+    #[test]
+    fn wake_in_schedules_exact_rounds() {
+        let g = dhc_graph::Graph::from_edges(1, []).unwrap();
+        let mut net = Network::new(
+            &g,
+            Config::default(),
+            vec![Timer { remaining: 2, fired_rounds: vec![] }],
+        )
+        .unwrap();
+        let _ = net.run().unwrap();
+        assert_eq!(net.nodes()[0].fired_rounds, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = dhc_graph::Graph::from_edges(1, []).unwrap();
+        let mut net = Network::new(
+            &g,
+            Config::default().with_max_rounds(4),
+            vec![Timer { remaining: 100, fired_rounds: vec![] }],
+        )
+        .unwrap();
+        let err = net.run().unwrap_err();
+        assert!(matches!(err, SimError::RoundLimitExceeded { max_rounds: 4, unhalted: 1 }));
+    }
+
+    #[test]
+    fn trace_records_sends_and_halts() {
+        let g = dhc_graph::generator::path_graph(3);
+        let cfg = Config::default().with_trace_capacity(100);
+        let mut net = Network::new(&g, cfg, flood_nodes(3)).unwrap();
+        let _ = net.run().unwrap();
+        let trace = net.trace();
+        let sends = trace.events().iter().filter(|e| matches!(e, crate::TraceEvent::Sent { .. })).count();
+        let halts = trace.events().iter().filter(|e| matches!(e, crate::TraceEvent::Halted { .. })).count();
+        assert_eq!(sends as u64, net.metrics().messages);
+        assert_eq!(halts, 3);
+        assert_eq!(trace.dropped(), 0);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let g = dhc_graph::generator::path_graph(2);
+        let mut net = Network::new(&g, Config::default(), flood_nodes(2)).unwrap();
+        let _ = net.run().unwrap();
+        assert!(net.trace().events().is_empty());
+    }
+
+    #[test]
+    fn determinism_same_run_twice() {
+        let g = dhc_graph::generator::grid(3, 3);
+        let run = || {
+            let mut net = Network::new(&g, Config::default(), flood_nodes(9)).unwrap();
+            net.run().unwrap().metrics
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,129 @@
+//! Optional execution tracing: a bounded log of engine-level events
+//! (sends, halts, wake-ups) for debugging protocols and producing
+//! round-by-round narratives in examples.
+
+use crate::NodeId;
+
+/// One engine-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was sent (recorded at send time; delivery is next round).
+    Sent {
+        /// Round of the send (0 = during `init`).
+        round: usize,
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Message size in words.
+        words: usize,
+    },
+    /// A node halted.
+    Halted {
+        /// Round of the halt.
+        round: usize,
+        /// The node.
+        node: NodeId,
+    },
+    /// A node scheduled a wake-up.
+    WakeScheduled {
+        /// Round in which the request was made.
+        round: usize,
+        /// The node.
+        node: NodeId,
+        /// Target round of the wake-up.
+        target: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The round the event belongs to.
+    pub fn round(&self) -> usize {
+        match *self {
+            TraceEvent::Sent { round, .. }
+            | TraceEvent::Halted { round, .. }
+            | TraceEvent::WakeScheduled { round, .. } => round,
+        }
+    }
+}
+
+/// A bounded event log. Once `capacity` events are stored, further events
+/// are counted but dropped (protocol runs can produce millions of sends;
+/// the cap keeps tracing safe to leave on).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl Trace {
+    /// Creates a trace that keeps at most `capacity` events
+    /// (0 disables recording entirely).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace { events: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else if self.capacity > 0 {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events that did not fit the capacity.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Events belonging to `round`.
+    pub fn in_round(&self, round: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.round() == round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.push(TraceEvent::Halted { round: i, node: i });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut t = Trace::with_capacity(0);
+        t.push(TraceEvent::Halted { round: 0, node: 0 });
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn round_filter() {
+        let mut t = Trace::with_capacity(10);
+        t.push(TraceEvent::Sent { round: 1, from: 0, to: 1, words: 1 });
+        t.push(TraceEvent::Halted { round: 2, node: 0 });
+        t.push(TraceEvent::Sent { round: 2, from: 1, to: 0, words: 3 });
+        assert_eq!(t.in_round(2).count(), 2);
+        assert_eq!(t.in_round(1).count(), 1);
+        assert_eq!(t.events()[0].round(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Algorithm configuration.
+
+use dhc_congest::Config as SimConfig;
+
+/// Configuration shared by all distributed algorithms in this crate.
+///
+/// # Example
+///
+/// ```
+/// use dhc_core::DhcConfig;
+///
+/// let cfg = DhcConfig::new(42).with_delta(0.5).with_max_rounds(500_000);
+/// assert_eq!(cfg.seed, 42);
+/// assert_eq!(cfg.delta, 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DhcConfig {
+    /// Master seed; every node derives its own stream from it.
+    pub seed: u64,
+    /// The paper's sparsity exponent `δ ∈ (0, 1]`: DHC2 uses
+    /// `n^{1-δ}` partitions (`δ = 0.5` reproduces DHC1's `√n`;
+    /// `δ = 1` is a single partition, i.e. plain DRA).
+    pub delta: f64,
+    /// Overrides the partition count directly (takes precedence over
+    /// [`delta`](Self::delta) when set).
+    pub partitions: Option<usize>,
+    /// Hard cap on simulated rounds per protocol phase.
+    pub max_rounds: usize,
+    /// Per-edge-per-round bandwidth in `Θ(log n)`-bit words. The protocol
+    /// messages carry up to ~9 ids, i.e. still `O(log n)` bits; the default
+    /// budget of 16 words keeps the CONGEST discipline (constant words per
+    /// edge per round) while letting one protocol message fit in one round.
+    pub bandwidth_words: usize,
+    /// Upcast: each node samples `ceil(sample_factor · ln n)` incident
+    /// edges (the paper's `c' log n`).
+    pub sample_factor: f64,
+    /// Upcast: retries for the root's local rotation solve.
+    pub root_solve_retries: usize,
+}
+
+impl DhcConfig {
+    /// Creates a configuration with the given seed and defaults matching
+    /// the paper's operating points.
+    pub fn new(seed: u64) -> Self {
+        DhcConfig {
+            seed,
+            delta: 0.5,
+            partitions: None,
+            max_rounds: 5_000_000,
+            bandwidth_words: 16,
+            sample_factor: 8.0,
+            root_solve_retries: 8,
+        }
+    }
+
+    /// Sets the sparsity exponent `δ`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Overrides the number of Phase-1 partitions.
+    pub fn with_partitions(mut self, k: usize) -> Self {
+        self.partitions = Some(k);
+        self
+    }
+
+    /// Sets the per-phase round cap.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the Upcast sampling factor (`c'`).
+    pub fn with_sample_factor(mut self, f: f64) -> Self {
+        self.sample_factor = f;
+        self
+    }
+
+    /// Number of Phase-1 partitions for an `n`-node graph.
+    pub fn partition_count(&self, n: usize) -> usize {
+        match self.partitions {
+            Some(k) => k.clamp(1, n.max(1)),
+            None => dhc_graph::thresholds::num_partitions(n.max(1), self.delta),
+        }
+    }
+
+    /// The simulator configuration corresponding to this algorithm
+    /// configuration.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::default()
+            .with_max_rounds(self.max_rounds)
+            .with_bandwidth_words(self.bandwidth_words)
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhcError::InvalidConfig`](crate::DhcError::InvalidConfig)
+    /// for out-of-range values.
+    pub fn validate(&self) -> Result<(), crate::DhcError> {
+        if !(self.delta > 0.0 && self.delta <= 1.0) {
+            return Err(crate::DhcError::InvalidConfig { what: "delta must be in (0, 1]" });
+        }
+        if self.bandwidth_words == 0 {
+            return Err(crate::DhcError::InvalidConfig { what: "bandwidth_words must be >= 1" });
+        }
+        if self.sample_factor <= 0.0 {
+            return Err(crate::DhcError::InvalidConfig { what: "sample_factor must be positive" });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_count_follows_delta() {
+        let cfg = DhcConfig::new(0).with_delta(0.5);
+        assert_eq!(cfg.partition_count(1024), 32);
+        let cfg = DhcConfig::new(0).with_delta(1.0);
+        assert_eq!(cfg.partition_count(1024), 1);
+    }
+
+    #[test]
+    fn partition_override_wins() {
+        let cfg = DhcConfig::new(0).with_delta(0.5).with_partitions(7);
+        assert_eq!(cfg.partition_count(1024), 7);
+        // Clamped to n.
+        let cfg = DhcConfig::new(0).with_partitions(500);
+        assert_eq!(cfg.partition_count(10), 10);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DhcConfig::new(0).validate().is_ok());
+        assert!(DhcConfig::new(0).with_delta(0.0).validate().is_err());
+        assert!(DhcConfig::new(0).with_delta(1.5).validate().is_err());
+        let mut cfg = DhcConfig::new(0);
+        cfg.sample_factor = -1.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn sim_config_propagates() {
+        let cfg = DhcConfig::new(0).with_max_rounds(123);
+        assert_eq!(cfg.sim_config().max_rounds, 123);
+        assert_eq!(cfg.sim_config().bandwidth_words, 16);
+    }
+}

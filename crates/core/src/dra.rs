@@ -1,0 +1,574 @@
+//! The **Distributed Rotation Algorithm** (the paper's Algorithm 1) as a
+//! CONGEST protocol, generalized to run on every color class of a vertex
+//! partition simultaneously (Phase 1 of DHC1/DHC2; a single class is plain
+//! DRA).
+//!
+//! Per partition, the protocol proceeds in three stages, all message-driven:
+//!
+//! 1. **Color exchange** (1 round): every node learns which neighbors share
+//!    its color; these are the only edges the partition may use.
+//! 2. **Leader election + size count**: simultaneous min-id flood waves
+//!    with echo. The winning wave's parents form a BFS tree; the echo
+//!    convergecast counts the partition size at the leader. (The paper
+//!    assumes an initial head and a known size; this stage constructs
+//!    both, at the `O(D)` cost the analysis already budgets.)
+//! 3. **Rotation path growth**: the leader starts the path (`cycindex 0`).
+//!    The acting head draws a uniformly random unused same-color edge and
+//!    sends `Progress(pos)`. A fresh receiver appends itself and becomes
+//!    head (replying `FreshAck` so the old head learns its successor). An
+//!    on-path receiver initiates a **rotation broadcast**: the renumbering
+//!    parameters `(h, j, v_j, v_h)` are flooded through the partition with
+//!    an echo acknowledgement; when the echo completes, the initiator sends
+//!    `Resume` to the new head (its old successor). When the head's draw
+//!    hits the leader while the path spans the whole partition, the leader
+//!    floods `Done(tail, head, size)` and the partition terminates.
+//!
+//! Failures (a partition smaller than 3, or a head running out of unused
+//! edges — the paper's event `E2`) abort the partition via an `Abort`
+//! flood, so the simulation always terminates with a typed outcome.
+
+use crate::error::PartitionFailure;
+use dhc_congest::{Context, NodeId, Payload, Protocol};
+use dhc_graph::rng::derive_seed;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Identifier of one rotation broadcast instance: `(initiator, sequence)`.
+pub type RotKey = (NodeId, u32);
+
+/// Messages of the distributed rotation protocol.
+///
+/// Every variant carries a constant number of node ids / indices, i.e.
+/// `O(log n)` bits — one CONGEST message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DraMsg {
+    /// Announce own color (round 1).
+    Color {
+        /// The sender's partition color.
+        color: u32,
+    },
+    /// Leader-election flood wave carrying the smallest id seen.
+    Wave {
+        /// Candidate leader id.
+        root: NodeId,
+    },
+    /// Echo for [`Wave`](DraMsg::Wave): subtree size convergecast.
+    WaveAck {
+        /// The wave this ack belongs to.
+        root: NodeId,
+        /// Nodes in the acked subtree (including the sender).
+        count: usize,
+    },
+    /// Head → drawn neighbor: "extend or rotate; I am at position `pos`".
+    Progress {
+        /// The head's path position (0-based `cycindex`).
+        pos: usize,
+    },
+    /// Fresh receiver → old head: "I appended myself; I am your successor".
+    FreshAck,
+    /// Rotation broadcast: renumber positions in `(j, h]` via
+    /// `i ← h + j + 1 − i` and swap successor/predecessor pointers.
+    Rotation {
+        /// Instance key.
+        key: RotKey,
+        /// Old head position.
+        h: usize,
+        /// Rotation pivot position (the initiator's position).
+        j: usize,
+        /// Id of the pivot node `v_j`.
+        vj: NodeId,
+        /// Id of the old head `v_h`.
+        vh: NodeId,
+    },
+    /// Echo for [`Rotation`](DraMsg::Rotation).
+    RotAck {
+        /// Instance key.
+        key: RotKey,
+    },
+    /// Initiator → new head after the rotation echo completes.
+    Resume,
+    /// Success flood: the cycle closed.
+    Done {
+        /// The path start (leader).
+        tail: NodeId,
+        /// The final head (whose closing edge reached the tail).
+        head: NodeId,
+        /// Partition size = cycle length.
+        size: usize,
+    },
+    /// Failure flood.
+    Abort {
+        /// Encoded [`PartitionFailure`].
+        reason: u8,
+    },
+}
+
+impl Payload for DraMsg {
+    fn words(&self) -> usize {
+        match self {
+            DraMsg::Color { .. } | DraMsg::Wave { .. } | DraMsg::Progress { .. } => 1,
+            DraMsg::FreshAck | DraMsg::Resume => 1,
+            DraMsg::WaveAck { .. } => 2,
+            DraMsg::Rotation { .. } => 6,
+            DraMsg::RotAck { .. } => 2,
+            DraMsg::Done { .. } => 3,
+            DraMsg::Abort { .. } => 1,
+        }
+    }
+}
+
+fn encode_failure(f: PartitionFailure) -> u8 {
+    match f {
+        PartitionFailure::TooSmall => 0,
+        PartitionFailure::OutOfEdges => 1,
+    }
+}
+
+fn decode_failure(b: u8) -> PartitionFailure {
+    match b {
+        0 => PartitionFailure::TooSmall,
+        _ => PartitionFailure::OutOfEdges,
+    }
+}
+
+/// Per-node state of the DRA protocol.
+#[derive(Debug)]
+pub struct DraNode {
+    id: NodeId,
+    /// Partition color of this node.
+    pub color: u32,
+    rng: SmallRng,
+    /// Same-color neighbors (the partition-internal edges).
+    part_nbrs: Vec<NodeId>,
+    colors_known: bool,
+
+    // Leader election.
+    best_root: NodeId,
+    wave_parent: Option<NodeId>,
+    wave_pending: usize,
+    wave_acc: usize,
+    is_leader: bool,
+
+    // Rotation-path state.
+    /// Shuffled unused same-color edges.
+    unused: Vec<NodeId>,
+    /// Path position (the paper's `cycindex`), once on the path.
+    pub cycindex: Option<usize>,
+    /// Successor on the (sub)cycle.
+    pub succ: Option<NodeId>,
+    /// Predecessor on the (sub)cycle.
+    pub pred: Option<NodeId>,
+    is_head: bool,
+    awaiting_reply: bool,
+    await_resume: bool,
+    /// Partition size; known by the leader after election, by everyone
+    /// after `Done`.
+    pub cycle_size: Option<usize>,
+
+    // Rotation broadcast bookkeeping.
+    rot_key: Option<RotKey>,
+    rot_parent: Option<NodeId>,
+    rot_pending: usize,
+    rot_initiator: bool,
+    rot_resume_target: Option<NodeId>,
+    rot_seq: u32,
+
+    /// Set when this node's partition completed its subcycle.
+    pub done: bool,
+    /// Set when this node's partition aborted.
+    pub failed: Option<PartitionFailure>,
+}
+
+impl DraNode {
+    /// Creates the protocol state for node `id` with partition color
+    /// `color`; randomness is derived from `(seed, id)`.
+    pub fn new(id: NodeId, color: u32, seed: u64) -> Self {
+        DraNode {
+            id,
+            color,
+            rng: SmallRng::seed_from_u64(derive_seed(seed, id as u64)),
+            part_nbrs: Vec::new(),
+            colors_known: false,
+            best_root: id,
+            wave_parent: None,
+            wave_pending: 0,
+            wave_acc: 0,
+            is_leader: false,
+            unused: Vec::new(),
+            cycindex: None,
+            succ: None,
+            pred: None,
+            is_head: false,
+            awaiting_reply: false,
+            await_resume: false,
+            cycle_size: None,
+            rot_key: None,
+            rot_parent: None,
+            rot_pending: 0,
+            rot_initiator: false,
+            rot_resume_target: None,
+            rot_seq: 0,
+            done: false,
+            failed: None,
+        }
+    }
+
+    /// Whether this node ended as its partition's leader (path start).
+    pub fn is_leader(&self) -> bool {
+        self.is_leader
+    }
+
+    fn fail_and_flood(&mut self, ctx: &mut Context<'_, DraMsg>, reason: PartitionFailure) {
+        self.failed = Some(reason);
+        let nbrs = self.part_nbrs.clone();
+        for to in nbrs {
+            ctx.send(to, DraMsg::Abort { reason: encode_failure(reason) });
+        }
+        ctx.halt();
+    }
+
+    /// The head draws the next unused edge and sends `Progress`.
+    fn head_act(&mut self, ctx: &mut Context<'_, DraMsg>) {
+        debug_assert!(self.is_head && !self.awaiting_reply && !self.await_resume);
+        match self.unused.pop() {
+            None => self.fail_and_flood(ctx, PartitionFailure::OutOfEdges),
+            Some(u) => {
+                let pos = self.cycindex.expect("head is on the path");
+                ctx.send(u, DraMsg::Progress { pos });
+                self.awaiting_reply = true;
+                ctx.charge_compute(1);
+            }
+        }
+    }
+
+    fn remove_unused(&mut self, v: NodeId) {
+        if let Some(i) = self.unused.iter().position(|&x| x == v) {
+            self.unused.swap_remove(i);
+        }
+    }
+
+    fn wave_complete_check(&mut self, ctx: &mut Context<'_, DraMsg>) {
+        if self.wave_pending != 0 {
+            return;
+        }
+        match self.wave_parent {
+            Some(p) => {
+                let count = 1 + self.wave_acc;
+                ctx.send(p, DraMsg::WaveAck { root: self.best_root, count });
+            }
+            None => {
+                if self.best_root == self.id {
+                    // Leader: knows the partition (component) size.
+                    let size = 1 + self.wave_acc;
+                    self.is_leader = true;
+                    self.cycle_size = Some(size);
+                    if size < 3 {
+                        self.fail_and_flood(ctx, PartitionFailure::TooSmall);
+                        return;
+                    }
+                    self.cycindex = Some(0);
+                    self.is_head = true;
+                    self.head_act(ctx);
+                }
+            }
+        }
+    }
+
+    fn rot_complete_check(&mut self, ctx: &mut Context<'_, DraMsg>) {
+        if self.rot_pending != 0 || self.rot_key.is_none() {
+            return;
+        }
+        if self.rot_initiator {
+            let target = self
+                .rot_resume_target
+                .expect("initiator saved its old successor as resume target");
+            ctx.send(target, DraMsg::Resume);
+            self.rot_initiator = false;
+        } else if let Some(p) = self.rot_parent {
+            let key = self.rot_key.expect("checked above");
+            ctx.send(p, DraMsg::RotAck { key });
+        }
+        // Keep rot_key so late duplicates of this instance are recognized;
+        // pending stays 0 and further duplicates are ignored via saturation.
+    }
+
+    /// Applies the renumbering `i ← h + j + 1 − i` (plus pointer fixes) to
+    /// this node for rotation `(h, j, vj, vh)`.
+    fn apply_rotation(&mut self, h: usize, j: usize, vj: NodeId, vh: NodeId) {
+        let Some(idx) = self.cycindex else { return };
+        if self.id == vj {
+            // The pivot's successor becomes the old head (set at initiation
+            // for the initiator, but a pivot also receives the flood echoes
+            // as duplicates, never re-applying thanks to rot_key).
+            return;
+        }
+        if idx > j && idx <= h {
+            let new_idx = h + j + 1 - idx;
+            std::mem::swap(&mut self.succ, &mut self.pred);
+            if idx == h {
+                // Old head: new predecessor is the pivot.
+                self.pred = Some(vj);
+                if new_idx != h {
+                    self.is_head = false;
+                    self.awaiting_reply = false;
+                }
+            }
+            if new_idx == h {
+                // New head; waits for Resume before acting.
+                self.succ = None;
+                self.is_head = true;
+                self.awaiting_reply = false;
+                self.await_resume = true;
+            }
+            self.cycindex = Some(new_idx);
+            let _ = vh; // vh is identified positionally (idx == h)
+        }
+    }
+
+    fn on_progress(&mut self, ctx: &mut Context<'_, DraMsg>, s: NodeId, pos: usize) {
+        self.remove_unused(s);
+        match self.cycindex {
+            None => {
+                // Fresh node: append self, become head.
+                self.cycindex = Some(pos + 1);
+                self.pred = Some(s);
+                self.is_head = true;
+                ctx.send(s, DraMsg::FreshAck);
+                self.head_act(ctx);
+            }
+            Some(0) if self.is_leader && self.cycle_size == Some(pos + 1) => {
+                // Closing edge: the head at the last position reached the
+                // path start. Flood success.
+                self.pred = Some(s);
+                self.done = true;
+                let size = self.cycle_size.expect("leader knows size");
+                let nbrs = self.part_nbrs.clone();
+                for to in nbrs {
+                    ctx.send(to, DraMsg::Done { tail: self.id, head: s, size });
+                }
+                ctx.halt();
+            }
+            Some(j) => {
+                // Rotation: this node is the pivot v_j.
+                let h = pos;
+                self.rot_seq += 1;
+                let key = (self.id, self.rot_seq);
+                self.rot_resume_target = self.succ;
+                self.succ = Some(s);
+                self.rot_key = Some(key);
+                self.rot_parent = None;
+                self.rot_initiator = true;
+                self.rot_pending = self.part_nbrs.len();
+                let msg = DraMsg::Rotation { key, h, j, vj: self.id, vh: s };
+                let nbrs = self.part_nbrs.clone();
+                for to in nbrs {
+                    ctx.send(to, msg.clone());
+                }
+                // At least the old head s is a partition neighbor, so
+                // rot_pending >= 1 here.
+            }
+        }
+    }
+
+    fn on_rotation(
+        &mut self,
+        ctx: &mut Context<'_, DraMsg>,
+        s: NodeId,
+        key: RotKey,
+        h: usize,
+        j: usize,
+        vj: NodeId,
+        vh: NodeId,
+    ) {
+        if self.rot_key == Some(key) {
+            // Duplicate: counts as this neighbor's response.
+            self.rot_pending = self.rot_pending.saturating_sub(1);
+            self.rot_complete_check(ctx);
+            return;
+        }
+        self.rot_key = Some(key);
+        self.rot_parent = Some(s);
+        self.rot_initiator = false;
+        self.apply_rotation(h, j, vj, vh);
+        self.rot_pending = self.part_nbrs.len() - 1;
+        let msg = DraMsg::Rotation { key, h, j, vj, vh };
+        let nbrs = self.part_nbrs.clone();
+        for to in nbrs {
+            if to != s {
+                ctx.send(to, msg.clone());
+            }
+        }
+        self.rot_complete_check(ctx);
+    }
+
+    fn on_done(&mut self, ctx: &mut Context<'_, DraMsg>, s: NodeId, tail: NodeId, head: NodeId, size: usize) {
+        if self.done || self.failed.is_some() {
+            return;
+        }
+        self.done = true;
+        self.cycle_size = Some(size);
+        if self.id == head {
+            self.succ = Some(tail);
+            self.awaiting_reply = false;
+            self.is_head = false;
+        }
+        let nbrs = self.part_nbrs.clone();
+        for to in nbrs {
+            if to != s {
+                ctx.send(to, DraMsg::Done { tail, head, size });
+            }
+        }
+        ctx.halt();
+    }
+
+    fn on_abort(&mut self, ctx: &mut Context<'_, DraMsg>, s: NodeId, reason: u8) {
+        if self.done || self.failed.is_some() {
+            return;
+        }
+        self.failed = Some(decode_failure(reason));
+        let nbrs = self.part_nbrs.clone();
+        for to in nbrs {
+            if to != s {
+                ctx.send(to, DraMsg::Abort { reason });
+            }
+        }
+        ctx.halt();
+    }
+}
+
+impl Protocol for DraNode {
+    type Msg = DraMsg;
+
+    fn init(&mut self, ctx: &mut Context<'_, DraMsg>) {
+        if ctx.degree() == 0 {
+            // An isolated node can never participate (and would otherwise
+            // never be invoked again): fail its 1-node partition component.
+            self.failed = Some(PartitionFailure::TooSmall);
+            ctx.halt();
+            return;
+        }
+        ctx.send_all(DraMsg::Color { color: self.color });
+    }
+
+    fn round(&mut self, ctx: &mut Context<'_, DraMsg>, inbox: &[(NodeId, DraMsg)]) {
+        if !self.colors_known {
+            // Round 1: all Color messages arrive together.
+            for &(from, ref msg) in inbox {
+                if let DraMsg::Color { color } = *msg {
+                    if color == self.color {
+                        self.part_nbrs.push(from);
+                    }
+                }
+            }
+            self.colors_known = true;
+            if self.part_nbrs.is_empty() {
+                // Isolated within its partition: a 1-node component.
+                self.failed = Some(PartitionFailure::TooSmall);
+                ctx.halt();
+                return;
+            }
+            self.unused = self.part_nbrs.clone();
+            self.unused.shuffle(&mut self.rng);
+            // Start leader election.
+            self.best_root = self.id;
+            self.wave_parent = None;
+            self.wave_pending = self.part_nbrs.len();
+            self.wave_acc = 0;
+            let nbrs = self.part_nbrs.clone();
+            for to in nbrs {
+                ctx.send(to, DraMsg::Wave { root: self.id });
+            }
+            return;
+        }
+        for &(from, ref msg) in inbox {
+            if self.done || self.failed.is_some() {
+                break;
+            }
+            match *msg {
+                DraMsg::Color { .. } => {}
+                DraMsg::Wave { root } => {
+                    if root < self.best_root {
+                        self.best_root = root;
+                        self.wave_parent = Some(from);
+                        self.wave_acc = 0;
+                        self.wave_pending = self.part_nbrs.len() - 1;
+                        let nbrs = self.part_nbrs.clone();
+                        for to in nbrs {
+                            if to != from {
+                                ctx.send(to, DraMsg::Wave { root });
+                            }
+                        }
+                        self.wave_complete_check(ctx);
+                    } else if root == self.best_root {
+                        self.wave_pending = self.wave_pending.saturating_sub(1);
+                        self.wave_complete_check(ctx);
+                    }
+                    // root > best_root: stale wave, ignore.
+                }
+                DraMsg::WaveAck { root, count } => {
+                    if root == self.best_root {
+                        self.wave_acc += count;
+                        self.wave_pending = self.wave_pending.saturating_sub(1);
+                        self.wave_complete_check(ctx);
+                    }
+                }
+                DraMsg::Progress { pos } => self.on_progress(ctx, from, pos),
+                DraMsg::FreshAck => {
+                    self.succ = Some(from);
+                    self.awaiting_reply = false;
+                    self.is_head = false;
+                }
+                DraMsg::Rotation { key, h, j, vj, vh } => {
+                    self.on_rotation(ctx, from, key, h, j, vj, vh)
+                }
+                DraMsg::RotAck { key } => {
+                    if self.rot_key == Some(key) {
+                        self.rot_pending = self.rot_pending.saturating_sub(1);
+                        self.rot_complete_check(ctx);
+                    }
+                }
+                DraMsg::Resume => {
+                    debug_assert!(self.is_head && self.await_resume);
+                    self.await_resume = false;
+                    self.head_act(ctx);
+                }
+                DraMsg::Done { tail, head, size } => self.on_done(ctx, from, tail, head, size),
+                DraMsg::Abort { reason } => self.on_abort(ctx, from, reason),
+            }
+        }
+    }
+
+    fn memory_words(&self) -> usize {
+        // Unused list + partition neighbor list + O(1) scalars.
+        self.unused.len() + self.part_nbrs.len() + 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_sizes_are_constant_words() {
+        assert_eq!(DraMsg::Color { color: 1 }.words(), 1);
+        assert_eq!(DraMsg::Rotation { key: (1, 2), h: 3, j: 4, vj: 5, vh: 6 }.words(), 6);
+        assert_eq!(DraMsg::Done { tail: 0, head: 1, size: 2 }.words(), 3);
+    }
+
+    #[test]
+    fn failure_codec_roundtrip() {
+        for f in [PartitionFailure::TooSmall, PartitionFailure::OutOfEdges] {
+            assert_eq!(decode_failure(encode_failure(f)), f);
+        }
+    }
+
+    #[test]
+    fn new_node_defaults() {
+        let n = DraNode::new(5, 2, 9);
+        assert_eq!(n.color, 2);
+        assert!(n.cycindex.is_none());
+        assert!(!n.is_leader());
+        assert!(n.failed.is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! Algorithm-level errors.
+
+use dhc_congest::SimError;
+use dhc_graph::cycle::CycleError;
+use std::error::Error;
+use std::fmt;
+
+/// Why a distributed Hamiltonian-cycle run failed.
+///
+/// The paper's algorithms fail with probability `O(1/n)`; these variants
+/// make every failure mode observable instead of hanging or panicking.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DhcError {
+    /// The input graph has fewer than 3 nodes.
+    GraphTooSmall {
+        /// Node count.
+        n: usize,
+    },
+    /// The simulation engine faulted (round cap, stall, bandwidth, ...).
+    Simulation(SimError),
+    /// A Phase-1 partition could not build its subcycle (too small,
+    /// internally disconnected, or its rotation run starved).
+    PartitionFailed {
+        /// The partition color.
+        color: u32,
+        /// Human-readable reason captured from the aborting node.
+        reason: PartitionFailure,
+    },
+    /// A DHC2 merge level found no bridge for some cycle pair (Lemma 8's
+    /// whp event failed).
+    NoBridge {
+        /// Merge level (0-based).
+        level: usize,
+        /// Active color of the pair that failed.
+        color: u32,
+    },
+    /// DHC1 Phase 2 could not stitch the subcycles (hypernode path
+    /// starved).
+    StitchFailed {
+        /// Hypernodes placed on the path when the run starved.
+        placed: usize,
+        /// Total hypernodes.
+        total: usize,
+    },
+    /// The Upcast root failed to find a Hamiltonian cycle in the sampled
+    /// subgraph.
+    RootSolveFailed {
+        /// Number of distinct sampled edges the root had.
+        sampled_edges: usize,
+    },
+    /// The assembled output did not verify as a Hamiltonian cycle
+    /// (indicates a genuine algorithm failure, e.g. a partition whose
+    /// induced subgraph was disconnected and formed several subcycles).
+    InvalidCycle(CycleError),
+    /// Invalid configuration (e.g. `δ` outside `(0, 1]`).
+    InvalidConfig {
+        /// Description of the offending parameter.
+        what: &'static str,
+    },
+}
+
+/// Reason a partition's Phase-1 DRA aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionFailure {
+    /// The partition had fewer than 3 members.
+    TooSmall,
+    /// The acting head ran out of unused edges.
+    OutOfEdges,
+}
+
+impl fmt::Display for PartitionFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionFailure::TooSmall => write!(f, "fewer than 3 members"),
+            PartitionFailure::OutOfEdges => write!(f, "head ran out of unused edges"),
+        }
+    }
+}
+
+impl fmt::Display for DhcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhcError::GraphTooSmall { n } => {
+                write!(f, "graph with {n} nodes cannot contain a hamiltonian cycle")
+            }
+            DhcError::Simulation(e) => write!(f, "simulation fault: {e}"),
+            DhcError::PartitionFailed { color, reason } => {
+                write!(f, "partition {color} failed phase 1: {reason}")
+            }
+            DhcError::NoBridge { level, color } => {
+                write!(f, "no bridge found at merge level {level} for pair of color {color}")
+            }
+            DhcError::StitchFailed { placed, total } => {
+                write!(f, "hypernode stitching starved with {placed}/{total} subcycles placed")
+            }
+            DhcError::RootSolveFailed { sampled_edges } => {
+                write!(f, "upcast root found no hamiltonian cycle in {sampled_edges} sampled edges")
+            }
+            DhcError::InvalidCycle(e) => write!(f, "assembled output is not a hamiltonian cycle: {e}"),
+            DhcError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl Error for DhcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DhcError::Simulation(e) => Some(e),
+            DhcError::InvalidCycle(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for DhcError {
+    fn from(e: SimError) -> Self {
+        DhcError::Simulation(e)
+    }
+}
+
+impl From<CycleError> for DhcError {
+    fn from(e: CycleError) -> Self {
+        DhcError::InvalidCycle(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs: Vec<DhcError> = vec![
+            DhcError::GraphTooSmall { n: 2 },
+            DhcError::Simulation(SimError::Stalled { round: 1, unhalted: 2 }),
+            DhcError::PartitionFailed { color: 3, reason: PartitionFailure::TooSmall },
+            DhcError::NoBridge { level: 2, color: 4 },
+            DhcError::StitchFailed { placed: 3, total: 8 },
+            DhcError::RootSolveFailed { sampled_edges: 100 },
+            DhcError::InvalidConfig { what: "delta" },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let e: DhcError = SimError::Stalled { round: 0, unhalted: 1 }.into();
+        assert!(matches!(e, DhcError::Simulation(_)));
+    }
+}

@@ -1,0 +1,201 @@
+//! The **k-machine model** conversion (the paper's §IV extension).
+//!
+//! The paper notes that its fully-distributed algorithms "can be used to
+//! obtain efficient algorithms in other distributed message-passing models
+//! such as the k-machine model \[16\]" (Klauck, Nanongkai, Pandurangan,
+//! Robinson, SODA 2015). In the k-machine model, `k` machines are
+//! pairwise connected by links of `O(polylog n)` bandwidth per round, and
+//! the `n` graph nodes are distributed across machines via the
+//! *random-vertex-partition* (RVP).
+//!
+//! The KNPR **Conversion Theorem** turns any CONGEST algorithm that runs in
+//! `T` rounds with `M` total messages — where every node sends at most
+//! `Δ'` messages per round — into a k-machine algorithm running in
+//! `Õ(M/k² + T·Δ'/k)` rounds whp. This module provides:
+//!
+//! * [`RandomVertexPartition`] — the RVP assignment plus its balance
+//!   statistics (machines hold `Õ(n/k)` nodes whp);
+//! * [`ConversionEstimate`] — the theorem's bound instantiated with
+//!   *measured* `T`, `M`, `Δ'` from a [`dhc_congest::Metrics`], which is
+//!   exactly what the fully-distributed property buys: because DHC2's
+//!   per-node communication is balanced, its converted round count is
+//!   dominated by `M/k²` rather than a hotspot term.
+
+use dhc_congest::Metrics;
+use dhc_graph::rng::rng_from_seed;
+use dhc_graph::NodeId;
+use rand::Rng;
+
+/// A random assignment of `n` graph nodes to `k` machines.
+///
+/// # Example
+///
+/// ```
+/// use dhc_core::kmachine::RandomVertexPartition;
+///
+/// let rvp = RandomVertexPartition::new(1000, 10, 7);
+/// assert_eq!(rvp.machine_count(), 10);
+/// assert_eq!(rvp.loads().iter().sum::<usize>(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomVertexPartition {
+    assignment: Vec<usize>,
+    k: usize,
+}
+
+impl RandomVertexPartition {
+    /// Assigns each of `n` nodes to one of `k` machines uniformly at
+    /// random (seeded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "need at least one machine");
+        let mut rng = rng_from_seed(seed);
+        let assignment = (0..n).map(|_| rng.gen_range(0..k)).collect();
+        RandomVertexPartition { assignment, k }
+    }
+
+    /// The machine hosting node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn machine_of(&self, v: NodeId) -> usize {
+        self.assignment[v]
+    }
+
+    /// Number of machines `k`.
+    pub fn machine_count(&self) -> usize {
+        self.k
+    }
+
+    /// Nodes hosted per machine.
+    pub fn loads(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.k];
+        for &m in &self.assignment {
+            loads[m] += 1;
+        }
+        loads
+    }
+
+    /// `max load / (n/k)` — the RVP balance factor (close to 1 whp for
+    /// `n ≫ k log k`).
+    pub fn balance(&self) -> f64 {
+        let n = self.assignment.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let max = self.loads().into_iter().max().unwrap_or(0) as f64;
+        max / (n as f64 / self.k as f64)
+    }
+}
+
+/// The KNPR conversion bound instantiated with measured CONGEST costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConversionEstimate {
+    /// Measured CONGEST rounds `T`.
+    pub congest_rounds: usize,
+    /// Measured total messages `M`.
+    pub messages: u64,
+    /// Measured max per-node sends in one round `Δ'`.
+    pub max_node_sends_per_round: usize,
+    /// Number of machines `k`.
+    pub k: usize,
+    /// The bandwidth-balancing term `M/k²`.
+    pub volume_term: f64,
+    /// The hotspot term `T·Δ'/k`.
+    pub hotspot_term: f64,
+}
+
+impl ConversionEstimate {
+    /// Instantiates the conversion theorem's `Õ(M/k² + T·Δ'/k)` bound from
+    /// a measured run.
+    ///
+    /// The result suppresses the polylog factors, as `Õ` does; it is a
+    /// *shape* estimate for comparing algorithms and machine counts, not a
+    /// wall-clock prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn from_metrics(metrics: &Metrics, k: usize) -> Self {
+        assert!(k > 0, "need at least one machine");
+        let kf = k as f64;
+        ConversionEstimate {
+            congest_rounds: metrics.rounds,
+            messages: metrics.messages,
+            max_node_sends_per_round: metrics.max_node_sends_per_round,
+            k,
+            volume_term: metrics.messages as f64 / (kf * kf),
+            hotspot_term: metrics.rounds as f64 * metrics.max_node_sends_per_round as f64 / kf,
+        }
+    }
+
+    /// The combined `Õ`-bound (sum of both terms).
+    pub fn round_bound(&self) -> f64 {
+        self.volume_term + self.hotspot_term
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_dhc2, DhcConfig};
+    use dhc_graph::{generator, rng::rng_from_seed as graph_rng, thresholds};
+
+    #[test]
+    fn rvp_covers_all_nodes() {
+        let rvp = RandomVertexPartition::new(500, 7, 1);
+        assert_eq!(rvp.loads().iter().sum::<usize>(), 500);
+        assert!((0..500).all(|v| rvp.machine_of(v) < 7));
+    }
+
+    #[test]
+    fn rvp_is_balanced_whp() {
+        let rvp = RandomVertexPartition::new(100_000, 16, 2);
+        assert!(rvp.balance() < 1.1, "balance {}", rvp.balance());
+    }
+
+    #[test]
+    fn rvp_deterministic() {
+        assert_eq!(
+            RandomVertexPartition::new(100, 4, 9),
+            RandomVertexPartition::new(100, 4, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_rejected() {
+        RandomVertexPartition::new(10, 0, 0);
+    }
+
+    #[test]
+    fn conversion_terms_scale_with_k() {
+        let mut m = Metrics::default();
+        m.rounds = 1000;
+        m.messages = 1_000_000;
+        m.max_node_sends_per_round = 50;
+        let e4 = ConversionEstimate::from_metrics(&m, 4);
+        let e16 = ConversionEstimate::from_metrics(&m, 16);
+        assert!(e16.round_bound() < e4.round_bound());
+        assert!((e4.volume_term - 62_500.0).abs() < 1e-9);
+        assert!((e4.hotspot_term - 12_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conversion_from_real_dhc2_run() {
+        let n = 200;
+        let p = thresholds::edge_probability(n, 0.5, 6.0);
+        let g = generator::gnp(n, p, &mut graph_rng(70)).unwrap();
+        let out = run_dhc2(&g, &DhcConfig::new(71).with_partitions(6)).unwrap();
+        let est = ConversionEstimate::from_metrics(&out.metrics, 8);
+        assert!(est.max_node_sends_per_round > 0);
+        assert!(est.round_bound() > 0.0);
+        // More machines, smaller bound.
+        let est32 = ConversionEstimate::from_metrics(&out.metrics, 32);
+        assert!(est32.round_bound() < est.round_bound());
+    }
+}

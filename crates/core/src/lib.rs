@@ -1,0 +1,73 @@
+//! Distributed Hamiltonian-cycle algorithms in the CONGEST model.
+//!
+//! This crate is the primary contribution of the workspace: faithful,
+//! message-level implementations of the algorithms of *Fast and Efficient
+//! Distributed Computation of Hamiltonian Cycles in Random Graphs*
+//! (Chatterjee, Fathi, Pandurangan, Pham; ICDCS 2018), running on the
+//! [`dhc_congest`] simulator:
+//!
+//! * [`dra`] — the **Distributed Rotation Algorithm** (the paper's
+//!   Algorithm 1): per-partition leader election (flood/echo waves), path
+//!   growth by random unused edges, rotation renumbering broadcast with
+//!   echo-based termination, and cycle closing. Run on a single partition
+//!   (`δ = 1`) it is itself a distributed HC algorithm in `O~(n)` rounds.
+//! * [`dhc1`] — Algorithm 2 (`p = c ln n / √n`): Phase 1 partitions the
+//!   graph into `√n` color classes that run DRA in parallel; Phase 2 forms
+//!   one *hypernode* per subcycle and runs a terminal-aware DRA over the
+//!   hypernode graph to stitch the subcycles.
+//! * [`dhc2`] — Algorithm 3 (`p = c ln n / n^δ`): Phase 1 with `n^{1-δ}`
+//!   classes; Phase 2 merges cycle pairs level by level through *bridges*
+//!   (two vertex-disjoint cross edges), `⌈log₂ n^{1-δ}⌉` levels.
+//! * [`upcast`] — the centralized baseline of the paper's §III: leader
+//!   election + BFS tree, `Θ(log n)` edge samples per node, pipelined
+//!   upcast, local solve at the root (via [`dhc_rotation::posa`]), and a
+//!   routed downcast of each node's two cycle edges.
+//! * [`mod@reference`] — centralized re-implementations of
+//!   DHC1/DHC2 used as correctness oracles in tests.
+//!
+//! Every algorithm returns a [`RunOutcome`] containing the verified
+//! [`dhc_graph::HamiltonianCycle`] and full [`dhc_congest::Metrics`]
+//! (rounds, messages, words, per-node memory and compute) — the quantities
+//! the paper's theorems bound.
+//!
+//! # Example
+//!
+//! ```
+//! use dhc_core::{run_dhc2, DhcConfig};
+//! use dhc_graph::{generator, rng::rng_from_seed, thresholds};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = 256;
+//! let delta = 0.5;
+//! let p = thresholds::edge_probability(n, delta, 6.0);
+//! let g = generator::gnp(n, p, &mut rng_from_seed(42))?;
+//! // 8 partitions of ~32 nodes each (the delta-derived default of sqrt(n)
+//! // partitions would make the per-partition subgraphs very small at this n).
+//! let outcome = run_dhc2(&g, &DhcConfig::new(7).with_delta(delta).with_partitions(8))?;
+//! assert_eq!(outcome.cycle.len(), n);
+//! println!("rounds: {}", outcome.metrics.rounds);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod dhc1;
+pub mod dhc2;
+pub mod dra;
+mod error;
+pub mod kmachine;
+mod output;
+pub mod reference;
+mod runner;
+pub mod upcast;
+
+pub use config::DhcConfig;
+pub use error::{DhcError, PartitionFailure};
+pub use output::{cycle_from_incident_pairs, NodeCycleOutput};
+pub use runner::{
+    run_collect_all, run_dhc1, run_dhc2, run_dra, run_partition_cycles, run_upcast,
+    PhaseBreakdown, RunOutcome, Subcycle,
+};

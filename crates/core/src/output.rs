@@ -1,0 +1,193 @@
+//! Per-node cycle output and global assembly.
+//!
+//! The paper's output convention: *"at the end, each node will know which
+//! of its incident edges belong to the HC (exactly two of them)"*. Nodes
+//! therefore report an unordered pair of cycle neighbors; the runner
+//! assembles and verifies the global cycle.
+
+use crate::DhcError;
+use dhc_graph::{cycle::CycleError, Graph, HamiltonianCycle, NodeId};
+
+/// A node's local view of the final Hamiltonian cycle: its two incident
+/// cycle edges, as the neighbor at the other end of each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCycleOutput {
+    /// One cycle neighbor.
+    pub a: NodeId,
+    /// The other cycle neighbor.
+    pub b: NodeId,
+}
+
+impl NodeCycleOutput {
+    /// Creates the output pair (order irrelevant).
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        NodeCycleOutput { a, b }
+    }
+}
+
+/// Assembles the per-node incident pairs into a verified
+/// [`HamiltonianCycle`].
+///
+/// Walks the pairs starting at node 0 and checks mutual consistency
+/// (if `u` lists `v`, then `v` must list `u`).
+///
+/// # Errors
+///
+/// Returns [`DhcError::InvalidCycle`] if the pairs do not describe a single
+/// Hamiltonian cycle of `graph`.
+pub fn cycle_from_incident_pairs(
+    graph: &Graph,
+    pairs: &[NodeCycleOutput],
+) -> Result<HamiltonianCycle, DhcError> {
+    let n = graph.node_count();
+    if pairs.len() != n {
+        return Err(DhcError::InvalidCycle(CycleError::NotAPermutation {
+            expected: n,
+            actual: pairs.len(),
+        }));
+    }
+    if n < 3 {
+        return Err(DhcError::GraphTooSmall { n });
+    }
+    // Walk from node 0; at each node pick the incident neighbor we did not
+    // come from.
+    let mut order = Vec::with_capacity(n);
+    let mut prev = usize::MAX;
+    let mut cur = 0usize;
+    for _ in 0..n {
+        order.push(cur);
+        let p = &pairs[cur];
+        if p.a >= n || p.b >= n {
+            return Err(DhcError::InvalidCycle(CycleError::RepeatedOrInvalidNode {
+                node: p.a.max(p.b),
+            }));
+        }
+        let next = if prev == usize::MAX {
+            p.a
+        } else if p.a == prev {
+            p.b
+        } else if p.b == prev {
+            p.a
+        } else {
+            // Inconsistent: we arrived from a node this one does not list.
+            return Err(DhcError::InvalidCycle(CycleError::MissingSuccessor { node: cur }));
+        };
+        // Mutual consistency: `next` must list `cur`.
+        let np = &pairs[next.min(n - 1)];
+        if next >= n || (np.a != cur && np.b != cur) {
+            return Err(DhcError::InvalidCycle(CycleError::MissingSuccessor { node: next.min(n - 1) }));
+        }
+        prev = cur;
+        cur = next;
+        if cur == 0 && order.len() < n {
+            return Err(DhcError::InvalidCycle(CycleError::NotASingleCycle {
+                cycle_length: order.len(),
+                expected: n,
+            }));
+        }
+    }
+    if cur != 0 {
+        return Err(DhcError::InvalidCycle(CycleError::NotASingleCycle {
+            cycle_length: n,
+            expected: n,
+        }));
+    }
+    HamiltonianCycle::from_order(graph, order).map_err(DhcError::InvalidCycle)
+}
+
+/// Builds the incident pairs from a successor map (convenience for
+/// protocols that track `succ`/`pred`).
+///
+/// # Errors
+///
+/// Returns [`DhcError::InvalidCycle`] if any successor or predecessor is
+/// missing.
+pub(crate) fn pairs_from_links(
+    succ: &[Option<NodeId>],
+    pred: &[Option<NodeId>],
+) -> Result<Vec<NodeCycleOutput>, DhcError> {
+    let n = succ.len();
+    let mut out = Vec::with_capacity(n);
+    for v in 0..n {
+        match (succ[v], pred[v]) {
+            (Some(s), Some(p)) => out.push(NodeCycleOutput::new(p, s)),
+            _ => return Err(DhcError::InvalidCycle(CycleError::MissingSuccessor { node: v })),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhc_graph::generator;
+
+    fn ring_pairs(n: usize) -> Vec<NodeCycleOutput> {
+        (0..n).map(|i| NodeCycleOutput::new((i + n - 1) % n, (i + 1) % n)).collect()
+    }
+
+    #[test]
+    fn assembles_ring() {
+        let g = generator::cycle_graph(6);
+        let hc = cycle_from_incident_pairs(&g, &ring_pairs(6)).unwrap();
+        assert_eq!(hc.len(), 6);
+    }
+
+    #[test]
+    fn rejects_two_cycles() {
+        let g = generator::complete(6);
+        // Two triangles.
+        let mut pairs = Vec::new();
+        for i in 0..3 {
+            pairs.push(NodeCycleOutput::new((i + 2) % 3, (i + 1) % 3));
+        }
+        for i in 0..3 {
+            pairs.push(NodeCycleOutput::new(3 + (i + 2) % 3, 3 + (i + 1) % 3));
+        }
+        assert!(matches!(
+            cycle_from_incident_pairs(&g, &pairs),
+            Err(DhcError::InvalidCycle(CycleError::NotASingleCycle { cycle_length: 3, .. }))
+        ));
+    }
+
+    #[test]
+    fn rejects_inconsistent_pairs() {
+        let g = generator::complete(4);
+        // Node 1 doesn't list node 0 back.
+        let pairs = vec![
+            NodeCycleOutput::new(1, 3),
+            NodeCycleOutput::new(2, 3),
+            NodeCycleOutput::new(1, 3),
+            NodeCycleOutput::new(2, 0),
+        ];
+        assert!(cycle_from_incident_pairs(&g, &pairs).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let g = generator::complete(4);
+        assert!(cycle_from_incident_pairs(&g, &ring_pairs(3)).is_err());
+    }
+
+    #[test]
+    fn rejects_non_edges() {
+        let g = generator::path_graph(4); // 3-0 missing
+        assert!(cycle_from_incident_pairs(&g, &ring_pairs(4)).is_err());
+    }
+
+    #[test]
+    fn pairs_from_links_roundtrip() {
+        let succ: Vec<Option<usize>> = vec![Some(1), Some(2), Some(0)];
+        let pred: Vec<Option<usize>> = vec![Some(2), Some(0), Some(1)];
+        let pairs = pairs_from_links(&succ, &pred).unwrap();
+        let g = generator::cycle_graph(3);
+        assert!(cycle_from_incident_pairs(&g, &pairs).is_ok());
+    }
+
+    #[test]
+    fn pairs_from_links_missing_errors() {
+        let succ: Vec<Option<usize>> = vec![Some(1), None, Some(0)];
+        let pred: Vec<Option<usize>> = vec![Some(2), Some(0), Some(1)];
+        assert!(pairs_from_links(&succ, &pred).is_err());
+    }
+}

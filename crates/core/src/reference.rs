@@ -1,0 +1,373 @@
+//! Centralized reference implementations of DHC1/DHC2.
+//!
+//! These run the *same algorithmic ideas* (random partition, per-class
+//! rotation, bridge merging / hypernode stitching) sequentially, with
+//! direct access to the whole graph. They exist as **oracles**: the
+//! distributed protocols and these references must agree on feasibility,
+//! and any cycle either side produces is independently verified. They are
+//! also handy for experiments that need many trials cheaply (no simulator
+//! cost).
+
+use crate::DhcError;
+use dhc_graph::rng::{derive_seed, rng_from_seed};
+use dhc_graph::{Graph, HamiltonianCycle, NodeId, Partition};
+use dhc_rotation::{posa, PosaConfig};
+use rand::Rng;
+
+/// One subcycle during centralized merging: the global-id visiting order.
+#[derive(Debug, Clone)]
+struct Cycle {
+    order: Vec<NodeId>,
+}
+
+impl Cycle {
+    fn succ(&self, i: usize) -> NodeId {
+        self.order[(i + 1) % self.order.len()]
+    }
+}
+
+/// Runs the centralized analogue of DHC2: random `k`-coloring, sequential
+/// rotation per class, then pairwise bridge merging level by level.
+///
+/// # Errors
+///
+/// Mirrors the distributed failure modes: [`DhcError::PartitionFailed`],
+/// [`DhcError::NoBridge`], [`DhcError::GraphTooSmall`].
+pub fn dhc2_reference(graph: &Graph, k: usize, seed: u64) -> Result<HamiltonianCycle, DhcError> {
+    let n = graph.node_count();
+    if n < 3 {
+        return Err(DhcError::GraphTooSmall { n });
+    }
+    let mut rng = rng_from_seed(derive_seed(seed, 0x4EFA));
+    let partition = Partition::random(n, k.clamp(1, n), &mut rng);
+    let mut cycles = phase1_cycles(graph, &partition, seed)?;
+
+    // Merge pairs level by level (the paper's Figure 3).
+    let mut level = 0usize;
+    while cycles.len() > 1 {
+        let mut next: Vec<Cycle> = Vec::with_capacity(cycles.len().div_ceil(2));
+        let mut iter = cycles.chunks_exact(2);
+        for pair in iter.by_ref() {
+            let merged = merge_pair(graph, &pair[0], &pair[1]).ok_or(DhcError::NoBridge {
+                level,
+                color: (next.len() * 2) as u32,
+            })?;
+            next.push(merged);
+        }
+        if let [leftover] = iter.remainder() {
+            next.push(leftover.clone());
+        }
+        cycles = next;
+        level += 1;
+    }
+    let order = cycles.pop().expect("at least one cycle").order;
+    HamiltonianCycle::from_order(graph, order).map_err(DhcError::InvalidCycle)
+}
+
+/// Runs the centralized analogue of DHC1: Phase 1 as above, then hypernode
+/// stitching with terminal bookkeeping.
+///
+/// # Errors
+///
+/// Mirrors the distributed failure modes ([`DhcError::StitchFailed`] when
+/// the hypernode path starves).
+pub fn dhc1_reference(graph: &Graph, k: usize, seed: u64) -> Result<HamiltonianCycle, DhcError> {
+    let n = graph.node_count();
+    if n < 3 {
+        return Err(DhcError::GraphTooSmall { n });
+    }
+    let mut rng = rng_from_seed(derive_seed(seed, 0x4EFB));
+    let partition = Partition::random(n, k.clamp(1, n), &mut rng);
+    let cycles = phase1_cycles(graph, &partition, seed)?;
+    if cycles.len() == 1 {
+        return HamiltonianCycle::from_order(graph, cycles.into_iter().next().unwrap().order)
+            .map_err(DhcError::InvalidCycle);
+    }
+    stitch_hypernodes(graph, cycles, &mut rng)
+}
+
+/// Phase 1: a verified subcycle per non-empty color class.
+fn phase1_cycles(
+    graph: &Graph,
+    partition: &Partition,
+    seed: u64,
+) -> Result<Vec<Cycle>, DhcError> {
+    let mut cycles = Vec::new();
+    for (color, class) in partition.classes().iter().enumerate() {
+        if class.is_empty() {
+            continue;
+        }
+        if class.len() < 3 {
+            return Err(DhcError::PartitionFailed {
+                color: color as u32,
+                reason: crate::error::PartitionFailure::TooSmall,
+            });
+        }
+        let (sub, map) = graph.induced_subgraph(class).expect("non-empty class");
+        let mut rng = rng_from_seed(derive_seed(seed, 0x1000 + color as u64));
+        let (cycle, _) = posa(&sub, &PosaConfig::default(), &mut rng).map_err(|_| {
+            DhcError::PartitionFailed {
+                color: color as u32,
+                reason: crate::error::PartitionFailure::OutOfEdges,
+            }
+        })?;
+        let order: Vec<NodeId> = cycle.order().iter().map(|&local| map[local]).collect();
+        cycles.push(Cycle { order });
+    }
+    Ok(cycles)
+}
+
+/// Finds a bridge between two cycles and splices them (first usable bridge;
+/// the distributed version picks the minimum, which only affects which of
+/// the many valid cycles results).
+fn merge_pair(graph: &Graph, a: &Cycle, b: &Cycle) -> Option<Cycle> {
+    let sb = b.order.len();
+    // Position of each b-node for O(1) lookups.
+    let mut pos_b = std::collections::HashMap::with_capacity(sb);
+    for (i, &w) in b.order.iter().enumerate() {
+        pos_b.insert(w, i);
+    }
+    for (i, &v) in a.order.iter().enumerate() {
+        let u = a.succ(i);
+        for &w in graph.neighbors(v) {
+            let Some(&j) = pos_b.get(&w) else { continue };
+            let x_succ = b.succ(j);
+            let x_pred = b.order[(j + sb - 1) % sb];
+            if graph.has_edge(u, x_succ) {
+                // Case A: drop (v,u) and (w, succ w); cross (v,w),(u,succ w).
+                return Some(splice(a, b, i, j, true));
+            }
+            if graph.has_edge(u, x_pred) {
+                // Case B: drop (v,u) and (pred w, w); cross (v,w),(u,pred w).
+                return Some(splice(a, b, i, j, false));
+            }
+        }
+    }
+    None
+}
+
+/// Builds the merged visiting order. `i` = position of `v` in `a`;
+/// `j` = position of `w` in `b`; `succ_side` selects case A.
+fn splice(a: &Cycle, b: &Cycle, i: usize, j: usize, succ_side: bool) -> Cycle {
+    let (sa, sb) = (a.order.len(), b.order.len());
+    let mut order = Vec::with_capacity(sa + sb);
+    // Start at u = succ(v), walk a forward around to v.
+    for t in 0..sa {
+        order.push(a.order[(i + 1 + t) % sa]);
+    }
+    if succ_side {
+        // w, then b reversed: w, pred(w), ..., succ(w).
+        for t in 0..sb {
+            order.push(b.order[(j + sb - t) % sb]);
+        }
+    } else {
+        // w, then b forward: w, succ(w), ..., pred(w).
+        for t in 0..sb {
+            order.push(b.order[(j + t) % sb]);
+        }
+    }
+    Cycle { order }
+}
+
+/// Hypernode stitching with terminal bookkeeping (the DESIGN.md §2
+/// construction, sequential form). Hypernode `i`'s terminals are the first
+/// and last node of cycle `i`'s order.
+fn stitch_hypernodes<R: Rng + ?Sized>(
+    graph: &Graph,
+    cycles: Vec<Cycle>,
+    rng: &mut R,
+) -> Result<HamiltonianCycle, DhcError> {
+    let k = cycles.len();
+    // terminal -> (hypernode index, which end).
+    let mut owner = std::collections::HashMap::new();
+    for (h, c) in cycles.iter().enumerate() {
+        owner.insert(c.order[0], (h, 0u8));
+        owner.insert(*c.order.last().expect("non-empty"), (h, 1u8));
+    }
+    // Path over hypernodes; per placed hypernode remember (entry_end).
+    // entry_end e means the final cycle enters at that end and exits at the
+    // other. The live endpoint is the exit terminal of the last hypernode.
+    let mut path: Vec<(usize, u8)> = vec![(0, 0)]; // start: enter h0 at end 0
+    let mut on_path = vec![false; k];
+    on_path[0] = true;
+    // Cross links: links[h] = (node attached before entry, node attached
+    // after exit) in path order.
+    let mut entry_link: Vec<Option<NodeId>> = vec![None; k];
+    let mut exit_link: Vec<Option<NodeId>> = vec![None; k];
+    let term = |h: usize, end: u8| -> NodeId {
+        if end == 0 {
+            cycles[h].order[0]
+        } else {
+            *cycles[h].order.last().expect("non-empty")
+        }
+    };
+    // Unused draw lists per terminal.
+    let mut unused: std::collections::HashMap<NodeId, Vec<NodeId>> = owner
+        .keys()
+        .map(|&t| {
+            let mut l: Vec<NodeId> =
+                graph.neighbors(t).iter().copied().filter(|x| owner.contains_key(x)).collect();
+            use rand::seq::SliceRandom;
+            l.shuffle(rng);
+            (t, l)
+        })
+        .collect();
+
+    let max_steps = 50 * k * ((k.max(2)) as f64).ln().ceil() as usize + 100;
+    for _ in 0..max_steps {
+        let &(head_h, head_entry) = path.last().expect("non-empty path");
+        let exit_end = 1 - head_entry;
+        let x = term(head_h, exit_end);
+        let Some(y) = unused.get_mut(&x).and_then(Vec::pop) else {
+            return Err(DhcError::StitchFailed { placed: path.len(), total: k });
+        };
+        if let Some(l) = unused.get_mut(&y) {
+            if let Some(p) = l.iter().position(|&t| t == x) {
+                l.swap_remove(p);
+            }
+        }
+        let (hy, end_y) = owner[&y];
+        if hy == head_h {
+            continue; // own partner: unusable
+        }
+        if !on_path[hy] {
+            // Extend: enter hy at end_y.
+            exit_link[head_h] = Some(y);
+            entry_link[hy] = Some(x);
+            on_path[hy] = true;
+            path.push((hy, end_y));
+            continue;
+        }
+        // hy on path: find its position.
+        let jpos = path.iter().position(|&(h, _)| h == hy).expect("on path");
+        let (_, entry_j) = path[jpos];
+        let exit_j = 1 - entry_j;
+        if jpos == 0 && end_y == entry_j {
+            // The free start terminal: closing edge if the path is full.
+            if path.len() == k {
+                entry_link[path[0].0] = Some(x);
+                exit_link[head_h] = Some(y);
+                return realize(graph, &cycles, &path, &entry_link, &exit_link);
+            }
+            continue; // early closing attempt: rejected
+        }
+        if end_y != exit_j || jpos + 1 >= path.len() {
+            continue; // entry terminal (or the head itself): rejected
+        }
+        // Rotation: reverse the segment after jpos; reversed hypernodes flip
+        // their entry end; the pivot's exit re-links to x.
+        let old_next_entry = path[jpos + 1].0;
+        exit_link[hy] = Some(x);
+        entry_link[old_next_entry] = None;
+        let mut seg: Vec<(usize, u8)> = path.split_off(jpos + 1);
+        seg.reverse();
+        for e in &mut seg {
+            // Flip orientation; swap entry/exit links accordingly.
+            e.1 = 1 - e.1;
+            let h = e.0;
+            std::mem::swap(&mut entry_link[h], &mut exit_link[h]);
+        }
+        // The old head's (now first of seg) entry link is the new cross
+        // edge to the pivot's exit terminal.
+        let first = seg[0].0;
+        entry_link[first] = Some(x);
+        exit_link[hy] = Some(term(first, seg[0].1));
+        // New head: last of seg; clear its exit link (live end).
+        let last = seg.last().expect("non-empty segment").0;
+        exit_link[last] = None;
+        path.extend(seg);
+    }
+    Err(DhcError::StitchFailed { placed: path.len(), total: k })
+}
+
+/// Assembles the final order from the hypernode path.
+fn realize(
+    graph: &Graph,
+    cycles: &[Cycle],
+    path: &[(usize, u8)],
+    _entry_link: &[Option<NodeId>],
+    _exit_link: &[Option<NodeId>],
+) -> Result<HamiltonianCycle, DhcError> {
+    let mut order = Vec::new();
+    for &(h, entry_end) in path {
+        let c = &cycles[h].order;
+        if entry_end == 0 {
+            // Enter at first element, exit at last: forward walk.
+            order.extend(c.iter().copied());
+        } else {
+            order.extend(c.iter().rev().copied());
+        }
+    }
+    HamiltonianCycle::from_order(graph, order).map_err(DhcError::InvalidCycle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhc_graph::{generator, thresholds};
+
+    #[test]
+    fn dhc2_reference_solves_paper_regime() {
+        let n = 300;
+        let p = thresholds::edge_probability(n, 0.5, 6.0);
+        let g = generator::gnp(n, p, &mut rng_from_seed(60)).unwrap();
+        let cycle = dhc2_reference(&g, 8, 61).unwrap();
+        assert_eq!(cycle.len(), n);
+    }
+
+    #[test]
+    fn dhc1_reference_solves_paper_regime() {
+        let n = 300;
+        let p = thresholds::edge_probability(n, 0.5, 6.0);
+        let g = generator::gnp(n, p, &mut rng_from_seed(62)).unwrap();
+        let cycle = dhc1_reference(&g, 8, 63).unwrap();
+        assert_eq!(cycle.len(), n);
+    }
+
+    #[test]
+    fn references_fail_on_disconnected_cliques() {
+        let mut edges = Vec::new();
+        for u in 0..12 {
+            for v in (u + 1)..12 {
+                edges.push((u, v));
+                edges.push((u + 12, v + 12));
+            }
+        }
+        let g = Graph::from_edges(24, edges).unwrap();
+        // With 2+ colors, some class straddles both cliques whp -> phase-1
+        // failure; with 1 color the single posa run fails. Either way: Err.
+        assert!(dhc2_reference(&g, 2, 1).is_err());
+        assert!(dhc1_reference(&g, 2, 1).is_err());
+    }
+
+    #[test]
+    fn reference_single_partition_is_posa() {
+        let n = 150;
+        let p = thresholds::edge_probability(n, 1.0, 12.0);
+        let g = generator::gnp(n, p, &mut rng_from_seed(64)).unwrap();
+        let cycle = dhc1_reference(&g, 1, 65).unwrap();
+        assert_eq!(cycle.len(), n);
+    }
+
+    #[test]
+    fn reference_is_deterministic() {
+        let n = 200;
+        let g = generator::gnp(n, 0.5, &mut rng_from_seed(66)).unwrap();
+        let a = dhc2_reference(&g, 4, 68).unwrap();
+        let b = dhc2_reference(&g, 4, 68).unwrap();
+        assert_eq!(a.order(), b.order());
+    }
+
+    #[test]
+    fn splice_cases_produce_valid_cycles() {
+        // Two triangles inside K6: splice both ways and verify.
+        let g = generator::complete(6);
+        let a = Cycle { order: vec![0, 1, 2] };
+        let b = Cycle { order: vec![3, 4, 5] };
+        for succ_side in [true, false] {
+            let m = splice(&a, &b, 1, 1, succ_side);
+            assert_eq!(m.order.len(), 6);
+            assert!(HamiltonianCycle::from_order(&g, m.order).is_ok());
+        }
+    }
+}

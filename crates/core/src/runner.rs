@@ -1,0 +1,328 @@
+//! High-level entry points: run a whole algorithm on a graph and get back
+//! a verified cycle plus metrics.
+
+use crate::dra::DraNode;
+use crate::output::pairs_from_links;
+use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
+use dhc_congest::{Metrics, Network};
+use dhc_graph::rng::{derive_seed, rng_from_seed};
+use dhc_graph::{Graph, HamiltonianCycle, NodeId, Partition};
+
+/// Per-phase cost breakdown of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Phase name (e.g. `"phase1"`, `"merge-level-3"`).
+    pub name: String,
+    /// Rounds spent in this phase.
+    pub rounds: usize,
+    /// Messages sent in this phase.
+    pub messages: u64,
+}
+
+/// Result of a successful distributed Hamiltonian-cycle run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The verified Hamiltonian cycle.
+    pub cycle: HamiltonianCycle,
+    /// Aggregated metrics over all phases (rounds add up).
+    pub metrics: Metrics,
+    /// Per-phase breakdown.
+    pub phases: Vec<PhaseBreakdown>,
+}
+
+/// One node's Phase-1 result, extracted from the protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Phase1State {
+    pub color: u32,
+    pub cycindex: usize,
+    pub succ: NodeId,
+    pub pred: NodeId,
+    pub cycle_size: usize,
+}
+
+/// Outcome of Phase 1 across all partitions.
+#[derive(Debug, Clone)]
+pub(crate) struct Phase1Outcome {
+    pub states: Vec<Phase1State>,
+    pub metrics: Metrics,
+}
+
+/// Runs the per-partition DRA (Phase 1 of DHC1/DHC2) for the given node
+/// coloring and validates that every partition built a full subcycle.
+pub(crate) fn run_phase1(
+    graph: &Graph,
+    colors: &[u32],
+    cfg: &DhcConfig,
+) -> Result<Phase1Outcome, DhcError> {
+    let n = graph.node_count();
+    let nodes: Vec<DraNode> = (0..n)
+        .map(|v| DraNode::new(v, colors[v], derive_seed(cfg.seed, 0x0001)))
+        .collect();
+    let mut net = Network::new(graph, cfg.sim_config(), nodes)?;
+    let report = net.run()?;
+    let nodes = net.into_nodes();
+
+    // Validate: everyone done, nobody failed.
+    for node in &nodes {
+        if let Some(reason) = node.failed {
+            return Err(DhcError::PartitionFailed { color: node.color, reason });
+        }
+    }
+    // Validate: per-color, the subcycle spans the whole class (guards
+    // against internally disconnected partitions that each built a
+    // component-local cycle).
+    let mut class_size = std::collections::HashMap::new();
+    for node in &nodes {
+        *class_size.entry(node.color).or_insert(0usize) += 1;
+    }
+    let mut states = Vec::with_capacity(n);
+    for node in &nodes {
+        let expected = class_size[&node.color];
+        let (Some(cycindex), Some(succ), Some(pred), Some(cycle_size), true) =
+            (node.cycindex, node.succ, node.pred, node.cycle_size, node.done)
+        else {
+            return Err(DhcError::PartitionFailed {
+                color: node.color,
+                reason: crate::error::PartitionFailure::OutOfEdges,
+            });
+        };
+        if cycle_size != expected {
+            // A component-local cycle: the partition was disconnected.
+            return Err(DhcError::PartitionFailed {
+                color: node.color,
+                reason: crate::error::PartitionFailure::TooSmall,
+            });
+        }
+        states.push(Phase1State { color: node.color, cycindex, succ, pred, cycle_size });
+    }
+    Ok(Phase1Outcome { states, metrics: report.metrics })
+}
+
+/// One partition's completed subcycle, as produced by
+/// [`run_partition_cycles`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subcycle {
+    /// The partition color.
+    pub color: u32,
+    /// Member nodes in cycle order (global ids).
+    pub order: Vec<NodeId>,
+}
+
+/// Runs only **Phase 1** (the per-partition distributed rotation) and
+/// returns the verified subcycles — the building block both DHC1 and DHC2
+/// start from, exposed for callers who want to drive the composition
+/// themselves (or inspect the intermediate state).
+///
+/// # Errors
+///
+/// Returns a [`DhcError`] if any partition fails or the simulation faults.
+///
+/// # Example
+///
+/// ```
+/// use dhc_core::{run_partition_cycles, DhcConfig};
+/// use dhc_graph::{generator, rng::rng_from_seed, Partition};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generator::gnp(120, 0.6, &mut rng_from_seed(1))?;
+/// let partition = Partition::random(120, 3, &mut rng_from_seed(2));
+/// let (cycles, metrics) = run_partition_cycles(&g, &partition, &DhcConfig::new(3))?;
+/// assert_eq!(cycles.len(), 3);
+/// assert_eq!(cycles.iter().map(|c| c.order.len()).sum::<usize>(), 120);
+/// assert!(metrics.rounds > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_partition_cycles(
+    graph: &Graph,
+    partition: &Partition,
+    cfg: &DhcConfig,
+) -> Result<(Vec<Subcycle>, Metrics), DhcError> {
+    cfg.validate()?;
+    let n = graph.node_count();
+    if n < 3 {
+        return Err(DhcError::GraphTooSmall { n });
+    }
+    let outcome = run_phase1(graph, partition.colors(), cfg)?;
+    // Group nodes per color and order them by cycindex.
+    let mut by_color: std::collections::BTreeMap<u32, Vec<(usize, NodeId)>> =
+        std::collections::BTreeMap::new();
+    for (v, st) in outcome.states.iter().enumerate() {
+        by_color.entry(st.color).or_default().push((st.cycindex, v));
+    }
+    let mut cycles = Vec::with_capacity(by_color.len());
+    for (color, mut members) in by_color {
+        members.sort_unstable();
+        cycles.push(Subcycle { color, order: members.into_iter().map(|(_, v)| v).collect() });
+    }
+    Ok((cycles, outcome.metrics))
+}
+
+/// Runs the plain **Distributed Rotation Algorithm** on the whole graph
+/// (a single partition; the paper's `δ = 1` case, `O~(n)` rounds).
+///
+/// # Errors
+///
+/// Returns a [`DhcError`] if the configuration is invalid, the graph is too
+/// small, the rotation starves, or the simulation faults.
+///
+/// # Example
+///
+/// ```
+/// use dhc_core::{run_dra, DhcConfig};
+/// use dhc_graph::{generator, rng::rng_from_seed, thresholds};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let n = 128;
+/// let p = thresholds::edge_probability(n, 1.0, 10.0);
+/// let g = generator::gnp(n, p, &mut rng_from_seed(5))?;
+/// let outcome = run_dra(&g, &DhcConfig::new(1))?;
+/// assert_eq!(outcome.cycle.len(), n);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_dra(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
+    cfg.validate()?;
+    let n = graph.node_count();
+    if n < 3 {
+        return Err(DhcError::GraphTooSmall { n });
+    }
+    let colors = vec![0u32; n];
+    let outcome = run_phase1(graph, &colors, cfg)?;
+    let succ: Vec<Option<NodeId>> = outcome.states.iter().map(|s| Some(s.succ)).collect();
+    let pred: Vec<Option<NodeId>> = outcome.states.iter().map(|s| Some(s.pred)).collect();
+    let pairs = pairs_from_links(&succ, &pred)?;
+    let cycle = cycle_from_incident_pairs(graph, &pairs)?;
+    let phases = vec![PhaseBreakdown {
+        name: "dra".to_string(),
+        rounds: outcome.metrics.rounds,
+        messages: outcome.metrics.messages,
+    }];
+    Ok(RunOutcome { cycle, metrics: outcome.metrics, phases })
+}
+
+/// Draws the Phase-1 coloring for `graph` under `cfg` (each node picks a
+/// uniform color; the distributed algorithm does this locally — the runner
+/// precomputes it so the partition is reproducible and inspectable).
+pub(crate) fn draw_colors(n: usize, cfg: &DhcConfig) -> (Partition, usize) {
+    let k = cfg.partition_count(n);
+    let mut rng = rng_from_seed(derive_seed(cfg.seed, 0x00C0));
+    (Partition::random(n, k, &mut rng), k)
+}
+
+/// Runs **DHC2** (the paper's Algorithm 3): Phase-1 partition DRA plus
+/// `O(log n)` bridge-merge levels.
+///
+/// # Errors
+///
+/// Returns a [`DhcError`] on invalid configuration, partition failure,
+/// missing bridges, or simulation faults.
+pub fn run_dhc2(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
+    crate::dhc2::run(graph, cfg)
+}
+
+/// Runs **DHC1** (the paper's Algorithm 2): Phase-1 partition DRA plus the
+/// hypernode-DRA stitching phase.
+///
+/// # Errors
+///
+/// Returns a [`DhcError`] on invalid configuration, partition failure,
+/// stitch starvation, or simulation faults.
+pub fn run_dhc1(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
+    crate::dhc1::run(graph, cfg)
+}
+
+/// Runs the **Upcast** algorithm (the paper's §III): BFS-tree sampling
+/// upcast, local solve at the root, routed downcast.
+///
+/// # Errors
+///
+/// Returns a [`DhcError`] on root-solve failure or simulation faults.
+pub fn run_upcast(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
+    crate::upcast::run(graph, cfg, false)
+}
+
+/// Runs the trivial `O(m)` baseline: like Upcast but every node upcasts
+/// **all** of its incident edges, so the root sees the whole topology
+/// (the "collect everything at one node" strawman from §I-A).
+///
+/// # Errors
+///
+/// Returns a [`DhcError`] on root-solve failure or simulation faults.
+pub fn run_collect_all(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
+    crate::upcast::run(graph, cfg, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhc_graph::{generator, thresholds};
+
+    #[test]
+    fn dra_on_complete_graph() {
+        let g = generator::complete(24);
+        let out = run_dra(&g, &DhcConfig::new(3)).unwrap();
+        assert_eq!(out.cycle.len(), 24);
+        assert!(out.metrics.rounds > 0);
+        assert_eq!(out.phases.len(), 1);
+    }
+
+    #[test]
+    fn dra_on_random_graph_above_threshold() {
+        let n = 200;
+        let p = thresholds::edge_probability(n, 1.0, 12.0);
+        let g = generator::gnp(n, p, &mut dhc_graph::rng::rng_from_seed(8)).unwrap();
+        let out = run_dra(&g, &DhcConfig::new(4)).unwrap();
+        assert_eq!(out.cycle.len(), n);
+    }
+
+    #[test]
+    fn dra_rejects_tiny_graph() {
+        let g = generator::complete(2);
+        assert!(matches!(run_dra(&g, &DhcConfig::new(0)), Err(DhcError::GraphTooSmall { n: 2 })));
+    }
+
+    #[test]
+    fn dra_fails_cleanly_on_disconnected_graph() {
+        let g = dhc_graph::Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
+        let err = run_dra(&g, &DhcConfig::new(0)).unwrap_err();
+        assert!(matches!(err, DhcError::PartitionFailed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn dra_fails_cleanly_on_star() {
+        let g = generator::star(8);
+        let err = run_dra(&g, &DhcConfig::new(0)).unwrap_err();
+        assert!(matches!(err, DhcError::PartitionFailed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn dra_is_deterministic() {
+        let g = generator::complete(16);
+        let a = run_dra(&g, &DhcConfig::new(11)).unwrap();
+        let b = run_dra(&g, &DhcConfig::new(11)).unwrap();
+        assert_eq!(a.cycle.order(), b.cycle.order());
+        assert_eq!(a.metrics.rounds, b.metrics.rounds);
+    }
+
+    #[test]
+    fn dra_different_seeds_differ() {
+        let g = generator::complete(16);
+        let a = run_dra(&g, &DhcConfig::new(1)).unwrap();
+        let b = run_dra(&g, &DhcConfig::new(2)).unwrap();
+        // Cycles almost surely differ on K_16.
+        assert_ne!(a.cycle.order(), b.cycle.order());
+    }
+
+    #[test]
+    fn dra_memory_stays_local() {
+        // Fully-distributed property: peak memory O(degree), not O(n).
+        let n = 128;
+        let p = 0.2;
+        let g = generator::gnp(n, p, &mut dhc_graph::rng::rng_from_seed(1)).unwrap();
+        let out = run_dra(&g, &DhcConfig::new(5)).unwrap();
+        let max_mem = out.metrics.max_memory();
+        assert!(max_mem <= 2 * g.max_degree() + 64, "max mem {max_mem}");
+    }
+}

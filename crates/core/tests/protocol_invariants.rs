@@ -1,0 +1,153 @@
+//! Protocol-level invariant tests: drive the CONGEST protocols directly
+//! and check the internal state they leave behind, not just the final
+//! cycle.
+
+use dhc_congest::{Config, Network};
+use dhc_core::dra::DraNode;
+use dhc_core::{run_dhc2, DhcConfig};
+use dhc_graph::{generator, rng::rng_from_seed, thresholds, Partition};
+
+/// Runs the DRA phase directly and returns the nodes.
+fn run_dra_protocol(g: &dhc_graph::Graph, colors: &[u32], seed: u64) -> Vec<DraNode> {
+    let nodes: Vec<DraNode> =
+        (0..g.node_count()).map(|v| DraNode::new(v, colors[v], seed)).collect();
+    let mut net =
+        Network::new(g, Config::default().with_bandwidth_words(16), nodes).expect("valid network");
+    net.run().expect("protocol terminates");
+    net.into_nodes()
+}
+
+#[test]
+fn dra_positions_form_a_permutation_per_partition() {
+    let n = 120;
+    let g = generator::gnp(n, 0.7, &mut rng_from_seed(80)).unwrap();
+    let colors: Vec<u32> = (0..n).map(|v| (v % 3) as u32).collect();
+    let nodes = run_dra_protocol(&g, &colors, 81);
+    for c in 0..3u32 {
+        let members: Vec<&DraNode> = nodes.iter().filter(|nd| nd.color == c).collect();
+        let size = members.len();
+        assert!(members.iter().all(|nd| nd.done), "partition {c} incomplete");
+        // cycindex values are exactly 0..size.
+        let mut seen = vec![false; size];
+        for nd in &members {
+            let idx = nd.cycindex.expect("on path");
+            assert!(!seen[idx], "duplicate cycindex {idx} in partition {c}");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Everyone learned the cycle size.
+        assert!(members.iter().all(|nd| nd.cycle_size == Some(size)));
+    }
+}
+
+#[test]
+fn dra_succ_pred_are_mutually_inverse() {
+    let n = 90;
+    let g = generator::gnp(n, 0.6, &mut rng_from_seed(82)).unwrap();
+    let colors = vec![0u32; n];
+    let nodes = run_dra_protocol(&g, &colors, 83);
+    for (v, nd) in nodes.iter().enumerate() {
+        let s = nd.succ.expect("complete");
+        let p = nd.pred.expect("complete");
+        assert_eq!(nodes[s].pred, Some(v), "succ/pred inverse broken at {v}");
+        assert_eq!(nodes[p].succ, Some(v), "pred/succ inverse broken at {v}");
+        // Path neighbors are graph neighbors (cycle edges are real).
+        assert!(g.has_edge(v, s));
+    }
+}
+
+#[test]
+fn dra_indices_follow_successors() {
+    let n = 80;
+    let g = generator::gnp(n, 0.6, &mut rng_from_seed(84)).unwrap();
+    let nodes = run_dra_protocol(&g, &vec![0; n], 85);
+    for (v, nd) in nodes.iter().enumerate() {
+        let s = nd.succ.expect("complete");
+        let vi = nd.cycindex.expect("complete");
+        let si = nodes[s].cycindex.expect("complete");
+        assert_eq!(si, (vi + 1) % n, "index order broken at {v}");
+    }
+}
+
+#[test]
+fn dra_exactly_one_leader_per_partition() {
+    let n = 100;
+    let g = generator::gnp(n, 0.55, &mut rng_from_seed(86)).unwrap();
+    let colors: Vec<u32> = (0..n).map(|v| (v % 2) as u32).collect();
+    let nodes = run_dra_protocol(&g, &colors, 87);
+    for c in 0..2u32 {
+        let leaders: Vec<usize> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, nd)| nd.color == c && nd.is_leader())
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(leaders.len(), 1, "partition {c} leaders: {leaders:?}");
+        // The leader is the minimum id of its class (min-id wave wins).
+        let min_member = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, nd)| nd.color == c)
+            .map(|(v, _)| v)
+            .min()
+            .expect("non-empty");
+        assert_eq!(leaders[0], min_member);
+        // And the leader starts the path.
+        assert_eq!(nodes[leaders[0]].cycindex, Some(0));
+    }
+}
+
+#[test]
+fn dra_respects_partition_boundaries() {
+    // Cycle edges never cross colors.
+    let n = 140;
+    let g = generator::gnp(n, 0.5, &mut rng_from_seed(88)).unwrap();
+    let colors: Vec<u32> = (0..n).map(|v| (v % 4) as u32).collect();
+    let nodes = run_dra_protocol(&g, &colors, 89);
+    for (v, nd) in nodes.iter().enumerate() {
+        if let Some(s) = nd.succ {
+            assert_eq!(colors[v], colors[s], "cycle edge ({v},{s}) crosses partitions");
+        }
+    }
+}
+
+#[test]
+fn dhc2_full_run_keeps_congest_bandwidth() {
+    let n = 200;
+    let p = thresholds::edge_probability(n, 0.5, 6.0);
+    let g = generator::gnp(n, p, &mut rng_from_seed(90)).unwrap();
+    let out = run_dhc2(&g, &DhcConfig::new(91).with_partitions(6)).unwrap();
+    // The engine would have errored on violation; double-check the high-water.
+    assert!(out.metrics.max_edge_words <= 16);
+    // Messages are CONGEST-sized: average words per message is O(1).
+    let avg_words = out.metrics.words as f64 / out.metrics.messages as f64;
+    assert!(avg_words < 10.0, "avg message size {avg_words} words");
+}
+
+#[test]
+fn dhc2_compute_is_balanced_but_upcast_is_not() {
+    let n = 220;
+    let p = thresholds::edge_probability(n, 0.5, 6.0);
+    let g = generator::gnp(n, p, &mut rng_from_seed(92)).unwrap();
+    let cfg = DhcConfig::new(93).with_partitions(6);
+    let dhc2 = run_dhc2(&g, &cfg).unwrap();
+    let upcast = dhc_core::run_upcast(&g, &cfg).unwrap();
+    assert!(
+        dhc2.metrics.compute_balance() < upcast.metrics.compute_balance(),
+        "dhc2 balance {} should beat upcast {}",
+        dhc2.metrics.compute_balance(),
+        upcast.metrics.compute_balance()
+    );
+}
+
+#[test]
+fn explicit_partition_runs_match_struct_random_ones() {
+    // Partition::from_colors and Partition::random with identical colors
+    // must produce identical runs (the partition is the only input).
+    let n = 150;
+    let _g = generator::gnp(n, 0.5, &mut rng_from_seed(94)).unwrap();
+    let mut rng = rng_from_seed(95);
+    let random = Partition::random(n, 5, &mut rng);
+    let explicit = Partition::from_colors(random.colors().to_vec(), 5);
+    assert_eq!(random.classes(), explicit.classes());
+}

@@ -1,0 +1,44 @@
+//! Distributed computation of Hamiltonian cycles in random graphs —
+//! a full reproduction of Chatterjee, Fathi, Pandurangan, Pham,
+//! *Fast and Efficient Distributed Computation of Hamiltonian Cycles in
+//! Random Graphs* (ICDCS 2018), as a Rust workspace.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`graph`] — `G(n, p)` / `G(n, M)` / random-regular generators, CSR
+//!   adjacency, BFS/diameter, partitions, cycle verification;
+//! * [`congest`] — the synchronous CONGEST-model simulator with bandwidth
+//!   enforcement and per-node resource metrics;
+//! * [`rotation`] — the sequential Angluin–Valiant / Pósa rotation solver;
+//! * [`core`] — the paper's distributed algorithms (DRA, DHC1, DHC2,
+//!   Upcast) and their runners.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dhc::core::{run_dhc2, DhcConfig};
+//! use dhc::graph::{generator, rng::rng_from_seed, thresholds};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = 256;
+//! let p = thresholds::edge_probability(n, 0.5, 6.0);
+//! let g = generator::gnp(n, p, &mut rng_from_seed(1))?;
+//! let outcome = run_dhc2(&g, &DhcConfig::new(7).with_partitions(8))?;
+//! assert_eq!(outcome.cycle.len(), n);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dhc_congest as congest;
+pub use dhc_core as core;
+pub use dhc_graph as graph;
+pub use dhc_rotation as rotation;
+
+// Most-used items at the top level for convenience.
+pub use dhc_core::{
+    run_collect_all, run_dhc1, run_dhc2, run_dra, run_upcast, DhcConfig, DhcError, RunOutcome,
+};
+pub use dhc_graph::{Graph, HamiltonianCycle};

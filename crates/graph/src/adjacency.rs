@@ -1,0 +1,426 @@
+//! Compact immutable graph representation (CSR) and its builder.
+
+use crate::{GraphError, NodeId};
+use std::fmt;
+
+/// An immutable, simple, undirected graph stored in compressed sparse row
+/// (CSR) form.
+///
+/// Neighbor lists are sorted, enabling `O(log deg)` edge queries via binary
+/// search. Construction goes through [`GraphBuilder`] or [`Graph::from_edges`].
+///
+/// # Example
+///
+/// ```
+/// use dhc_graph::Graph;
+///
+/// # fn main() -> Result<(), dhc_graph::GraphError> {
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert!(g.has_edge(0, 3));
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbor lists.
+    neighbors: Vec<NodeId>,
+    /// Number of undirected edges.
+    m: usize,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an iterator of undirected edges.
+    ///
+    /// Duplicate edges (in either orientation) are merged. Self-loops and
+    /// out-of-range endpoints are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Builds an edgeless graph with `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph { offsets: vec![0; n + 1], neighbors: Vec::new(), m: 0 }
+    }
+
+    /// Number of nodes `n`.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbor list of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present. `O(log deg(u))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over every undirected edge once, as `(u, v)` with `u < v`,
+    /// in lexicographic order.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter { graph: self, u: 0, idx: 0 }
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.node_count()).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        let n = self.node_count();
+        if n == 0 {
+            0.0
+        } else {
+            2.0 * self.m as f64 / n as f64
+        }
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        crate::bfs::component_count(self) <= 1
+    }
+
+    /// The subgraph induced by `nodes`, together with the mapping from the
+    /// new local ids (`0..nodes.len()`) back to the original ids.
+    ///
+    /// `nodes` may be in any order and determines the local id assignment;
+    /// duplicates are rejected as out-of-range usage would be.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if any node is out of range and
+    /// [`GraphError::EmptySelection`] if `nodes` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` contains duplicates.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> Result<(Graph, Vec<NodeId>), GraphError> {
+        if nodes.is_empty() {
+            return Err(GraphError::EmptySelection);
+        }
+        let n = self.node_count();
+        let mut to_local: Vec<Option<usize>> = vec![None; n];
+        for (local, &g) in nodes.iter().enumerate() {
+            if g >= n {
+                return Err(GraphError::NodeOutOfRange { node: g, n });
+            }
+            assert!(to_local[g].is_none(), "duplicate node {g} in induced_subgraph selection");
+            to_local[g] = Some(local);
+        }
+        let mut b = GraphBuilder::new(nodes.len());
+        for (local_u, &g_u) in nodes.iter().enumerate() {
+            for &g_v in self.neighbors(g_u) {
+                if let Some(local_v) = to_local[g_v] {
+                    if local_u < local_v {
+                        b.add_edge(local_u, local_v)?;
+                    }
+                }
+            }
+        }
+        Ok((b.build(), nodes.to_vec()))
+    }
+
+    /// Total memory footprint of the CSR arrays in machine words
+    /// (used by experiments that report per-node memory).
+    pub fn words(&self) -> usize {
+        self.offsets.len() + self.neighbors.len()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.node_count())
+            .field("m", &self.m)
+            .finish()
+    }
+}
+
+/// Iterator over the undirected edges of a [`Graph`], produced by
+/// [`Graph::edges`].
+#[derive(Debug, Clone)]
+pub struct EdgeIter<'a> {
+    graph: &'a Graph,
+    u: NodeId,
+    idx: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let g = self.graph;
+        let n = g.node_count();
+        while self.u < n {
+            let nbrs = g.neighbors(self.u);
+            while self.idx < nbrs.len() {
+                let v = nbrs[self.idx];
+                self.idx += 1;
+                if v > self.u {
+                    return Some((self.u, v));
+                }
+            }
+            self.u += 1;
+            self.idx = 0;
+        }
+        None
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Collects edges (duplicates allowed; they are merged at
+/// [`build`](GraphBuilder::build) time) and produces the immutable CSR form.
+///
+/// # Example
+///
+/// ```
+/// use dhc_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), dhc_graph::GraphError> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 0)?; // duplicate, merged
+/// b.add_edge(1, 2)?;
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Creates a builder with capacity for `cap` edges.
+    pub fn with_capacity(n: usize, cap: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(cap) }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        Ok(self)
+    }
+
+    /// Number of (possibly duplicate) edges recorded so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a [`Graph`], merging duplicate edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let m = self.edges.len();
+        let mut deg = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as NodeId; 2 * m];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u]] = v;
+            cursor[u] += 1;
+            neighbors[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Each per-node slice was filled from edges sorted by (min, max); the
+        // slice for u receives targets in nondecreasing order only for the
+        // (u, v) with u < v part, so sort each slice to restore the invariant.
+        for v in 0..self.n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph { offsets, neighbors, m }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.edges().next().is_none());
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.node_count(), 0);
+        assert!(g.is_connected());
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn builds_sorted_csr() {
+        let g = Graph::from_edges(5, [(3, 1), (0, 3), (4, 0), (2, 4)]).unwrap();
+        assert_eq!(g.neighbors(0), &[3, 4]);
+        assert_eq!(g.neighbors(3), &[0, 1]);
+        assert_eq!(g.neighbors(4), &[0, 2]);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn merges_duplicates_both_orientations() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(Graph::from_edges(3, [(1, 1)]), Err(GraphError::SelfLoop { node: 1 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(3, [(0, 3)]),
+            Err(GraphError::NodeOutOfRange { node: 3, n: 3 })
+        );
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = Graph::from_edges(4, [(0, 2), (2, 3)]).unwrap();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn edges_iterator_lexicographic_once() {
+        let g = Graph::from_edges(4, [(2, 1), (0, 3), (0, 1)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.min_degree(), 1);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        // Square 0-1-2-3 plus diagonal 0-2.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let (sub, map) = g.induced_subgraph(&[0, 2, 3]).unwrap();
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(map, vec![0, 2, 3]);
+        // Local ids: 0 -> 0, 2 -> 1, 3 -> 2. Edges: (0,2)->(0,1), (2,3)->(1,2), (3,0)->(2,0).
+        assert_eq!(sub.edge_count(), 3);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_respects_selection_order() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let (sub, map) = g.induced_subgraph(&[2, 1]).unwrap();
+        assert_eq!(map, vec![2, 1]);
+        assert!(sub.has_edge(0, 1)); // global (2,1)
+        assert_eq!(sub.edge_count(), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_empty_selection_errors() {
+        let g = Graph::empty(3);
+        assert_eq!(g.induced_subgraph(&[]).unwrap_err(), GraphError::EmptySelection);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g = Graph::empty(2);
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

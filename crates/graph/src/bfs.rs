@@ -1,0 +1,332 @@
+//! Breadth-first search, connectivity, and BFS trees.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Distance value for unreachable nodes in [`distances`].
+pub const UNREACHABLE: usize = usize::MAX;
+
+/// BFS distances from `source` to every node; unreachable nodes get
+/// [`UNREACHABLE`].
+///
+/// # Panics
+///
+/// Panics if `source >= n`.
+pub fn distances(graph: &Graph, source: NodeId) -> Vec<usize> {
+    assert!(source < graph.node_count(), "source {source} out of range");
+    let mut dist = vec![UNREACHABLE; graph.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for &w in graph.neighbors(v) {
+            if dist[w] == UNREACHABLE {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// A BFS tree rooted at `root`: parents, depths, and level sets.
+///
+/// This mirrors the structure the Upcast algorithm builds distributedly;
+/// the centralized version is used by tests and by the Lemma-18
+/// subtree-balance experiment.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// The root node.
+    pub root: NodeId,
+    /// `parent[v]` is `None` for the root and for unreachable nodes.
+    pub parent: Vec<Option<NodeId>>,
+    /// BFS depth per node ([`UNREACHABLE`] if unreachable).
+    pub depth: Vec<usize>,
+    /// `levels[i]` lists the nodes at depth `i`.
+    pub levels: Vec<Vec<NodeId>>,
+}
+
+impl BfsTree {
+    /// Number of reachable nodes (including the root).
+    pub fn reachable_count(&self) -> usize {
+        self.depth.iter().filter(|&&d| d != UNREACHABLE).count()
+    }
+
+    /// Height of the tree (max depth over reachable nodes).
+    pub fn height(&self) -> usize {
+        self.levels.len().saturating_sub(1)
+    }
+
+    /// Size of the subtree rooted at each node (1 for leaves;
+    /// 0 for unreachable nodes).
+    ///
+    /// Used by the Upcast congestion analysis (Lemma 18): upcast time is
+    /// proportional to the max subtree load among the root's children.
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut size = vec![0usize; n];
+        for v in 0..n {
+            if self.depth[v] != UNREACHABLE {
+                size[v] = 1;
+            }
+        }
+        // Process nodes deepest-first so children accumulate before parents.
+        let mut order: Vec<NodeId> = self.levels.iter().flatten().copied().collect();
+        order.reverse();
+        for v in order {
+            if let Some(p) = self.parent[v] {
+                size[p] += size[v];
+            }
+        }
+        size
+    }
+}
+
+/// Builds the BFS tree from `root`, breaking ties toward smaller node ids
+/// (deterministic given the graph).
+///
+/// # Panics
+///
+/// Panics if `root >= n`.
+pub fn bfs_tree(graph: &Graph, root: NodeId) -> BfsTree {
+    assert!(root < graph.node_count(), "root {root} out of range");
+    let n = graph.node_count();
+    let mut parent = vec![None; n];
+    let mut depth = vec![UNREACHABLE; n];
+    let mut levels: Vec<Vec<NodeId>> = vec![vec![root]];
+    depth[root] = 0;
+    let mut frontier = vec![root];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &w in graph.neighbors(v) {
+                if depth[w] == UNREACHABLE {
+                    depth[w] = depth[v] + 1;
+                    parent[w] = Some(v);
+                    next.push(w);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        next.sort_unstable();
+        levels.push(next.clone());
+        frontier = next;
+    }
+    BfsTree { root, parent, depth, levels }
+}
+
+/// Builds a BFS tree from `root` with **randomized** parent tie-breaking:
+/// each non-root node picks its parent uniformly among its neighbors in
+/// the previous level. This is the tree the paper's Lemma 18 (Upcast
+/// congestion) reasons about — deterministic tie-breaking funnels whole
+/// levels through low-id parents and destroys the subtree balance.
+///
+/// # Panics
+///
+/// Panics if `root >= n`.
+pub fn bfs_tree_randomized<R: rand::Rng + ?Sized>(
+    graph: &Graph,
+    root: NodeId,
+    rng: &mut R,
+) -> BfsTree {
+    assert!(root < graph.node_count(), "root {root} out of range");
+    let n = graph.node_count();
+    let mut parent = vec![None; n];
+    let mut depth = vec![UNREACHABLE; n];
+    let mut levels: Vec<Vec<NodeId>> = vec![vec![root]];
+    depth[root] = 0;
+    let mut frontier = vec![root];
+    let mut d = 0usize;
+    loop {
+        d += 1;
+        // Discover the next level first, then assign parents randomly
+        // among *all* previous-level neighbors.
+        let mut next: Vec<NodeId> = Vec::new();
+        for &v in &frontier {
+            for &w in graph.neighbors(v) {
+                if depth[w] == UNREACHABLE {
+                    depth[w] = d;
+                    next.push(w);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        next.sort_unstable();
+        for &w in &next {
+            let candidates: Vec<NodeId> = graph
+                .neighbors(w)
+                .iter()
+                .copied()
+                .filter(|&u| depth[u] == d - 1)
+                .collect();
+            let pick = candidates[rng.gen_range(0..candidates.len())];
+            parent[w] = Some(pick);
+        }
+        levels.push(next.clone());
+        frontier = next;
+    }
+    BfsTree { root, parent, depth, levels }
+}
+
+/// Number of connected components (0 for the empty graph).
+pub fn component_count(graph: &Graph) -> usize {
+    let n = graph.node_count();
+    let mut seen = vec![false; n];
+    let mut count = 0;
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        count += 1;
+        let mut queue = VecDeque::new();
+        seen[s] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &w in graph.neighbors(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    count
+}
+
+/// The connected components, each as a sorted node list, ordered by their
+/// smallest member.
+pub fn components(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        let mut comp = vec![s];
+        seen[s] = true;
+        let mut queue = VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            for &w in graph.neighbors(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    comp.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator;
+
+    #[test]
+    fn distances_on_path() {
+        let g = generator::path_graph(5);
+        assert_eq!(distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn distances_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let d = distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn bfs_tree_on_star() {
+        let g = generator::star(5);
+        let t = bfs_tree(&g, 0);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.levels[1], vec![1, 2, 3, 4]);
+        assert!(t.parent[3] == Some(0));
+        assert_eq!(t.reachable_count(), 5);
+    }
+
+    #[test]
+    fn bfs_tree_subtree_sizes() {
+        // Path 0-1-2-3 rooted at 0: subtree sizes 4,3,2,1.
+        let g = generator::path_graph(4);
+        let t = bfs_tree(&g, 0);
+        assert_eq!(t.subtree_sizes(), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn bfs_tree_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let t = bfs_tree(&g, 0);
+        assert_eq!(t.reachable_count(), 2);
+        assert_eq!(t.subtree_sizes()[2], 0);
+        assert_eq!(t.depth[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn randomized_tree_is_a_valid_bfs_tree() {
+        let g = generator::grid(5, 5);
+        let mut rng = crate::rng::rng_from_seed(3);
+        let t = bfs_tree_randomized(&g, 0, &mut rng);
+        let d = distances(&g, 0);
+        for v in 0..25 {
+            assert_eq!(t.depth[v], d[v], "depth mismatch at {v}");
+            if v != 0 {
+                let p = t.parent[v].unwrap();
+                assert!(g.has_edge(v, p));
+                assert_eq!(t.depth[p] + 1, t.depth[v]);
+            }
+        }
+        assert_eq!(t.subtree_sizes()[0], 25);
+    }
+
+    #[test]
+    fn randomized_tree_balances_better_than_deterministic_on_dense_graphs() {
+        // On G(n, p) with diameter 2, deterministic tie-breaking funnels
+        // most of level 2 through the smallest-id level-1 node.
+        let n = 400;
+        let p = (n as f64).ln() / (n as f64).sqrt();
+        let g = generator::gnp(n, p, &mut crate::rng::rng_from_seed(4)).unwrap();
+        let det = bfs_tree(&g, 0);
+        let rnd = bfs_tree_randomized(&g, 0, &mut crate::rng::rng_from_seed(5));
+        let imbalance = |t: &BfsTree| {
+            let sizes = t.subtree_sizes();
+            let kids: Vec<usize> = (0..n).filter(|&v| t.parent[v] == Some(0)).map(|v| sizes[v]).collect();
+            *kids.iter().max().unwrap() as f64 / (kids.iter().sum::<usize>() as f64 / kids.len() as f64)
+        };
+        assert!(
+            imbalance(&rnd) < imbalance(&det) / 2.0,
+            "randomized {} vs deterministic {}",
+            imbalance(&rnd),
+            imbalance(&det)
+        );
+    }
+
+    #[test]
+    fn component_counts() {
+        assert_eq!(component_count(&Graph::empty(0)), 0);
+        assert_eq!(component_count(&Graph::empty(3)), 3);
+        assert_eq!(component_count(&generator::cycle_graph(6)), 1);
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(component_count(&g), 3);
+        assert_eq!(components(&g), vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn grid_distance_is_manhattan() {
+        let g = generator::grid(4, 4);
+        let d = distances(&g, 0);
+        assert_eq!(d[15], 6); // corner to corner
+        assert_eq!(d[5], 2);
+    }
+}

@@ -1,0 +1,369 @@
+//! Hamiltonian-cycle representation and strict verification.
+//!
+//! The distributed algorithms output, per node, its two incident cycle
+//! edges (the paper's output convention). [`HamiltonianCycle`] stores the
+//! equivalent global visiting order and checks everything: length `n`,
+//! each node exactly once, every consecutive pair an actual graph edge,
+//! and the closing edge present.
+
+use crate::{Graph, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Why a candidate cycle failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CycleError {
+    /// The visiting order does not contain every node exactly once.
+    NotAPermutation {
+        /// Expected length `n`.
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// A node appeared twice (or an id was out of range).
+    RepeatedOrInvalidNode {
+        /// The offending node.
+        node: usize,
+    },
+    /// Two consecutive nodes in the order are not adjacent in the graph.
+    MissingEdge {
+        /// Tail of the missing edge.
+        from: usize,
+        /// Head of the missing edge.
+        to: usize,
+        /// Position in the visiting order where the defect occurs.
+        position: usize,
+    },
+    /// Graphs with fewer than 3 nodes have no Hamiltonian cycle.
+    GraphTooSmall {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// A per-node successor map did not form a single cycle.
+    NotASingleCycle {
+        /// Length of the cycle containing node 0.
+        cycle_length: usize,
+        /// Expected length `n`.
+        expected: usize,
+    },
+    /// A per-node successor entry was missing.
+    MissingSuccessor {
+        /// The node without a successor.
+        node: usize,
+    },
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CycleError::NotAPermutation { expected, actual } => {
+                write!(f, "visiting order has {actual} entries, expected {expected}")
+            }
+            CycleError::RepeatedOrInvalidNode { node } => {
+                write!(f, "node {node} repeated or out of range")
+            }
+            CycleError::MissingEdge { from, to, position } => {
+                write!(f, "no edge between {from} and {to} (order position {position})")
+            }
+            CycleError::GraphTooSmall { n } => {
+                write!(f, "graph with {n} nodes cannot contain a hamiltonian cycle")
+            }
+            CycleError::NotASingleCycle { cycle_length, expected } => {
+                write!(f, "successor map closes after {cycle_length} nodes, expected {expected}")
+            }
+            CycleError::MissingSuccessor { node } => {
+                write!(f, "node {node} has no successor")
+            }
+        }
+    }
+}
+
+impl Error for CycleError {}
+
+/// A verified-representation Hamiltonian cycle: the visiting order of all
+/// `n` nodes (the closing edge from last back to first is implicit).
+///
+/// Construction is only possible through verifying constructors, so holding
+/// a `HamiltonianCycle` for a graph means the cycle is valid for it.
+///
+/// # Example
+///
+/// ```
+/// use dhc_graph::{generator, HamiltonianCycle};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generator::cycle_graph(5);
+/// let hc = HamiltonianCycle::from_order(&g, vec![0, 1, 2, 3, 4])?;
+/// assert_eq!(hc.len(), 5);
+/// assert_eq!(hc.successor(4), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HamiltonianCycle {
+    order: Vec<NodeId>,
+}
+
+impl HamiltonianCycle {
+    /// Verifies `order` as a Hamiltonian cycle of `graph` and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CycleError`] describing the first defect found.
+    pub fn from_order(graph: &Graph, order: Vec<NodeId>) -> Result<Self, CycleError> {
+        let n = graph.node_count();
+        if n < 3 {
+            return Err(CycleError::GraphTooSmall { n });
+        }
+        if order.len() != n {
+            return Err(CycleError::NotAPermutation { expected: n, actual: order.len() });
+        }
+        let mut seen = vec![false; n];
+        for &v in &order {
+            if v >= n || seen[v] {
+                return Err(CycleError::RepeatedOrInvalidNode { node: v });
+            }
+            seen[v] = true;
+        }
+        for i in 0..n {
+            let from = order[i];
+            let to = order[(i + 1) % n];
+            if !graph.has_edge(from, to) {
+                return Err(CycleError::MissingEdge { from, to, position: i });
+            }
+        }
+        Ok(HamiltonianCycle { order })
+    }
+
+    /// Builds and verifies a cycle from a per-node successor map
+    /// (the distributed algorithms' native output: each node knows the
+    /// next node on the cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CycleError`]; in particular
+    /// [`CycleError::NotASingleCycle`] if the map decomposes into several
+    /// cycles, and [`CycleError::MissingSuccessor`] if an entry is `None`.
+    pub fn from_successors(
+        graph: &Graph,
+        succ: &[Option<NodeId>],
+    ) -> Result<Self, CycleError> {
+        let n = graph.node_count();
+        if n < 3 {
+            return Err(CycleError::GraphTooSmall { n });
+        }
+        if succ.len() != n {
+            return Err(CycleError::NotAPermutation { expected: n, actual: succ.len() });
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut v = 0;
+        for _ in 0..n {
+            order.push(v);
+            match succ[v] {
+                None => return Err(CycleError::MissingSuccessor { node: v }),
+                Some(w) => {
+                    if w >= n {
+                        return Err(CycleError::RepeatedOrInvalidNode { node: w });
+                    }
+                    v = w;
+                }
+            }
+            if v == 0 && order.len() < n {
+                return Err(CycleError::NotASingleCycle {
+                    cycle_length: order.len(),
+                    expected: n,
+                });
+            }
+        }
+        if v != 0 {
+            // Walked n steps without returning to the start: some node repeats.
+            return Err(CycleError::NotASingleCycle { cycle_length: n, expected: n });
+        }
+        Self::from_order(graph, order)
+    }
+
+    /// The visiting order (length `n`).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of nodes on the cycle (= `n`).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Always false: a verified cycle has at least 3 nodes.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The successor of `v` on the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a node of the cycle's graph.
+    pub fn successor(&self, v: NodeId) -> NodeId {
+        let pos = self.position(v);
+        self.order[(pos + 1) % self.order.len()]
+    }
+
+    /// The predecessor of `v` on the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a node of the cycle's graph.
+    pub fn predecessor(&self, v: NodeId) -> NodeId {
+        let pos = self.position(v);
+        self.order[(pos + self.order.len() - 1) % self.order.len()]
+    }
+
+    /// Position of `v` in the visiting order.
+    fn position(&self, v: NodeId) -> usize {
+        self.order
+            .iter()
+            .position(|&x| x == v)
+            .unwrap_or_else(|| panic!("node {v} not on cycle"))
+    }
+
+    /// The per-node successor map (inverse of [`from_successors`](Self::from_successors)).
+    pub fn to_successors(&self) -> Vec<NodeId> {
+        let n = self.order.len();
+        let mut succ = vec![0; n];
+        for i in 0..n {
+            succ[self.order[i]] = self.order[(i + 1) % n];
+        }
+        succ
+    }
+
+    /// The cycle's edge set as `(min, max)` pairs, sorted.
+    pub fn edge_set(&self) -> Vec<(NodeId, NodeId)> {
+        let n = self.order.len();
+        let mut edges: Vec<(NodeId, NodeId)> = (0..n)
+            .map(|i| {
+                let a = self.order[i];
+                let b = self.order[(i + 1) % n];
+                if a < b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+}
+
+/// Convenience check: does `order` describe a Hamiltonian cycle of `graph`?
+pub fn is_hamiltonian_cycle(graph: &Graph, order: &[NodeId]) -> bool {
+    HamiltonianCycle::from_order(graph, order.to_vec()).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator;
+
+    #[test]
+    fn accepts_valid_cycle() {
+        let g = generator::cycle_graph(6);
+        let hc = HamiltonianCycle::from_order(&g, vec![0, 1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(hc.successor(5), 0);
+        assert_eq!(hc.predecessor(0), 5);
+        assert_eq!(hc.len(), 6);
+    }
+
+    #[test]
+    fn accepts_rotated_and_reversed_orders() {
+        let g = generator::cycle_graph(5);
+        assert!(is_hamiltonian_cycle(&g, &[2, 3, 4, 0, 1]));
+        assert!(is_hamiltonian_cycle(&g, &[4, 3, 2, 1, 0]));
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let g = generator::cycle_graph(5);
+        assert_eq!(
+            HamiltonianCycle::from_order(&g, vec![0, 1, 2]).unwrap_err(),
+            CycleError::NotAPermutation { expected: 5, actual: 3 }
+        );
+    }
+
+    #[test]
+    fn rejects_repeat() {
+        let g = generator::complete(4);
+        assert_eq!(
+            HamiltonianCycle::from_order(&g, vec![0, 1, 1, 3]).unwrap_err(),
+            CycleError::RepeatedOrInvalidNode { node: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_missing_edge() {
+        let g = generator::path_graph(4); // no closing edge 3-0
+        let err = HamiltonianCycle::from_order(&g, vec![0, 1, 2, 3]).unwrap_err();
+        assert_eq!(err, CycleError::MissingEdge { from: 3, to: 0, position: 3 });
+    }
+
+    #[test]
+    fn rejects_tiny_graph() {
+        let g = generator::complete(2);
+        assert_eq!(
+            HamiltonianCycle::from_order(&g, vec![0, 1]).unwrap_err(),
+            CycleError::GraphTooSmall { n: 2 }
+        );
+    }
+
+    #[test]
+    fn successors_round_trip() {
+        let g = generator::complete(5);
+        let hc = HamiltonianCycle::from_order(&g, vec![3, 1, 4, 0, 2]).unwrap();
+        let succ: Vec<Option<usize>> = hc.to_successors().into_iter().map(Some).collect();
+        let hc2 = HamiltonianCycle::from_successors(&g, &succ).unwrap();
+        assert_eq!(hc2.edge_set(), hc.edge_set());
+    }
+
+    #[test]
+    fn from_successors_rejects_two_cycles() {
+        let g = generator::complete(6);
+        // Two triangles: 0->1->2->0, 3->4->5->3.
+        let succ = vec![Some(1), Some(2), Some(0), Some(4), Some(5), Some(3)];
+        assert_eq!(
+            HamiltonianCycle::from_successors(&g, &succ).unwrap_err(),
+            CycleError::NotASingleCycle { cycle_length: 3, expected: 6 }
+        );
+    }
+
+    #[test]
+    fn from_successors_rejects_missing() {
+        let g = generator::complete(4);
+        let succ = vec![Some(1), None, Some(3), Some(0)];
+        assert_eq!(
+            HamiltonianCycle::from_successors(&g, &succ).unwrap_err(),
+            CycleError::MissingSuccessor { node: 1 }
+        );
+    }
+
+    #[test]
+    fn from_successors_rejects_non_permutation_map() {
+        let g = generator::complete(4);
+        // 1 -> 2 -> 3 -> 1 cycle not through 0... 0 -> 1 enters but never returns to 0.
+        let succ = vec![Some(1), Some(2), Some(3), Some(1)];
+        assert!(HamiltonianCycle::from_successors(&g, &succ).is_err());
+    }
+
+    #[test]
+    fn edge_set_sorted_unique() {
+        let g = generator::cycle_graph(4);
+        let hc = HamiltonianCycle::from_order(&g, vec![0, 1, 2, 3]).unwrap();
+        assert_eq!(hc.edge_set(), vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn petersen_has_no_hamiltonian_cycle_spotcheck() {
+        // Not exhaustive, but the canonical orders must fail.
+        let g = generator::petersen();
+        assert!(!is_hamiltonian_cycle(&g, &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]));
+    }
+}

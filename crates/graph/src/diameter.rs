@@ -1,0 +1,124 @@
+//! Exact and estimated graph diameter.
+//!
+//! The paper's round bounds multiply rotation steps by the diameter of the
+//! (sub)graph; Facts 2/3 and the Chung–Lu bound `Θ(ln n / ln ln n)` are
+//! checked empirically via these routines (experiments E6/E7).
+
+use crate::bfs::{self, UNREACHABLE};
+use crate::{Graph, NodeId};
+
+/// Exact diameter via all-pairs BFS, `O(n · m)`.
+///
+/// Returns `None` for a disconnected or empty graph.
+pub fn exact(graph: &Graph) -> Option<usize> {
+    let n = graph.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut diam = 0usize;
+    for v in 0..n {
+        let ecc = eccentricity(graph, v)?;
+        diam = diam.max(ecc);
+    }
+    Some(diam)
+}
+
+/// Eccentricity of `v` (max distance to any node), or `None` if some node
+/// is unreachable from `v`.
+///
+/// # Panics
+///
+/// Panics if `v >= n`.
+pub fn eccentricity(graph: &Graph, v: NodeId) -> Option<usize> {
+    let d = bfs::distances(graph, v);
+    let mut ecc = 0usize;
+    for &x in &d {
+        if x == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(x);
+    }
+    Some(ecc)
+}
+
+/// Two-sweep lower bound on the diameter: BFS from `start`, then BFS from
+/// the farthest node found. Cheap (`O(m)`) and usually tight on random
+/// graphs; always `<= exact`.
+///
+/// Returns `None` for a disconnected or empty graph.
+pub fn two_sweep_lower_bound(graph: &Graph, start: NodeId) -> Option<usize> {
+    if graph.node_count() == 0 {
+        return None;
+    }
+    let d1 = bfs::distances(graph, start);
+    let mut far = start;
+    let mut best = 0;
+    for (v, &x) in d1.iter().enumerate() {
+        if x == UNREACHABLE {
+            return None;
+        }
+        if x > best {
+            best = x;
+            far = v;
+        }
+    }
+    eccentricity(graph, far)
+}
+
+/// The paper's asymptotic diameter scale for `G(n', p')` with
+/// `p' = Θ(ln n' / n')`: `ln n / ln ln n` (Chung–Lu).
+///
+/// Used to normalize measured rounds in experiments.
+pub fn chung_lu_scale(n: usize) -> f64 {
+    let nf = (n.max(3)) as f64;
+    nf.ln() / nf.ln().ln().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn exact_on_known_graphs() {
+        assert_eq!(exact(&generator::path_graph(5)), Some(4));
+        assert_eq!(exact(&generator::cycle_graph(6)), Some(3));
+        assert_eq!(exact(&generator::cycle_graph(7)), Some(3));
+        assert_eq!(exact(&generator::complete(5)), Some(1));
+        assert_eq!(exact(&generator::star(6)), Some(2));
+        assert_eq!(exact(&generator::petersen()), Some(2));
+    }
+
+    #[test]
+    fn exact_disconnected_is_none() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(exact(&g), None);
+        assert_eq!(exact(&Graph::empty(0)), None);
+    }
+
+    #[test]
+    fn two_sweep_bounds_exact() {
+        let g = generator::grid(5, 7);
+        let lb = two_sweep_lower_bound(&g, 17).unwrap();
+        let ex = exact(&g).unwrap();
+        assert!(lb <= ex);
+        assert_eq!(ex, 10); // (5-1) + (7-1)
+        assert_eq!(lb, 10); // two-sweep is exact on grids
+    }
+
+    #[test]
+    fn fact2_diameter_two_for_dense_random_graphs() {
+        // Fact 2: D = 2 whp when p = Theta(log n / sqrt(n)).
+        let n = 900;
+        let p = (n as f64).ln() / (n as f64).sqrt(); // ~ 0.227
+        let g = generator::gnp(n, p, &mut rng_from_seed(6)).unwrap();
+        assert_eq!(exact(&g), Some(2));
+    }
+
+    #[test]
+    fn chung_lu_scale_monotone() {
+        assert!(chung_lu_scale(1 << 16) > chung_lu_scale(1 << 8));
+        assert!(chung_lu_scale(10) > 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Graphviz DOT export (for inspecting small instances and cycles).
+
+use crate::{Graph, HamiltonianCycle, NodeId};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Renders the graph in DOT format. If `cycle` is given, its edges are
+/// drawn bold red so the Hamiltonian cycle stands out.
+///
+/// # Example
+///
+/// ```
+/// use dhc_graph::{dot, generator, HamiltonianCycle};
+///
+/// let g = generator::cycle_graph(4);
+/// let hc = HamiltonianCycle::from_order(&g, vec![0, 1, 2, 3]).unwrap();
+/// let s = dot::to_dot(&g, Some(&hc));
+/// assert!(s.starts_with("graph g {"));
+/// assert!(s.contains("color=red"));
+/// ```
+pub fn to_dot(graph: &Graph, cycle: Option<&HamiltonianCycle>) -> String {
+    let highlight: HashSet<(NodeId, NodeId)> = cycle
+        .map(|c| c.edge_set().into_iter().collect())
+        .unwrap_or_default();
+    let mut out = String::from("graph g {\n  node [shape=circle];\n");
+    for v in 0..graph.node_count() {
+        let _ = writeln!(out, "  {v};");
+    }
+    for (u, v) in graph.edges() {
+        if highlight.contains(&(u, v)) {
+            let _ = writeln!(out, "  {u} -- {v} [color=red, penwidth=2.5];");
+        } else {
+            let _ = writeln!(out, "  {u} -- {v};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator;
+
+    #[test]
+    fn plain_export_lists_all_edges() {
+        let g = generator::path_graph(3);
+        let s = to_dot(&g, None);
+        assert!(s.contains("0 -- 1;"));
+        assert!(s.contains("1 -- 2;"));
+        assert!(!s.contains("color=red"));
+    }
+
+    #[test]
+    fn cycle_edges_highlighted() {
+        let g = generator::complete(4);
+        let hc = HamiltonianCycle::from_order(&g, vec![0, 1, 2, 3]).unwrap();
+        let s = to_dot(&g, Some(&hc));
+        // 4 cycle edges red, remaining 2 plain.
+        assert_eq!(s.matches("color=red").count(), 4);
+        assert_eq!(s.matches(" -- ").count(), 6);
+    }
+
+    #[test]
+    fn empty_graph_is_valid_dot() {
+        let s = to_dot(&Graph::empty(2), None);
+        assert!(s.starts_with("graph g {"));
+        assert!(s.ends_with("}\n"));
+    }
+}

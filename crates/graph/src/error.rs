@@ -1,0 +1,104 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating graphs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; simple graphs only.
+    SelfLoop {
+        /// The node with the loop.
+        node: usize,
+    },
+    /// An invalid probability (outside `[0, 1]`, or NaN) was supplied.
+    InvalidProbability {
+        /// The offending value.
+        p: f64,
+    },
+    /// `G(n, M)` was asked for more edges than `C(n, 2)`.
+    TooManyEdges {
+        /// Requested number of edges.
+        requested: usize,
+        /// Maximum possible number of edges.
+        max: usize,
+    },
+    /// A random-regular graph with infeasible parameters was requested
+    /// (`n * d` odd, or `d >= n`).
+    InfeasibleRegular {
+        /// Number of nodes.
+        n: usize,
+        /// Requested degree.
+        d: usize,
+    },
+    /// The configuration-model sampler exhausted its retry budget.
+    RegularRetriesExhausted {
+        /// Number of attempts made.
+        attempts: usize,
+    },
+    /// A partition class or node list referenced by an operation was empty.
+    EmptySelection,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at node {node} not allowed in a simple graph")
+            }
+            GraphError::InvalidProbability { p } => {
+                write!(f, "edge probability {p} is not in [0, 1]")
+            }
+            GraphError::TooManyEdges { requested, max } => {
+                write!(f, "requested {requested} edges but at most {max} are possible")
+            }
+            GraphError::InfeasibleRegular { n, d } => {
+                write!(f, "no {d}-regular graph on {n} nodes exists")
+            }
+            GraphError::RegularRetriesExhausted { attempts } => {
+                write!(f, "configuration model failed after {attempts} attempts")
+            }
+            GraphError::EmptySelection => write!(f, "operation requires a non-empty node selection"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs: Vec<GraphError> = vec![
+            GraphError::NodeOutOfRange { node: 5, n: 3 },
+            GraphError::SelfLoop { node: 2 },
+            GraphError::InvalidProbability { p: 1.5 },
+            GraphError::TooManyEdges { requested: 10, max: 3 },
+            GraphError::InfeasibleRegular { n: 3, d: 3 },
+            GraphError::RegularRetriesExhausted { attempts: 64 },
+            GraphError::EmptySelection,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with(char::is_numeric));
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,134 @@
+//! The uniform `G(n, M)` sampler.
+
+use crate::{Graph, GraphBuilder, GraphError};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples a graph uniformly from all simple graphs on `n` nodes with
+/// exactly `m` edges (the `G(n, M)` model, the paper's stated extension).
+///
+/// Uses rejection sampling of edge slots when `m` is small relative to
+/// `C(n, 2)` and a partial Fisher–Yates over the edge universe otherwise.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooManyEdges`] if `m > C(n, 2)`.
+///
+/// # Example
+///
+/// ```
+/// use dhc_graph::generator::gnm;
+/// use dhc_graph::rng::rng_from_seed;
+///
+/// # fn main() -> Result<(), dhc_graph::GraphError> {
+/// let g = gnm(100, 300, &mut rng_from_seed(1))?;
+/// assert_eq!(g.edge_count(), 300);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GraphError> {
+    let max = if n < 2 { 0 } else { n * (n - 1) / 2 };
+    if m > max {
+        return Err(GraphError::TooManyEdges { requested: m, max });
+    }
+    if m == 0 {
+        return Ok(Graph::empty(n));
+    }
+    let mut b = GraphBuilder::with_capacity(n, m);
+    if m * 4 <= max {
+        // Sparse: rejection sampling of (u, v) pairs.
+        let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(m * 2);
+        while seen.len() < m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if seen.insert(key) {
+                b.add_edge(key.0, key.1)?;
+            }
+        }
+    } else {
+        // Dense: partial Fisher–Yates over the ranked edge universe.
+        let mut universe: Vec<usize> = (0..max).collect();
+        for i in 0..m {
+            let j = rng.gen_range(i..max);
+            universe.swap(i, j);
+            let (u, v) = unrank(universe[i]);
+            b.add_edge(u, v)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Inverse of the row-major ranking of pairs (v, w) with w < v:
+/// rank = v*(v-1)/2 + w.
+fn unrank(rank: usize) -> (usize, usize) {
+    // v is the largest integer with v*(v-1)/2 <= rank.
+    let mut v = ((2.0 * rank as f64 + 0.25).sqrt() + 0.5) as usize;
+    while v * (v - 1) / 2 > rank {
+        v -= 1;
+    }
+    while (v + 1) * v / 2 <= rank {
+        v += 1;
+    }
+    let w = rank - v * (v - 1) / 2;
+    (v, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn exact_edge_count_sparse_and_dense() {
+        let g = gnm(64, 100, &mut rng_from_seed(0)).unwrap();
+        assert_eq!(g.edge_count(), 100);
+        let dense_m = 64 * 63 / 2 - 5;
+        let g = gnm(64, dense_m, &mut rng_from_seed(0)).unwrap();
+        assert_eq!(g.edge_count(), dense_m);
+    }
+
+    #[test]
+    fn rejects_too_many_edges() {
+        assert!(matches!(
+            gnm(4, 7, &mut rng_from_seed(0)),
+            Err(GraphError::TooManyEdges { requested: 7, max: 6 })
+        ));
+    }
+
+    #[test]
+    fn zero_edges() {
+        let g = gnm(10, 0, &mut rng_from_seed(0)).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn full_graph() {
+        let g = gnm(6, 15, &mut rng_from_seed(0)).unwrap();
+        assert_eq!(g.edge_count(), 15);
+        for u in 0..6 {
+            assert_eq!(g.degree(u), 5);
+        }
+    }
+
+    #[test]
+    fn unrank_round_trips() {
+        let mut rank = 0;
+        for v in 1..40 {
+            for w in 0..v {
+                assert_eq!(unrank(rank), (v, w));
+                rank += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gnm(50, 123, &mut rng_from_seed(77)).unwrap();
+        let b = gnm(50, 123, &mut rng_from_seed(77)).unwrap();
+        assert_eq!(a, b);
+    }
+}

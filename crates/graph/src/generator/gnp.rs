@@ -1,0 +1,151 @@
+//! The Erdős–Rényi `G(n, p)` sampler.
+
+use crate::{Graph, GraphBuilder, GraphError};
+use rand::Rng;
+
+/// Samples a `G(n, p)` random graph: every one of the `C(n, 2)` possible
+/// edges is present independently with probability `p`.
+///
+/// Uses the Batagelj–Brandes geometric-skipping technique, so the running
+/// time is `O(n + m)` in expectation rather than `O(n²)`; this matters for
+/// the sparse regimes (`p = Θ(ln n / n)`) the paper targets.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidProbability`] if `p` is outside `[0, 1]`
+/// or NaN.
+///
+/// # Example
+///
+/// ```
+/// use dhc_graph::generator::gnp;
+/// use dhc_graph::rng::rng_from_seed;
+///
+/// # fn main() -> Result<(), dhc_graph::GraphError> {
+/// let mut rng = rng_from_seed(3);
+/// let g = gnp(200, 0.1, &mut rng)?;
+/// assert_eq!(g.node_count(), 200);
+/// // Expected m = p * C(200, 2) = 1990; loose sanity band.
+/// assert!(g.edge_count() > 1500 && g.edge_count() < 2500);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(GraphError::InvalidProbability { p });
+    }
+    if n < 2 || p == 0.0 {
+        return Ok(Graph::empty(n));
+    }
+    if p == 1.0 {
+        return Ok(super::complete(n));
+    }
+    let expected = (p * (n as f64) * ((n - 1) as f64) / 2.0) as usize;
+    let mut b = GraphBuilder::with_capacity(n, expected + expected / 8 + 16);
+    // Enumerate candidate pairs (v, w), w < v, in row-major order and jump
+    // ahead by geometric gaps: the next present edge is Geom(p) pairs away.
+    let log_q = (1.0 - p).ln();
+    let mut v: usize = 1;
+    let mut w: i64 = -1;
+    while v < n {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log_q).floor() as i64;
+        w += 1 + skip;
+        while w >= v as i64 && v < n {
+            w -= v as i64;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge(v, w as usize)?;
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn rejects_bad_probability() {
+        let mut rng = rng_from_seed(0);
+        assert!(matches!(
+            gnp(10, -0.1, &mut rng),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            gnp(10, 1.5, &mut rng),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            gnp(10, f64::NAN, &mut rng),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn p_zero_is_empty() {
+        let mut rng = rng_from_seed(0);
+        let g = gnp(50, 0.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn p_one_is_complete() {
+        let mut rng = rng_from_seed(0);
+        let g = gnp(20, 1.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn tiny_n() {
+        let mut rng = rng_from_seed(0);
+        assert_eq!(gnp(0, 0.5, &mut rng).unwrap().node_count(), 0);
+        assert_eq!(gnp(1, 0.5, &mut rng).unwrap().edge_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gnp(100, 0.07, &mut rng_from_seed(11)).unwrap();
+        let b = gnp(100, 0.07, &mut rng_from_seed(11)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edge_count_concentrates() {
+        // Chernoff: for n = 400, p = 0.05, E[m] = 3990, deviation > 10% has
+        // probability < 1e-9; a fixed seed keeps this deterministic anyway.
+        let g = gnp(400, 0.05, &mut rng_from_seed(5)).unwrap();
+        let expected = 0.05 * 400.0 * 399.0 / 2.0;
+        let dev = (g.edge_count() as f64 - expected).abs() / expected;
+        assert!(dev < 0.10, "m = {} vs E = {expected}", g.edge_count());
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates_by_construction() {
+        let g = gnp(150, 0.2, &mut rng_from_seed(9)).unwrap();
+        for v in 0..g.node_count() {
+            let nbrs = g.neighbors(v);
+            assert!(!nbrs.contains(&v));
+            for pair in nbrs.windows(2) {
+                assert!(pair[0] < pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn above_connectivity_threshold_is_connected() {
+        // p = 4 ln n / n is comfortably above ln n / n.
+        let n = 512;
+        let p = 4.0 * (n as f64).ln() / n as f64;
+        let g = gnp(n, p, &mut rng_from_seed(2)).unwrap();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn very_sparse_is_disconnected() {
+        let g = gnp(512, 0.0005, &mut rng_from_seed(2)).unwrap();
+        assert!(!g.is_connected());
+    }
+}

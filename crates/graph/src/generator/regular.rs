@@ -1,0 +1,195 @@
+//! Random regular graphs via Steger–Wormald pairing.
+
+use crate::{Graph, GraphBuilder, GraphError};
+use rand::Rng;
+
+/// Maximum number of full restarts before giving up.
+const MAX_ATTEMPTS: usize = 64;
+
+/// Samples a random `d`-regular simple graph on `n` nodes.
+///
+/// Uses the Steger–Wormald refinement of the configuration model: stubs are
+/// paired one edge at a time, each time choosing a uniformly random *suitable*
+/// pair (no self-loop, no multi-edge). When random probing stalls, the
+/// suitable pairs are enumerated exactly; only if none exist does the whole
+/// pairing restart. For `d = o(n^{1/3})` the output distribution is
+/// asymptotically uniform, which covers the regimes used in the paper's
+/// "other random graph models" extension.
+///
+/// # Errors
+///
+/// * [`GraphError::InfeasibleRegular`] if `n·d` is odd or `d >= n`.
+/// * [`GraphError::RegularRetriesExhausted`] if no simple pairing was found
+///   in 64 restarts (practically unreachable).
+///
+/// # Example
+///
+/// ```
+/// use dhc_graph::generator::random_regular;
+/// use dhc_graph::rng::rng_from_seed;
+///
+/// # fn main() -> Result<(), dhc_graph::GraphError> {
+/// let g = random_regular(100, 6, &mut rng_from_seed(4))?;
+/// assert!((0..100).all(|v| g.degree(v) == 6));
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_regular<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if d >= n || (n * d) % 2 != 0 {
+        return Err(GraphError::InfeasibleRegular { n, d });
+    }
+    if d == 0 {
+        return Ok(Graph::empty(n));
+    }
+    for _ in 0..MAX_ATTEMPTS {
+        if let Some(edges) = try_pairing(n, d, rng) {
+            let mut b = GraphBuilder::with_capacity(n, edges.len());
+            for (u, v) in edges {
+                b.add_edge(u, v)?;
+            }
+            return Ok(b.build());
+        }
+    }
+    Err(GraphError::RegularRetriesExhausted { attempts: MAX_ATTEMPTS })
+}
+
+/// One Steger–Wormald pairing attempt; `None` if it got stuck.
+fn try_pairing<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Vec<(usize, usize)>> {
+    // stubs[i] = node owning stub i; `live` stubs occupy the prefix.
+    let mut stubs: Vec<usize> = (0..n * d).map(|i| i / d).collect();
+    let mut live = stubs.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::with_capacity(d); n];
+    let mut edges = Vec::with_capacity(n * d / 2);
+    while live > 0 {
+        let mut placed = false;
+        // Random probing: overwhelmingly succeeds while many stubs remain.
+        for _ in 0..(10 + 10 * live) {
+            let i = rng.gen_range(0..live);
+            let j = rng.gen_range(0..live);
+            if i == j {
+                continue;
+            }
+            let (u, v) = (stubs[i], stubs[j]);
+            if u == v || adj[u].contains(&v) {
+                continue;
+            }
+            take_pair(&mut stubs, &mut live, i, j);
+            adj[u].push(v);
+            adj[v].push(u);
+            edges.push((u, v));
+            placed = true;
+            break;
+        }
+        if placed {
+            continue;
+        }
+        // Probing stalled: enumerate suitable pairs exactly.
+        let mut suitable = Vec::new();
+        for i in 0..live {
+            for j in (i + 1)..live {
+                let (u, v) = (stubs[i], stubs[j]);
+                if u != v && !adj[u].contains(&v) {
+                    suitable.push((i, j));
+                }
+            }
+        }
+        if suitable.is_empty() {
+            return None; // genuinely stuck; caller restarts
+        }
+        let (i, j) = suitable[rng.gen_range(0..suitable.len())];
+        let (u, v) = (stubs[i], stubs[j]);
+        take_pair(&mut stubs, &mut live, i, j);
+        adj[u].push(v);
+        adj[v].push(u);
+        edges.push((u, v));
+    }
+    Some(edges)
+}
+
+/// Removes stubs at positions `i` and `j` by swapping them past the live
+/// prefix boundary.
+fn take_pair(stubs: &mut [usize], live: &mut usize, i: usize, j: usize) {
+    let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+    stubs.swap(hi, *live - 1);
+    stubs.swap(lo, *live - 2);
+    *live -= 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn degrees_are_exact() {
+        let g = random_regular(60, 4, &mut rng_from_seed(1)).unwrap();
+        assert!((0..60).all(|v| g.degree(v) == 4));
+        assert_eq!(g.edge_count(), 60 * 4 / 2);
+    }
+
+    #[test]
+    fn moderately_dense_degree_succeeds() {
+        let g = random_regular(64, 9, &mut rng_from_seed(2)).unwrap();
+        assert!((0..64).all(|v| g.degree(v) == 9));
+    }
+
+    #[test]
+    fn rejects_odd_total_degree() {
+        assert!(matches!(
+            random_regular(5, 3, &mut rng_from_seed(0)),
+            Err(GraphError::InfeasibleRegular { n: 5, d: 3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_degree_ge_n() {
+        assert!(matches!(
+            random_regular(4, 4, &mut rng_from_seed(0)),
+            Err(GraphError::InfeasibleRegular { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_regular_is_empty() {
+        let g = random_regular(8, 0, &mut rng_from_seed(0)).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn complete_graph_edge_case() {
+        // d = n - 1 forces K_n; the exact-enumeration fallback must find it.
+        let g = random_regular(6, 5, &mut rng_from_seed(3)).unwrap();
+        assert_eq!(g.edge_count(), 15);
+        assert!((0..6).all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn connected_for_d_at_least_3() {
+        // Random d-regular graphs with d >= 3 are connected whp.
+        let g = random_regular(200, 3, &mut rng_from_seed(8)).unwrap();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = random_regular(40, 5, &mut rng_from_seed(21));
+        let b = random_regular(40, 5, &mut rng_from_seed(21));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_self_loops_or_multi_edges() {
+        let g = random_regular(50, 7, &mut rng_from_seed(5)).unwrap();
+        for v in 0..50 {
+            let nbrs = g.neighbors(v);
+            assert!(!nbrs.contains(&v));
+            for w in nbrs.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

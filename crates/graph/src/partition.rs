@@ -1,0 +1,209 @@
+//! Random vertex partitions (Phase 1 of DHC1/DHC2).
+//!
+//! Each node independently picks a uniform color in `0..k`; the color
+//! classes are the parallel DRA instances' vertex sets. Lemmas 4 and 7 of
+//! the paper show every class has size within `[½, 3/2]` of the mean whp —
+//! experiment E2 measures exactly this.
+
+use crate::{Graph, GraphError, NodeId};
+use rand::Rng;
+
+/// A partition of `0..n` into `k` color classes.
+///
+/// # Example
+///
+/// ```
+/// use dhc_graph::Partition;
+/// use dhc_graph::rng::rng_from_seed;
+///
+/// let p = Partition::random(100, 4, &mut rng_from_seed(0));
+/// assert_eq!(p.class_count(), 4);
+/// assert_eq!(p.classes().iter().map(Vec::len).sum::<usize>(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    color: Vec<u32>,
+    classes: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// Colors each of `n` nodes independently and uniformly with one of
+    /// `k` colors (the paper's Phase-1 step `v.color ← random[1..k]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn random<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Self {
+        assert!(k > 0, "partition needs at least one class");
+        let mut color = Vec::with_capacity(n);
+        let mut classes: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        for v in 0..n {
+            let c = rng.gen_range(0..k) as u32;
+            color.push(c);
+            classes[c as usize].push(v);
+        }
+        Partition { color, classes }
+    }
+
+    /// Builds a partition from an explicit color assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or any color is `>= k`.
+    pub fn from_colors(color: Vec<u32>, k: usize) -> Self {
+        assert!(k > 0, "partition needs at least one class");
+        let mut classes: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        for (v, &c) in color.iter().enumerate() {
+            assert!((c as usize) < k, "color {c} out of range for {k} classes");
+            classes[c as usize].push(v);
+        }
+        Partition { color, classes }
+    }
+
+    /// The color of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn color(&self, v: NodeId) -> u32 {
+        self.color[v]
+    }
+
+    /// Per-node colors.
+    pub fn colors(&self) -> &[u32] {
+        &self.color
+    }
+
+    /// Number of classes `k` (some may be empty).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The node lists per class, each sorted ascending.
+    pub fn classes(&self) -> &[Vec<NodeId>] {
+        &self.classes
+    }
+
+    /// The nodes of class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= k`.
+    pub fn class(&self, c: usize) -> &[NodeId] {
+        &self.classes[c]
+    }
+
+    /// Sizes of all classes.
+    pub fn class_sizes(&self) -> Vec<usize> {
+        self.classes.iter().map(Vec::len).collect()
+    }
+
+    /// Smallest and largest class size.
+    pub fn size_extremes(&self) -> (usize, usize) {
+        let sizes = self.class_sizes();
+        let min = sizes.iter().copied().min().unwrap_or(0);
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        (min, max)
+    }
+
+    /// Whether event **A** of the paper (Definition 1 / Lemma 7) holds:
+    /// every class size lies in `[mean/2, 3·mean/2]` where
+    /// `mean = n / k`.
+    pub fn is_balanced(&self) -> bool {
+        let n = self.color.len() as f64;
+        let k = self.classes.len() as f64;
+        let mean = n / k;
+        let (lo, hi) = (mean / 2.0, 1.5 * mean);
+        self.classes
+            .iter()
+            .all(|c| (c.len() as f64) >= lo && (c.len() as f64) <= hi)
+    }
+
+    /// The induced subgraph of class `c` plus the local→global mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptySelection`] if the class is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= k`.
+    pub fn induced(&self, graph: &Graph, c: usize) -> Result<(Graph, Vec<NodeId>), GraphError> {
+        graph.induced_subgraph(&self.classes[c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn covers_all_nodes_disjointly() {
+        let p = Partition::random(200, 7, &mut rng_from_seed(1));
+        let mut seen = vec![false; 200];
+        for (c, class) in p.classes().iter().enumerate() {
+            for &v in class {
+                assert!(!seen[v], "node {v} in two classes");
+                seen[v] = true;
+                assert_eq!(p.color(v) as usize, c);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn from_colors_round_trip() {
+        let colors = vec![0, 2, 1, 2, 0];
+        let p = Partition::from_colors(colors.clone(), 3);
+        assert_eq!(p.colors(), &colors[..]);
+        assert_eq!(p.class(2), &[1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_colors_rejects_bad_color() {
+        Partition::from_colors(vec![0, 3], 3);
+    }
+
+    #[test]
+    fn single_class_is_everything() {
+        let p = Partition::random(10, 1, &mut rng_from_seed(0));
+        assert_eq!(p.class(0).len(), 10);
+        assert!(p.is_balanced());
+    }
+
+    #[test]
+    fn balanced_whp_at_paper_scale() {
+        // Lemma 4 regime: k = sqrt(n) classes of expected size sqrt(n).
+        let n = 4096;
+        let k = 64;
+        let p = Partition::random(n, k, &mut rng_from_seed(3));
+        assert!(p.is_balanced(), "sizes: {:?}", p.class_sizes());
+    }
+
+    #[test]
+    fn induced_matches_manual() {
+        let g = generator::cycle_graph(6);
+        let p = Partition::from_colors(vec![0, 0, 1, 1, 0, 1], 2);
+        let (sub, map) = p.induced(&g, 0).unwrap();
+        assert_eq!(map, vec![0, 1, 4]);
+        // Global edges inside {0,1,4}: (0,1) and (4,5)? 5 not in class; (0,5) no.
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    fn empty_class_induced_errors() {
+        let g = generator::cycle_graph(4);
+        let p = Partition::from_colors(vec![0, 0, 0, 0], 2);
+        assert!(p.induced(&g, 1).is_err());
+    }
+
+    #[test]
+    fn size_extremes() {
+        let p = Partition::from_colors(vec![0, 0, 0, 1], 2);
+        assert_eq!(p.size_extremes(), (1, 3));
+    }
+}

@@ -1,0 +1,132 @@
+//! Structural statistics used by the experiments and examples.
+
+use crate::{Graph, NodeId};
+
+/// Degree-distribution summary of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+    /// Sample standard deviation of the degrees.
+    pub stddev: f64,
+    /// Histogram: `histogram[d]` = number of nodes of degree `d`.
+    pub histogram: Vec<usize>,
+}
+
+/// Computes the degree statistics (all zeros/empty for the empty graph).
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let n = graph.node_count();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, stddev: 0.0, histogram: Vec::new() };
+    }
+    let degrees: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    let min = *degrees.iter().min().expect("n > 0");
+    let max = *degrees.iter().max().expect("n > 0");
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let var = if n > 1 {
+        degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let mut histogram = vec![0usize; max + 1];
+    for &d in &degrees {
+        histogram[d] += 1;
+    }
+    DegreeStats { min, max, mean, stddev: var.sqrt(), histogram }
+}
+
+/// Counts triangles containing node `v` (each unordered neighbor pair that
+/// is itself an edge).
+pub fn triangles_at(graph: &Graph, v: NodeId) -> usize {
+    let nbrs = graph.neighbors(v);
+    let mut count = 0;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if graph.has_edge(a, b) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Local clustering coefficient of `v`: triangles at `v` divided by
+/// `C(deg v, 2)`; 0 for degree < 2.
+pub fn clustering_at(graph: &Graph, v: NodeId) -> f64 {
+    let d = graph.degree(v);
+    if d < 2 {
+        return 0.0;
+    }
+    let possible = d * (d - 1) / 2;
+    triangles_at(graph, v) as f64 / possible as f64
+}
+
+/// Mean local clustering coefficient (0 for the empty graph).
+///
+/// For `G(n, p)` this concentrates around `p` — a structural sanity check
+/// the tests use on the generators.
+pub fn mean_clustering(graph: &Graph) -> f64 {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n).map(|v| clustering_at(graph, v)).sum::<f64>() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn degree_stats_on_star() {
+        let g = generator::star(6);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5);
+        assert!((s.mean - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.histogram[1], 5);
+        assert_eq!(s.histogram[5], 1);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        let s = degree_stats(&crate::Graph::empty(0));
+        assert_eq!(s.max, 0);
+        assert!(s.histogram.is_empty());
+    }
+
+    #[test]
+    fn triangles_in_complete_graph() {
+        let g = generator::complete(5);
+        assert_eq!(triangles_at(&g, 0), 6); // C(4,2)
+        assert_eq!(clustering_at(&g, 0), 1.0);
+        assert_eq!(mean_clustering(&g), 1.0);
+    }
+
+    #[test]
+    fn no_triangles_in_cycle() {
+        let g = generator::cycle_graph(8);
+        assert_eq!(triangles_at(&g, 3), 0);
+        assert_eq!(mean_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn gnp_clustering_concentrates_around_p() {
+        let p = 0.2;
+        let g = generator::gnp(400, p, &mut rng_from_seed(4)).unwrap();
+        let c = mean_clustering(&g);
+        assert!((c - p).abs() < 0.03, "clustering {c} vs p {p}");
+    }
+
+    #[test]
+    fn low_degree_clustering_is_zero() {
+        let g = generator::path_graph(3);
+        assert_eq!(clustering_at(&g, 0), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Edge-probability operating points from the paper.
+//!
+//! The paper parameterizes `G(n, p)` by `p = c · ln n / n^δ` with
+//! `0 < δ ≤ 1`. `δ = 1` is the classical Hamiltonicity/connectivity
+//! threshold (any `c > 1` suffices for existence; the rotation analysis
+//! in Theorem 2 asks for `c ≥ 86`); `δ = 1/2` is the DHC1 operating
+//! point; smaller `δ` means denser graphs and faster algorithms.
+
+/// Returns `p = c · ln n / n^δ`, clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (the expression is meaningless for smaller graphs)
+/// or `δ` is not finite.
+///
+/// # Example
+///
+/// ```
+/// let p = dhc_graph::thresholds::edge_probability(1024, 1.0, 2.0);
+/// assert!(p > 0.0 && p < 1.0);
+/// ```
+pub fn edge_probability(n: usize, delta: f64, c: f64) -> f64 {
+    assert!(n >= 2, "edge_probability requires n >= 2, got {n}");
+    assert!(delta.is_finite(), "delta must be finite");
+    let nf = n as f64;
+    (c * nf.ln() / nf.powf(delta)).clamp(0.0, 1.0)
+}
+
+/// The constant the paper's Theorem 2 analysis uses for the rotation
+/// algorithm: `p ≥ 86 ln n / n` guarantees success probability
+/// `1 − O(1/n³)` within `7 n ln n` steps.
+pub const PAPER_DRA_CONSTANT: f64 = 86.0;
+
+/// Number of color classes Phase 1 of DHC2 uses: `n^{1-δ}`, rounded to the
+/// nearest integer and clamped to `[1, n]`.
+///
+/// For `δ = 1/2` this is the `√n` of DHC1.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(dhc_graph::thresholds::num_partitions(1024, 0.5), 32);
+/// assert_eq!(dhc_graph::thresholds::num_partitions(1024, 1.0), 1);
+/// ```
+pub fn num_partitions(n: usize, delta: f64) -> usize {
+    assert!(n >= 1);
+    assert!((0.0..=1.0).contains(&delta), "delta must be in (0, 1], got {delta}");
+    let k = (n as f64).powf(1.0 - delta).round() as usize;
+    k.clamp(1, n)
+}
+
+/// The step budget from Theorem 2: `ceil(factor · 7 · n · ln n)`, with a
+/// floor of `n` so tiny graphs get a usable budget.
+///
+/// `factor` scales the budget (the paper notes the failure probability can
+/// be driven to `O(1/n^α)` by increasing the constant).
+pub fn dra_step_budget(n: usize, factor: f64) -> usize {
+    let nf = n as f64;
+    let steps = factor * 7.0 * nf * nf.ln().max(1.0);
+    (steps.ceil() as usize).max(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_decreases_with_delta() {
+        let p_dense = edge_probability(1 << 12, 0.3, 4.0);
+        let p_mid = edge_probability(1 << 12, 0.5, 4.0);
+        let p_sparse = edge_probability(1 << 12, 1.0, 4.0);
+        assert!(p_dense > p_mid && p_mid > p_sparse);
+    }
+
+    #[test]
+    fn probability_clamped_to_one() {
+        assert_eq!(edge_probability(2, 0.0, 100.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn probability_rejects_tiny_n() {
+        edge_probability(1, 0.5, 1.0);
+    }
+
+    #[test]
+    fn partitions_match_paper_examples() {
+        // DHC1: sqrt(n) partitions at delta = 1/2.
+        assert_eq!(num_partitions(256, 0.5), 16);
+        // delta = 1: a single partition (pure DRA).
+        assert_eq!(num_partitions(256, 1.0), 1);
+        // Never more than n.
+        assert!(num_partitions(4, 0.01) <= 4);
+    }
+
+    #[test]
+    fn step_budget_grows_superlinearly() {
+        let b1 = dra_step_budget(100, 1.0);
+        let b2 = dra_step_budget(200, 1.0);
+        assert!(b2 > 2 * b1);
+        assert!(b1 >= 100);
+    }
+
+    #[test]
+    fn step_budget_floor_is_n() {
+        assert!(dra_step_budget(2, 0.0001) >= 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the graph substrate.
+
+use dhc_graph::{bfs, generator, rng::rng_from_seed, Graph, HamiltonianCycle, Partition};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary simple-graph edge list over n nodes.
+fn edges_strategy(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges).prop_map(|pairs| {
+        pairs.into_iter().filter(|(u, v)| u != v).collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_degree_sums_to_twice_edges(edges in edges_strategy(20, 60)) {
+        let g = Graph::from_edges(20, edges).unwrap();
+        let deg_sum: usize = (0..20).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(deg_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(edges in edges_strategy(16, 48)) {
+        let g = Graph::from_edges(16, edges).unwrap();
+        for u in 0..16 {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_iterator_matches_has_edge(edges in edges_strategy(12, 40)) {
+        let g = Graph::from_edges(12, edges).unwrap();
+        let listed: Vec<_> = g.edges().collect();
+        prop_assert_eq!(listed.len(), g.edge_count());
+        for (u, v) in listed {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_adjacency(edges in edges_strategy(14, 50), sel_bits in 0u32..(1 << 14)) {
+        let g = Graph::from_edges(14, edges).unwrap();
+        let nodes: Vec<usize> = (0..14).filter(|i| sel_bits & (1 << i) != 0).collect();
+        prop_assume!(!nodes.is_empty());
+        let (sub, map) = g.induced_subgraph(&nodes).unwrap();
+        for lu in 0..sub.node_count() {
+            for lv in 0..sub.node_count() {
+                if lu != lv {
+                    prop_assert_eq!(sub.has_edge(lu, lv), g.has_edge(map[lu], map[lv]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_classes_are_disjoint_cover(seed in any::<u64>(), k in 1usize..10) {
+        let p = Partition::random(64, k, &mut rng_from_seed(seed));
+        let total: usize = p.classes().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, 64);
+        let mut seen = [false; 64];
+        for class in p.classes() {
+            for &v in class {
+                prop_assert!(!seen[v]);
+                seen[v] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn gnp_is_deterministic_and_simple(seed in any::<u64>(), n in 2usize..80, pm in 0u32..100) {
+        let p = pm as f64 / 100.0;
+        let a = generator::gnp(n, p, &mut rng_from_seed(seed)).unwrap();
+        let b = generator::gnp(n, p, &mut rng_from_seed(seed)).unwrap();
+        prop_assert_eq!(&a, &b);
+        for v in 0..n {
+            prop_assert!(!a.neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_on_edges(edges in edges_strategy(15, 45)) {
+        let g = Graph::from_edges(15, edges).unwrap();
+        let d = bfs::distances(&g, 0);
+        for (u, v) in g.edges() {
+            if d[u] != bfs::UNREACHABLE && d[v] != bfs::UNREACHABLE {
+                let du = d[u] as i64;
+                let dv = d[v] as i64;
+                prop_assert!((du - dv).abs() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_roundtrip_any_rotation(shift in 0usize..12) {
+        let g = generator::cycle_graph(12);
+        let order: Vec<usize> = (0..12).map(|i| (i + shift) % 12).collect();
+        let hc = HamiltonianCycle::from_order(&g, order).unwrap();
+        let succ: Vec<Option<usize>> = hc.to_successors().into_iter().map(Some).collect();
+        let hc2 = HamiltonianCycle::from_successors(&g, &succ).unwrap();
+        prop_assert_eq!(hc.edge_set(), hc2.edge_set());
+    }
+
+    #[test]
+    fn bfs_subtree_sizes_sum_to_component(edges in edges_strategy(18, 40)) {
+        let g = Graph::from_edges(18, edges).unwrap();
+        let t = bfs::bfs_tree(&g, 0);
+        let sizes = t.subtree_sizes();
+        prop_assert_eq!(sizes[0], t.reachable_count());
+    }
+}

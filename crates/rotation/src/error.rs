@@ -1,0 +1,71 @@
+//! Errors for the sequential rotation algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a rotation run failed to produce a Hamiltonian cycle.
+///
+/// These correspond to the failure events analyzed in the paper's
+/// Theorem 2: `E2` (a node's unused-edge list runs dry) and `E1`
+/// (the step budget elapses first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RotationError {
+    /// Graphs with fewer than 3 nodes have no Hamiltonian cycle.
+    GraphTooSmall {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// The head's unused-edge list became empty (event `E2`).
+    OutOfEdges {
+        /// The stuck head node.
+        head: usize,
+        /// Steps executed before getting stuck.
+        steps: usize,
+        /// Path length at the time (`n` means only the closing edge was
+        /// missing).
+        path_len: usize,
+    },
+    /// The step budget elapsed without closing the cycle (event `E1`).
+    StepBudgetExceeded {
+        /// The configured budget.
+        budget: usize,
+        /// Path length reached.
+        path_len: usize,
+    },
+}
+
+impl fmt::Display for RotationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RotationError::GraphTooSmall { n } => {
+                write!(f, "graph with {n} nodes cannot contain a hamiltonian cycle")
+            }
+            RotationError::OutOfEdges { head, steps, path_len } => write!(
+                f,
+                "head {head} ran out of unused edges after {steps} steps (path length {path_len})"
+            ),
+            RotationError::StepBudgetExceeded { budget, path_len } => {
+                write!(f, "step budget {budget} exhausted at path length {path_len}")
+            }
+        }
+    }
+}
+
+impl Error for RotationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            RotationError::GraphTooSmall { n: 2 },
+            RotationError::OutOfEdges { head: 1, steps: 10, path_len: 4 },
+            RotationError::StepBudgetExceeded { budget: 100, path_len: 8 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

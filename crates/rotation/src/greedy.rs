@@ -1,0 +1,121 @@
+//! Greedy no-rotation baseline (ablation: why rotations matter).
+
+use dhc_graph::{Graph, HamiltonianCycle, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Result of one [`greedy`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GreedyOutcome {
+    /// A Hamiltonian cycle was found (lucky on dense graphs).
+    Cycle(HamiltonianCycle),
+    /// The walk got stuck; reports the best path length over all restarts
+    /// and the total number of extension steps consumed.
+    Stuck {
+        /// Longest simple path reached.
+        best_path_len: usize,
+        /// Extension steps consumed across restarts.
+        steps: usize,
+    },
+}
+
+/// Greedy path growth **without rotations**: from the head, step to a
+/// uniformly random unvisited neighbor; restart from scratch when stuck,
+/// up to `restarts` times.
+///
+/// This is the natural straw-man the rotation algorithm improves on — it
+/// stalls once the remaining fresh neighbors thin out (expected stall point
+/// around `n − n/(np)` nodes). The ablation experiment contrasts its
+/// success rate with [`posa`](crate::posa)'s at the paper's thresholds.
+pub fn greedy<R: Rng + ?Sized>(graph: &Graph, restarts: usize, rng: &mut R) -> GreedyOutcome {
+    let n = graph.node_count();
+    let mut best = 0usize;
+    let mut steps = 0usize;
+    if n < 3 {
+        return GreedyOutcome::Stuck { best_path_len: n, steps };
+    }
+    for _ in 0..restarts.max(1) {
+        let mut on_path = vec![false; n];
+        let start = rng.gen_range(0..n);
+        let mut order = vec![start];
+        on_path[start] = true;
+        loop {
+            let head = *order.last().expect("non-empty");
+            let fresh: Vec<NodeId> =
+                graph.neighbors(head).iter().copied().filter(|&w| !on_path[w]).collect();
+            match fresh.choose(rng) {
+                None => break,
+                Some(&w) => {
+                    on_path[w] = true;
+                    order.push(w);
+                    steps += 1;
+                }
+            }
+        }
+        best = best.max(order.len());
+        if order.len() == n && graph.has_edge(*order.last().unwrap(), order[0]) {
+            let cycle = HamiltonianCycle::from_order(graph, order)
+                .expect("checked length, distinctness, and edges");
+            return GreedyOutcome::Cycle(cycle);
+        }
+    }
+    GreedyOutcome::Stuck { best_path_len: best, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhc_graph::{generator, rng::rng_from_seed};
+
+    #[test]
+    fn finds_cycle_on_complete_graph() {
+        let g = generator::complete(12);
+        match greedy(&g, 20, &mut rng_from_seed(0)) {
+            GreedyOutcome::Cycle(c) => assert_eq!(c.len(), 12),
+            GreedyOutcome::Stuck { .. } => panic!("greedy must succeed on K_12 in 20 restarts"),
+        }
+    }
+
+    #[test]
+    fn stuck_on_star() {
+        let g = generator::star(6);
+        match greedy(&g, 5, &mut rng_from_seed(1)) {
+            GreedyOutcome::Stuck { best_path_len, .. } => assert!(best_path_len <= 3),
+            GreedyOutcome::Cycle(_) => panic!("star has no hamiltonian cycle"),
+        }
+    }
+
+    #[test]
+    fn tiny_graph_is_stuck() {
+        let g = generator::complete(2);
+        assert!(matches!(
+            greedy(&g, 1, &mut rng_from_seed(2)),
+            GreedyOutcome::Stuck { .. }
+        ));
+    }
+
+    #[test]
+    fn usually_stalls_at_threshold_density() {
+        // At p = 3 ln n / n, greedy without rotations rarely finishes.
+        let n = 300;
+        let p = 3.0 * (n as f64).ln() / n as f64;
+        let g = generator::gnp(n, p, &mut rng_from_seed(3)).unwrap();
+        match greedy(&g, 3, &mut rng_from_seed(4)) {
+            GreedyOutcome::Stuck { best_path_len, .. } => {
+                assert!(best_path_len >= n / 2, "greedy should get reasonably far");
+                assert!(best_path_len <= n);
+            }
+            GreedyOutcome::Cycle(_) => {
+                // Possible but unlikely; accept.
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generator::complete(10);
+        let a = format!("{:?}", greedy(&g, 2, &mut rng_from_seed(7)));
+        let b = format!("{:?}", greedy(&g, 2, &mut rng_from_seed(7)));
+        assert_eq!(a, b);
+    }
+}

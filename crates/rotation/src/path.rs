@@ -1,0 +1,232 @@
+//! The rotation-path data structure.
+
+use dhc_graph::NodeId;
+
+/// A simple path under construction, supporting Pósa rotations.
+///
+/// Maintains the visiting order and each node's position (the paper's
+/// `cycindex`, here 0-based). A rotation at path position `j` — triggered
+/// by an edge from the head to the node at `j` — reverses the segment
+/// `j+1 ..= h` in `O(segment length)` time, matching the paper's
+/// renumbering rule `i ← h + j + 1 − i` (1-based).
+///
+/// # Example
+///
+/// ```
+/// use dhc_rotation::RotationPath;
+///
+/// let mut p = RotationPath::new(6, 0);
+/// p.extend(3);
+/// p.extend(5);
+/// p.extend(1);
+/// assert_eq!(p.head(), 1);
+/// // Edge (1, 0): rotation at position 0 reverses [3, 5, 1] -> new head 3.
+/// p.rotate(0);
+/// assert_eq!(p.order(), &[0, 1, 5, 3]);
+/// assert_eq!(p.head(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RotationPath {
+    order: Vec<NodeId>,
+    /// `position[v] = Some(i)` iff `order[i] == v`.
+    position: Vec<Option<usize>>,
+    rotations: usize,
+}
+
+impl RotationPath {
+    /// Creates a path over a universe of `n` nodes, containing only `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= n`.
+    pub fn new(n: usize, start: NodeId) -> Self {
+        assert!(start < n, "start {start} out of range for {n} nodes");
+        let mut position = vec![None; n];
+        position[start] = Some(0);
+        RotationPath { order: vec![start], position, rotations: 0 }
+    }
+
+    /// Current head (last node of the path).
+    pub fn head(&self) -> NodeId {
+        *self.order.last().expect("path is never empty")
+    }
+
+    /// First node of the path (the paper's `v₁`).
+    pub fn tail(&self) -> NodeId {
+        self.order[0]
+    }
+
+    /// Number of nodes on the path.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Always false; a path contains at least its start node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `v` is on the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.position[v].is_some()
+    }
+
+    /// Position of `v` on the path, if present.
+    pub fn position_of(&self, v: NodeId) -> Option<usize> {
+        self.position[v]
+    }
+
+    /// The visiting order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of rotations performed so far.
+    pub fn rotation_count(&self) -> usize {
+        self.rotations
+    }
+
+    /// Appends `v` as the new head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is already on the path or outside the universe.
+    pub fn extend(&mut self, v: NodeId) {
+        assert!(self.position[v].is_none(), "node {v} already on path");
+        self.position[v] = Some(self.order.len());
+        self.order.push(v);
+    }
+
+    /// Pósa rotation for a discovered edge `(head, order[j])`: reverses the
+    /// segment after `j`, making the old `order[j + 1]` the new head.
+    ///
+    /// If `j` is the head's own position this is a no-op; if `j` is the
+    /// position just before the head, the path is unchanged too (the
+    /// reversed segment has length 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= len()`.
+    pub fn rotate(&mut self, j: usize) {
+        let h = self.order.len() - 1;
+        assert!(j <= h, "rotation position {j} out of range");
+        if j + 1 >= h {
+            // Segment of length <= 1: nothing moves.
+            self.rotations += 1;
+            return;
+        }
+        self.order[j + 1..].reverse();
+        for i in j + 1..self.order.len() {
+            self.position[self.order[i]] = Some(i);
+        }
+        self.rotations += 1;
+    }
+
+    /// Consumes the path, returning the visiting order.
+    pub fn into_order(self) -> Vec<NodeId> {
+        self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_path_is_single_node() {
+        let p = RotationPath::new(4, 2);
+        assert_eq!(p.head(), 2);
+        assert_eq!(p.tail(), 2);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(2));
+        assert!(!p.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_bad_start() {
+        RotationPath::new(3, 3);
+    }
+
+    #[test]
+    fn extend_tracks_positions() {
+        let mut p = RotationPath::new(5, 0);
+        p.extend(4);
+        p.extend(2);
+        assert_eq!(p.order(), &[0, 4, 2]);
+        assert_eq!(p.position_of(4), Some(1));
+        assert_eq!(p.head(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already on path")]
+    fn extend_rejects_duplicate() {
+        let mut p = RotationPath::new(3, 0);
+        p.extend(1);
+        p.extend(1);
+    }
+
+    #[test]
+    fn rotation_matches_paper_renumbering() {
+        // Paper figure 2: path v1..vh, edge (vh, vj); nodes j+1..h reverse.
+        // 1-based formula i <- h + j + 1 - i; 0-based equivalent below.
+        let mut p = RotationPath::new(8, 0);
+        for v in 1..8 {
+            p.extend(v);
+        }
+        // Edge (7, 2): j = position of 2 = 2 (0-based). New order:
+        // 0 1 2 | 7 6 5 4 3.
+        p.rotate(2);
+        assert_eq!(p.order(), &[0, 1, 2, 7, 6, 5, 4, 3]);
+        assert_eq!(p.head(), 3);
+        // Check the renumbering formula: for old position i (0-based) in
+        // j+1..=h, new position = h + j + 1 - i.
+        let (h, j) = (7, 2);
+        for old_i in (j + 1)..=h {
+            let node = old_i; // nodes were laid out in order initially
+            assert_eq!(p.position_of(node), Some(h + j + 1 - old_i));
+        }
+    }
+
+    #[test]
+    fn rotation_at_predecessor_is_noop() {
+        let mut p = RotationPath::new(4, 0);
+        p.extend(1);
+        p.extend(2);
+        p.extend(3);
+        let before = p.order().to_vec();
+        p.rotate(2); // predecessor of head
+        assert_eq!(p.order(), &before[..]);
+        assert_eq!(p.rotation_count(), 1);
+    }
+
+    #[test]
+    fn rotation_preserves_vertex_set() {
+        let mut p = RotationPath::new(10, 0);
+        for v in [5, 3, 8, 1, 9, 2] {
+            p.extend(v);
+        }
+        let mut before: Vec<_> = p.order().to_vec();
+        before.sort_unstable();
+        p.rotate(1);
+        let mut after: Vec<_> = p.order().to_vec();
+        after.sort_unstable();
+        assert_eq!(before, after);
+        // Positions stay consistent.
+        for (i, &v) in p.order().iter().enumerate() {
+            assert_eq!(p.position_of(v), Some(i));
+        }
+    }
+
+    #[test]
+    fn into_order_returns_final_order() {
+        let mut p = RotationPath::new(3, 1);
+        p.extend(0);
+        p.extend(2);
+        assert_eq!(p.into_order(), vec![1, 0, 2]);
+    }
+}

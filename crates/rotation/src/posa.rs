@@ -1,0 +1,353 @@
+//! The sequential extension–rotation (Pósa / Angluin–Valiant) algorithm.
+
+use crate::{RotationError, RotationPath, RotationStats};
+use dhc_graph::{Graph, HamiltonianCycle, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`posa`] and [`posa_subsampled`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PosaConfig {
+    /// Step budget; `None` uses the paper's Theorem 2 budget
+    /// `7 n ln n` (via [`dhc_graph::thresholds::dra_step_budget`] with
+    /// factor [`budget_factor`](Self::budget_factor)).
+    pub step_budget: Option<usize>,
+    /// Multiplier on the default budget (the paper notes larger budgets
+    /// drive the failure probability to `O(1/n^α)`).
+    pub budget_factor: f64,
+    /// Start node; `None` picks one at random.
+    pub start: Option<NodeId>,
+}
+
+impl Default for PosaConfig {
+    fn default() -> Self {
+        PosaConfig { step_budget: None, budget_factor: 1.0, start: None }
+    }
+}
+
+impl PosaConfig {
+    fn budget(&self, n: usize) -> usize {
+        self.step_budget
+            .unwrap_or_else(|| dhc_graph::thresholds::dra_step_budget(n, self.budget_factor))
+    }
+}
+
+/// Runs the rotation algorithm on `graph`, returning the Hamiltonian cycle
+/// and step statistics.
+///
+/// This is the sequential form of the paper's Algorithm 1 (DRA):
+///
+/// 1. start a path at one node (the *head*);
+/// 2. the head draws a uniformly random **unused** incident edge
+///    `(head, u)` and marks it used in both endpoints' lists;
+/// 3. if `u` is off the path, extend; if `u` is on the path at position
+///    `j`, perform a Pósa rotation (reverse the suffix after `j`),
+///    making the old `order[j+1]` the head;
+/// 4. when the path spans all `n` nodes and the drawn edge hits the tail,
+///    the cycle closes.
+///
+/// # Errors
+///
+/// * [`RotationError::GraphTooSmall`] for `n < 3`;
+/// * [`RotationError::OutOfEdges`] when the head's unused list is empty
+///   (Theorem 2's event `E2`);
+/// * [`RotationError::StepBudgetExceeded`] when the budget elapses
+///   (event `E1`).
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn posa<R: Rng + ?Sized>(
+    graph: &Graph,
+    config: &PosaConfig,
+    rng: &mut R,
+) -> Result<(HamiltonianCycle, RotationStats), RotationError> {
+    let unused = full_unused_lists(graph, rng);
+    run_directed(graph, unused, config, rng)
+}
+
+/// Runs the rotation algorithm on the **relaxed process** from the
+/// Theorem 2 proof: each node's unused list is an independent
+/// `q`-subsample of its incident edges, `q = 1 − √(1 − p)` (so that the
+/// subsampled lists are a legal coupling with `G(n, p)` edges).
+///
+/// This exists so experiment E1 can compare the analyzed process with the
+/// actual algorithm; the relaxed process is *weaker* (fewer usable edges),
+/// so its success is evidence for the real one.
+///
+/// # Errors
+///
+/// Same as [`posa`]; additionally `p` outside `(0, 1]` yields
+/// [`RotationError::GraphTooSmall`]-free panic-less behavior by clamping.
+pub fn posa_subsampled<R: Rng + ?Sized>(
+    graph: &Graph,
+    p: f64,
+    config: &PosaConfig,
+    rng: &mut R,
+) -> Result<(HamiltonianCycle, RotationStats), RotationError> {
+    let p = p.clamp(0.0, 1.0);
+    let q = 1.0 - (1.0 - p).sqrt();
+    // Each present edge survives into a node's (directed) unused list with
+    // probability q/p, so the list marginally contains each potential edge
+    // with probability q, independently per direction — the relaxed process.
+    let keep = if p > 0.0 { (q / p).clamp(0.0, 1.0) } else { 0.0 };
+    let mut unused: Vec<Vec<NodeId>> = Vec::with_capacity(graph.node_count());
+    for v in 0..graph.node_count() {
+        let mut list: Vec<NodeId> =
+            graph.neighbors(v).iter().copied().filter(|_| rng.gen_bool(keep)).collect();
+        list.shuffle(rng);
+        unused.push(list);
+    }
+    run_directed(graph, unused, config, rng)
+}
+
+/// Runs [`posa`] up to `attempts` times with independent randomness,
+/// returning the first success together with the cumulative statistics of
+/// all attempts (failed attempts' steps are included, so the cost is
+/// honest).
+///
+/// This is the restart strategy the Upcast root uses; the paper's
+/// observation that failure probability is `O(1/n³)` per attempt makes a
+/// handful of restarts overwhelmingly sufficient.
+///
+/// # Errors
+///
+/// Returns the *last* attempt's error if every attempt failed.
+pub fn posa_with_restarts<R: Rng + ?Sized>(
+    graph: &Graph,
+    config: &PosaConfig,
+    attempts: usize,
+    rng: &mut R,
+) -> Result<(HamiltonianCycle, RotationStats), RotationError> {
+    let mut total = RotationStats::default();
+    let mut last_err = RotationError::GraphTooSmall { n: graph.node_count() };
+    for _ in 0..attempts.max(1) {
+        match posa(graph, config, rng) {
+            Ok((cycle, stats)) => {
+                total.steps += stats.steps;
+                total.extensions += stats.extensions;
+                total.rotations += stats.rotations;
+                total.closing_phase_steps += stats.closing_phase_steps;
+                total.final_path_len = stats.final_path_len;
+                return Ok((cycle, total));
+            }
+            Err(e) => {
+                if let RotationError::OutOfEdges { steps, path_len, .. } = e {
+                    total.steps += steps;
+                    total.final_path_len = path_len;
+                }
+                last_err = e;
+            }
+        }
+    }
+    Err(last_err)
+}
+
+/// Builds shuffled full unused-edge lists.
+fn full_unused_lists<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Vec<Vec<NodeId>> {
+    (0..graph.node_count())
+        .map(|v| {
+            let mut list = graph.neighbors(v).to_vec();
+            list.shuffle(rng);
+            list
+        })
+        .collect()
+}
+
+/// Core loop shared by both entry points. `unused[v]` is a pre-shuffled
+/// list; drawing a random unused edge = popping the last element. Removing
+/// an arbitrary element with `swap_remove` keeps the remaining order a
+/// uniform random permutation, so pops stay uniform draws.
+fn run_directed<R: Rng + ?Sized>(
+    graph: &Graph,
+    mut unused: Vec<Vec<NodeId>>,
+    config: &PosaConfig,
+    rng: &mut R,
+) -> Result<(HamiltonianCycle, RotationStats), RotationError> {
+    let n = graph.node_count();
+    if n < 3 {
+        return Err(RotationError::GraphTooSmall { n });
+    }
+    let budget = config.budget(n);
+    let start = match config.start {
+        Some(s) => s,
+        None => rng.gen_range(0..n),
+    };
+    let mut path = RotationPath::new(n, start);
+    let mut stats = RotationStats::default();
+
+    loop {
+        if stats.steps >= budget {
+            return Err(RotationError::StepBudgetExceeded { budget, path_len: path.len() });
+        }
+        let head = path.head();
+        // Draw a random unused edge at the head; also unmark the reverse
+        // direction (the paper's line 13).
+        let u = match unused[head].pop() {
+            None => {
+                return Err(RotationError::OutOfEdges {
+                    head,
+                    steps: stats.steps,
+                    path_len: path.len(),
+                });
+            }
+            Some(u) => {
+                if let Some(pos) = unused[u].iter().position(|&x| x == head) {
+                    unused[u].swap_remove(pos);
+                }
+                u
+            }
+        };
+        stats.steps += 1;
+
+        if !path.contains(u) {
+            path.extend(u);
+            stats.extensions += 1;
+            continue;
+        }
+        if path.len() == n {
+            stats.closing_phase_steps += 1;
+            if u == path.tail() {
+                stats.final_path_len = n;
+                let order = path.into_order();
+                let cycle = HamiltonianCycle::from_order(graph, order)
+                    .expect("rotation invariants guarantee a valid cycle");
+                return Ok((cycle, stats));
+            }
+        }
+        let j = path.position_of(u).expect("u is on the path");
+        path.rotate(j);
+        stats.rotations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhc_graph::{generator, rng::rng_from_seed, thresholds};
+
+    #[test]
+    fn solves_complete_graph() {
+        let g = generator::complete(20);
+        let (cycle, stats) = posa(&g, &PosaConfig::default(), &mut rng_from_seed(0)).unwrap();
+        assert_eq!(cycle.len(), 20);
+        assert!(stats.steps >= 20);
+        assert_eq!(stats.final_path_len, 20);
+    }
+
+    #[test]
+    fn solves_cycle_graph() {
+        // C_n is its own unique Hamiltonian cycle; rotations at degree 2
+        // still find it.
+        let g = generator::cycle_graph(12);
+        let (cycle, _) = posa(&g, &PosaConfig::default(), &mut rng_from_seed(1)).unwrap();
+        assert_eq!(cycle.len(), 12);
+    }
+
+    #[test]
+    fn solves_random_graph_at_threshold() {
+        let n = 400;
+        let p = thresholds::edge_probability(n, 1.0, 12.0);
+        let g = generator::gnp(n, p, &mut rng_from_seed(2)).unwrap();
+        let (cycle, stats) = posa(&g, &PosaConfig::default(), &mut rng_from_seed(3)).unwrap();
+        assert_eq!(cycle.len(), n);
+        // Theorem 2 bound: steps <= 7 n ln n.
+        assert!(stats.normalized_steps(n) <= 7.0, "normalized {}", stats.normalized_steps(n));
+    }
+
+    #[test]
+    fn fails_on_tiny_graph() {
+        let g = generator::complete(2);
+        assert_eq!(
+            posa(&g, &PosaConfig::default(), &mut rng_from_seed(0)).unwrap_err(),
+            RotationError::GraphTooSmall { n: 2 }
+        );
+    }
+
+    #[test]
+    fn fails_on_disconnected_graph_with_out_of_edges() {
+        // Two triangles, no Hamiltonian cycle; heads must run dry.
+        let g = dhc_graph::Graph::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        )
+        .unwrap();
+        let err = posa(&g, &PosaConfig::default(), &mut rng_from_seed(4)).unwrap_err();
+        assert!(matches!(err, RotationError::OutOfEdges { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn fails_on_star_graph() {
+        // Star has no HC; the hub exhausts or budget runs out.
+        let g = generator::star(8);
+        let err = posa(&g, &PosaConfig::default(), &mut rng_from_seed(5)).unwrap_err();
+        assert!(matches!(
+            err,
+            RotationError::OutOfEdges { .. } | RotationError::StepBudgetExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let g = generator::complete(30);
+        let cfg = PosaConfig { step_budget: Some(3), ..Default::default() };
+        let err = posa(&g, &cfg, &mut rng_from_seed(6)).unwrap_err();
+        assert_eq!(err, RotationError::StepBudgetExceeded { budget: 3, path_len: 4 });
+    }
+
+    #[test]
+    fn fixed_start_is_respected_and_deterministic() {
+        let g = generator::complete(15);
+        let cfg = PosaConfig { start: Some(7), ..Default::default() };
+        let (a, _) = posa(&g, &cfg, &mut rng_from_seed(9)).unwrap();
+        let (b, _) = posa(&g, &cfg, &mut rng_from_seed(9)).unwrap();
+        assert_eq!(a.order(), b.order());
+        assert_eq!(a.order()[0], 7);
+    }
+
+    #[test]
+    fn subsampled_process_succeeds_on_dense_graph() {
+        let n = 300;
+        let p = thresholds::edge_probability(n, 0.5, 4.0); // dense: c ln n / sqrt n
+        let g = generator::gnp(n, p, &mut rng_from_seed(10)).unwrap();
+        let (cycle, _) =
+            posa_subsampled(&g, p, &PosaConfig::default(), &mut rng_from_seed(11)).unwrap();
+        assert_eq!(cycle.len(), n);
+    }
+
+    #[test]
+    fn restarts_recover_from_unlucky_attempts() {
+        // K_6 fails often on a single attempt (closing edge consumed), but
+        // restarts almost always find a cycle.
+        let g = generator::complete(6);
+        let mut successes = 0;
+        for seed in 0..20 {
+            if posa_with_restarts(&g, &PosaConfig::default(), 12, &mut rng_from_seed(seed))
+                .is_ok()
+            {
+                successes += 1;
+            }
+        }
+        assert!(successes >= 19, "restarts succeeded only {successes}/20 times");
+    }
+
+    #[test]
+    fn restarts_exhaust_on_impossible_graph() {
+        let g = generator::star(6);
+        let err = posa_with_restarts(&g, &PosaConfig::default(), 3, &mut rng_from_seed(0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RotationError::OutOfEdges { .. } | RotationError::StepBudgetExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let g = generator::complete(25);
+        let (_, stats) = posa(&g, &PosaConfig::default(), &mut rng_from_seed(12)).unwrap();
+        // Every step is an extension, a rotation, or the final closing draw.
+        assert_eq!(stats.steps, stats.extensions + stats.rotations + 1);
+        assert_eq!(stats.extensions, 24); // n - 1 extensions exactly
+    }
+}

@@ -1,0 +1,46 @@
+//! Instrumentation for rotation runs.
+
+/// Counters from one rotation-algorithm run, in the units of the paper's
+/// Theorem 2 (one *step* = one random edge drawn by the head).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RotationStats {
+    /// Total steps (edges drawn).
+    pub steps: usize,
+    /// Steps that extended the path by a fresh node.
+    pub extensions: usize,
+    /// Steps that triggered a rotation (target already on the path).
+    pub rotations: usize,
+    /// Steps drawn while the path already spanned all nodes (searching for
+    /// the closing edge).
+    pub closing_phase_steps: usize,
+    /// Final path length when the run ended.
+    pub final_path_len: usize,
+}
+
+impl RotationStats {
+    /// `steps / (n ln n)` — the normalized step count that Theorem 2 bounds
+    /// by the constant 7.
+    pub fn normalized_steps(&self, n: usize) -> f64 {
+        let nf = (n.max(2)) as f64;
+        self.steps as f64 / (nf * nf.ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let s = RotationStats { steps: 700, ..Default::default() };
+        let norm = s.normalized_steps(100);
+        assert!((norm - 700.0 / (100.0 * (100.0f64).ln())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = RotationStats::default();
+        assert_eq!(s.steps, 0);
+        assert_eq!(s.final_path_len, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Anatomy of the leader election + BFS-tree wave that both DRA and
+//! Upcast begin with, using the simulator's event trace: watch the min-id
+//! wave flood out, the echo converge back, and every node halt.
+//!
+//! ```text
+//! cargo run -p dhc --example election_trace [n] [seed]
+//! ```
+
+use dhc::congest::{Config, Context, Network, NodeId, Payload, Protocol, TraceEvent};
+use dhc::graph::{generator, rng::rng_from_seed};
+
+/// Minimal standalone leader election with size count (the first stage of
+/// the paper's protocols, isolated for inspection).
+#[derive(Debug)]
+struct Elect {
+    id: NodeId,
+    best: NodeId,
+    parent: Option<NodeId>,
+    pending: usize,
+    acc: usize,
+    leader_count: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+enum Msg {
+    Wave(NodeId),
+    Ack(NodeId, usize),
+}
+
+impl Payload for Msg {
+    fn words(&self) -> usize {
+        match self {
+            Msg::Wave(_) => 1,
+            Msg::Ack(..) => 2,
+        }
+    }
+}
+
+impl Elect {
+    fn check(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.pending != 0 {
+            return;
+        }
+        match self.parent {
+            Some(p) => {
+                ctx.send(p, Msg::Ack(self.best, 1 + self.acc));
+                ctx.halt();
+            }
+            None if self.best == self.id => {
+                self.leader_count = Some(1 + self.acc);
+                ctx.halt();
+            }
+            None => {}
+        }
+    }
+}
+
+impl Protocol for Elect {
+    type Msg = Msg;
+    fn init(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.pending = ctx.degree();
+        ctx.send_all(Msg::Wave(self.id));
+    }
+    fn round(&mut self, ctx: &mut Context<'_, Msg>, inbox: &[(NodeId, Msg)]) {
+        for &(from, ref msg) in inbox {
+            match *msg {
+                Msg::Wave(root) => {
+                    if root < self.best {
+                        self.best = root;
+                        self.parent = Some(from);
+                        self.acc = 0;
+                        self.pending = ctx.degree() - 1;
+                        for i in 0..ctx.degree() {
+                            let to = ctx.neighbors()[i];
+                            if to != from {
+                                ctx.send(to, Msg::Wave(root));
+                            }
+                        }
+                    } else if root == self.best {
+                        self.pending = self.pending.saturating_sub(1);
+                    }
+                }
+                Msg::Ack(root, count) => {
+                    if root == self.best {
+                        self.acc += count;
+                        self.pending = self.pending.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        self.check(ctx);
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(24);
+    let seed: u64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(1);
+
+    let p = 2.5 * (n as f64).ln() / n as f64;
+    let g = generator::gnp(n, p, &mut rng_from_seed(seed))?;
+    println!("G({n}, {p:.3}), {} edges, connected: {}\n", g.edge_count(), g.is_connected());
+
+    let nodes: Vec<Elect> = (0..n)
+        .map(|id| Elect { id, best: id, parent: None, pending: 0, acc: 0, leader_count: None })
+        .collect();
+    // A node may adopt improving roots twice in one round and forward both
+    // waves over the same edge; allow a few words per edge per round.
+    let cfg = Config::default().with_bandwidth_words(4).with_trace_capacity(100_000);
+    let mut net = Network::new(&g, cfg, nodes)?;
+    let report = net.run()?;
+
+    for r in 1..=report.metrics.rounds {
+        let sends = net
+            .trace()
+            .in_round(r)
+            .filter(|e| matches!(e, TraceEvent::Sent { .. }))
+            .count();
+        let halts: Vec<NodeId> = net
+            .trace()
+            .in_round(r)
+            .filter_map(|e| match e {
+                TraceEvent::Halted { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        println!("round {r:3}: {sends:4} messages, halted {halts:?}");
+    }
+    let leader = net.nodes().iter().find(|nd| nd.leader_count.is_some()).expect("one leader");
+    println!(
+        "\nleader: node {} with counted size {} (n = {n}); total rounds {} ~ 2 x diameter + O(1)",
+        leader.id,
+        leader.leader_count.unwrap(),
+        report.metrics.rounds
+    );
+    Ok(())
+}

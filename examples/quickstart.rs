@@ -1,0 +1,49 @@
+//! Quickstart: sample a random graph at the paper's operating point, run
+//! DHC2, and inspect the verified cycle and the CONGEST cost.
+//!
+//! ```text
+//! cargo run --release -p dhc --example quickstart [n] [seed]
+//! ```
+
+use dhc::core::{run_dhc2, DhcConfig};
+use dhc::graph::{generator, rng::rng_from_seed, thresholds};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(512);
+    let seed: u64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(2018);
+
+    // The paper's DHC1/DHC2 operating point: p = c ln n / n^delta.
+    let delta = 0.5;
+    let c = 6.0;
+    let p = thresholds::edge_probability(n, delta, c);
+    let g = generator::gnp(n, p, &mut rng_from_seed(seed))?;
+    println!("G(n = {n}, p = {p:.4}): {} edges, avg degree {:.1}", g.edge_count(), g.avg_degree());
+
+    // Partition count: the paper's n^(1-delta), floored so color classes
+    // stay large enough for the per-partition rotation runs at small n.
+    let k = thresholds::num_partitions(n, delta).min(n / 32).max(1);
+    let cfg = DhcConfig::new(seed ^ 1).with_partitions(k);
+
+    let outcome = run_dhc2(&g, &cfg)?;
+    println!("\nDHC2 found a Hamiltonian cycle through all {} nodes.", outcome.cycle.len());
+    println!("first 12 nodes of the cycle: {:?} ...", &outcome.cycle.order()[..12.min(n)]);
+    println!("\nCONGEST cost:");
+    println!("  rounds:   {}", outcome.metrics.rounds);
+    println!("  messages: {}", outcome.metrics.messages);
+    println!("  words:    {}", outcome.metrics.words);
+    println!("  max per-node memory: {} words", outcome.metrics.max_memory());
+    println!("  compute balance (max/mean): {:.2}", outcome.metrics.compute_balance());
+    println!("\nphases:");
+    for ph in &outcome.phases {
+        println!("  {:16} {:>8} rounds {:>12} messages", ph.name, ph.rounds, ph.messages);
+    }
+    // Theorem 10's promise: rounds = O(n^delta ln^2 n / ln ln n).
+    let nf = n as f64;
+    let scale = nf.powf(delta) * nf.ln().powi(2) / nf.ln().ln();
+    println!(
+        "\nTheorem 10 check: rounds / (n^0.5 ln^2 n / ln ln n) = {:.2}",
+        outcome.metrics.rounds as f64 / scale
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Figure 2 as a runnable demo: trace the extension–rotation process on a
+//! small random graph, printing each step's path, the rotations' segment
+//! reversals, and the final closed cycle.
+//!
+//! ```text
+//! cargo run -p dhc --example trace_rotation [n] [seed]
+//! ```
+
+use dhc::graph::{generator, rng::rng_from_seed, thresholds};
+use dhc::rotation::RotationPath;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(14);
+    let seed: u64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(5);
+
+    let p = thresholds::edge_probability(n, 1.0, 8.0);
+    let mut rng = rng_from_seed(seed);
+    let g = generator::gnp(n, p, &mut rng)?;
+    println!("G({n}, {p:.2}), {} edges. Tracing the rotation algorithm:\n", g.edge_count());
+
+    // A transparent re-implementation of the solver loop so every step can
+    // be printed (the library version is dhc::rotation::posa).
+    let mut unused: Vec<Vec<usize>> = (0..n)
+        .map(|v| {
+            let mut l = g.neighbors(v).to_vec();
+            l.shuffle(&mut rng);
+            l
+        })
+        .collect();
+    let start = rng.gen_range(0..n);
+    let mut path = RotationPath::new(n, start);
+    println!("start at node {start}");
+    for step in 1..=10_000 {
+        let head = path.head();
+        let Some(u) = unused[head].pop() else {
+            println!("step {step}: head {head} ran out of unused edges — failure (event E2)");
+            return Ok(());
+        };
+        if let Some(pos) = unused[u].iter().position(|&x| x == head) {
+            unused[u].swap_remove(pos);
+        }
+        if !path.contains(u) {
+            path.extend(u);
+            println!("step {step:3}: extend  {head:3} -> {u:3}   path {:?}", path.order());
+        } else if path.len() == n && u == path.tail() {
+            println!("step {step:3}: close   {head:3} -> {u:3}");
+            println!("\nHamiltonian cycle: {:?}", path.order());
+            let cycle =
+                dhc::HamiltonianCycle::from_order(&g, path.into_order()).expect("verified");
+            println!("verified: every consecutive pair (and the closing edge) is a graph edge.");
+            println!("cycle edges: {:?}", cycle.edge_set());
+            return Ok(());
+        } else {
+            let j = path.position_of(u).expect("on path");
+            path.rotate(j);
+            println!(
+                "step {step:3}: rotate  {head:3} -> {u:3}   (reverse after position {j}) new head {:3}  path {:?}",
+                path.head(),
+                path.order()
+            );
+        }
+    }
+    println!("step budget exhausted (event E1)");
+    Ok(())
+}

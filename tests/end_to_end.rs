@@ -1,0 +1,113 @@
+//! Cross-crate integration tests: full pipelines from graph generation
+//! through the distributed algorithms to verified cycles.
+
+use dhc::core::{run_collect_all, run_dhc1, run_dhc2, run_dra, run_upcast, DhcConfig};
+use dhc::graph::{generator, rng::rng_from_seed, thresholds, Graph};
+
+fn paper_graph(n: usize, delta: f64, c: f64, seed: u64) -> Graph {
+    let p = thresholds::edge_probability(n, delta, c);
+    generator::gnp(n, p, &mut rng_from_seed(seed)).expect("valid parameters")
+}
+
+#[test]
+fn all_algorithms_agree_on_success_and_verify() {
+    let n = 256;
+    let g = paper_graph(n, 0.5, 6.0, 101);
+    let cfg = DhcConfig::new(102).with_partitions(8);
+    for (name, out) in [
+        ("dra-free", run_dhc2(&g, &cfg)),
+        ("dhc1", run_dhc1(&g, &cfg)),
+        ("upcast", run_upcast(&g, &cfg)),
+        ("collect-all", run_collect_all(&g, &cfg)),
+    ] {
+        let out = out.unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert_eq!(out.cycle.len(), n, "{name}");
+        // Every cycle edge must be a real graph edge (the verifying
+        // constructor guarantees it; double-check through the edge set).
+        for (u, v) in out.cycle.edge_set() {
+            assert!(g.has_edge(u, v), "{name} used non-edge ({u},{v})");
+        }
+    }
+}
+
+#[test]
+fn different_algorithms_may_find_different_cycles() {
+    let n = 200;
+    let g = paper_graph(n, 0.5, 6.0, 103);
+    let cfg = DhcConfig::new(104).with_partitions(6);
+    let a = run_dhc2(&g, &cfg).unwrap();
+    let b = run_upcast(&g, &cfg).unwrap();
+    // Not a strict requirement, but with overwhelming probability the edge
+    // sets differ; equality would suggest state leaking between runs.
+    assert_ne!(a.cycle.edge_set(), b.cycle.edge_set());
+}
+
+#[test]
+fn dra_standalone_on_threshold_graph() {
+    let n = 192;
+    let g = paper_graph(n, 1.0, 12.0, 105);
+    let out = run_dra(&g, &DhcConfig::new(106)).unwrap();
+    assert_eq!(out.cycle.len(), n);
+    // Theorem-2 flavored sanity: the number of rounds is O~(n) here, and
+    // certainly far below the O(m)-round trivial bound.
+    assert!(out.metrics.rounds < n * n);
+}
+
+#[test]
+fn phase_breakdowns_sum_to_total() {
+    let n = 256;
+    let g = paper_graph(n, 0.5, 6.0, 107);
+    let out = run_dhc2(&g, &DhcConfig::new(108).with_partitions(8)).unwrap();
+    let total: usize = out.phases.iter().map(|p| p.rounds).sum();
+    assert_eq!(total, out.metrics.rounds);
+    let msgs: u64 = out.phases.iter().map(|p| p.messages).sum();
+    assert_eq!(msgs, out.metrics.messages);
+}
+
+#[test]
+fn metrics_are_internally_consistent() {
+    let n = 200;
+    let g = paper_graph(n, 0.5, 6.0, 109);
+    let out = run_dhc2(&g, &DhcConfig::new(110).with_partitions(6)).unwrap();
+    let m = &out.metrics;
+    assert_eq!(m.sent_per_node.iter().sum::<u64>(), m.messages);
+    assert!(m.words >= m.messages, "every message is at least one word");
+    assert!(m.max_edge_words <= 16, "CONGEST bandwidth budget respected");
+    // Traffic recorded round by round adds up to total deliveries, which
+    // is at most total sends (messages to halted nodes are dropped).
+    let delivered: u64 = m.round_traffic.iter().sum();
+    assert!(delivered <= m.messages);
+}
+
+#[test]
+fn works_on_gnm_graphs_too() {
+    // The paper's extension: G(n, M) with density matching p = 0.5, far
+    // above the per-class rotation threshold for 4 classes of ~50 nodes.
+    let n = 200;
+    let m_edges = n * (n - 1) / 4;
+    let g = generator::gnm(n, m_edges, &mut rng_from_seed(111)).unwrap();
+    let out = run_dhc2(&g, &DhcConfig::new(112).with_partitions(4)).unwrap();
+    assert_eq!(out.cycle.len(), n);
+}
+
+#[test]
+fn works_on_random_regular_graphs() {
+    // The paper's extension: random d-regular graphs are Hamiltonian whp
+    // for d >= 3; with 2 color classes each class keeps about d/2 internal
+    // degree, so d = 40 leaves the per-class rotations comfortable slack.
+    let n = 128;
+    let g = generator::random_regular(n, 40, &mut rng_from_seed(113)).unwrap();
+    let out = run_dhc2(&g, &DhcConfig::new(114).with_partitions(2)).unwrap();
+    assert_eq!(out.cycle.len(), n);
+}
+
+#[test]
+fn seed_reproducibility_across_whole_pipeline() {
+    let n = 160;
+    let run = || {
+        let g = paper_graph(n, 0.5, 6.0, 115);
+        let out = run_dhc2(&g, &DhcConfig::new(116).with_partitions(5)).unwrap();
+        (out.cycle.order().to_vec(), out.metrics.rounds, out.metrics.messages)
+    };
+    assert_eq!(run(), run());
+}

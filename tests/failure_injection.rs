@@ -1,0 +1,96 @@
+//! Failure injection: every documented failure mode surfaces as a typed
+//! error (never a hang, panic, or silent wrong answer).
+
+use dhc::core::{run_dhc1, run_dhc2, run_dra, run_upcast, DhcConfig};
+use dhc::graph::{generator, rng::rng_from_seed, Graph};
+use dhc::DhcError;
+
+#[test]
+fn tiny_graphs_rejected_by_all() {
+    let g = generator::complete(2);
+    let cfg = DhcConfig::new(0);
+    for res in [run_dra(&g, &cfg), run_dhc1(&g, &cfg), run_dhc2(&g, &cfg), run_upcast(&g, &cfg)] {
+        assert!(matches!(res.unwrap_err(), DhcError::GraphTooSmall { n: 2 }));
+    }
+}
+
+#[test]
+fn invalid_config_rejected() {
+    let g = generator::complete(16);
+    let bad = DhcConfig::new(0).with_delta(2.0);
+    assert!(matches!(run_dhc2(&g, &bad), Err(DhcError::InvalidConfig { .. })));
+    let bad = DhcConfig::new(0).with_delta(0.0);
+    assert!(matches!(run_dhc1(&g, &bad), Err(DhcError::InvalidConfig { .. })));
+}
+
+#[test]
+fn sub_threshold_graph_fails_with_typed_error() {
+    // Far below the connectivity threshold: partitions are disconnected.
+    let n = 256;
+    let g = generator::gnp(n, 0.008, &mut rng_from_seed(1)).unwrap();
+    let err = run_dhc2(&g, &DhcConfig::new(2).with_partitions(8)).unwrap_err();
+    assert!(
+        matches!(err, DhcError::PartitionFailed { .. } | DhcError::NoBridge { .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn disconnected_graph_fails_everywhere() {
+    let mut edges = Vec::new();
+    for u in 0..20 {
+        for v in (u + 1)..20 {
+            edges.push((u, v));
+            edges.push((u + 20, v + 20));
+        }
+    }
+    let g = Graph::from_edges(40, edges).unwrap();
+    let cfg = DhcConfig::new(3).with_partitions(2);
+    assert!(run_dra(&g, &cfg).is_err());
+    assert!(run_upcast(&g, &cfg).is_err());
+    assert!(run_dhc2(&g, &cfg).is_err());
+}
+
+#[test]
+fn round_cap_produces_simulation_error() {
+    let n = 128;
+    let g = generator::gnp(n, 0.5, &mut rng_from_seed(4)).unwrap();
+    let cfg = DhcConfig::new(5).with_partitions(4).with_max_rounds(3);
+    let err = run_dhc2(&g, &cfg).unwrap_err();
+    assert!(matches!(err, DhcError::Simulation(_)), "{err:?}");
+}
+
+#[test]
+fn upcast_with_starved_sampling_reports_root_failure() {
+    let n = 160;
+    let p = 10.0 * (n as f64).ln() / n as f64;
+    let g = generator::gnp(n, p, &mut rng_from_seed(6)).unwrap();
+    let cfg = DhcConfig::new(7).with_sample_factor(0.2);
+    let err = run_upcast(&g, &cfg).unwrap_err();
+    assert!(matches!(err, DhcError::RootSolveFailed { .. }), "{err:?}");
+}
+
+#[test]
+fn star_graph_has_no_cycle_and_says_so() {
+    let g = generator::star(32);
+    let err = run_dra(&g, &DhcConfig::new(8)).unwrap_err();
+    assert!(matches!(err, DhcError::PartitionFailed { .. }), "{err:?}");
+}
+
+#[test]
+fn petersen_graph_is_rejected_not_mislabeled() {
+    // Petersen is famously non-Hamiltonian: every algorithm must fail
+    // (and never emit a "cycle").
+    let g = generator::petersen();
+    let cfg = DhcConfig::new(9).with_partitions(1);
+    assert!(run_dra(&g, &cfg).is_err());
+    assert!(run_upcast(&g, &cfg).is_err());
+}
+
+#[test]
+fn errors_format_usefully() {
+    let g = generator::complete(2);
+    let err = run_dra(&g, &DhcConfig::new(0)).unwrap_err();
+    let s = err.to_string();
+    assert!(s.contains('2'), "message should mention the size: {s}");
+}

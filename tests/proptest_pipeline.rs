@@ -1,0 +1,65 @@
+//! Property-based end-to-end tests: across random seeds and shapes, the
+//! pipeline either produces a verified Hamiltonian cycle or a typed error —
+//! never a panic, hang, or invalid cycle.
+
+use dhc::core::{run_dhc2, run_upcast, DhcConfig};
+use dhc::graph::{generator, rng::rng_from_seed, HamiltonianCycle};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// DHC2 on dense-ish random graphs: any Ok result verifies; any Err is
+    /// one of the documented variants.
+    #[test]
+    fn dhc2_total_on_random_inputs(seed in any::<u64>(), n in 48usize..140, kp in 1usize..4) {
+        let p = 0.6;
+        let g = generator::gnp(n, p, &mut rng_from_seed(seed)).unwrap();
+        let cfg = DhcConfig::new(seed ^ 0xAA).with_partitions(kp);
+        match run_dhc2(&g, &cfg) {
+            Ok(out) => {
+                prop_assert_eq!(out.cycle.len(), n);
+                prop_assert!(HamiltonianCycle::from_order(&g, out.cycle.order().to_vec()).is_ok());
+                prop_assert!(out.metrics.rounds > 0);
+            }
+            Err(e) => {
+                let s = e.to_string();
+                prop_assert!(!s.is_empty());
+            }
+        }
+    }
+
+    /// Upcast likewise, across sampling factors.
+    #[test]
+    fn upcast_total_on_random_inputs(seed in any::<u64>(), n in 48usize..140, cf in 1usize..10) {
+        let p = 0.4;
+        let g = generator::gnp(n, p, &mut rng_from_seed(seed)).unwrap();
+        let cfg = DhcConfig::new(seed ^ 0xBB).with_sample_factor(cf as f64);
+        match run_upcast(&g, &cfg) {
+            Ok(out) => {
+                prop_assert_eq!(out.cycle.len(), n);
+            }
+            Err(e) => {
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Determinism as a property: identical seeds give identical outcomes.
+    #[test]
+    fn seeded_runs_are_pure_functions(seed in any::<u64>()) {
+        let n = 72;
+        let g = generator::gnp(n, 0.6, &mut rng_from_seed(seed)).unwrap();
+        let cfg = DhcConfig::new(seed ^ 0xCC).with_partitions(2);
+        let a = run_dhc2(&g, &cfg);
+        let b = run_dhc2(&g, &cfg);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.cycle.order(), y.cycle.order());
+                prop_assert_eq!(x.metrics.rounds, y.metrics.rounds);
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x.to_string(), y.to_string()),
+            (x, y) => prop_assert!(false, "diverged: {x:?} vs {y:?}"),
+        }
+    }
+}
