@@ -3,9 +3,9 @@
 //! complementing the round/message tables from the `experiments` binary).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use dhc_bench::workload::{floored_partitions, OperatingPoint};
 use dhc_core::{run_collect_all, run_dhc1, run_dhc2, run_upcast, DhcConfig};
+use std::time::Duration;
 
 fn bench_algorithms(c: &mut Criterion) {
     let n = 256;

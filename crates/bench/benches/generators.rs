@@ -1,8 +1,8 @@
 //! Criterion micro-benchmarks: random-graph generation throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dhc_graph::{generator, rng::rng_from_seed};
+use std::time::Duration;
 
 fn bench_gnp(c: &mut Criterion) {
     let mut group = c.benchmark_group("gnp");

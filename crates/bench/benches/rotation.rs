@@ -2,9 +2,9 @@
 //! (the Upcast root's local cost and the per-step price of Theorem 2).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dhc_graph::{generator, rng::rng_from_seed, thresholds};
 use dhc_rotation::{greedy, posa, PosaConfig};
+use std::time::Duration;
 
 fn bench_posa(c: &mut Criterion) {
     let mut group = c.benchmark_group("posa");
@@ -25,9 +25,7 @@ fn bench_greedy_baseline(c: &mut Criterion) {
     let n = 2_000;
     let p = thresholds::edge_probability(n, 1.0, 12.0);
     let g = generator::gnp(n, p, &mut rng_from_seed(6)).unwrap();
-    c.bench_function("greedy_no_rotation_2k", |b| {
-        b.iter(|| greedy(&g, 3, &mut rng_from_seed(7)))
-    });
+    c.bench_function("greedy_no_rotation_2k", |b| b.iter(|| greedy(&g, 3, &mut rng_from_seed(7))));
 }
 
 criterion_group!(benches, bench_posa, bench_greedy_baseline);

@@ -2,9 +2,9 @@
 //! with echo — the primitive every rotation broadcast pays for).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dhc_congest::{Config, Context, Network, NodeId, Protocol};
 use dhc_graph::{generator, rng::rng_from_seed};
+use std::time::Duration;
 
 /// Flood + halt: each node forwards the token once.
 struct Flood {

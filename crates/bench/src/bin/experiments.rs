@@ -1,4 +1,4 @@
-//! Regenerates the paper's quantitative claims; see EXPERIMENTS.md.
+//! Regenerates the paper's quantitative claims; see PAPER.md.
 //!
 //! ```text
 //! cargo run --release -p dhc-bench --bin experiments -- [--quick|--smoke] [--seed S] <id>...|all

@@ -1,4 +1,4 @@
-//! **E10 — design ablations** (the choices DESIGN.md calls out):
+//! **E10 — design ablations** (the implementation's main free choices):
 //!
 //! 1. *Rotations matter*: the greedy no-rotation baseline stalls near the
 //!    paper's threshold where the rotation algorithm succeeds (the reason

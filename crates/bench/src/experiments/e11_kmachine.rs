@@ -48,16 +48,10 @@ pub fn run(params: &Params, seed: u64) -> String {
         Ok(g) => g,
         Err(e) => return format!("E11 skipped: {e}\n"),
     };
-    let dhc2 = run_dhc2(&g, &DhcConfig::new(seed ^ 1).with_partitions(parts));
+    // A single run, so Phase 1 may take every core (0 = auto).
+    let dhc2 = run_dhc2(&g, &DhcConfig::new(seed ^ 1).with_partitions(parts).with_parallelism(0));
     let upcast = run_upcast(&g, &DhcConfig::new(seed ^ 2));
-    let mut t = Table::new(vec![
-        "algo",
-        "k",
-        "RVP balance",
-        "M/k^2",
-        "T*D'/k",
-        "bound",
-    ]);
+    let mut t = Table::new(vec!["algo", "k", "RVP balance", "M/k^2", "T*D'/k", "bound"]);
     for (name, run) in [("dhc2", dhc2), ("upcast", upcast)] {
         let Ok(outcome) = run else {
             t.row(vec![name.into(), "-".into(), "failed".into()]);

@@ -10,7 +10,7 @@
 
 use crate::stats::summarize;
 use crate::table::{f3, Table};
-use crate::workload::{run_trials, success_rate, theorem_scale};
+use crate::workload::{phase1_parallelism, run_trials, success_rate, theorem_scale};
 use dhc_core::{run_dhc2, DhcConfig};
 use dhc_graph::rng::rng_from_seed;
 use dhc_graph::{generator, thresholds, Graph, GraphError};
@@ -43,6 +43,7 @@ impl Params {
 
 /// Runs E12 and renders its report.
 pub fn run(params: &Params, seed: u64) -> String {
+    let par = phase1_parallelism(params.trials);
     let n = params.n;
     let p = thresholds::edge_probability(n, 0.5, params.c);
     // Classes of ~64 nodes keep per-class rotation failures negligible, so
@@ -88,7 +89,7 @@ pub fn run(params: &Params, seed: u64) -> String {
         let results = run_trials(params.trials, seed ^ name.len() as u64, |_, s| {
             let g = gen(s).ok()?;
             let m = g.edge_count() as f64;
-            run_dhc2(&g, &DhcConfig::new(s ^ 0xE12).with_partitions(k))
+            run_dhc2(&g, &DhcConfig::new(s ^ 0xE12).with_partitions(k).with_parallelism(par))
                 .map(|o| (o.metrics.rounds as f64, m))
                 .ok()
         });

@@ -30,7 +30,9 @@ impl Params {
     /// Parameters for the given effort level.
     pub fn for_effort(effort: Effort) -> Self {
         match effort {
-            Effort::Full => Params { sizes: vec![256, 512, 1024, 2048, 4096, 8192], c: 12.0, trials: 30 },
+            Effort::Full => {
+                Params { sizes: vec![256, 512, 1024, 2048, 4096, 8192], c: 12.0, trials: 30 }
+            }
             Effort::Quick => Params { sizes: vec![256, 512, 1024, 2048], c: 12.0, trials: 10 },
             Effort::Smoke => Params { sizes: vec![128], c: 12.0, trials: 3 },
         }
@@ -73,11 +75,7 @@ pub fn run(params: &Params, seed: u64) -> String {
             let s = summarize(&real_norm);
             (s.median, s.max)
         };
-        let xmed = if relaxed_norm.is_empty() {
-            f64::NAN
-        } else {
-            summarize(&relaxed_norm).median
-        };
+        let xmed = if relaxed_norm.is_empty() { f64::NAN } else { summarize(&relaxed_norm).median };
         t.row(vec![
             n.to_string(),
             f3(pt.p()),

@@ -9,7 +9,9 @@
 
 use crate::stats::{fit_power_law, summarize};
 use crate::table::{f3, Table};
-use crate::workload::{run_trials, success_rate, theorem_scale, OperatingPoint};
+use crate::workload::{
+    phase1_parallelism, run_trials, success_rate, theorem_scale, OperatingPoint,
+};
 use dhc_core::{run_dhc1, DhcConfig};
 
 use super::Effort;
@@ -38,6 +40,7 @@ impl Params {
 
 /// Runs E3 and renders its report.
 pub fn run(params: &Params, seed: u64) -> String {
+    let par = phase1_parallelism(params.trials);
     let mut out = String::new();
     out.push_str("E3  Theorem 1: DHC1 round complexity at p = c ln n / sqrt(n)\n");
     out.push_str(&format!(
@@ -51,7 +54,7 @@ pub fn run(params: &Params, seed: u64) -> String {
         let k = (n as f64).sqrt().round() as usize;
         let results = run_trials(params.trials, seed ^ (n as u64) << 1, |_, s| {
             let g = pt.sample(s).expect("valid operating point");
-            run_dhc1(&g, &DhcConfig::new(s ^ 0xD1).with_partitions(k))
+            run_dhc1(&g, &DhcConfig::new(s ^ 0xD1).with_partitions(k).with_parallelism(par))
                 .map(|o| (o.metrics.rounds as f64, o.metrics.messages as f64))
                 .ok()
         });

@@ -8,7 +8,9 @@
 
 use crate::stats::{fit_power_law, summarize};
 use crate::table::{f3, Table};
-use crate::workload::{floored_partitions, run_trials, success_rate, theorem_scale, OperatingPoint};
+use crate::workload::{
+    floored_partitions, phase1_parallelism, run_trials, success_rate, theorem_scale, OperatingPoint,
+};
 use dhc_core::{run_dhc2, DhcConfig};
 use dhc_graph::thresholds;
 
@@ -67,9 +69,10 @@ fn sweep_row(
     seed: u64,
 ) -> (f64, f64, f64, f64) {
     let pt = OperatingPoint { n, delta, c };
+    let par = phase1_parallelism(trials);
     let results = run_trials(trials, seed, |_, s| {
         let g = pt.sample(s).expect("valid operating point");
-        run_dhc2(&g, &DhcConfig::new(s ^ 0xD2).with_partitions(k))
+        run_dhc2(&g, &DhcConfig::new(s ^ 0xD2).with_partitions(k).with_parallelism(par))
             .map(|o| (o.metrics.rounds as f64, o.metrics.messages as f64))
             .ok()
     });
@@ -133,14 +136,7 @@ pub fn run(params: &Params, seed: u64) -> String {
         let p = thresholds::edge_probability(n, delta, params.c);
         let (okr, rmed, _mmed, norm) =
             sweep_row(n, delta, k, params.c, params.trials, seed ^ (delta * 100.0) as u64);
-        t.row(vec![
-            f3(delta),
-            k.to_string(),
-            f3(p),
-            f3(100.0 * okr),
-            f3(rmed),
-            f3(norm),
-        ]);
+        t.row(vec![f3(delta), k.to_string(), f3(p), f3(100.0 * okr), f3(rmed), f3(norm)]);
     }
     out.push_str(&t.render());
     out.push_str(

@@ -7,7 +7,7 @@
 //! bridge at a specific merge level.
 
 use crate::table::{f3, Table};
-use crate::workload::{floored_partitions, run_trials, OperatingPoint};
+use crate::workload::{floored_partitions, phase1_parallelism, run_trials, OperatingPoint};
 use dhc_core::{run_dhc2, DhcConfig, DhcError};
 
 use super::Effort;
@@ -45,24 +45,19 @@ enum Outcome {
 
 /// Runs E5 and renders its report.
 pub fn run(params: &Params, seed: u64) -> String {
+    let par = phase1_parallelism(params.trials);
     let mut out = String::new();
     out.push_str("E5  Lemmas 8/9: merge-level bridge availability\n");
     out.push_str(&format!("    n = {}, {} trials per c\n\n", params.n, params.trials));
-    let mut t = Table::new(vec![
-        "c",
-        "p",
-        "success%",
-        "phase1 fail%",
-        "no-bridge%",
-        "no-bridge levels",
-    ]);
+    let mut t =
+        Table::new(vec!["c", "p", "success%", "phase1 fail%", "no-bridge%", "no-bridge levels"]);
     for &c in &params.cs {
         let n = params.n;
         let pt = OperatingPoint { n, delta: 0.5, c };
         let k = floored_partitions(n, 0.5);
         let outcomes = run_trials(params.trials, seed ^ (c * 7.0) as u64, |_, s| {
             let g = pt.sample(s).expect("valid operating point");
-            match run_dhc2(&g, &DhcConfig::new(s ^ 0xE5).with_partitions(k)) {
+            match run_dhc2(&g, &DhcConfig::new(s ^ 0xE5).with_partitions(k).with_parallelism(par)) {
                 Ok(_) => Outcome::Success,
                 Err(DhcError::PartitionFailed { .. }) => Outcome::Phase1Failed,
                 Err(DhcError::NoBridge { level, .. }) => Outcome::NoBridgeAt(level),

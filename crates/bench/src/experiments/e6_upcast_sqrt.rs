@@ -41,12 +41,9 @@ impl Params {
                 trials: 3,
                 exact_diameter_up_to: 1024,
             },
-            Effort::Smoke => Params {
-                sizes: vec![256],
-                c: 1.0,
-                trials: 1,
-                exact_diameter_up_to: 256,
-            },
+            Effort::Smoke => {
+                Params { sizes: vec![256], c: 1.0, trials: 1, exact_diameter_up_to: 256 }
+            }
         }
     }
 }
@@ -55,28 +52,22 @@ impl Params {
 pub fn run(params: &Params, seed: u64) -> String {
     let mut out = String::new();
     out.push_str("E6  Theorem 17 / Fact 2: Upcast at p = log n / sqrt(n)\n\n");
-    let mut t =
-        Table::new(vec!["n", "p", "diam", "ok%", "rounds med", "rounds/(sqrt(n) ln^2 n)"]);
+    let mut t = Table::new(vec!["n", "p", "diam", "ok%", "rounds med", "rounds/(sqrt(n) ln^2 n)"]);
     let mut fit_points = Vec::new();
     for &n in &params.sizes {
         let pt = OperatingPoint { n, delta: 0.5, c: params.c };
         let exact = n <= params.exact_diameter_up_to;
         let results = run_trials(params.trials, seed ^ (n as u64) << 2, |_, s| {
             let g = pt.sample(s).expect("valid operating point");
-            let diam = if exact {
-                diameter::exact(&g)
-            } else {
-                diameter::two_sweep_lower_bound(&g, 0)
-            };
-            let rounds = run_upcast(&g, &DhcConfig::new(s ^ 0xE6))
-                .map(|o| o.metrics.rounds as f64)
-                .ok();
+            let diam =
+                if exact { diameter::exact(&g) } else { diameter::two_sweep_lower_bound(&g, 0) };
+            let rounds =
+                run_upcast(&g, &DhcConfig::new(s ^ 0xE6)).map(|o| o.metrics.rounds as f64).ok();
             (diam, rounds)
         });
         let ok: Vec<bool> = results.iter().map(|r| r.1.is_some()).collect();
         let rounds: Vec<f64> = results.iter().filter_map(|r| r.1).collect();
-        let diams: Vec<f64> =
-            results.iter().filter_map(|r| r.0.map(|d| d as f64)).collect();
+        let diams: Vec<f64> = results.iter().filter_map(|r| r.0.map(|d| d as f64)).collect();
         let rmed = if rounds.is_empty() { f64::NAN } else { summarize(&rounds).median };
         if rmed.is_finite() {
             fit_points.push((n as f64, rmed));

@@ -35,7 +35,9 @@ impl Params {
             Effort::Full => {
                 Params { n: 4096, deltas: vec![1.0 / 3.0, 0.5, 2.0 / 3.0], c: 2.0, trials: 5 }
             }
-            Effort::Quick => Params { n: 1024, deltas: vec![1.0 / 3.0, 0.5, 2.0 / 3.0], c: 2.0, trials: 3 },
+            Effort::Quick => {
+                Params { n: 1024, deltas: vec![1.0 / 3.0, 0.5, 2.0 / 3.0], c: 2.0, trials: 3 }
+            }
             Effort::Smoke => Params { n: 256, deltas: vec![0.5], c: 2.0, trials: 1 },
         }
     }
@@ -46,14 +48,8 @@ pub fn run(params: &Params, seed: u64) -> String {
     let mut out = String::new();
     out.push_str("E7  Theorem 19 / Lemma 18: Upcast in the general regime\n");
     out.push_str(&format!("    n = {}, {} trials per delta\n\n", params.n, params.trials));
-    let mut t = Table::new(vec![
-        "eps",
-        "p",
-        "ok%",
-        "rounds med",
-        "rounds/(ln n / p)",
-        "subtree max/mean",
-    ]);
+    let mut t =
+        Table::new(vec!["eps", "p", "ok%", "rounds med", "rounds/(ln n / p)", "subtree max/mean"]);
     for &delta in &params.deltas {
         let n = params.n;
         let pt = OperatingPoint { n, delta, c: params.c };
@@ -75,9 +71,8 @@ pub fn run(params: &Params, seed: u64) -> String {
                 let s = summarize(&child_sizes);
                 s.max / s.mean.max(1e-9)
             };
-            let rounds = run_upcast(&g, &DhcConfig::new(s ^ 0xE7))
-                .map(|o| o.metrics.rounds as f64)
-                .ok();
+            let rounds =
+                run_upcast(&g, &DhcConfig::new(s ^ 0xE7)).map(|o| o.metrics.rounds as f64).ok();
             (balance, rounds)
         });
         let ok: Vec<bool> = results.iter().map(|r| r.1.is_some()).collect();

@@ -8,7 +8,7 @@
 
 use crate::stats::{fit_power_law, summarize};
 use crate::table::{f3, Table};
-use crate::workload::{run_trials, OperatingPoint};
+use crate::workload::{phase1_parallelism, run_trials, OperatingPoint};
 use dhc_congest::Metrics;
 use dhc_core::{run_dhc1, run_dhc2, run_upcast, DhcConfig};
 use dhc_graph::Graph;
@@ -50,6 +50,7 @@ fn median_memory(m: &Metrics) -> f64 {
 
 /// Runs E8 and renders its report.
 pub fn run(params: &Params, seed: u64) -> String {
+    let par = phase1_parallelism(params.trials);
     let algos: [(&str, AlgoFn); 3] =
         [("dhc2", run_dhc2), ("dhc1", run_dhc1), ("upcast", run_upcast)];
     let mut out = String::new();
@@ -72,10 +73,13 @@ pub fn run(params: &Params, seed: u64) -> String {
         // dominate at the lower density this experiment needs.
         let k = (n / 64).max(2);
         for (ai, (name, f)) in algos.iter().enumerate() {
-            let results = run_trials(params.trials, seed ^ (n as u64) ^ (ai as u64) << 8, |_, s| {
-                let g = pt.sample(s).expect("valid operating point");
-                f(&g, &DhcConfig::new(s ^ 0xE8).with_partitions(k)).map(|o| o.metrics).ok()
-            });
+            let results =
+                run_trials(params.trials, seed ^ (n as u64) ^ (ai as u64) << 8, |_, s| {
+                    let g = pt.sample(s).expect("valid operating point");
+                    f(&g, &DhcConfig::new(s ^ 0xE8).with_partitions(k).with_parallelism(par))
+                        .map(|o| o.metrics)
+                        .ok()
+                });
             let metrics: Vec<_> = results.into_iter().flatten().collect();
             if metrics.is_empty() {
                 t.row(vec![name.to_string(), n.to_string(), "0".into()]);

@@ -11,7 +11,7 @@
 
 use crate::stats::summarize;
 use crate::table::{f3, Table};
-use crate::workload::{floored_partitions, run_trials, OperatingPoint};
+use crate::workload::{floored_partitions, phase1_parallelism, run_trials, OperatingPoint};
 use dhc_core::{run_collect_all, run_dhc1, run_dhc2, run_dra, run_upcast, DhcConfig};
 use dhc_graph::rng::rng_from_seed;
 use dhc_rotation::{posa, PosaConfig};
@@ -45,6 +45,7 @@ impl Params {
 
 /// Runs E9 and renders its report.
 pub fn run(params: &Params, seed: u64) -> String {
+    let par = phase1_parallelism(params.trials);
     let n = params.n;
     let pt = OperatingPoint { n, delta: 0.5, c: params.c };
     let k = floored_partitions(n, 0.5);
@@ -65,7 +66,11 @@ pub fn run(params: &Params, seed: u64) -> String {
             "dhc2",
             Box::new(move |s| {
                 let g = pt.sample(s).ok()?;
-                let o = run_dhc2(&g, &DhcConfig::new(s ^ 0xE9).with_partitions(k)).ok()?;
+                let o = run_dhc2(
+                    &g,
+                    &DhcConfig::new(s ^ 0xE9).with_partitions(k).with_parallelism(par),
+                )
+                .ok()?;
                 Some((o.metrics.rounds as f64, o.metrics.messages as f64, o.metrics.words as f64))
             }),
         ),
@@ -73,7 +78,11 @@ pub fn run(params: &Params, seed: u64) -> String {
             "dhc1",
             Box::new(move |s| {
                 let g = pt.sample(s).ok()?;
-                let o = run_dhc1(&g, &DhcConfig::new(s ^ 0xE9).with_partitions(k)).ok()?;
+                let o = run_dhc1(
+                    &g,
+                    &DhcConfig::new(s ^ 0xE9).with_partitions(k).with_parallelism(par),
+                )
+                .ok()?;
                 Some((o.metrics.rounds as f64, o.metrics.messages as f64, o.metrics.words as f64))
             }),
         ),

@@ -1,4 +1,4 @@
-//! One module per experiment; see `EXPERIMENTS.md` for the claim map.
+//! One module per experiment; see `PAPER.md` for the claim map.
 //!
 //! Every experiment exposes `Params` (with `full()`, `quick()`, and tiny
 //! `smoke()` constructors — the latter keeps unit tests fast) and a
@@ -37,9 +37,7 @@ pub enum Effort {
 pub fn run_by_id(id: &str, effort: Effort, seed: u64) -> Result<String, String> {
     let report = match id {
         "e1" => e1_dra_steps::run(&e1_dra_steps::Params::for_effort(effort), seed),
-        "e2" => {
-            e2_partition_balance::run(&e2_partition_balance::Params::for_effort(effort), seed)
-        }
+        "e2" => e2_partition_balance::run(&e2_partition_balance::Params::for_effort(effort), seed),
         "e3" => e3_dhc1_scaling::run(&e3_dhc1_scaling::Params::for_effort(effort), seed),
         "e4" => e4_dhc2_scaling::run(&e4_dhc2_scaling::Params::for_effort(effort), seed),
         "e5" => e5_merge_levels::run(&e5_merge_levels::Params::for_effort(effort), seed),

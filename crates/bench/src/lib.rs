@@ -2,7 +2,7 @@
 //!
 //! The paper is a theory paper — its "evaluation" is a set of theorems.
 //! This crate regenerates each quantitative claim empirically (see
-//! `EXPERIMENTS.md` at the workspace root for the claim ↔ experiment map):
+//! `PAPER.md` at the workspace root for the claim ↔ experiment map):
 //!
 //! * [`stats`] — means, standard deviations, quantiles, and log-log
 //!   power-law fits (for scaling-exponent checks);

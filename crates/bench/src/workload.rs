@@ -69,6 +69,34 @@ pub fn success_rate(ok: &[bool]) -> f64 {
     ok.iter().filter(|&&b| b).count() as f64 / ok.len() as f64
 }
 
+/// The paper's round-bound scale for DHC1/DHC2: `n^δ · ln²n / ln ln n`
+/// (Theorems 1 and 10). Measured rounds divided by this should be roughly
+/// constant across `n`.
+pub fn theorem_scale(n: usize, delta: f64) -> f64 {
+    let nf = (n.max(3)) as f64;
+    nf.powf(delta) * nf.ln().powi(2) / nf.ln().ln().max(1.0)
+}
+
+/// Phase-1 worker threads for one algorithm run inside a
+/// [`run_trials`] sweep: the sweep already occupies one core per
+/// concurrent trial, so each run gets the remaining share (at least 1).
+/// Results are unaffected — [`dhc_core::DhcConfig::with_parallelism`]
+/// is deterministic by contract — this only spends idle cores when the
+/// trial count is smaller than the machine.
+pub fn phase1_parallelism(trials: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    (cores / trials.clamp(1, cores)).max(1)
+}
+
+/// Phase-1 partition count used by the experiments: the paper's
+/// `n^{1-δ}`, floored so classes keep at least ~32 nodes (below that the
+/// per-class rotation runs are dominated by small-sample noise unrelated
+/// to the asymptotic claim; the floor is reported in the output).
+pub fn floored_partitions(n: usize, delta: f64) -> usize {
+    let k_paper = dhc_graph::thresholds::num_partitions(n, delta);
+    k_paper.min((n / 32).max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,8 +126,9 @@ mod tests {
     #[test]
     fn trials_parallel_results_match_serial() {
         let par = run_trials(16, 7, |i, s| i as u64 * 1000 + s % 1000);
-        let ser: Vec<u64> =
-            (0..16).map(|i| i as u64 * 1000 + dhc_graph::rng::derive_seed(7, i as u64) % 1000).collect();
+        let ser: Vec<u64> = (0..16)
+            .map(|i| i as u64 * 1000 + dhc_graph::rng::derive_seed(7, i as u64) % 1000)
+            .collect();
         assert_eq!(par, ser);
     }
 
@@ -108,21 +137,4 @@ mod tests {
         assert_eq!(success_rate(&[true, false, true, true]), 0.75);
         assert_eq!(success_rate(&[]), 0.0);
     }
-}
-
-/// The paper's round-bound scale for DHC1/DHC2: `n^δ · ln²n / ln ln n`
-/// (Theorems 1 and 10). Measured rounds divided by this should be roughly
-/// constant across `n`.
-pub fn theorem_scale(n: usize, delta: f64) -> f64 {
-    let nf = (n.max(3)) as f64;
-    nf.powf(delta) * nf.ln().powi(2) / nf.ln().ln().max(1.0)
-}
-
-/// Phase-1 partition count used by the experiments: the paper's
-/// `n^{1-δ}`, floored so classes keep at least ~32 nodes (below that the
-/// per-class rotation runs are dominated by small-sample noise unrelated
-/// to the asymptotic claim; the floor is reported in the output).
-pub fn floored_partitions(n: usize, delta: f64) -> usize {
-    let k_paper = dhc_graph::thresholds::num_partitions(n, delta);
-    k_paper.min((n / 32).max(1))
 }

@@ -61,11 +61,8 @@ impl<M: Payload> Context<'_, M> {
     pub fn send(&mut self, to: NodeId, msg: M) {
         if to == self.node || !self.is_neighbor(to) {
             if self.fault.is_none() {
-                *self.fault = Some(SimError::NotANeighbor {
-                    from: self.node,
-                    to,
-                    round: self.round,
-                });
+                *self.fault =
+                    Some(SimError::NotANeighbor { from: self.node, to, round: self.round });
             }
             return;
         }

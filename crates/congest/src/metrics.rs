@@ -33,6 +33,15 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// An all-zero metrics value for an `n`-node network.
+    ///
+    /// Useful as the accumulator when composing several runs (see
+    /// [`merge`](Metrics::merge) and
+    /// [`absorb_parallel`](Metrics::absorb_parallel)).
+    pub fn empty(n: usize) -> Self {
+        Metrics::new(n)
+    }
+
     pub(crate) fn new(n: usize) -> Self {
         Metrics {
             rounds: 0,
@@ -72,6 +81,48 @@ impl Metrics {
                 self.peak_memory_per_node[i].max(other.peak_memory_per_node[i]);
         }
         self.round_traffic.extend_from_slice(&other.round_traffic);
+        self.max_edge_words = self.max_edge_words.max(other.max_edge_words);
+        self.max_node_sends_per_round =
+            self.max_node_sends_per_round.max(other.max_node_sends_per_round);
+    }
+
+    /// Accumulates a run that executed **concurrently** with the runs
+    /// already absorbed, over the disjoint node subset `node_map`
+    /// (`node_map[local] = global`): rounds take the max (parallel
+    /// phases overlap in simulated time), volumes add, and `other`'s
+    /// per-node counters are scattered through `node_map`.
+    ///
+    /// This is how a partitioned phase — e.g. the per-partition DRA
+    /// instances of DHC1/DHC2 Phase 1, each simulated as its own
+    /// isolated [`Network`](crate::Network) — is accounted as one
+    /// phase of the enclosing algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_map`'s length differs from `other`'s node count
+    /// or maps outside `self`'s node range.
+    pub fn absorb_parallel(&mut self, other: &Metrics, node_map: &[usize]) {
+        assert_eq!(
+            node_map.len(),
+            other.sent_per_node.len(),
+            "node_map must cover the absorbed run's nodes"
+        );
+        self.rounds = self.rounds.max(other.rounds);
+        self.messages += other.messages;
+        self.words += other.words;
+        for (local, &global) in node_map.iter().enumerate() {
+            self.sent_per_node[global] += other.sent_per_node[local];
+            self.received_per_node[global] += other.received_per_node[local];
+            self.compute_per_node[global] += other.compute_per_node[local];
+            self.peak_memory_per_node[global] =
+                self.peak_memory_per_node[global].max(other.peak_memory_per_node[local]);
+        }
+        if self.round_traffic.len() < other.round_traffic.len() {
+            self.round_traffic.resize(other.round_traffic.len(), 0);
+        }
+        for (slot, &traffic) in self.round_traffic.iter_mut().zip(&other.round_traffic) {
+            *slot += traffic;
+        }
         self.max_edge_words = self.max_edge_words.max(other.max_edge_words);
         self.max_node_sends_per_round =
             self.max_node_sends_per_round.max(other.max_node_sends_per_round);
@@ -149,6 +200,40 @@ mod tests {
     fn merge_rejects_mismatched() {
         let mut a = Metrics::new(2);
         a.merge(&Metrics::new(3));
+    }
+
+    #[test]
+    fn absorb_parallel_maxes_rounds_and_scatters_nodes() {
+        let mut total = Metrics::empty(4);
+        let mut a = Metrics::new(2);
+        a.rounds = 7;
+        a.messages = 5;
+        a.words = 6;
+        a.sent_per_node = vec![2, 3];
+        a.peak_memory_per_node = vec![10, 20];
+        a.round_traffic = vec![1, 1, 1];
+        let mut b = Metrics::new(2);
+        b.rounds = 4;
+        b.messages = 2;
+        b.words = 2;
+        b.sent_per_node = vec![1, 1];
+        b.peak_memory_per_node = vec![30, 5];
+        b.round_traffic = vec![2, 2];
+        total.absorb_parallel(&a, &[0, 2]);
+        total.absorb_parallel(&b, &[1, 3]);
+        assert_eq!(total.rounds, 7); // parallel: max, not sum
+        assert_eq!(total.messages, 7);
+        assert_eq!(total.words, 8);
+        assert_eq!(total.sent_per_node, vec![2, 1, 3, 1]);
+        assert_eq!(total.peak_memory_per_node, vec![10, 30, 20, 5]);
+        assert_eq!(total.round_traffic, vec![3, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node_map must cover")]
+    fn absorb_parallel_rejects_wrong_map_len() {
+        let mut total = Metrics::empty(4);
+        total.absorb_parallel(&Metrics::new(2), &[0]);
     }
 
     #[test]

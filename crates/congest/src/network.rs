@@ -6,6 +6,9 @@ use dhc_graph::Graph;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// One node's messages for a round, as `(sender, message)` pairs.
+type Inbox<M> = Vec<(NodeId, M)>;
+
 /// A synchronous CONGEST network: a topology, one [`Protocol`] instance per
 /// node, and the round scheduler.
 ///
@@ -19,7 +22,7 @@ pub struct Network<'g, P: Protocol> {
     halted: Vec<bool>,
     halted_count: usize,
     /// Inboxes for the *next* round.
-    pending: Vec<Vec<(NodeId, P::Msg)>>,
+    pending: Vec<Inbox<P::Msg>>,
     /// Scheduled wake-ups as (round, node).
     wakes: BinaryHeap<Reverse<(usize, NodeId)>>,
     round: usize,
@@ -155,7 +158,7 @@ impl<'g, P: Protocol> Network<'g, P> {
         }
 
         let mut round_messages = 0u64;
-        let mut inboxes: Vec<(NodeId, Vec<(NodeId, P::Msg)>)> = Vec::with_capacity(active.len());
+        let mut inboxes: Vec<(NodeId, Inbox<P::Msg>)> = Vec::with_capacity(active.len());
         for &v in &active {
             let mut inbox = std::mem::take(&mut self.pending[v]);
             inbox.sort_by_key(|&(from, _)| from);
@@ -170,7 +173,7 @@ impl<'g, P: Protocol> Network<'g, P> {
 
         // Halted nodes consume (drop) their messages without running.
         let mut runnable: Vec<NodeId> = Vec::with_capacity(inboxes.len());
-        let mut inbox_of: Vec<Vec<(NodeId, P::Msg)>> = Vec::with_capacity(inboxes.len());
+        let mut inbox_of: Vec<Inbox<P::Msg>> = Vec::with_capacity(inboxes.len());
         for (v, inbox) in inboxes {
             if !self.halted[v] {
                 runnable.push(v);
@@ -187,7 +190,7 @@ impl<'g, P: Protocol> Network<'g, P> {
         &mut self,
         ids: &[NodeId],
         kind: CallKind,
-        mut inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+        mut inboxes: Vec<Inbox<P::Msg>>,
     ) -> Result<(), SimError> {
         for (idx, &v) in ids.iter().enumerate() {
             let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
@@ -432,8 +435,8 @@ mod tests {
     #[test]
     fn non_neighbor_send_is_error() {
         let g = dhc_graph::generator::path_graph(3); // 0-1-2: 0 and 2 not adjacent
-        let err = Network::new(&g, Config::default(), vec![BadSender, BadSender, BadSender])
-            .unwrap_err();
+        let err =
+            Network::new(&g, Config::default(), vec![BadSender, BadSender, BadSender]).unwrap_err();
         assert!(matches!(err, SimError::NotANeighbor { from: 0, to: 2, .. }));
     }
 
@@ -464,11 +467,7 @@ mod tests {
     #[test]
     fn wider_bandwidth_allows_it() {
         let g = dhc_graph::generator::path_graph(2);
-        let net = Network::new(
-            &g,
-            Config::default().with_bandwidth_words(2),
-            vec![Chatty, Chatty],
-        );
+        let net = Network::new(&g, Config::default().with_bandwidth_words(2), vec![Chatty, Chatty]);
         assert!(net.is_ok());
     }
 
@@ -516,12 +515,9 @@ mod tests {
     #[test]
     fn wake_in_schedules_exact_rounds() {
         let g = dhc_graph::Graph::from_edges(1, []).unwrap();
-        let mut net = Network::new(
-            &g,
-            Config::default(),
-            vec![Timer { remaining: 2, fired_rounds: vec![] }],
-        )
-        .unwrap();
+        let mut net =
+            Network::new(&g, Config::default(), vec![Timer { remaining: 2, fired_rounds: vec![] }])
+                .unwrap();
         let _ = net.run().unwrap();
         assert_eq!(net.nodes()[0].fired_rounds, vec![3, 5, 7]);
     }
@@ -546,8 +542,10 @@ mod tests {
         let mut net = Network::new(&g, cfg, flood_nodes(3)).unwrap();
         let _ = net.run().unwrap();
         let trace = net.trace();
-        let sends = trace.events().iter().filter(|e| matches!(e, crate::TraceEvent::Sent { .. })).count();
-        let halts = trace.events().iter().filter(|e| matches!(e, crate::TraceEvent::Halted { .. })).count();
+        let sends =
+            trace.events().iter().filter(|e| matches!(e, crate::TraceEvent::Sent { .. })).count();
+        let halts =
+            trace.events().iter().filter(|e| matches!(e, crate::TraceEvent::Halted { .. })).count();
         assert_eq!(sends as u64, net.metrics().messages);
         assert_eq!(halts, 3);
         assert_eq!(trace.dropped(), 0);

@@ -36,6 +36,13 @@ pub struct DhcConfig {
     pub sample_factor: f64,
     /// Upcast: retries for the root's local rotation solve.
     pub root_solve_retries: usize,
+    /// Worker threads for Phase 1's independent per-partition DRA
+    /// simulations: `1` (the default) runs them sequentially, `0` uses
+    /// all available cores. Results are **identical for every value**
+    /// — each partition's simulation is an isolated deterministic run
+    /// keyed by the master seed, and outputs are folded in partition
+    /// order — so this trades wall-clock time only.
+    pub parallelism: usize,
 }
 
 impl DhcConfig {
@@ -50,6 +57,7 @@ impl DhcConfig {
             bandwidth_words: 16,
             sample_factor: 8.0,
             root_solve_retries: 8,
+            parallelism: 1,
         }
     }
 
@@ -75,6 +83,26 @@ impl DhcConfig {
     pub fn with_sample_factor(mut self, f: f64) -> Self {
         self.sample_factor = f;
         self
+    }
+
+    /// Sets the Phase-1 worker-thread count (`0` = all available
+    /// cores). Parallelism never changes results, only wall-clock time;
+    /// see [`parallelism`](Self::parallelism).
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads;
+        self
+    }
+
+    /// The concrete worker-thread count for `jobs` independent
+    /// partition simulations, resolving `parallelism == 0` to the
+    /// machine's available cores and never exceeding the job count.
+    pub fn effective_parallelism(&self, jobs: usize) -> usize {
+        let requested = if self.parallelism == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.parallelism
+        };
+        requested.min(jobs).max(1)
     }
 
     /// Number of Phase-1 partitions for an `n`-node graph.
@@ -142,6 +170,19 @@ mod tests {
         let mut cfg = DhcConfig::new(0);
         cfg.sample_factor = -1.0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        let cfg = DhcConfig::new(0);
+        assert_eq!(cfg.parallelism, 1);
+        assert_eq!(cfg.effective_parallelism(100), 1);
+        let cfg = cfg.with_parallelism(8);
+        assert_eq!(cfg.effective_parallelism(3), 3); // never more threads than jobs
+        assert_eq!(cfg.effective_parallelism(100), 8);
+        assert_eq!(cfg.effective_parallelism(0), 1); // degenerate job count
+        let auto = DhcConfig::new(0).with_parallelism(0);
+        assert!(auto.effective_parallelism(usize::MAX) >= 1);
     }
 
     #[test]

@@ -153,30 +153,19 @@ pub(crate) fn apply_decision(st: &mut CycleState, d: &Decision, active_side: boo
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum MergeMsg {
     /// Current color announcement (round 1).
-    Color {
-        color: u32,
-    },
+    Color { color: u32 },
     /// Passive node → active neighbors: cycle bookkeeping needed to test
     /// bridges (the paper's `verified` reply, batched).
-    SuccPred {
-        succ: NodeId,
-        pred: NodeId,
-        idx: usize,
-        size: usize,
-    },
+    SuccPred { succ: NodeId, pred: NodeId, idx: usize, size: usize },
     /// Pipelined item: one partner-colored neighbor id of the sender
     /// (sent from `u` to its cycle predecessor `v`).
-    NbrItem {
-        x: NodeId,
-    },
+    NbrItem { x: NodeId },
     /// End of the pipelined neighbor list.
     NbrEnd,
     /// Collect-wave flood over the active color class.
     CollectReq,
     /// Collect-wave echo carrying the subtree's best candidate.
-    CollectReply {
-        best: Option<Candidate>,
-    },
+    CollectReply { best: Option<Candidate> },
     /// The chosen bridge, flooded over both color classes.
     Decision(Decision),
     /// No bridge exists for this pair: abort flood.
@@ -702,12 +691,12 @@ mod tests {
         assert_eq!(sts[4].idx, 3); // w
         assert_eq!(sts[3].idx, 4);
         assert_eq!(sts[5].idx, 5); // x
-        // Pointers around the splice.
+                                   // Pointers around the splice.
         assert_eq!(sts[1].succ, 4); // v -> w
         assert_eq!(sts[4].pred, 1); // w <- v
         assert_eq!(sts[5].succ, 2); // x -> u
         assert_eq!(sts[2].pred, 5); // u <- x
-        // Cycle 2 interior reversed: node 3 (between w and x in new order).
+                                    // Cycle 2 interior reversed: node 3 (between w and x in new order).
         assert_eq!(sts[3].succ, 5);
         assert_eq!(sts[3].pred, 4);
         for st in &sts {
@@ -716,7 +705,7 @@ mod tests {
         }
         // Walk the successor map: must be one 6-cycle with consistent idx.
         let succ: Vec<usize> = sts.iter().map(|s| s.succ).collect();
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         let mut cur = 0;
         for _ in 0..6 {
             assert!(!seen[cur]);
@@ -767,7 +756,7 @@ mod tests {
         assert_eq!(sts[2].pred, 3);
         let succ: Vec<usize> = sts.iter().map(|s| s.succ).collect();
         let mut cur = 0;
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for _ in 0..6 {
             assert!(!seen[cur]);
             seen[cur] = true;

@@ -184,10 +184,19 @@ impl DraNode {
     /// Creates the protocol state for node `id` with partition color
     /// `color`; randomness is derived from `(seed, id)`.
     pub fn new(id: NodeId, color: u32, seed: u64) -> Self {
+        Self::with_rng_stream(id, color, derive_seed(seed, id as u64))
+    }
+
+    /// Like [`new`](DraNode::new), but with the RNG stream seed given
+    /// directly. The partition runner uses this to key each node's
+    /// stream by its **global** id even when the node runs under a
+    /// local id inside a per-partition subgraph simulation, so results
+    /// are identical however partitions are scheduled.
+    pub fn with_rng_stream(id: NodeId, color: u32, stream: u64) -> Self {
         DraNode {
             id,
             color,
-            rng: SmallRng::seed_from_u64(derive_seed(seed, id as u64)),
+            rng: SmallRng::seed_from_u64(stream),
             part_nbrs: Vec::new(),
             colors_known: false,
             best_root: id,
@@ -280,9 +289,8 @@ impl DraNode {
             return;
         }
         if self.rot_initiator {
-            let target = self
-                .rot_resume_target
-                .expect("initiator saved its old successor as resume target");
+            let target =
+                self.rot_resume_target.expect("initiator saved its old successor as resume target");
             ctx.send(target, DraMsg::Resume);
             self.rot_initiator = false;
         } else if let Some(p) = self.rot_parent {
@@ -371,6 +379,7 @@ impl DraNode {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // one parameter per message field
     fn on_rotation(
         &mut self,
         ctx: &mut Context<'_, DraMsg>,
@@ -402,7 +411,14 @@ impl DraNode {
         self.rot_complete_check(ctx);
     }
 
-    fn on_done(&mut self, ctx: &mut Context<'_, DraMsg>, s: NodeId, tail: NodeId, head: NodeId, size: usize) {
+    fn on_done(
+        &mut self,
+        ctx: &mut Context<'_, DraMsg>,
+        s: NodeId,
+        tail: NodeId,
+        head: NodeId,
+        size: usize,
+    ) {
         if self.done || self.failed.is_some() {
             return;
         }

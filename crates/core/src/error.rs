@@ -98,7 +98,9 @@ impl fmt::Display for DhcError {
             DhcError::RootSolveFailed { sampled_edges } => {
                 write!(f, "upcast root found no hamiltonian cycle in {sampled_edges} sampled edges")
             }
-            DhcError::InvalidCycle(e) => write!(f, "assembled output is not a hamiltonian cycle: {e}"),
+            DhcError::InvalidCycle(e) => {
+                write!(f, "assembled output is not a hamiltonian cycle: {e}")
+            }
             DhcError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
         }
     }

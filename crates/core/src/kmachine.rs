@@ -160,10 +160,7 @@ mod tests {
 
     #[test]
     fn rvp_deterministic() {
-        assert_eq!(
-            RandomVertexPartition::new(100, 4, 9),
-            RandomVertexPartition::new(100, 4, 9)
-        );
+        assert_eq!(RandomVertexPartition::new(100, 4, 9), RandomVertexPartition::new(100, 4, 9));
     }
 
     #[test]
@@ -174,10 +171,12 @@ mod tests {
 
     #[test]
     fn conversion_terms_scale_with_k() {
-        let mut m = Metrics::default();
-        m.rounds = 1000;
-        m.messages = 1_000_000;
-        m.max_node_sends_per_round = 50;
+        let m = Metrics {
+            rounds: 1000,
+            messages: 1_000_000,
+            max_node_sends_per_round: 50,
+            ..Default::default()
+        };
         let e4 = ConversionEstimate::from_metrics(&m, 4);
         let e16 = ConversionEstimate::from_metrics(&m, 16);
         assert!(e16.round_bound() < e4.round_bound());

@@ -75,7 +75,9 @@ pub fn cycle_from_incident_pairs(
         // Mutual consistency: `next` must list `cur`.
         let np = &pairs[next.min(n - 1)];
         if next >= n || (np.a != cur && np.b != cur) {
-            return Err(DhcError::InvalidCycle(CycleError::MissingSuccessor { node: next.min(n - 1) }));
+            return Err(DhcError::InvalidCycle(CycleError::MissingSuccessor {
+                node: next.min(n - 1),
+            }));
         }
         prev = cur;
         cur = next;

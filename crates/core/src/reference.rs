@@ -48,10 +48,8 @@ pub fn dhc2_reference(graph: &Graph, k: usize, seed: u64) -> Result<HamiltonianC
         let mut next: Vec<Cycle> = Vec::with_capacity(cycles.len().div_ceil(2));
         let mut iter = cycles.chunks_exact(2);
         for pair in iter.by_ref() {
-            let merged = merge_pair(graph, &pair[0], &pair[1]).ok_or(DhcError::NoBridge {
-                level,
-                color: (next.len() * 2) as u32,
-            })?;
+            let merged = merge_pair(graph, &pair[0], &pair[1])
+                .ok_or(DhcError::NoBridge { level, color: (next.len() * 2) as u32 })?;
             next.push(merged);
         }
         if let [leftover] = iter.remainder() {
@@ -87,11 +85,7 @@ pub fn dhc1_reference(graph: &Graph, k: usize, seed: u64) -> Result<HamiltonianC
 }
 
 /// Phase 1: a verified subcycle per non-empty color class.
-fn phase1_cycles(
-    graph: &Graph,
-    partition: &Partition,
-    seed: u64,
-) -> Result<Vec<Cycle>, DhcError> {
+fn phase1_cycles(graph: &Graph, partition: &Partition, seed: u64) -> Result<Vec<Cycle>, DhcError> {
     let mut cycles = Vec::new();
     for (color, class) in partition.classes().iter().enumerate() {
         if class.is_empty() {
@@ -169,7 +163,7 @@ fn splice(a: &Cycle, b: &Cycle, i: usize, j: usize, succ_side: bool) -> Cycle {
     Cycle { order }
 }
 
-/// Hypernode stitching with terminal bookkeeping (the DESIGN.md §2
+/// Hypernode stitching with terminal bookkeeping (the
 /// construction, sequential form). Hypernode `i`'s terminals are the first
 /// and last node of cycle `i`'s order.
 fn stitch_hypernodes<R: Rng + ?Sized>(

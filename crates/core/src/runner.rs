@@ -2,11 +2,14 @@
 //! a verified cycle plus metrics.
 
 use crate::dra::DraNode;
+use crate::error::PartitionFailure;
 use crate::output::pairs_from_links;
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
 use dhc_congest::{Metrics, Network};
 use dhc_graph::rng::{derive_seed, rng_from_seed};
 use dhc_graph::{Graph, HamiltonianCycle, NodeId, Partition};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
 
 /// Per-phase cost breakdown of a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,23 +50,177 @@ pub(crate) struct Phase1Outcome {
     pub metrics: Metrics,
 }
 
+/// One node's raw Phase-1 protocol result, already mapped back to
+/// global ids.
+#[derive(Debug, Clone, Copy)]
+struct RawPhase1 {
+    color: u32,
+    failed: Option<PartitionFailure>,
+    done: bool,
+    cycindex: Option<usize>,
+    succ: Option<NodeId>,
+    pred: Option<NodeId>,
+    cycle_size: Option<usize>,
+}
+
+/// One partition's completed simulation: its member map (`local →
+/// global`), the extracted protocol states, and the run's metrics.
+struct PartitionRun {
+    map: Vec<NodeId>,
+    raw: Vec<RawPhase1>,
+    metrics: Metrics,
+}
+
+/// Simulates one color class's DRA instance on its induced subgraph.
+///
+/// The subgraph relabels members to local ids `0..k` in ascending
+/// global-id order, but each node's RNG stream stays keyed by its
+/// **global** id, so the run is a pure function of
+/// `(graph, members, color, seed)` — independent of how the other
+/// partitions are scheduled. Messages that crossed partition
+/// boundaries in a whole-graph simulation carried only the round-1
+/// color exchange, which the subgraph construction resolves up front.
+fn run_one_partition(
+    graph: &Graph,
+    color: u32,
+    members: &[NodeId],
+    cfg: &DhcConfig,
+    seed_base: u64,
+) -> Result<PartitionRun, DhcError> {
+    let (sub, map) =
+        graph.induced_subgraph(members).expect("partition classes hold valid, distinct node ids");
+    let protocols: Vec<DraNode> = map
+        .iter()
+        .enumerate()
+        .map(|(local, &global)| {
+            DraNode::with_rng_stream(local, color, derive_seed(seed_base, global as u64))
+        })
+        .collect();
+    let mut net = Network::new(&sub, cfg.sim_config(), protocols)?;
+    net.run()?;
+    let metrics = net.metrics().clone();
+    let raw = net
+        .into_nodes()
+        .iter()
+        .map(|node| RawPhase1 {
+            color,
+            failed: node.failed,
+            done: node.done,
+            cycindex: node.cycindex,
+            succ: node.succ.map(|s| map[s]),
+            pred: node.pred.map(|p| map[p]),
+            cycle_size: node.cycle_size,
+        })
+        .collect();
+    Ok(PartitionRun { map, raw, metrics })
+}
+
+/// Charges the round-1 `Color` announcements that cross partition
+/// boundaries. The distributed algorithm pays one 1-word message per
+/// directed edge in round 1 regardless of the receiver's color, but
+/// the cross-color share does not exist inside the per-partition
+/// subgraph simulations — without this correction the partitioned
+/// runner would systematically under-report message/word totals and
+/// per-node load relative to a whole-graph execution.
+fn account_cross_color_exchange(metrics: &mut Metrics, graph: &Graph, colors: &[u32]) {
+    let n = graph.node_count();
+    let mut cross = vec![0u64; n];
+    let mut total = 0u64;
+    for (u, v) in graph.edges() {
+        if colors[u] != colors[v] {
+            cross[u] += 1;
+            cross[v] += 1;
+            total += 2;
+        }
+    }
+    if total == 0 {
+        return;
+    }
+    metrics.messages += total;
+    metrics.words += total;
+    for (v, &c) in cross.iter().enumerate() {
+        // Symmetric: each cross edge carries one announcement each way,
+        // and the old whole-graph engine charged one compute unit per
+        // delivered message.
+        metrics.sent_per_node[v] += c;
+        metrics.received_per_node[v] += c;
+        metrics.compute_per_node[v] += c;
+    }
+    if metrics.round_traffic.is_empty() {
+        metrics.round_traffic.push(total);
+    } else {
+        metrics.round_traffic[0] += total;
+    }
+    // In round 1 every node's outbox is its full degree, and each edge
+    // carries at least the 1-word color announcement.
+    let max_degree = graph.max_degree();
+    metrics.max_node_sends_per_round = metrics.max_node_sends_per_round.max(max_degree);
+    metrics.max_edge_words = metrics.max_edge_words.max(1);
+}
+
 /// Runs the per-partition DRA (Phase 1 of DHC1/DHC2) for the given node
 /// coloring and validates that every partition built a full subcycle.
+///
+/// Each color class is an **isolated** simulation over its induced
+/// subgraph, so the classes execute concurrently on up to
+/// [`DhcConfig::effective_parallelism`] worker threads (the paper's
+/// Phase 1 runs its `√n` / `n^{1-δ}` DRA instances simultaneously —
+/// this is the same structure, exploited for wall-clock speed).
+/// Outcomes are folded in ascending color order and every per-node
+/// stream is keyed by the global node id, so the result is identical
+/// for every parallelism level.
 pub(crate) fn run_phase1(
     graph: &Graph,
     colors: &[u32],
     cfg: &DhcConfig,
 ) -> Result<Phase1Outcome, DhcError> {
     let n = graph.node_count();
-    let nodes: Vec<DraNode> = (0..n)
-        .map(|v| DraNode::new(v, colors[v], derive_seed(cfg.seed, 0x0001)))
-        .collect();
-    let mut net = Network::new(graph, cfg.sim_config(), nodes)?;
-    let report = net.run()?;
-    let nodes = net.into_nodes();
+    let seed_base = derive_seed(cfg.seed, 0x0001);
+    let mut classes: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    for (v, &color) in colors.iter().enumerate() {
+        classes.entry(color).or_default().push(v);
+    }
+    let jobs: Vec<(u32, Vec<NodeId>)> = classes.into_iter().collect();
 
-    // Validate: everyone done, nobody failed.
-    for node in &nodes {
+    let threads = cfg.effective_parallelism(jobs.len());
+    let run_job = |&(color, ref members): &(u32, Vec<NodeId>)| -> Result<PartitionRun, DhcError> {
+        run_one_partition(graph, color, members, cfg, seed_base)
+    };
+    // A fresh scoped pool per call is free with the vendored rayon
+    // stand-in (no persistent workers); if the real rayon is swapped
+    // in, hoist this to a per-config pool to avoid per-run thread
+    // spawn overhead in trial sweeps.
+    let results: Vec<Result<PartitionRun, DhcError>> = if threads <= 1 {
+        jobs.iter().map(run_job).collect()
+    } else {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("phase-1 worker pool");
+        pool.install(|| jobs.par_iter().map(run_job).collect())
+    };
+
+    // Fold in partition (color) order: simulation faults surface for the
+    // lowest failing color, metrics compose as one parallel phase, and
+    // per-node states scatter back to global ids.
+    let mut metrics = Metrics::empty(n);
+    let mut raw_of: Vec<Option<RawPhase1>> = vec![None; n];
+    for result in results {
+        let run = result?;
+        metrics.absorb_parallel(&run.metrics, &run.map);
+        for (local, &global) in run.map.iter().enumerate() {
+            raw_of[global] = Some(run.raw[local]);
+        }
+    }
+    account_cross_color_exchange(&mut metrics, graph, colors);
+
+    // Validate in global node order (stable error selection): everyone
+    // done, nobody failed.
+    let raw_of: Vec<RawPhase1> = raw_of
+        .into_iter()
+        .collect::<Option<_>>()
+        .expect("every node belongs to exactly one color class");
+    for node in &raw_of {
         if let Some(reason) = node.failed {
             return Err(DhcError::PartitionFailed { color: node.color, reason });
         }
@@ -72,30 +229,30 @@ pub(crate) fn run_phase1(
     // against internally disconnected partitions that each built a
     // component-local cycle).
     let mut class_size = std::collections::HashMap::new();
-    for node in &nodes {
+    for node in &raw_of {
         *class_size.entry(node.color).or_insert(0usize) += 1;
     }
     let mut states = Vec::with_capacity(n);
-    for node in &nodes {
+    for node in &raw_of {
         let expected = class_size[&node.color];
         let (Some(cycindex), Some(succ), Some(pred), Some(cycle_size), true) =
             (node.cycindex, node.succ, node.pred, node.cycle_size, node.done)
         else {
             return Err(DhcError::PartitionFailed {
                 color: node.color,
-                reason: crate::error::PartitionFailure::OutOfEdges,
+                reason: PartitionFailure::OutOfEdges,
             });
         };
         if cycle_size != expected {
             // A component-local cycle: the partition was disconnected.
             return Err(DhcError::PartitionFailed {
                 color: node.color,
-                reason: crate::error::PartitionFailure::TooSmall,
+                reason: PartitionFailure::TooSmall,
             });
         }
         states.push(Phase1State { color: node.color, cycindex, succ, pred, cycle_size });
     }
-    Ok(Phase1Outcome { states, metrics: report.metrics })
+    Ok(Phase1Outcome { states, metrics })
 }
 
 /// One partition's completed subcycle, as produced by
@@ -316,12 +473,38 @@ mod tests {
     }
 
     #[test]
+    fn cross_color_exchange_accounting() {
+        // Square 0-1-2-3 colored by parity: all 4 edges are cross-color,
+        // so round 1 pays 8 directed 1-word announcements.
+        let g = dhc_graph::Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let colors = [0, 1, 0, 1];
+        let mut m = Metrics::empty(4);
+        account_cross_color_exchange(&mut m, &g, &colors);
+        assert_eq!(m.messages, 8);
+        assert_eq!(m.words, 8);
+        assert_eq!(m.sent_per_node, vec![2, 2, 2, 2]);
+        assert_eq!(m.received_per_node, vec![2, 2, 2, 2]);
+        assert_eq!(m.round_traffic, vec![8]);
+        assert_eq!(m.max_node_sends_per_round, 2);
+
+        // Uniform coloring: nothing crosses, metrics untouched.
+        let mut m = Metrics::empty(4);
+        account_cross_color_exchange(&mut m, &g, &[0; 4]);
+        assert_eq!(m, Metrics::empty(4));
+    }
+
+    #[test]
     fn dra_memory_stays_local() {
         // Fully-distributed property: peak memory O(degree), not O(n).
+        // DRA succeeds whp, not surely; take the first succeeding seed
+        // in a small window.
         let n = 128;
         let p = 0.2;
         let g = generator::gnp(n, p, &mut dhc_graph::rng::rng_from_seed(1)).unwrap();
-        let out = run_dra(&g, &DhcConfig::new(5)).unwrap();
+        let out = (5..13)
+            .filter_map(|seed| run_dra(&g, &DhcConfig::new(seed)).ok())
+            .next()
+            .expect("DRA should succeed for at least one of 8 seeds");
         let max_mem = out.metrics.max_memory();
         assert!(max_mem <= 2 * g.max_degree() + 64, "max mem {max_mem}");
     }

@@ -355,15 +355,17 @@ impl Protocol for UpcastNode {
         // (Deterministic tie-breaking would funnel whole BFS levels through
         // the lowest-id parent and destroy the subtree balance that Lemma 18
         // relies on for the pipelined congestion bound.)
-        let wave_min =
-            inbox.iter().filter_map(|&(_, ref m)| match *m {
+        let wave_min = inbox
+            .iter()
+            .filter_map(|(_, m)| match *m {
                 UpMsg::Wave { root } => Some(root),
                 _ => None,
-            }).min();
+            })
+            .min();
         if let Some(r) = wave_min {
             let senders: Vec<NodeId> = inbox
                 .iter()
-                .filter(|&&(_, ref m)| matches!(*m, UpMsg::Wave { root } if root == r))
+                .filter(|(_, m)| matches!(*m, UpMsg::Wave { root } if root == r))
                 .map(|&(f, _)| f)
                 .collect();
             if r < self.best_root {
@@ -462,8 +464,7 @@ pub(crate) fn run(graph: &Graph, cfg: &DhcConfig, all_edges: bool) -> Result<Run
     if n < 3 {
         return Err(DhcError::GraphTooSmall { n });
     }
-    let nodes: Vec<UpcastNode> =
-        (0..n).map(|v| UpcastNode::new(v, cfg, all_edges)).collect();
+    let nodes: Vec<UpcastNode> = (0..n).map(|v| UpcastNode::new(v, cfg, all_edges)).collect();
     let mut net = Network::new(graph, cfg.sim_config(), nodes)?;
     let report = net.run()?;
     let nodes = net.into_nodes();

@@ -1,0 +1,78 @@
+//! Phase-1 parallelism must be an implementation detail: for a fixed
+//! seed, every `DhcConfig::with_parallelism` level must produce exactly
+//! the same cycles, metrics, and errors. Each per-partition DRA
+//! simulation is an isolated deterministic run keyed by global node
+//! ids, and outcomes fold in partition order — these tests pin that
+//! contract.
+
+use dhc_core::{run_dhc1, run_dhc2, run_partition_cycles, DhcConfig, DhcError};
+use dhc_graph::{generator, rng::rng_from_seed, Graph, Partition};
+
+/// A dense instance on which DHC2 with several partitions succeeds for
+/// the fixed seeds below.
+fn dense_graph(n: usize, seed: u64) -> Graph {
+    generator::gnp(n, 0.6, &mut rng_from_seed(seed)).unwrap()
+}
+
+#[test]
+fn dhc2_identical_across_parallelism_levels() {
+    let g = dense_graph(192, 7);
+    let base = DhcConfig::new(11).with_partitions(6);
+    let serial = run_dhc2(&g, &base.clone().with_parallelism(1)).unwrap();
+    for threads in [2, 3, 8, 0] {
+        let parallel = run_dhc2(&g, &base.clone().with_parallelism(threads)).unwrap();
+        assert_eq!(
+            serial.cycle.order(),
+            parallel.cycle.order(),
+            "cycle diverged at parallelism {threads}"
+        );
+        assert_eq!(serial.metrics, parallel.metrics, "metrics diverged at parallelism {threads}");
+        assert_eq!(
+            serial.phases, parallel.phases,
+            "phase breakdown diverged at parallelism {threads}"
+        );
+    }
+}
+
+#[test]
+fn dhc1_identical_across_parallelism_levels() {
+    let g = dense_graph(160, 21);
+    let base = DhcConfig::new(23).with_partitions(5);
+    let serial = run_dhc1(&g, &base.clone().with_parallelism(1));
+    let parallel = run_dhc1(&g, &base.clone().with_parallelism(4));
+    match (serial, parallel) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.cycle.order(), b.cycle.order());
+            assert_eq!(a.metrics, b.metrics);
+        }
+        (Err(a), Err(b)) => assert_eq!(a, b),
+        (a, b) => panic!("serial and parallel outcomes diverged: {a:?} vs {b:?}"),
+    }
+}
+
+#[test]
+fn partition_cycles_identical_across_parallelism_levels() {
+    let g = dense_graph(120, 3);
+    let partition = Partition::random(120, 4, &mut rng_from_seed(5));
+    let cfg = DhcConfig::new(9);
+    let (serial_cycles, serial_metrics) =
+        run_partition_cycles(&g, &partition, &cfg.clone().with_parallelism(1)).unwrap();
+    let (parallel_cycles, parallel_metrics) =
+        run_partition_cycles(&g, &partition, &cfg.clone().with_parallelism(4)).unwrap();
+    assert_eq!(serial_cycles, parallel_cycles);
+    assert_eq!(serial_metrics, parallel_metrics);
+}
+
+#[test]
+fn failures_are_identical_across_parallelism_levels() {
+    // Two disjoint triangles under one coloring: partition 0 spans both
+    // components, so Phase 1 must fail identically at every level.
+    let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+    let partition = Partition::from_colors(vec![0; 6], 1);
+    let serial =
+        run_partition_cycles(&g, &partition, &DhcConfig::new(1).with_parallelism(1)).unwrap_err();
+    let parallel =
+        run_partition_cycles(&g, &partition, &DhcConfig::new(1).with_parallelism(4)).unwrap_err();
+    assert!(matches!(serial, DhcError::PartitionFailed { .. }), "{serial:?}");
+    assert_eq!(serial, parallel);
+}

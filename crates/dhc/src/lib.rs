@@ -23,7 +23,10 @@
 //! let n = 256;
 //! let p = thresholds::edge_probability(n, 0.5, 6.0);
 //! let g = generator::gnp(n, p, &mut rng_from_seed(1))?;
-//! let outcome = run_dhc2(&g, &DhcConfig::new(7).with_partitions(8))?;
+//! // Phase 1 runs its independent per-partition simulations on two
+//! // worker threads; any parallelism level yields identical results.
+//! let cfg = DhcConfig::new(7).with_partitions(8).with_parallelism(2);
+//! let outcome = run_dhc2(&g, &cfg)?;
 //! assert_eq!(outcome.cycle.len(), n);
 //! # Ok(())
 //! # }
@@ -42,3 +45,9 @@ pub use dhc_core::{
     run_collect_all, run_dhc1, run_dhc2, run_dra, run_upcast, DhcConfig, DhcError, RunOutcome,
 };
 pub use dhc_graph::{Graph, HamiltonianCycle};
+
+/// Compiles the workspace README's code blocks as doctests, so the
+/// documented quickstart can never drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../../../README.md")]
+pub struct ReadmeDoctests;

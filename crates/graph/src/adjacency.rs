@@ -175,10 +175,7 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Graph")
-            .field("n", &self.node_count())
-            .field("m", &self.m)
-            .finish()
+        f.debug_struct("Graph").field("n", &self.node_count()).field("m", &self.m).finish()
     }
 }
 

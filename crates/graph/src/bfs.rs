@@ -65,9 +65,9 @@ impl BfsTree {
     pub fn subtree_sizes(&self) -> Vec<usize> {
         let n = self.parent.len();
         let mut size = vec![0usize; n];
-        for v in 0..n {
+        for (v, s) in size.iter_mut().enumerate() {
             if self.depth[v] != UNREACHABLE {
-                size[v] = 1;
+                *s = 1;
             }
         }
         // Process nodes deepest-first so children accumulate before parents.
@@ -157,12 +157,8 @@ pub fn bfs_tree_randomized<R: rand::Rng + ?Sized>(
         }
         next.sort_unstable();
         for &w in &next {
-            let candidates: Vec<NodeId> = graph
-                .neighbors(w)
-                .iter()
-                .copied()
-                .filter(|&u| depth[u] == d - 1)
-                .collect();
+            let candidates: Vec<NodeId> =
+                graph.neighbors(w).iter().copied().filter(|&u| depth[u] == d - 1).collect();
             let pick = candidates[rng.gen_range(0..candidates.len())];
             parent[w] = Some(pick);
         }
@@ -279,8 +275,8 @@ mod tests {
         let mut rng = crate::rng::rng_from_seed(3);
         let t = bfs_tree_randomized(&g, 0, &mut rng);
         let d = distances(&g, 0);
-        for v in 0..25 {
-            assert_eq!(t.depth[v], d[v], "depth mismatch at {v}");
+        for (v, &dist) in d.iter().enumerate() {
+            assert_eq!(t.depth[v], dist, "depth mismatch at {v}");
             if v != 0 {
                 let p = t.parent[v].unwrap();
                 assert!(g.has_edge(v, p));
@@ -301,8 +297,10 @@ mod tests {
         let rnd = bfs_tree_randomized(&g, 0, &mut crate::rng::rng_from_seed(5));
         let imbalance = |t: &BfsTree| {
             let sizes = t.subtree_sizes();
-            let kids: Vec<usize> = (0..n).filter(|&v| t.parent[v] == Some(0)).map(|v| sizes[v]).collect();
-            *kids.iter().max().unwrap() as f64 / (kids.iter().sum::<usize>() as f64 / kids.len() as f64)
+            let kids: Vec<usize> =
+                (0..n).filter(|&v| t.parent[v] == Some(0)).map(|v| sizes[v]).collect();
+            *kids.iter().max().unwrap() as f64
+                / (kids.iter().sum::<usize>() as f64 / kids.len() as f64)
         };
         assert!(
             imbalance(&rnd) < imbalance(&det) / 2.0,

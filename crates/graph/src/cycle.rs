@@ -145,10 +145,7 @@ impl HamiltonianCycle {
     /// Returns a [`CycleError`]; in particular
     /// [`CycleError::NotASingleCycle`] if the map decomposes into several
     /// cycles, and [`CycleError::MissingSuccessor`] if an entry is `None`.
-    pub fn from_successors(
-        graph: &Graph,
-        succ: &[Option<NodeId>],
-    ) -> Result<Self, CycleError> {
+    pub fn from_successors(graph: &Graph, succ: &[Option<NodeId>]) -> Result<Self, CycleError> {
         let n = graph.node_count();
         if n < 3 {
             return Err(CycleError::GraphTooSmall { n });
@@ -170,10 +167,7 @@ impl HamiltonianCycle {
                 }
             }
             if v == 0 && order.len() < n {
-                return Err(CycleError::NotASingleCycle {
-                    cycle_length: order.len(),
-                    expected: n,
-                });
+                return Err(CycleError::NotASingleCycle { cycle_length: order.len(), expected: n });
             }
         }
         if v != 0 {
@@ -220,10 +214,7 @@ impl HamiltonianCycle {
 
     /// Position of `v` in the visiting order.
     fn position(&self, v: NodeId) -> usize {
-        self.order
-            .iter()
-            .position(|&x| x == v)
-            .unwrap_or_else(|| panic!("node {v} not on cycle"))
+        self.order.iter().position(|&x| x == v).unwrap_or_else(|| panic!("node {v} not on cycle"))
     }
 
     /// The per-node successor map (inverse of [`from_successors`](Self::from_successors)).

@@ -19,9 +19,8 @@ use std::fmt::Write as _;
 /// assert!(s.contains("color=red"));
 /// ```
 pub fn to_dot(graph: &Graph, cycle: Option<&HamiltonianCycle>) -> String {
-    let highlight: HashSet<(NodeId, NodeId)> = cycle
-        .map(|c| c.edge_set().into_iter().collect())
-        .unwrap_or_default();
+    let highlight: HashSet<(NodeId, NodeId)> =
+        cycle.map(|c| c.edge_set().into_iter().collect()).unwrap_or_default();
     let mut out = String::from("graph g {\n  node [shape=circle];\n");
     for v in 0..graph.node_count() {
         let _ = writeln!(out, "  {v};");

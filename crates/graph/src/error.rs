@@ -67,7 +67,9 @@ impl fmt::Display for GraphError {
             GraphError::RegularRetriesExhausted { attempts } => {
                 write!(f, "configuration model failed after {attempts} attempts")
             }
-            GraphError::EmptySelection => write!(f, "operation requires a non-empty node selection"),
+            GraphError::EmptySelection => {
+                write!(f, "operation requires a non-empty node selection")
+            }
         }
     }
 }

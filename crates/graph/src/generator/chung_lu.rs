@@ -101,11 +101,7 @@ mod tests {
         let mut weights = vec![3.0; n];
         weights[0] = 150.0;
         let g = chung_lu(&weights, &mut rng_from_seed(3)).unwrap();
-        assert!(
-            g.degree(0) > 80,
-            "hub degree {} should be near its weight 150",
-            g.degree(0)
-        );
+        assert!(g.degree(0) > 80, "hub degree {} should be near its weight 150", g.degree(0));
     }
 
     #[test]

@@ -10,8 +10,7 @@ use crate::Graph;
 /// Panics if `n < 3`.
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "a cycle needs at least 3 nodes, got {n}");
-    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
-        .expect("cycle edges are always valid")
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).expect("cycle edges are always valid")
 }
 
 /// The path `P_n`: nodes `0..n` connected in a line. `n = 0` and `n = 1`

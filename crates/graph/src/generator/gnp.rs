@@ -70,18 +70,9 @@ mod tests {
     #[test]
     fn rejects_bad_probability() {
         let mut rng = rng_from_seed(0);
-        assert!(matches!(
-            gnp(10, -0.1, &mut rng),
-            Err(GraphError::InvalidProbability { .. })
-        ));
-        assert!(matches!(
-            gnp(10, 1.5, &mut rng),
-            Err(GraphError::InvalidProbability { .. })
-        ));
-        assert!(matches!(
-            gnp(10, f64::NAN, &mut rng),
-            Err(GraphError::InvalidProbability { .. })
-        ));
+        assert!(matches!(gnp(10, -0.1, &mut rng), Err(GraphError::InvalidProbability { .. })));
+        assert!(matches!(gnp(10, 1.5, &mut rng), Err(GraphError::InvalidProbability { .. })));
+        assert!(matches!(gnp(10, f64::NAN, &mut rng), Err(GraphError::InvalidProbability { .. })));
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! [`random_regular`] cover the extensions the paper's conclusion mentions,
 //! and [`classic`] provides deterministic fixtures for tests and demos.
 
-pub mod classic;
 mod chung_lu;
+pub mod classic;
 mod gnm;
 mod gnp;
 mod regular;

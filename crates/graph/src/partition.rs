@@ -114,9 +114,7 @@ impl Partition {
         let k = self.classes.len() as f64;
         let mean = n / k;
         let (lo, hi) = (mean / 2.0, 1.5 * mean);
-        self.classes
-            .iter()
-            .all(|c| (c.len() as f64) >= lo && (c.len() as f64) <= hi)
+        self.classes.iter().all(|c| (c.len() as f64) >= lo && (c.len() as f64) <= hi)
     }
 
     /// The induced subgraph of class `c` plus the local→global mapping.
@@ -142,7 +140,7 @@ mod tests {
     #[test]
     fn covers_all_nodes_disjointly() {
         let p = Partition::random(200, 7, &mut rng_from_seed(1));
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for (c, class) in p.classes().iter().enumerate() {
             for &v in class {
                 assert!(!seen[v], "node {v} in two classes");

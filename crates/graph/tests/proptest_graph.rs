@@ -5,9 +5,8 @@ use proptest::prelude::*;
 
 /// Strategy: arbitrary simple-graph edge list over n nodes.
 fn edges_strategy(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
-    prop::collection::vec((0..n, 0..n), 0..max_edges).prop_map(|pairs| {
-        pairs.into_iter().filter(|(u, v)| u != v).collect::<Vec<_>>()
-    })
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+        .prop_map(|pairs| pairs.into_iter().filter(|(u, v)| u != v).collect::<Vec<_>>())
 }
 
 proptest! {

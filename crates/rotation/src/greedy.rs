@@ -88,10 +88,7 @@ mod tests {
     #[test]
     fn tiny_graph_is_stuck() {
         let g = generator::complete(2);
-        assert!(matches!(
-            greedy(&g, 1, &mut rng_from_seed(2)),
-            GreedyOutcome::Stuck { .. }
-        ));
+        assert!(matches!(greedy(&g, 1, &mut rng_from_seed(2)), GreedyOutcome::Stuck { .. }));
     }
 
     #[test]

@@ -267,11 +267,8 @@ mod tests {
     #[test]
     fn fails_on_disconnected_graph_with_out_of_edges() {
         // Two triangles, no Hamiltonian cycle; heads must run dry.
-        let g = dhc_graph::Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g = dhc_graph::Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
         let err = posa(&g, &PosaConfig::default(), &mut rng_from_seed(4)).unwrap_err();
         assert!(matches!(err, RotationError::OutOfEdges { .. }), "{err:?}");
     }
@@ -322,8 +319,7 @@ mod tests {
         let g = generator::complete(6);
         let mut successes = 0;
         for seed in 0..20 {
-            if posa_with_restarts(&g, &PosaConfig::default(), 12, &mut rng_from_seed(seed))
-                .is_ok()
+            if posa_with_restarts(&g, &PosaConfig::default(), 12, &mut rng_from_seed(seed)).is_ok()
             {
                 successes += 1;
             }
@@ -334,8 +330,8 @@ mod tests {
     #[test]
     fn restarts_exhaust_on_impossible_graph() {
         let g = generator::star(6);
-        let err = posa_with_restarts(&g, &PosaConfig::default(), 3, &mut rng_from_seed(0))
-            .unwrap_err();
+        let err =
+            posa_with_restarts(&g, &PosaConfig::default(), 3, &mut rng_from_seed(0)).unwrap_err();
         assert!(matches!(
             err,
             RotationError::OutOfEdges { .. } | RotationError::StepBudgetExceeded { .. }

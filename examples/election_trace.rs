@@ -111,11 +111,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = net.run()?;
 
     for r in 1..=report.metrics.rounds {
-        let sends = net
-            .trace()
-            .in_round(r)
-            .filter(|e| matches!(e, TraceEvent::Sent { .. }))
-            .count();
+        let sends =
+            net.trace().in_round(r).filter(|e| matches!(e, TraceEvent::Sent { .. })).count();
         let halts: Vec<NodeId> = net
             .trace()
             .in_round(r)

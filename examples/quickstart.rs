@@ -22,8 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Partition count: the paper's n^(1-delta), floored so color classes
     // stay large enough for the per-partition rotation runs at small n.
+    // Phase 1's independent partition simulations run on all cores
+    // (parallelism 0 = auto); results are identical at any level.
     let k = thresholds::num_partitions(n, delta).min(n / 32).max(1);
-    let cfg = DhcConfig::new(seed ^ 1).with_partitions(k);
+    let cfg = DhcConfig::new(seed ^ 1).with_partitions(k).with_parallelism(0);
 
     let outcome = run_dhc2(&g, &cfg)?;
     println!("\nDHC2 found a Hamiltonian cycle through all {} nodes.", outcome.cycle.len());

@@ -48,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else if path.len() == n && u == path.tail() {
             println!("step {step:3}: close   {head:3} -> {u:3}");
             println!("\nHamiltonian cycle: {:?}", path.order());
-            let cycle =
-                dhc::HamiltonianCycle::from_order(&g, path.into_order()).expect("verified");
+            let cycle = dhc::HamiltonianCycle::from_order(&g, path.into_order()).expect("verified");
             println!("verified: every consecutive pair (and the closing edge) is a graph edge.");
             println!("cycle edges: {:?}", cycle.edge_set());
             return Ok(());

@@ -29,10 +29,7 @@ fn sub_threshold_graph_fails_with_typed_error() {
     let n = 256;
     let g = generator::gnp(n, 0.008, &mut rng_from_seed(1)).unwrap();
     let err = run_dhc2(&g, &DhcConfig::new(2).with_partitions(8)).unwrap_err();
-    assert!(
-        matches!(err, DhcError::PartitionFailed { .. } | DhcError::NoBridge { .. }),
-        "{err:?}"
-    );
+    assert!(matches!(err, DhcError::PartitionFailed { .. } | DhcError::NoBridge { .. }), "{err:?}");
 }
 
 #[test]

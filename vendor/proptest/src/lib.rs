@@ -1,0 +1,391 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//! header), range / tuple / `prop_map` / `any::<T>()` /
+//! `prop::collection::vec` strategies, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` assertion macros.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the deterministic case index so it can be replayed. Case streams
+//! are seeded from the test name, so runs are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Everything a test needs: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, CaseOutcome,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; keep that so coverage matches.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-test random source for strategies.
+#[derive(Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator for case `case` of the named test: seeded by
+    /// `(test name, case)`, so every run replays the same sequence.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= case as u64;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *w = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A value generator. Strategies here generate directly (no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ );)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T` (see [`any`]).
+#[derive(Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T`: `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with element strategy `S` and a length
+        /// drawn uniformly from `len` (see [`vec()`]).
+        #[derive(Debug)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.generate(rng);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// `Vec` strategy: elements from `elem`, length uniform in `len`.
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+    }
+}
+
+/// Outcome of one generated case (used by the [`proptest!`] expansion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The body ran to completion (assertions passed).
+    Accepted,
+    /// A [`prop_assume!`] precondition failed; the case is regenerated.
+    Rejected,
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// item becomes a `#[test]` running the body over random cases.
+///
+/// An optional `#![proptest_config(expr)]` first item sets the case
+/// count. As in real proptest, cases rejected by [`prop_assume!`] are
+/// regenerated rather than counted, and the test errors out if the
+/// rejection rate is pathological.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __max_rejects = 64 + 16 * __config.cases;
+                let mut __accepted: u32 = 0;
+                let mut __rejected: u32 = 0;
+                let mut __draw: u32 = 0;
+                while __accepted < __config.cases {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __draw,
+                    );
+                    __draw += 1;
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                    // The body runs inside an immediately-invoked closure so
+                    // that prop_assume!'s `return` always rejects the whole
+                    // case, even from inside a loop in the body; assertion
+                    // macros panic (no shrinking). Rejected cases are
+                    // regenerated and do not consume the case budget.
+                    let mut __case_fn =
+                        move || -> $crate::CaseOutcome { $body; $crate::CaseOutcome::Accepted };
+                    match __case_fn() {
+                        $crate::CaseOutcome::Accepted => __accepted += 1,
+                        $crate::CaseOutcome::Rejected => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected <= __max_rejects,
+                                "prop_assume! rejected {} cases while accepting only {}; \
+                                 the precondition is too restrictive for its strategy",
+                                __rejected,
+                                __accepted,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+///
+/// Expands to a `return` from the per-case closure [`proptest!`]
+/// wraps around the body, so the whole case is rejected no matter how
+/// deeply the assumption sits (including inside the body's own loops).
+/// The rejected case is regenerated and does not consume the case
+/// budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::CaseOutcome::Rejected;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_map_generate_in_bounds() {
+        let mut rng = super::TestRng::for_case("shim_range", 0);
+        let strat = (3usize..10, 0u32..5).prop_map(|(a, b)| a + b as usize);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((3..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len_range() {
+        let mut rng = super::TestRng::for_case("shim_vec", 1);
+        let strat = prop::collection::vec(0usize..4, 2..7);
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn case_streams_are_deterministic() {
+        let a: Vec<u64> = (0..4).map(|c| super::TestRng::for_case("t", c).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|c| super::TestRng::for_case("t", c).next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_end_to_end(x in 0usize..50, ys in prop::collection::vec(0u32..9, 0..5), z in any::<u64>()) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert!(ys.len() < 5);
+            prop_assert_eq!(z, z, "identity must hold for {}", z);
+        }
+
+        /// An assume inside the body's own loop must reject the whole
+        /// case, not just skip one loop iteration (real-proptest
+        /// semantics): if it merely `continue`d the inner loop, the
+        /// trailing assertion would still run and fail for ys
+        /// containing a 3.
+        #[test]
+        fn assume_inside_loop_rejects_whole_case(ys in prop::collection::vec(0u32..9, 1..6)) {
+            for &y in &ys {
+                prop_assume!(y != 3);
+            }
+            prop_assert!(!ys.contains(&3));
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Offline stand-in for the `rand` crate, exposing the 0.8-era API subset
+//! this workspace uses (see `vendor/README.md`).
+//!
+//! The generators are xoshiro256++ instances seeded through a SplitMix64
+//! expansion — fast, high-quality, and fully deterministic from a `u64`
+//! seed, which is all the workspace requires. Streams are **not**
+//! bit-compatible with crates.io `rand`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A source of randomness: the `rand` 0.8 `Rng` surface this workspace
+/// uses (`gen`, `gen_range`, `gen_bool`).
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform over all values for integers, `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: UniformSampled>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability must be in [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable from their "standard" distribution via [`Rng::gen`].
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types uniformly samplable from a half-open range via [`Rng::gen_range`].
+pub trait UniformSampled: Sized {
+    /// Draws one value uniformly from `range`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSampled for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128) as u128;
+                // Widening-multiply range reduction (bias < 2^-64).
+                let r = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                range.start + r
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformSampled for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let r = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (range.start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_signed!(i64 => u64, i32 => u32);
+
+impl UniformSampled for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let unit = f64::sample(rng);
+        let v = range.start + unit * (range.end - range.start);
+        // Guard against end-exclusivity loss to rounding.
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+/// Deterministic construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ core shared by [`rngs::StdRng`] and [`rngs::SmallRng`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // All-zero state is invalid for xoshiro; splitmix64 of any seed
+        // cannot produce four zero words, but keep the guard explicit.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+
+    fn next(&mut self) -> u64 {
+        let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng, Xoshiro256};
+
+    /// The workspace-standard seeded generator (xoshiro256++ here; the
+    /// crates.io `StdRng` is ChaCha12 — streams differ, determinism does
+    /// not).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng(Xoshiro256);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng(Xoshiro256::from_u64(state))
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    /// A small, fast generator for per-node protocol state.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng(Xoshiro256);
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Domain-separate from StdRng so the two families never share
+            // streams for equal seeds.
+            SmallRng(Xoshiro256::from_u64(state ^ 0x5EED_5EED_5EED_5EED))
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+}
+
+/// Slice sampling and shuffling.
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices (`rand::seq::SliceRandom` subset).
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..32).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn families_are_domain_separated() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+        for _ in 0..10_000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+        for _ in 0..10_000 {
+            let v = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_standard_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(4);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_uniformish() {
+        let mut r = StdRng::seed_from_u64(6);
+        let items = [1, 2, 3];
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+        let mut counts = [0usize; 3];
+        for _ in 0..3_000 {
+            counts[*items.choose(&mut r).unwrap() as usize - 1] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "{counts:?}");
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn take_generic<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen_range(0u64..100)
+        }
+        let mut r = SmallRng::seed_from_u64(8);
+        let v = take_generic(&mut r);
+        assert!(v < 100);
+    }
+}

@@ -1,0 +1,156 @@
+//! The data-parallel iterator subset: `par_iter` over slices and `Vec`s,
+//! `map`, and order-preserving `collect`.
+
+use crate::current_num_threads;
+
+/// Conversion of `&'data Self` into a parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// The per-element item (`&'data T`).
+    type Item: Send + 'data;
+    /// The iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Creates a parallel iterator over borrowed elements.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// A parallel iterator: evaluation produces all items **in input order**.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Evaluates the pipeline into an ordered `Vec`, using up to
+    /// [`crate::current_num_threads`] scoped threads.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` (applied in parallel at evaluation).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Evaluates and collects into `C` (e.g. `Vec<T>` or
+    /// `Result<Vec<T>, E>`).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_items(self.drive())
+    }
+}
+
+/// Parallel iterator over a slice (`par_iter()`).
+#[derive(Debug)]
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+
+    fn drive(self) -> Vec<&'data T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// A mapped parallel iterator (`par_iter().map(f)`).
+#[derive(Debug)]
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        par_map_ordered(self.base.drive(), &self.f)
+    }
+}
+
+/// Collecting the ordered evaluation of a parallel iterator.
+pub trait FromParallelIterator<T> {
+    /// Builds `Self` from items in input order.
+    fn from_ordered_items(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_items(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Maps `items` through `f` on up to `current_num_threads()` scoped
+/// threads, one contiguous chunk per thread, preserving input order.
+/// A panic in `f` propagates to the caller (as in rayon).
+///
+/// Each worker runs with an installed budget of 1, so a nested
+/// parallel operation inside `f` stays sequential and the total
+/// concurrency remains bounded by the caller's budget (real rayon
+/// keeps nested work inside the same pool; budget 1 per worker is
+/// this stand-in's equivalent bound).
+fn par_map_ordered<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    crate::with_installed_budget(1, || chunk.into_iter().map(f).collect::<Vec<R>>())
+                })
+            })
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Provides the data-parallel subset this workspace uses — `par_iter()`
+//! over slices and `Vec`s, `map`, order-preserving `collect`, `join`, and
+//! scoped thread pools via [`ThreadPoolBuilder`] — implemented on
+//! `std::thread::scope`. There is no work stealing: each `map`/`collect`
+//! splits its input into one contiguous chunk per worker thread, which is
+//! the right shape for this workspace's coarse-grained per-partition
+//! simulation jobs.
+//!
+//! Results are always produced **in input order**, so a computation's
+//! output is independent of the number of worker threads — the property
+//! the `dhc-core` parallelism determinism tests rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::num::NonZeroUsize;
+
+pub mod iter;
+
+/// Re-exports for `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Thread budget installed by [`ThreadPool::install`]; `None` means
+    /// "use the machine's available parallelism".
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel operations on this thread will
+/// use: the innermost [`ThreadPool::install`] budget, or the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|t| match t.get() {
+        Some(n) => n,
+        None => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+    })
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            (a(), hb.join().expect("rayon::join closure panicked"))
+        })
+    }
+}
+
+/// Builder for a [`ThreadPool`] with a fixed thread budget.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default budget (available parallelism).
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Sets the worker-thread budget; `0` means available parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stand-in; the `Result` mirrors the rayon API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A scoped thread budget. Unlike real rayon there are no persistent
+/// workers; `install` only bounds how many scoped threads parallel
+/// operations may spawn.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+/// Runs `op` with `budget` installed as this thread's parallel-thread
+/// budget, restoring the previous budget afterwards (also on unwind,
+/// so a panicking op does not leak the budget into unrelated work).
+pub(crate) fn with_installed_budget<OP, R>(budget: usize, op: OP) -> R
+where
+    OP: FnOnce() -> R,
+{
+    INSTALLED_THREADS.with(|t| {
+        let prev = t.replace(Some(budget));
+        struct Restore<'a>(&'a Cell<Option<usize>>, Option<usize>);
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.0.set(self.1);
+            }
+        }
+        let _restore = Restore(t, prev);
+        op()
+    })
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread budget installed for parallel
+    /// operations invoked inside it.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        with_installed_budget(self.num_threads, op)
+    }
+
+    /// This pool's worker-thread budget.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Error building a [`ThreadPool`] (never produced by this stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!((a, b.as_str()), (2, "xy"));
+    }
+
+    #[test]
+    fn install_scopes_thread_budget() {
+        assert!(current_num_threads() >= 1);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let nested = pool.install(|| pool1.install(current_num_threads));
+        assert_eq!(nested, 1);
+    }
+
+    #[test]
+    fn nested_parallelism_stays_bounded() {
+        // Workers see a budget of 1, so nested parallel operations do
+        // not multiply concurrency beyond the installed pool budget.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let inner_budgets: Vec<usize> = pool.install(|| {
+            (0..8).collect::<Vec<_>>().par_iter().map(|_| current_num_threads()).collect()
+        });
+        assert!(inner_budgets.iter().all(|&n| n == 1), "{inner_budgets:?}");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_result_is_thread_count_independent() {
+        let items: Vec<u64> = (0..97).collect();
+        let run = |threads: usize| -> Vec<u64> {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| items.par_iter().map(|&x| x * x + 1).collect())
+        };
+        assert_eq!(run(1), run(7));
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let items: Vec<i32> = vec![1, 2, 3];
+        let ok: Result<Vec<i32>, String> = items.par_iter().map(|&x| Ok(x * 10)).collect();
+        assert_eq!(ok.unwrap(), vec![10, 20, 30]);
+        let err: Result<Vec<i32>, String> = items
+            .par_iter()
+            .map(|&x| if x == 2 { Err("boom".to_string()) } else { Ok(x) })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let items: Vec<u8> = Vec::new();
+        let out: Vec<u8> = items.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}
