@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks: round-engine throughput (rounds/sec) on
+//! the flood-echo microprotocol, at one engine thread and at all cores.
+//! Experiment E13 records the same workload to `BENCH_engine.json` so the
+//! perf trajectory is tracked across PRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhc_bench::engine_probe::{flood_echo, probe_graph};
+use std::time::Duration;
+
+fn bench_engine_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_rounds");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    for &n in &[1_000usize, 10_000] {
+        let g = probe_graph(n, 8);
+        for &(label, threads) in &[("t1", 1usize), ("all_cores", 0)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("flood_echo_{label}"), n),
+                &g,
+                |b, g| b.iter(|| flood_echo(g, threads)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_rounds);
+criterion_main!(benches);

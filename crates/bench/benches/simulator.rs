@@ -41,7 +41,8 @@ fn bench_flood(c: &mut Criterion) {
             b.iter(|| {
                 let nodes = (0..g.node_count()).map(|_| Flood { seen: false }).collect();
                 let mut net = Network::new(g, Config::default(), nodes).unwrap();
-                net.run().unwrap().metrics.messages
+                net.run().unwrap();
+                net.metrics().messages
             })
         });
     }

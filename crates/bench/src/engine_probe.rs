@@ -1,0 +1,136 @@
+//! Round-engine throughput probe: a flood-echo microprotocol whose cost
+//! is almost pure engine overhead (mailbox routing, active-set
+//! bookkeeping, per-edge bandwidth checks), used by `benches/engine.rs`
+//! and experiment E13 to track rounds/sec across engine-thread counts.
+//!
+//! The protocol is the primitive every rotation broadcast in the paper
+//! pays for: node 0 floods a wave over the whole graph; each node adopts
+//! the first sender as its parent, forwards the wave, and answers every
+//! wave it was sent with exactly one reply — immediately if it declined,
+//! or after its whole subtree completed if it adopted. Total traffic is
+//! `Θ(m)` messages over `Θ(diameter)` rounds, with every node active in
+//! several rounds — the same shape as the DRA/DHC inner loops.
+
+use dhc_congest::{Config, Context, Network, NodeId, Payload, Protocol};
+use dhc_graph::Graph;
+
+/// Flood-echo messages.
+#[derive(Clone, Debug)]
+pub enum ProbeMsg {
+    /// The flood wave.
+    Wave,
+    /// The per-wave response: an immediate decline or a completed echo.
+    Reply,
+}
+
+impl Payload for ProbeMsg {}
+
+/// Per-node flood-echo state.
+#[derive(Debug, Default)]
+pub struct FloodEcho {
+    seen: bool,
+    parent: Option<NodeId>,
+    /// Replies still outstanding for the waves this node sent.
+    pending: usize,
+    done: bool,
+}
+
+impl FloodEcho {
+    fn completion_check(&mut self, ctx: &mut Context<'_, ProbeMsg>) {
+        if !self.seen || self.done || self.pending != 0 {
+            return;
+        }
+        self.done = true;
+        if let Some(p) = self.parent {
+            ctx.send(p, ProbeMsg::Reply);
+        }
+        ctx.halt();
+    }
+}
+
+impl Protocol for FloodEcho {
+    type Msg = ProbeMsg;
+
+    fn init(&mut self, ctx: &mut Context<'_, ProbeMsg>) {
+        if ctx.node() == 0 {
+            self.seen = true;
+            self.pending = ctx.degree();
+            ctx.send_all(ProbeMsg::Wave);
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Context<'_, ProbeMsg>, inbox: &[(NodeId, ProbeMsg)]) {
+        for &(from, ref msg) in inbox {
+            match msg {
+                ProbeMsg::Wave => {
+                    if self.seen {
+                        // Already adopted (possibly earlier this very
+                        // round): decline so the sender's echo completes.
+                        ctx.send(from, ProbeMsg::Reply);
+                    } else {
+                        self.seen = true;
+                        self.parent = Some(from);
+                        self.pending = ctx.degree() - 1;
+                        for i in 0..ctx.degree() {
+                            let to = ctx.neighbors()[i];
+                            if to != from {
+                                ctx.send(to, ProbeMsg::Wave);
+                            }
+                        }
+                    }
+                }
+                ProbeMsg::Reply => {
+                    self.pending = self.pending.saturating_sub(1);
+                }
+            }
+        }
+        self.completion_check(ctx);
+    }
+}
+
+/// One complete flood-echo run on `graph` at the given engine-thread
+/// count; returns `(rounds, messages)`.
+///
+/// # Panics
+///
+/// Panics if the simulation faults — only possible on a disconnected
+/// graph (the flood then stalls).
+pub fn flood_echo(graph: &Graph, engine_threads: usize) -> (usize, u64) {
+    let nodes: Vec<FloodEcho> = (0..graph.node_count()).map(|_| FloodEcho::default()).collect();
+    // A node may forward the wave to a neighbor and decline that same
+    // neighbor's wave in one round: two 1-word messages per edge.
+    let cfg = Config::default().with_bandwidth_words(2).with_engine_threads(engine_threads);
+    let mut net = Network::new(graph, cfg, nodes).expect("probe network");
+    net.run().expect("flood-echo completes on a connected graph");
+    (net.metrics().rounds, net.metrics().messages)
+}
+
+/// The probe's standard topology: a connected sparse `G(n, p)` with
+/// `p = 3 ln n / n` (seeded, shared by the bench and E13).
+pub fn probe_graph(n: usize, seed: u64) -> Graph {
+    let p = 3.0 * (n as f64).ln() / n as f64;
+    dhc_graph::generator::gnp(n, p, &mut dhc_graph::rng::rng_from_seed(seed)).expect("valid gnp")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flood_echo_completes_and_is_thread_count_independent() {
+        let g = probe_graph(300, 8);
+        let serial = flood_echo(&g, 1);
+        assert!(serial.0 > 0 && serial.1 > 0);
+        assert_eq!(serial, flood_echo(&g, 4));
+        assert_eq!(serial, flood_echo(&g, 0));
+    }
+
+    #[test]
+    fn flood_echo_traffic_is_theta_m() {
+        let g = probe_graph(200, 9);
+        let (_, messages) = flood_echo(&g, 1);
+        let m = g.edge_count() as u64;
+        // Every edge carries between one wave and two waves + two replies.
+        assert!(messages >= m && messages <= 4 * m, "messages {messages}, m {m}");
+    }
+}

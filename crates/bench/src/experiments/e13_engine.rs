@@ -1,0 +1,162 @@
+//! **E13 — engine throughput baseline** (not a paper claim): rounds/sec
+//! of the two-phase round engine on the flood-echo microprotocol, at one
+//! engine thread and at all cores, recorded to `BENCH_engine.json` so the
+//! perf trajectory is tracked across PRs.
+//!
+//! The engine is the substrate every paper experiment stands on; a
+//! regression here silently inflates E1–E12 wall-clock without changing
+//! any simulated quantity, which is why the baseline is tracked
+//! explicitly.
+
+use crate::engine_probe::{flood_echo, probe_graph};
+use crate::table::{f3, Table};
+use std::time::Instant;
+
+use super::Effort;
+
+/// Sweep parameters for E13.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Graph sizes to probe.
+    pub sizes: Vec<usize>,
+    /// Timed repetitions per point (the minimum is reported).
+    pub reps: usize,
+    /// Whether to write the `BENCH_engine.json` baseline (disabled for
+    /// smoke runs so tests do not touch the filesystem).
+    pub emit_json: bool,
+}
+
+impl Params {
+    /// Parameters for the given effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Full => Params { sizes: vec![1_000, 10_000], reps: 5, emit_json: true },
+            Effort::Quick => Params { sizes: vec![1_000, 10_000], reps: 3, emit_json: true },
+            Effort::Smoke => Params { sizes: vec![256], reps: 1, emit_json: false },
+        }
+    }
+}
+
+/// One measured point.
+struct Sample {
+    n: usize,
+    engine_threads: usize,
+    rounds: usize,
+    messages: u64,
+    wall_ms: f64,
+    rounds_per_sec: f64,
+}
+
+fn measure(n: usize, threads: usize, reps: usize, seed: u64) -> Sample {
+    let g = probe_graph(n, seed);
+    let mut best = f64::INFINITY;
+    let mut rounds = 0;
+    let mut messages = 0;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let (r, m) = flood_echo(&g, threads);
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+        rounds = r;
+        messages = m;
+    }
+    Sample {
+        n,
+        engine_threads: threads,
+        rounds,
+        messages,
+        wall_ms: best * 1e3,
+        rounds_per_sec: rounds as f64 / best,
+    }
+}
+
+fn render_json(samples: &[Sample], cores: usize, seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"engine\",\n");
+    out.push_str("  \"workload\": \"flood-echo on G(n, 3 ln n / n)\",\n");
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"engine_threads\": {}, \"rounds\": {}, \"messages\": {}, \
+             \"wall_ms\": {:.3}, \"rounds_per_sec\": {:.1}}}{}\n",
+            s.n,
+            s.engine_threads,
+            s.rounds,
+            s.messages,
+            s.wall_ms,
+            s.rounds_per_sec,
+            if i + 1 < samples.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs E13 and renders its report (optionally writing the JSON baseline).
+pub fn run(params: &Params, seed: u64) -> String {
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E13 engine throughput: flood-echo rounds/sec (machine has {cores} core(s))\n\n"
+    ));
+    let mut t = Table::new(vec!["n", "threads", "rounds", "messages", "wall ms", "rounds/s"]);
+    let mut samples = Vec::new();
+    for &n in &params.sizes {
+        for threads in [1usize, 0] {
+            let s = measure(n, threads, params.reps, seed);
+            t.row(vec![
+                s.n.to_string(),
+                if threads == 0 { format!("all ({cores})") } else { threads.to_string() },
+                s.rounds.to_string(),
+                s.messages.to_string(),
+                f3(s.wall_ms),
+                f3(s.rounds_per_sec),
+            ]);
+            samples.push(s);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\n    determinism contract: rounds and messages are identical at every thread count;\n    only wall-clock moves. Criterion variant: cargo bench -p dhc-bench --bench engine.\n",
+    );
+    if params.emit_json {
+        let path = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+        match std::fs::write(&path, render_json(&samples, cores, seed)) {
+            Ok(()) => out.push_str(&format!("    baseline written to {path}\n")),
+            Err(e) => out.push_str(&format!("    could not write {path}: {e}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_reports() {
+        let report = run(&Params::for_effort(Effort::Smoke), 4);
+        assert!(report.contains("engine throughput"));
+        assert!(!report.contains("baseline written"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let s = Sample {
+            n: 10,
+            engine_threads: 1,
+            rounds: 5,
+            messages: 7,
+            wall_ms: 0.5,
+            rounds_per_sec: 10_000.0,
+        };
+        let json = render_json(&[s], 4, 9);
+        assert!(json.contains("\"cores\": 4"));
+        assert!(json.contains("\"engine_threads\": 1"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -8,6 +8,7 @@
 pub mod e10_ablations;
 pub mod e11_kmachine;
 pub mod e12_other_models;
+pub mod e13_engine;
 pub mod e1_dra_steps;
 pub mod e2_partition_balance;
 pub mod e3_dhc1_scaling;
@@ -48,14 +49,15 @@ pub fn run_by_id(id: &str, effort: Effort, seed: u64) -> Result<String, String> 
         "e10" => e10_ablations::run(&e10_ablations::Params::for_effort(effort), seed),
         "e11" => e11_kmachine::run(&e11_kmachine::Params::for_effort(effort), seed),
         "e12" => e12_other_models::run(&e12_other_models::Params::for_effort(effort), seed),
+        "e13" => e13_engine::run(&e13_engine::Params::for_effort(effort), seed),
         other => return Err(format!("unknown experiment id: {other}")),
     };
     Ok(report)
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 12] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
+pub const ALL_IDS: [&str; 13] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
 
 #[cfg(test)]
 mod tests {
@@ -68,6 +70,6 @@ mod tests {
 
     #[test]
     fn all_ids_listed() {
-        assert_eq!(ALL_IDS.len(), 12);
+        assert_eq!(ALL_IDS.len(), 13);
     }
 }

@@ -11,7 +11,9 @@
 //! * [`workload`] — the `G(n, p)` operating points of the paper
 //!   (`p = c ln n / n^δ`) plus trial-sweep plumbing with
 //!   `std::thread`-based parallelism;
-//! * [`experiments`] — one module per experiment (`e1` … `e9`).
+//! * [`engine_probe`] — the flood-echo microprotocol used to track the
+//!   round engine's throughput (`benches/engine.rs`, experiment E13);
+//! * [`experiments`] — one module per experiment (`e1` … `e13`).
 //!
 //! Regenerate everything with:
 //!
@@ -22,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine_probe;
 pub mod experiments;
 pub mod stats;
 pub mod table;

@@ -19,8 +19,12 @@ pub struct Config {
     /// Per-directed-edge, per-round budget in message words (the CONGEST
     /// `B`, in units of `Θ(log n)`-bit words). Default 1.
     pub bandwidth_words: usize,
-    /// Sample `Protocol::memory_words` every this many rounds (and at
-    /// halt). 0 disables sampling. Default 16.
+    /// Enables `Protocol::memory_words` sampling when non-zero: the
+    /// engine samples every node at **every activation** (the peak is
+    /// what the metrics keep, so denser sampling only tightens it).
+    /// 0 disables sampling entirely. The magnitude is currently
+    /// reserved — a future engine may skip rounds at large values —
+    /// and defaults to 16.
     pub memory_sample_interval: usize,
     /// Record the per-round message counts (cheap; enables congestion
     /// plots). Default true.
@@ -28,6 +32,19 @@ pub struct Config {
     /// Capacity of the engine event trace (sends, halts, wake-ups);
     /// 0 (the default) disables tracing.
     pub trace_capacity: usize,
+    /// Worker threads for the per-round parallel compute phase: `1`
+    /// (the default) runs nodes sequentially, `0` uses all available
+    /// cores. Results are **identical for every value** — callbacks
+    /// write only per-node effect scratch and the commit fold applies
+    /// them in ascending node-id order — so this trades wall-clock time
+    /// only.
+    ///
+    /// Note on the offline build: the vendored `rayon` stand-in has no
+    /// persistent workers, so each parallel round spawns scoped threads
+    /// and `engine_threads > 1` only pays off when rounds carry enough
+    /// active nodes to amortize the spawn (large `n`, dense activity).
+    /// Swapping in the real `rayon` removes that per-round cost.
+    pub engine_threads: usize,
 }
 
 impl Default for Config {
@@ -38,6 +55,7 @@ impl Default for Config {
             memory_sample_interval: 16,
             record_round_traffic: true,
             trace_capacity: 0,
+            engine_threads: 1,
         }
     }
 }
@@ -72,6 +90,14 @@ impl Config {
         self.trace_capacity = capacity;
         self
     }
+
+    /// Returns the configuration with the compute-phase worker-thread
+    /// count replaced (`0` = all available cores). Never changes
+    /// results; see [`engine_threads`](Self::engine_threads).
+    pub fn with_engine_threads(mut self, threads: usize) -> Self {
+        self.engine_threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -96,7 +122,14 @@ mod tests {
         let c = Config::default()
             .with_max_rounds(5)
             .with_bandwidth_words(3)
-            .with_memory_sample_interval(0);
+            .with_memory_sample_interval(0)
+            .with_engine_threads(4);
         assert_eq!((c.max_rounds, c.bandwidth_words, c.memory_sample_interval), (5, 3, 0));
+        assert_eq!(c.engine_threads, 4);
+    }
+
+    #[test]
+    fn engine_is_single_threaded_by_default() {
+        assert_eq!(Config::default().engine_threads, 1);
     }
 }

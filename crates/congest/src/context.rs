@@ -1,6 +1,7 @@
 //! Per-callback node context: the API a protocol uses to interact with
 //! the network.
 
+use crate::effects::Effects;
 use crate::{NodeId, Payload, SimError};
 use dhc_graph::Graph;
 
@@ -9,16 +10,19 @@ use dhc_graph::Graph;
 /// Deliberately exposes only what a CONGEST node may know: its own id, `n`,
 /// its neighbor list, and the current round number — not the global
 /// topology.
+///
+/// Internally the context is a thin wrapper over the node's private
+/// effects scratch: every mutation a callback performs (sends, halts,
+/// wake-ups, compute charges, faults) is recorded there, never applied to
+/// shared engine state. This is what lets the engine run all of a round's
+/// callbacks in parallel and commit the effects deterministically
+/// afterwards (see [`Config::engine_threads`](crate::Config::engine_threads)).
 #[derive(Debug)]
 pub struct Context<'a, M: Payload> {
     pub(crate) node: NodeId,
     pub(crate) round: usize,
     pub(crate) graph: &'a Graph,
-    pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
-    pub(crate) halted: &'a mut bool,
-    pub(crate) wake_request: &'a mut Option<usize>,
-    pub(crate) compute: &'a mut u64,
-    pub(crate) fault: &'a mut Option<SimError>,
+    pub(crate) fx: &'a mut Effects<M>,
 }
 
 impl<M: Payload> Context<'_, M> {
@@ -55,33 +59,42 @@ impl<M: Payload> Context<'_, M> {
     /// Queues `msg` for delivery to neighbor `to` at the start of the next
     /// round.
     ///
-    /// Sending to a non-neighbor records a fault that aborts the simulation
-    /// after this callback (the message is not delivered). Bandwidth is
-    /// enforced per directed edge when the round's sends are collected.
+    /// Sending to a non-neighbor records a fault that aborts the
+    /// simulation during this round's commit fold, at this node's entry:
+    /// every active node's callback still runs this round (they compute
+    /// in parallel), effects of lower-id nodes are already committed,
+    /// and this node's effects — including this message — plus those of
+    /// higher-id nodes are dropped. Bandwidth is likewise enforced per
+    /// directed edge at commit time.
     pub fn send(&mut self, to: NodeId, msg: M) {
         if to == self.node || !self.is_neighbor(to) {
-            if self.fault.is_none() {
-                *self.fault =
+            if self.fx.fault.is_none() {
+                self.fx.fault =
                     Some(SimError::NotANeighbor { from: self.node, to, round: self.round });
             }
             return;
         }
-        self.outbox.push((to, msg));
+        self.fx.sends.push((to, msg));
     }
 
     /// Sends `msg` to every neighbor (one copy per incident edge, as the
-    /// CONGEST model allows).
+    /// CONGEST model allows). The payload is cloned once per neighbor
+    /// except the last, which receives `msg` itself.
     pub fn send_all(&mut self, msg: M) {
-        for i in 0..self.degree() {
-            let to = self.graph.neighbors(self.node)[i];
-            self.outbox.push((to, msg.clone()));
+        let nbrs = self.graph.neighbors(self.node);
+        if let Some((&last, rest)) = nbrs.split_last() {
+            self.fx.sends.reserve(nbrs.len());
+            for &to in rest {
+                self.fx.sends.push((to, msg.clone()));
+            }
+            self.fx.sends.push((last, msg));
         }
     }
 
     /// Marks this node as terminated. It will not be invoked again and
     /// messages addressed to it are dropped.
     pub fn halt(&mut self) {
-        *self.halted = true;
+        self.fx.halted = true;
     }
 
     /// Requests a wake-up `delta ≥ 1` rounds from now even if no message
@@ -93,7 +106,7 @@ impl<M: Payload> Context<'_, M> {
     pub fn wake_in(&mut self, delta: usize) {
         assert!(delta >= 1, "wake_in requires delta >= 1");
         let target = self.round + delta;
-        *self.wake_request = Some(match *self.wake_request {
+        self.fx.wake = Some(match self.fx.wake {
             Some(existing) => existing.min(target),
             None => target,
         });
@@ -107,6 +120,6 @@ impl<M: Payload> Context<'_, M> {
     /// Charges `units` of local computation to this node (for the
     /// load-balance metrics; delivered messages already cost one unit each).
     pub fn charge_compute(&mut self, units: u64) {
-        *self.compute += units;
+        self.fx.compute += units;
     }
 }

@@ -1,0 +1,116 @@
+//! Per-node effect scratch for the two-phase round engine.
+//!
+//! During a round's **compute phase** every active node runs against an
+//! immutable view of the network and records everything it wants to do —
+//! sends, a halt, a wake-up request, compute charges, faults — into its
+//! own [`Effects`] value. No shared state is mutated, which is what makes
+//! the compute phase safe to run on any number of worker threads. The
+//! engine's sequential **commit fold** then applies the effects in
+//! ascending node-id order, so the observable outcome (metrics, trace,
+//! message delivery order) is bit-identical at every thread count.
+//!
+//! `Effects` values live in a pool owned by the
+//! [`Network`](crate::Network) and are reused across rounds: the vectors
+//! keep their capacity, so a warmed-up engine allocates nothing per round.
+
+use crate::{NodeId, Payload, SimError};
+
+/// Everything one node's callback did in one round, staged for the
+/// commit fold.
+#[derive(Debug)]
+pub(crate) struct Effects<M: Payload> {
+    /// Queued sends as `(destination, message)`, in call order.
+    pub(crate) sends: Vec<(NodeId, M)>,
+    /// `sends[i].1.words().max(1)`, precomputed on the worker thread so
+    /// the fold never calls into payload code.
+    pub(crate) send_words: Vec<usize>,
+    /// `(destination, words)` sorted by destination — the fold's input
+    /// for the per-directed-edge bandwidth check.
+    pub(crate) edge_words: Vec<(NodeId, usize)>,
+    /// The node called [`Context::halt`](crate::Context::halt).
+    pub(crate) halted: bool,
+    /// Requested wake-up round (already minimized across `wake_in` calls).
+    pub(crate) wake: Option<usize>,
+    /// Compute units charged via
+    /// [`Context::charge_compute`](crate::Context::charge_compute).
+    pub(crate) compute: u64,
+    /// First fault raised by the callback (e.g. a non-neighbor send).
+    pub(crate) fault: Option<SimError>,
+    /// `Protocol::memory_words` sampled after the callback, when memory
+    /// sampling is enabled.
+    pub(crate) memory: Option<usize>,
+}
+
+impl<M: Payload> Default for Effects<M> {
+    fn default() -> Self {
+        Effects {
+            sends: Vec::new(),
+            send_words: Vec::new(),
+            edge_words: Vec::new(),
+            halted: false,
+            wake: None,
+            compute: 0,
+            fault: None,
+            memory: None,
+        }
+    }
+}
+
+impl<M: Payload> Effects<M> {
+    /// Clears the scratch for reuse, keeping vector capacity.
+    pub(crate) fn reset(&mut self) {
+        self.sends.clear();
+        self.send_words.clear();
+        self.edge_words.clear();
+        self.halted = false;
+        self.wake = None;
+        self.compute = 0;
+        self.fault = None;
+        self.memory = None;
+    }
+
+    /// Finishes the compute phase for this node: records the sampled
+    /// memory and precomputes the word counts the fold consumes. Runs on
+    /// the worker thread, in parallel across nodes.
+    pub(crate) fn seal(&mut self, memory: Option<usize>) {
+        self.memory = memory;
+        self.send_words.clear();
+        self.send_words.extend(self.sends.iter().map(|(_, m)| m.words().max(1)));
+        self.edge_words.clear();
+        self.edge_words
+            .extend(self.sends.iter().zip(&self.send_words).map(|(&(to, _), &w)| (to, w)));
+        // Only the per-destination sums matter, so an unstable sort is
+        // fine — and it is deterministic for a fixed input either way.
+        self.edge_words.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_precomputes_sorted_edge_words() {
+        let mut fx: Effects<u64> = Effects::default();
+        fx.sends.push((3, 7));
+        fx.sends.push((1, 8));
+        fx.sends.push((3, 9));
+        fx.seal(Some(5));
+        assert_eq!(fx.send_words, vec![1, 1, 1]);
+        assert_eq!(fx.edge_words, vec![(1, 1), (3, 1), (3, 1)]);
+        assert_eq!(fx.memory, Some(5));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut fx: Effects<u64> = Effects::default();
+        fx.sends.push((0, 1));
+        fx.halted = true;
+        fx.wake = Some(9);
+        fx.compute = 4;
+        fx.seal(None);
+        fx.reset();
+        assert!(fx.sends.is_empty() && fx.send_words.is_empty() && fx.edge_words.is_empty());
+        assert!(!fx.halted && fx.wake.is_none() && fx.compute == 0 && fx.fault.is_none());
+    }
+}

@@ -12,7 +12,12 @@
 //! * the [`Network`] engine — deterministic round execution over a
 //!   [`dhc_graph::Graph`] topology with **per-edge bandwidth enforcement**
 //!   (more than `B` message-words across one directed edge in one round is
-//!   a simulation error, exactly the CONGEST constraint);
+//!   a simulation error, exactly the CONGEST constraint). Each round runs
+//!   as a **parallel compute phase** (active nodes execute independently
+//!   against an immutable view, recording effects into private scratch;
+//!   [`Config::engine_threads`] sets the worker count) followed by a
+//!   **deterministic commit fold** that applies the effects in ascending
+//!   node-id order — results are bit-identical at every thread count;
 //! * [`Metrics`] — rounds, messages, message-words, per-node send/receive/
 //!   compute counters, sampled per-node memory high-water marks, and
 //!   per-round congestion, feeding the paper's "fully distributed"
@@ -60,7 +65,8 @@
 //! let g = Graph::from_edges(2, [(0, 1)]).unwrap();
 //! let nodes = vec![Node { hops_left: 3 }, Node { hops_left: 3 }];
 //! let mut net = Network::new(&g, Config::default(), nodes)?;
-//! let report = net.run()?;
+//! net.run()?;
+//! let (report, _nodes) = net.finish();
 //! assert_eq!(report.metrics.messages, 4); // 3, 2, 1, 0
 //! # Ok(())
 //! # }
@@ -71,7 +77,9 @@
 
 mod config;
 mod context;
+mod effects;
 mod error;
+mod mailbox;
 mod metrics;
 mod network;
 mod payload;
@@ -95,7 +103,12 @@ pub type NodeId = dhc_graph::NodeId;
 /// [`round`](Protocol::round) in every round in which the node has incoming
 /// messages or a scheduled wake-up. Messages sent in round `r` are delivered
 /// at the start of round `r + 1`.
-pub trait Protocol {
+///
+/// Protocols must be `Send` so a round's callbacks can execute on worker
+/// threads (each node is still only ever touched by one thread at a time;
+/// see [`Config::engine_threads`]). Per-node state is plain data in
+/// practice, so the bound is satisfied automatically.
+pub trait Protocol: Send {
     /// The message type exchanged by this protocol.
     type Msg: Payload;
 

@@ -158,8 +158,10 @@ impl Metrics {
     }
 }
 
-/// Result of a completed [`Network::run`](crate::Network::run).
-#[derive(Debug, Clone)]
+/// Final result of a [`Network`](crate::Network) run, returned **by
+/// value** from the consuming [`finish`](crate::Network::finish) — the
+/// engine's metrics move into the report instead of being cloned.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Aggregated measurements.
     pub metrics: Metrics,

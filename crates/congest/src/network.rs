@@ -1,34 +1,68 @@
 //! The synchronous round engine.
+//!
+//! Each round runs in two phases:
+//!
+//! 1. **Compute** — every active node executes its callback against an
+//!    immutable view of the network, writing its sends / halt / wake-up /
+//!    compute charges into a private [`Effects`] scratch. Nothing shared
+//!    is mutated, so the nodes of one round run on any number of worker
+//!    threads ([`Config::engine_threads`]).
+//! 2. **Commit fold** — the effects are applied sequentially in ascending
+//!    node-id order: bandwidth checks, metrics, trace events, wake-up
+//!    scheduling, halting, and routing of sends into the next round's
+//!    [`Mailboxes`] all happen here, so the result is bit-identical at
+//!    every thread count.
 
+use crate::effects::Effects;
+use crate::mailbox::Mailboxes;
 use crate::trace::{Trace, TraceEvent};
-use crate::{Config, Context, Metrics, NodeId, Payload, Protocol, Report, SimError};
+use crate::{Config, Context, Metrics, NodeId, Protocol, Report, SimError};
 use dhc_graph::Graph;
+use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-
-/// One node's messages for a round, as `(sender, message)` pairs.
-type Inbox<M> = Vec<(NodeId, M)>;
 
 /// A synchronous CONGEST network: a topology, one [`Protocol`] instance per
 /// node, and the round scheduler.
 ///
-/// Execution is deterministic: nodes are invoked in ascending id order and
-/// inboxes are sorted by sender. Only nodes with pending messages or
-/// scheduled wake-ups run in a given round.
+/// Execution is deterministic — and independent of
+/// [`Config::engine_threads`]: the parallel compute phase writes only
+/// per-node scratch, and all shared state is updated by the commit fold
+/// in ascending node-id order. Inboxes are sorted by sender. Only nodes
+/// with pending messages or scheduled wake-ups run in a given round.
 pub struct Network<'g, P: Protocol> {
     graph: &'g Graph,
     config: Config,
     nodes: Vec<P>,
     halted: Vec<bool>,
     halted_count: usize,
-    /// Inboxes for the *next* round.
-    pending: Vec<Inbox<P::Msg>>,
+    /// Double-buffered mailboxes; the sealed ready list is the
+    /// message-driven active set of the upcoming round.
+    mail: Mailboxes<P::Msg>,
+    /// Reusable per-active-node effect scratch (compute-phase output).
+    effects: Vec<Effects<P::Msg>>,
+    /// Reusable per-round scheduling scratch (due wake-ups, merged
+    /// active set, runnable list) — taken and restored each round so a
+    /// warmed-up step allocates nothing for scheduling either.
+    scratch_woken: Vec<NodeId>,
+    scratch_active: Vec<(NodeId, usize)>,
+    scratch_work: Vec<NodeId>,
     /// Scheduled wake-ups as (round, node).
     wakes: BinaryHeap<Reverse<(usize, NodeId)>>,
     round: usize,
     metrics: Metrics,
     trace: Trace,
     finished: bool,
+    /// Worker pool for the compute phase (`None` when single-threaded).
+    pool: Option<rayon::ThreadPool>,
+}
+
+/// One active node's unit of work for the compute phase.
+struct Job<'a, P: Protocol> {
+    v: NodeId,
+    node: &'a mut P,
+    fx: &'a mut Effects<P::Msg>,
+    inbox: &'a [(NodeId, P::Msg)],
 }
 
 impl<'g, P: Protocol> Network<'g, P> {
@@ -46,6 +80,16 @@ impl<'g, P: Protocol> Network<'g, P> {
             });
         }
         let n = graph.node_count();
+        let threads = match config.engine_threads {
+            0 => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            t => t,
+        };
+        let pool = (threads > 1).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("engine worker pool")
+        });
         let trace_capacity = config.trace_capacity;
         let mut net = Network {
             graph,
@@ -53,20 +97,22 @@ impl<'g, P: Protocol> Network<'g, P> {
             nodes: protocols,
             halted: vec![false; n],
             halted_count: 0,
-            pending: (0..n).map(|_| Vec::new()).collect(),
+            mail: Mailboxes::new(n),
+            effects: Vec::new(),
+            scratch_woken: Vec::new(),
+            scratch_active: Vec::new(),
+            scratch_work: Vec::new(),
             wakes: BinaryHeap::new(),
             round: 0,
             metrics: Metrics::new(n),
             trace: Trace::with_capacity(trace_capacity),
             finished: false,
+            pool,
         };
-        net.init_all()?;
+        let all: Vec<NodeId> = (0..n).collect();
+        net.run_phase(&all, CallKind::Init)?;
+        net.mail.seal();
         Ok(net)
-    }
-
-    fn init_all(&mut self) -> Result<(), SimError> {
-        let ids: Vec<NodeId> = (0..self.nodes.len()).collect();
-        self.invoke(&ids, CallKind::Init, Vec::new())
     }
 
     /// Runs rounds until every node halts.
@@ -75,11 +121,17 @@ impl<'g, P: Protocol> Network<'g, P> {
     ///
     /// Any [`SimError`]; in particular [`SimError::Stalled`] when no node
     /// can ever run again and [`SimError::RoundLimitExceeded`] at the cap.
-    pub fn run(&mut self) -> Result<Report, SimError> {
+    pub fn run(&mut self) -> Result<(), SimError> {
         while !self.finished {
             self.step()?;
         }
-        Ok(Report { metrics: self.metrics.clone(), halted: self.halted_count })
+        Ok(())
+    }
+
+    /// Consumes the network, returning the final [`Report`] (by value, no
+    /// metrics clone) and the per-node protocol states.
+    pub fn finish(self) -> (Report, Vec<P>) {
+        (Report { metrics: self.metrics, halted: self.halted_count }, self.nodes)
     }
 
     /// Executes one round. Does nothing once the run has finished.
@@ -103,14 +155,7 @@ impl<'g, P: Protocol> Network<'g, P> {
         }
         self.round += 1;
 
-        // Active set: nodes with pending messages or due wake-ups.
-        let mut active: Vec<NodeId> = Vec::new();
-        for (v, inbox) in self.pending.iter().enumerate() {
-            if !inbox.is_empty() {
-                active.push(v);
-            }
-        }
-        if active.is_empty() {
+        if self.mail.ready().is_empty() {
             // Quiescent: fast-forward to the next scheduled wake-up, if any
             // (the skipped empty rounds still count toward simulated time).
             match self.wakes.peek() {
@@ -137,109 +182,166 @@ impl<'g, P: Protocol> Network<'g, P> {
                 }
             }
         }
+
+        // Pop the due wake-ups (a wake for a node that also has mail is
+        // simply consumed: the node activates either way).
+        let mut woken = std::mem::take(&mut self.scratch_woken);
+        woken.clear();
         while let Some(&Reverse((r, v))) = self.wakes.peek() {
             if r > self.round {
                 break;
             }
             self.wakes.pop();
-            if self.pending[v].is_empty() {
-                active.push(v);
+            woken.push(v);
+        }
+        woken.sort_unstable();
+        woken.dedup();
+
+        // Merge the message-driven active set (the sealed mailbox list,
+        // ascending) with the woken nodes; wake-only activations get an
+        // empty inbox.
+        let mut active = std::mem::take(&mut self.scratch_active);
+        active.clear();
+        {
+            let ready = self.mail.ready();
+            let (mut i, mut j) = (0, 0);
+            while i < ready.len() || j < woken.len() {
+                let take_ready = match (ready.get(i), woken.get(j)) {
+                    (Some(&(v, _)), Some(&w)) => {
+                        if v == w {
+                            j += 1; // wake consumed by the message activation
+                        }
+                        v <= w
+                    }
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
+                if take_ready {
+                    active.push(ready[i]);
+                    i += 1;
+                } else {
+                    let w = woken[j];
+                    j += 1;
+                    if !self.halted[w] && self.trace.is_enabled() {
+                        self.trace.push(TraceEvent::Woke { round: self.round, node: w });
+                    }
+                    active.push((w, 0));
+                }
             }
         }
-        active.sort_unstable();
-        active.dedup();
 
+        // Unreachable in the current schedule — an empty ready list
+        // either stalls/finishes above or fast-forwards onto a due wake,
+        // and due wakes are merged even for since-halted nodes — but kept
+        // as a defensive guard so an empty merge can never mis-run.
+        debug_assert!(!active.is_empty(), "merged active set cannot be empty here");
         if active.is_empty() {
-            // Every due wake-up belonged to a node that has since halted.
+            self.scratch_woken = woken;
+            self.scratch_active = active;
             if self.halted_count == self.nodes.len() {
                 self.finished = true;
             }
             return Ok(());
         }
 
+        // Delivery accounting; halted nodes consume (drop) their messages
+        // without running.
         let mut round_messages = 0u64;
-        let mut inboxes: Vec<(NodeId, Inbox<P::Msg>)> = Vec::with_capacity(active.len());
-        for &v in &active {
-            let mut inbox = std::mem::take(&mut self.pending[v]);
-            inbox.sort_by_key(|&(from, _)| from);
-            round_messages += inbox.len() as u64;
-            self.metrics.received_per_node[v] += inbox.len() as u64;
-            self.metrics.compute_per_node[v] += inbox.len() as u64;
-            inboxes.push((v, inbox));
+        let mut work = std::mem::take(&mut self.scratch_work);
+        work.clear();
+        for &(v, len) in &active {
+            round_messages += len as u64;
+            self.metrics.received_per_node[v] += len as u64;
+            self.metrics.compute_per_node[v] += len as u64;
+            if !self.halted[v] {
+                work.push(v);
+            }
         }
         if self.config.record_round_traffic {
             self.metrics.round_traffic.push(round_messages);
         }
 
-        // Halted nodes consume (drop) their messages without running.
-        let mut runnable: Vec<NodeId> = Vec::with_capacity(inboxes.len());
-        let mut inbox_of: Vec<Inbox<P::Msg>> = Vec::with_capacity(inboxes.len());
-        for (v, inbox) in inboxes {
-            if !self.halted[v] {
-                runnable.push(v);
-                inbox_of.push(inbox);
-            }
-        }
-        self.invoke(&runnable, CallKind::Round, inbox_of)
+        let result = self.run_phase(&work, CallKind::Round);
+        self.scratch_woken = woken;
+        self.scratch_active = active;
+        self.scratch_work = work;
+        // Seal even when the fold faulted: the failed round's inboxes are
+        // consumed and the sends committed by pre-fault nodes are
+        // delivered, exactly like the old engine (which took inboxes
+        // before invoking) — a post-error `step` can never re-run the
+        // same round.
+        self.mail.seal();
+        result
     }
 
-    /// Invokes `init` or `round` on each listed node, collecting sends,
-    /// wake-ups, halts, and faults. For `CallKind::Round`, `inboxes` is
-    /// aligned with `ids`.
-    fn invoke(
-        &mut self,
-        ids: &[NodeId],
-        kind: CallKind,
-        mut inboxes: Vec<Inbox<P::Msg>>,
-    ) -> Result<(), SimError> {
-        for (idx, &v) in ids.iter().enumerate() {
-            let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
-            let mut halted = false;
-            let mut wake: Option<usize> = None;
-            let mut compute = 0u64;
-            let mut fault: Option<SimError> = None;
-            {
-                let mut ctx = Context {
-                    node: v,
-                    round: self.round,
-                    graph: self.graph,
-                    outbox: &mut outbox,
-                    halted: &mut halted,
-                    wake_request: &mut wake,
-                    compute: &mut compute,
-                    fault: &mut fault,
-                };
-                match kind {
-                    CallKind::Init => self.nodes[v].init(&mut ctx),
-                    CallKind::Round => {
-                        let inbox = std::mem::take(&mut inboxes[idx]);
-                        self.nodes[v].round(&mut ctx, &inbox);
+    /// Runs one phase over the listed nodes (strictly ascending by node
+    /// id): the parallel compute phase followed by the sequential commit
+    /// fold.
+    fn run_phase(&mut self, work: &[NodeId], kind: CallKind) -> Result<(), SimError> {
+        if self.effects.len() < work.len() {
+            self.effects.resize_with(work.len(), Effects::default);
+        }
+
+        // --- Compute phase: per-node, no shared mutation. ---
+        {
+            let Network { graph, nodes, effects, mail, config, round, pool, .. } = self;
+            let graph: &Graph = graph;
+            let round = *round;
+            let sample_memory = config.memory_sample_interval > 0;
+
+            let run_job = |job: Job<'_, P>| {
+                let Job { v, node, fx, inbox } = job;
+                fx.reset();
+                {
+                    let mut ctx = Context { node: v, round, graph, fx: &mut *fx };
+                    match kind {
+                        CallKind::Init => node.init(&mut ctx),
+                        CallKind::Round => node.round(&mut ctx, inbox),
                     }
                 }
+                let memory = sample_memory.then(|| node.memory_words());
+                fx.seal(memory);
+            };
+            let fx_pool = &mut effects[..work.len()];
+            match pool {
+                Some(pool) if work.len() > 1 => {
+                    let mut jobs: Vec<Job<'_, P>> = Vec::with_capacity(work.len());
+                    carve_jobs(nodes, fx_pool, mail, work, |job| jobs.push(job));
+                    pool.install(|| {
+                        let _: Vec<()> = jobs.into_par_iter().map(&run_job).collect();
+                    });
+                }
+                // Default sequential path: run each node as it is carved,
+                // with no intermediate job list.
+                _ => carve_jobs(nodes, fx_pool, mail, work, run_job),
             }
-            if let Some(err) = fault {
+        }
+
+        // --- Commit fold: ascending node id, fully sequential. ---
+        for (i, &v) in work.iter().enumerate() {
+            let fx = &mut self.effects[i];
+            if let Some(err) = fx.fault.take() {
                 return Err(err);
             }
-            self.metrics.compute_per_node[v] += compute;
-            if self.config.memory_sample_interval > 0 {
-                let mem = self.nodes[v].memory_words();
+            self.metrics.compute_per_node[v] += fx.compute;
+            if let Some(mem) = fx.memory {
                 if mem > self.metrics.peak_memory_per_node[v] {
                     self.metrics.peak_memory_per_node[v] = mem;
                 }
             }
-            if outbox.len() > self.metrics.max_node_sends_per_round {
-                self.metrics.max_node_sends_per_round = outbox.len();
+            if fx.sends.len() > self.metrics.max_node_sends_per_round {
+                self.metrics.max_node_sends_per_round = fx.sends.len();
             }
             // Bandwidth check: words per destination from this sender.
-            outbox.sort_by_key(|&(to, _)| to);
-            let mut i = 0;
-            while i < outbox.len() {
-                let to = outbox[i].0;
+            let ew = &fx.edge_words;
+            let mut a = 0;
+            while a < ew.len() {
+                let to = ew[a].0;
                 let mut words = 0usize;
-                let mut j = i;
-                while j < outbox.len() && outbox[j].0 == to {
-                    words += outbox[j].1.words().max(1);
-                    j += 1;
+                let mut b = a;
+                while b < ew.len() && ew[b].0 == to {
+                    words += ew[b].1;
+                    b += 1;
                 }
                 if words > self.config.bandwidth_words {
                     return Err(SimError::BandwidthExceeded {
@@ -253,20 +355,20 @@ impl<'g, P: Protocol> Network<'g, P> {
                 if words > self.metrics.max_edge_words {
                     self.metrics.max_edge_words = words;
                 }
-                i = j;
+                a = b;
             }
-            for (to, msg) in outbox {
-                let words = msg.words().max(1);
+            // Route sends into the next round's mailboxes.
+            for ((to, msg), words) in fx.sends.drain(..).zip(fx.send_words.drain(..)) {
                 self.metrics.words += words as u64;
                 self.metrics.messages += 1;
                 self.metrics.sent_per_node[v] += 1;
                 if self.trace.is_enabled() {
                     self.trace.push(TraceEvent::Sent { round: self.round, from: v, to, words });
                 }
-                self.pending[to].push((v, msg));
+                self.mail.stage(v, to, msg);
             }
-            if let Some(target) = wake {
-                if !halted {
+            if let Some(target) = fx.wake {
+                if !fx.halted {
                     self.wakes.push(Reverse((target, v)));
                     if self.trace.is_enabled() {
                         self.trace.push(TraceEvent::WakeScheduled {
@@ -277,7 +379,7 @@ impl<'g, P: Protocol> Network<'g, P> {
                     }
                 }
             }
-            if halted && !self.halted[v] {
+            if fx.halted && !self.halted[v] {
                 self.halted[v] = true;
                 self.halted_count += 1;
                 if self.trace.is_enabled() {
@@ -315,7 +417,8 @@ impl<'g, P: Protocol> Network<'g, P> {
         &self.nodes
     }
 
-    /// Consumes the network, returning the protocol states.
+    /// Consumes the network, returning the protocol states. Prefer
+    /// [`finish`](Network::finish) when the final metrics are also needed.
     pub fn into_nodes(self) -> Vec<P> {
         self.nodes
     }
@@ -332,7 +435,32 @@ impl<P: Protocol> std::fmt::Debug for Network<'_, P> {
     }
 }
 
-/// Which protocol callback [`Network::invoke`] should run.
+/// Carves one disjoint `&mut` node/effects pair per listed node (ids
+/// strictly ascending) and hands each [`Job`] to `with` — the shared
+/// walk behind both compute-phase paths (inline execution when
+/// sequential, job-list collection when parallel).
+fn carve_jobs<'a, P: Protocol>(
+    nodes: &'a mut [P],
+    effects: &'a mut [Effects<P::Msg>],
+    mail: &'a Mailboxes<P::Msg>,
+    work: &[NodeId],
+    mut with: impl FnMut(Job<'a, P>),
+) {
+    let mut node_rest = nodes;
+    let mut fx_rest = effects;
+    let mut base = 0;
+    for &v in work {
+        let (_, tail) = node_rest.split_at_mut(v - base);
+        let (node, tail) = tail.split_first_mut().expect("active node id in range");
+        node_rest = tail;
+        base = v + 1;
+        let (fx, fx_tail) = fx_rest.split_first_mut().expect("effects pool sized to work");
+        fx_rest = fx_tail;
+        with(Job { v, node, fx, inbox: mail.inbox(v) });
+    }
+}
+
+/// Which protocol callback [`Network::run_phase`] should run.
 #[derive(Clone, Copy, Debug)]
 enum CallKind {
     Init,
@@ -381,8 +509,9 @@ mod tests {
     fn flood_reaches_everyone_on_path() {
         let g = dhc_graph::generator::path_graph(5);
         let mut net = Network::new(&g, Config::default(), flood_nodes(5)).unwrap();
-        let report = net.run().unwrap();
+        net.run().unwrap();
         assert!(net.nodes().iter().all(|f| f.seen));
+        let (report, _) = net.finish();
         assert_eq!(report.halted, 5);
         // Token crosses 4 hops; the last forward happens in round 4.
         assert_eq!(report.metrics.rounds, 4);
@@ -394,7 +523,8 @@ mod tests {
     fn metrics_count_messages_and_words() {
         let g = dhc_graph::generator::star(4);
         let mut net = Network::new(&g, Config::default(), flood_nodes(4)).unwrap();
-        let report = net.run().unwrap();
+        net.run().unwrap();
+        let (report, _) = net.finish();
         // Node 0 sends 3; each leaf replies to the (halted) hub: 3 more sent.
         assert_eq!(report.metrics.messages, 6);
         assert_eq!(report.metrics.words, 6);
@@ -406,7 +536,7 @@ mod tests {
     fn memory_peaks_sampled() {
         let g = dhc_graph::generator::path_graph(3);
         let mut net = Network::new(&g, Config::default(), flood_nodes(3)).unwrap();
-        let _ = net.run().unwrap();
+        net.run().unwrap();
         assert!(net.metrics().peak_memory_per_node.iter().all(|&m| m == 2));
     }
 
@@ -518,7 +648,7 @@ mod tests {
         let mut net =
             Network::new(&g, Config::default(), vec![Timer { remaining: 2, fired_rounds: vec![] }])
                 .unwrap();
-        let _ = net.run().unwrap();
+        net.run().unwrap();
         assert_eq!(net.nodes()[0].fired_rounds, vec![3, 5, 7]);
     }
 
@@ -536,11 +666,11 @@ mod tests {
     }
 
     #[test]
-    fn trace_records_sends_and_halts() {
+    fn trace_records_sends_halts_and_wakes() {
         let g = dhc_graph::generator::path_graph(3);
         let cfg = Config::default().with_trace_capacity(100);
         let mut net = Network::new(&g, cfg, flood_nodes(3)).unwrap();
-        let _ = net.run().unwrap();
+        net.run().unwrap();
         let trace = net.trace();
         let sends =
             trace.events().iter().filter(|e| matches!(e, crate::TraceEvent::Sent { .. })).count();
@@ -552,11 +682,72 @@ mod tests {
     }
 
     #[test]
+    fn trace_records_wake_only_activations() {
+        let g = dhc_graph::Graph::from_edges(1, []).unwrap();
+        let cfg = Config::default().with_trace_capacity(100);
+        let mut net =
+            Network::new(&g, cfg, vec![Timer { remaining: 1, fired_rounds: vec![] }]).unwrap();
+        net.run().unwrap();
+        let woke: Vec<usize> = net
+            .trace()
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Woke { round, node: 0 } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        // Scheduled in init for round 3, then again for round 5.
+        assert_eq!(woke, vec![3, 5]);
+    }
+
+    #[test]
     fn trace_disabled_by_default() {
         let g = dhc_graph::generator::path_graph(2);
         let mut net = Network::new(&g, Config::default(), flood_nodes(2)).unwrap();
-        let _ = net.run().unwrap();
+        net.run().unwrap();
         assert!(net.trace().events().is_empty());
+    }
+
+    /// Node 1 answers its first delivery with two messages to node 0 in
+    /// one round: a bandwidth violation in the round-2 commit fold.
+    struct Replier {
+        invocations: usize,
+    }
+    impl Protocol for Replier {
+        type Msg = Token;
+        fn init(&mut self, ctx: &mut Context<'_, Token>) {
+            if ctx.node() == 0 {
+                ctx.send(1, Token(0));
+            }
+        }
+        fn round(&mut self, ctx: &mut Context<'_, Token>, inbox: &[(NodeId, Token)]) {
+            self.invocations += 1;
+            if ctx.node() == 1 && !inbox.is_empty() {
+                ctx.send(0, Token(1));
+                ctx.send(0, Token(2));
+            }
+        }
+    }
+
+    #[test]
+    fn step_after_error_does_not_rerun_the_round() {
+        let g = dhc_graph::generator::path_graph(2);
+        let mut net = Network::new(
+            &g,
+            Config::default(),
+            vec![Replier { invocations: 0 }, Replier { invocations: 0 }],
+        )
+        .unwrap();
+        let err = net.run().unwrap_err();
+        assert!(matches!(err, SimError::BandwidthExceeded { from: 1, to: 0, .. }));
+        assert_eq!(net.nodes()[1].invocations, 1);
+        // The failed round's inboxes were consumed: another step cannot
+        // re-deliver them and re-run the callbacks (it stalls instead,
+        // exactly like the pre-refactor engine).
+        let again = net.step().unwrap_err();
+        assert!(matches!(again, SimError::Stalled { .. }), "{again:?}");
+        assert_eq!(net.nodes()[1].invocations, 1);
     }
 
     #[test]
@@ -564,8 +755,26 @@ mod tests {
         let g = dhc_graph::generator::grid(3, 3);
         let run = || {
             let mut net = Network::new(&g, Config::default(), flood_nodes(9)).unwrap();
-            net.run().unwrap().metrics
+            net.run().unwrap();
+            net.finish().0.metrics
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn engine_threads_do_not_change_results() {
+        let g = dhc_graph::generator::grid(4, 4);
+        let run = |threads: usize| {
+            let cfg = Config::default().with_trace_capacity(10_000).with_engine_threads(threads);
+            let mut net = Network::new(&g, cfg, flood_nodes(16)).unwrap();
+            net.run().unwrap();
+            let trace = net.trace().events().to_vec();
+            let (report, _) = net.finish();
+            (report.metrics, trace)
+        };
+        let baseline = run(1);
+        for threads in [2, 4, 0] {
+            assert_eq!(baseline, run(threads), "diverged at engine_threads = {threads}");
+        }
     }
 }

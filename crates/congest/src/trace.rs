@@ -34,6 +34,15 @@ pub enum TraceEvent {
         /// Target round of the wake-up.
         target: usize,
     },
+    /// A scheduled wake-up fired and activated a node that had no
+    /// messages this round (message-driven activations consume any due
+    /// wake-up silently; halted nodes never wake).
+    Woke {
+        /// Round in which the wake-up fired.
+        round: usize,
+        /// The node.
+        node: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -42,7 +51,8 @@ impl TraceEvent {
         match *self {
             TraceEvent::Sent { round, .. }
             | TraceEvent::Halted { round, .. }
-            | TraceEvent::WakeScheduled { round, .. } => round,
+            | TraceEvent::WakeScheduled { round, .. }
+            | TraceEvent::Woke { round, .. } => round,
         }
     }
 }

@@ -43,6 +43,16 @@ pub struct DhcConfig {
     /// keyed by the master seed, and outputs are folded in partition
     /// order — so this trades wall-clock time only.
     pub parallelism: usize,
+    /// Worker threads for the round engine's **within-round** compute
+    /// phase (`dhc_congest::Config::engine_threads`): `1` (the default)
+    /// runs a round's active nodes sequentially, `0` uses all available
+    /// cores. Orthogonal to [`parallelism`](Self::parallelism) — that
+    /// knob spreads *whole partition simulations* across threads, this
+    /// one parallelizes *inside every simulated round* — and the two
+    /// compose multiplicatively when both are raised. Results are
+    /// **identical for every value**: the engine commits each round's
+    /// effects in ascending node-id order regardless of thread count.
+    pub engine_threads: usize,
 }
 
 impl DhcConfig {
@@ -58,6 +68,7 @@ impl DhcConfig {
             sample_factor: 8.0,
             root_solve_retries: 8,
             parallelism: 1,
+            engine_threads: 1,
         }
     }
 
@@ -93,6 +104,14 @@ impl DhcConfig {
         self
     }
 
+    /// Sets the round engine's within-round worker-thread count (`0` =
+    /// all available cores). Never changes results, only wall-clock
+    /// time; see [`engine_threads`](Self::engine_threads).
+    pub fn with_engine_threads(mut self, threads: usize) -> Self {
+        self.engine_threads = threads;
+        self
+    }
+
     /// The concrete worker-thread count for `jobs` independent
     /// partition simulations, resolving `parallelism == 0` to the
     /// machine's available cores and never exceeding the job count.
@@ -119,6 +138,7 @@ impl DhcConfig {
         SimConfig::default()
             .with_max_rounds(self.max_rounds)
             .with_bandwidth_words(self.bandwidth_words)
+            .with_engine_threads(self.engine_threads)
     }
 
     /// Validates parameter ranges.
@@ -190,5 +210,8 @@ mod tests {
         let cfg = DhcConfig::new(0).with_max_rounds(123);
         assert_eq!(cfg.sim_config().max_rounds, 123);
         assert_eq!(cfg.sim_config().bandwidth_words, 16);
+        assert_eq!(cfg.sim_config().engine_threads, 1);
+        let cfg = cfg.with_engine_threads(0);
+        assert_eq!(cfg.sim_config().engine_threads, 0);
     }
 }

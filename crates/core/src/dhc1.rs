@@ -530,8 +530,8 @@ pub(crate) fn run(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError
         .collect();
     let mut net = Network::new(graph, cfg.sim_config(), nodes)?;
     let run_result = net.run();
-    let phase2_metrics = net.metrics().clone();
-    let nodes = net.into_nodes();
+    let (report, nodes) = net.finish();
+    let phase2_metrics = report.metrics;
     let placed = nodes.iter().filter_map(|nd| nd.hypidx).max().map(|m| m + 1).unwrap_or(0);
     match run_result {
         Ok(_) => {}

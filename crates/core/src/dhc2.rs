@@ -609,8 +609,8 @@ pub(crate) fn run_with_colors(
             (0..n).map(|v| MergeNode::new(v, states[v], colors_remaining)).collect();
         let mut net = Network::new(graph, cfg.sim_config(), nodes)?;
         let run_result = net.run();
-        let level_metrics: Metrics = net.metrics().clone();
-        let nodes = net.into_nodes();
+        let (report, nodes) = net.finish();
+        let level_metrics: Metrics = report.metrics;
         match run_result {
             Ok(_) => {}
             Err(SimError::Stalled { .. }) => {

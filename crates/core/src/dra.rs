@@ -230,8 +230,7 @@ impl DraNode {
 
     fn fail_and_flood(&mut self, ctx: &mut Context<'_, DraMsg>, reason: PartitionFailure) {
         self.failed = Some(reason);
-        let nbrs = self.part_nbrs.clone();
-        for to in nbrs {
+        for &to in &self.part_nbrs {
             ctx.send(to, DraMsg::Abort { reason: encode_failure(reason) });
         }
         ctx.halt();
@@ -351,9 +350,9 @@ impl DraNode {
                 self.pred = Some(s);
                 self.done = true;
                 let size = self.cycle_size.expect("leader knows size");
-                let nbrs = self.part_nbrs.clone();
-                for to in nbrs {
-                    ctx.send(to, DraMsg::Done { tail: self.id, head: s, size });
+                let tail = self.id;
+                for &to in &self.part_nbrs {
+                    ctx.send(to, DraMsg::Done { tail, head: s, size });
                 }
                 ctx.halt();
             }
@@ -369,8 +368,7 @@ impl DraNode {
                 self.rot_initiator = true;
                 self.rot_pending = self.part_nbrs.len();
                 let msg = DraMsg::Rotation { key, h, j, vj: self.id, vh: s };
-                let nbrs = self.part_nbrs.clone();
-                for to in nbrs {
+                for &to in &self.part_nbrs {
                     ctx.send(to, msg.clone());
                 }
                 // At least the old head s is a partition neighbor, so
@@ -402,8 +400,7 @@ impl DraNode {
         self.apply_rotation(h, j, vj, vh);
         self.rot_pending = self.part_nbrs.len() - 1;
         let msg = DraMsg::Rotation { key, h, j, vj, vh };
-        let nbrs = self.part_nbrs.clone();
-        for to in nbrs {
+        for &to in &self.part_nbrs {
             if to != s {
                 ctx.send(to, msg.clone());
             }
@@ -429,8 +426,7 @@ impl DraNode {
             self.awaiting_reply = false;
             self.is_head = false;
         }
-        let nbrs = self.part_nbrs.clone();
-        for to in nbrs {
+        for &to in &self.part_nbrs {
             if to != s {
                 ctx.send(to, DraMsg::Done { tail, head, size });
             }
@@ -443,8 +439,7 @@ impl DraNode {
             return;
         }
         self.failed = Some(decode_failure(reason));
-        let nbrs = self.part_nbrs.clone();
-        for to in nbrs {
+        for &to in &self.part_nbrs {
             if to != s {
                 ctx.send(to, DraMsg::Abort { reason });
             }
@@ -491,9 +486,9 @@ impl Protocol for DraNode {
             self.wave_parent = None;
             self.wave_pending = self.part_nbrs.len();
             self.wave_acc = 0;
-            let nbrs = self.part_nbrs.clone();
-            for to in nbrs {
-                ctx.send(to, DraMsg::Wave { root: self.id });
+            let root = self.id;
+            for &to in &self.part_nbrs {
+                ctx.send(to, DraMsg::Wave { root });
             }
             return;
         }
@@ -509,8 +504,7 @@ impl Protocol for DraNode {
                         self.wave_parent = Some(from);
                         self.wave_acc = 0;
                         self.wave_pending = self.part_nbrs.len() - 1;
-                        let nbrs = self.part_nbrs.clone();
-                        for to in nbrs {
+                        for &to in &self.part_nbrs {
                             if to != from {
                                 ctx.send(to, DraMsg::Wave { root });
                             }

@@ -98,9 +98,8 @@ fn run_one_partition(
         .collect();
     let mut net = Network::new(&sub, cfg.sim_config(), protocols)?;
     net.run()?;
-    let metrics = net.metrics().clone();
-    let raw = net
-        .into_nodes()
+    let (report, nodes) = net.finish();
+    let raw = nodes
         .iter()
         .map(|node| RawPhase1 {
             color,
@@ -112,7 +111,7 @@ fn run_one_partition(
             cycle_size: node.cycle_size,
         })
         .collect();
-    Ok(PartitionRun { map, raw, metrics })
+    Ok(PartitionRun { map, raw, metrics: report.metrics })
 }
 
 /// Charges the round-1 `Color` announcements that cross partition

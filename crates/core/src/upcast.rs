@@ -466,8 +466,8 @@ pub(crate) fn run(graph: &Graph, cfg: &DhcConfig, all_edges: bool) -> Result<Run
     }
     let nodes: Vec<UpcastNode> = (0..n).map(|v| UpcastNode::new(v, cfg, all_edges)).collect();
     let mut net = Network::new(graph, cfg.sim_config(), nodes)?;
-    let report = net.run()?;
-    let nodes = net.into_nodes();
+    net.run()?;
+    let (report, nodes) = net.finish();
     if let Some(root) = nodes.iter().find(|nd| nd.aborted) {
         return Err(DhcError::RootSolveFailed { sampled_edges: root.root_edge_count });
     }

@@ -108,9 +108,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // waves over the same edge; allow a few words per edge per round.
     let cfg = Config::default().with_bandwidth_words(4).with_trace_capacity(100_000);
     let mut net = Network::new(&g, cfg, nodes)?;
-    let report = net.run()?;
+    net.run()?;
 
-    for r in 1..=report.metrics.rounds {
+    for r in 1..=net.metrics().rounds {
         let sends =
             net.trace().in_round(r).filter(|e| matches!(e, TraceEvent::Sent { .. })).count();
         let halts: Vec<NodeId> = net
@@ -123,12 +123,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         println!("round {r:3}: {sends:4} messages, halted {halts:?}");
     }
+    let rounds = net.metrics().rounds;
     let leader = net.nodes().iter().find(|nd| nd.leader_count.is_some()).expect("one leader");
     println!(
-        "\nleader: node {} with counted size {} (n = {n}); total rounds {} ~ 2 x diameter + O(1)",
+        "\nleader: node {} with counted size {} (n = {n}); total rounds {rounds} ~ 2 x diameter + O(1)",
         leader.id,
         leader.leader_count.unwrap(),
-        report.metrics.rounds
     );
     Ok(())
 }

@@ -1,7 +1,44 @@
 //! The data-parallel iterator subset: `par_iter` over slices and `Vec`s,
-//! `map`, and order-preserving `collect`.
+//! by-value `into_par_iter` over `Vec`s, `map`, and order-preserving
+//! `collect`.
 
 use crate::current_num_threads;
+
+/// Conversion of `Self` into a by-value parallel iterator (the subset of
+/// rayon's `IntoParallelIterator` this workspace needs: owned `Vec`s of
+/// work items, e.g. the round engine's per-node job lists).
+pub trait IntoParallelIterator {
+    /// The per-element item.
+    type Item: Send;
+    /// The iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Creates a parallel iterator taking ownership of the elements.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// By-value parallel iterator over a `Vec` (`into_par_iter()`).
+#[derive(Debug)]
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
 
 /// Conversion of `&'data Self` into a parallel iterator.
 pub trait IntoParallelRefIterator<'data> {

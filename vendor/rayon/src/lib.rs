@@ -23,7 +23,7 @@ pub mod iter;
 
 /// Re-exports for `use rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
 thread_local! {
@@ -180,6 +180,24 @@ mod tests {
             (0..8).collect::<Vec<_>>().par_iter().map(|_| current_num_threads()).collect()
         });
         assert!(inner_budgets.iter().all(|&n| n == 1), "{inner_budgets:?}");
+    }
+
+    #[test]
+    fn into_par_iter_consumes_and_can_mutate_through_items() {
+        // The round engine's usage shape: owned jobs carrying `&mut`
+        // references, mutated in place on worker threads.
+        let mut cells: Vec<u64> = vec![0; 257];
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let jobs: Vec<(usize, &mut u64)> = cells.iter_mut().enumerate().collect();
+            let _: Vec<()> = jobs
+                .into_par_iter()
+                .map(|(i, slot)| {
+                    *slot = i as u64 * 3;
+                })
+                .collect();
+        });
+        assert!(cells.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
     }
 
     #[test]
