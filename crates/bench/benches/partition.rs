@@ -1,0 +1,31 @@
+//! Criterion micro-benchmarks: Phase-1 partition setup — materializing
+//! every class's induced subgraph versus one zero-copy
+//! `PartitionedGraph` grouping pass — at the paper's `k = √n`
+//! partitioning. Experiment E14 records the same workload (plus an
+//! end-to-end DHC1 comparison) to `BENCH_partition.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhc_bench::partition_probe::{setup_copy, setup_graph, setup_partition, setup_view};
+use std::time::Duration;
+
+fn bench_phase1_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase1_setup");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    for &n in &[1_000usize, 10_000] {
+        let k = (n as f64).sqrt().round() as usize;
+        let g = setup_graph(n, 8);
+        let p = setup_partition(n, k, 8);
+        group.bench_with_input(BenchmarkId::new("copy", n), &(&g, &p), |b, (g, p)| {
+            b.iter(|| setup_copy(g, p))
+        });
+        group.bench_with_input(BenchmarkId::new("view", n), &(&g, &p), |b, (g, p)| {
+            b.iter(|| setup_view(g, p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase1_setup);
+criterion_main!(benches);

@@ -50,6 +50,6 @@ fn main() {
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: experiments [--quick|--smoke] [--seed S] <e1..e13|all>...");
+    eprintln!("usage: experiments [--quick|--smoke] [--seed S] <e1..e14|all>...");
     std::process::exit(2)
 }

@@ -1,0 +1,311 @@
+//! **E14 — partition-pipeline baseline** (not a paper claim): Phase-1
+//! setup cost of the zero-copy [`dhc_graph::PartitionedGraph`] versus
+//! materializing every class with `Graph::induced_subgraph`, plus an
+//! end-to-end DHC1 run under both Phase-1 representations
+//! ([`DhcConfig::with_materialized_phase1`]), recorded to
+//! `BENCH_partition.json` so the perf trajectory is tracked across PRs.
+//!
+//! Setup is measured at `n ∈ {10⁴, 10⁵}` with `k = √n` classes — the
+//! paper's DHC1 partitioning — where the copying baseline pays an
+//! `O(n·√n)` allocation bill (one `O(n)` remap vector plus a fresh CSR
+//! per class) against the view path's single `O(n + m)` grouping pass.
+//! The end-to-end comparison runs the largest DHC1 operating point this
+//! container sustains (`n = 10⁴`, `k = 50` classes at full effort —
+//! ~2·10⁹ simulated messages, a few minutes per run); the two modes
+//! must produce **bit-identical** cycles and metrics, which the
+//! experiment asserts.
+
+use crate::partition_probe::{setup_copy, setup_graph, setup_partition, setup_view};
+use crate::table::{f3, Table};
+use dhc_core::{run_dhc1, DhcConfig};
+use dhc_graph::rng::rng_from_seed;
+use dhc_graph::Graph;
+use std::time::Instant;
+
+use super::Effort;
+
+/// End-to-end DHC1 point: `n` nodes, `k` partitions.
+#[derive(Debug, Clone, Copy)]
+pub struct E2ePoint {
+    /// Graph size.
+    pub n: usize,
+    /// Phase-1 partition count.
+    pub k: usize,
+}
+
+/// Sweep parameters for E14.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Graph sizes for the setup comparison (`k = √n` classes each).
+    pub setup_sizes: Vec<usize>,
+    /// Timed repetitions per setup point (the minimum is reported).
+    pub setup_reps: usize,
+    /// End-to-end DHC1 comparison point, if any.
+    pub e2e: Option<E2ePoint>,
+    /// Whether to write the `BENCH_partition.json` baseline (disabled
+    /// for smoke runs so tests do not touch the filesystem).
+    pub emit_json: bool,
+}
+
+impl Params {
+    /// Parameters for the given effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Full => Params {
+                setup_sizes: vec![10_000, 100_000],
+                setup_reps: 3,
+                e2e: Some(E2ePoint { n: 10_000, k: 50 }),
+                emit_json: true,
+            },
+            // Quick uses a smaller e2e point than Full, so it must not
+            // overwrite the committed baseline: `BENCH_partition.json`
+            // rows stay comparable across PRs only if they always come
+            // from the Full workload.
+            Effort::Quick => Params {
+                setup_sizes: vec![10_000, 100_000],
+                setup_reps: 2,
+                e2e: Some(E2ePoint { n: 2_500, k: 25 }),
+                emit_json: false,
+            },
+            Effort::Smoke => Params {
+                setup_sizes: vec![2_000],
+                setup_reps: 1,
+                e2e: Some(E2ePoint { n: 240, k: 4 }),
+                emit_json: false,
+            },
+        }
+    }
+}
+
+/// One measured setup point.
+struct SetupSample {
+    n: usize,
+    k: usize,
+    m: usize,
+    copy_ms: f64,
+    view_ms: f64,
+}
+
+fn measure_setup(n: usize, reps: usize, seed: u64) -> SetupSample {
+    let k = (n as f64).sqrt().round() as usize;
+    let g = setup_graph(n, seed);
+    let p = setup_partition(n, k, seed);
+    let mut copy_best = f64::INFINITY;
+    let mut view_best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(setup_copy(&g, &p));
+        copy_best = copy_best.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        std::hint::black_box(setup_view(&g, &p));
+        view_best = view_best.min(t0.elapsed().as_secs_f64());
+    }
+    SetupSample { n, k, m: g.edge_count(), copy_ms: copy_best * 1e3, view_ms: view_best * 1e3 }
+}
+
+/// One end-to-end DHC1 run under one Phase-1 representation.
+struct E2eSample {
+    mode: &'static str,
+    wall_s: f64,
+    rounds: usize,
+    messages: u64,
+}
+
+/// The DHC1 operating point for `E2ePoint`: class size `s = n/k` with
+/// intra-class expected degree `6 ln s` (the density Phase 1 needs; the
+/// paper's `p = c ln n / √n` regime scaled to the chosen `k`).
+fn e2e_graph(pt: E2ePoint, seed: u64) -> Graph {
+    let s = (pt.n / pt.k).max(2) as f64;
+    let p = (6.0 * s.ln() / (s - 1.0)).min(1.0);
+    dhc_graph::generator::gnp(pt.n, p, &mut rng_from_seed(seed ^ 0xE2E)).expect("valid gnp")
+}
+
+/// Runs DHC1 view-vs-copy at the first succeeding seed; returns the
+/// samples plus whether the two outcomes were bit-identical.
+fn measure_e2e(pt: E2ePoint, seed: u64) -> Result<(Vec<E2eSample>, bool), String> {
+    let g = e2e_graph(pt, seed);
+    for attempt in 0..8u64 {
+        let cfg = DhcConfig::new(seed ^ (0xD1C1 + attempt)).with_partitions(pt.k);
+        let t0 = Instant::now();
+        let Ok(view) = run_dhc1(&g, &cfg) else { continue };
+        let view_wall = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let copy = run_dhc1(&g, &cfg.clone().with_materialized_phase1(true))
+            .expect("copying oracle must succeed whenever the view run does");
+        let copy_wall = t0.elapsed().as_secs_f64();
+        let identical = view.cycle.order() == copy.cycle.order() && view.metrics == copy.metrics;
+        // The bit-identity contract is load-bearing (it is what makes the
+        // wall-clock comparison apples-to-apples), so a divergence at
+        // this scale must fail loudly, not just print `false`.
+        assert!(identical, "view and copy DHC1 runs diverged at n = {}, k = {}", pt.n, pt.k);
+        return Ok((
+            vec![
+                E2eSample {
+                    mode: "view",
+                    wall_s: view_wall,
+                    rounds: view.metrics.rounds,
+                    messages: view.metrics.messages,
+                },
+                E2eSample {
+                    mode: "copy",
+                    wall_s: copy_wall,
+                    rounds: copy.metrics.rounds,
+                    messages: copy.metrics.messages,
+                },
+            ],
+            identical,
+        ));
+    }
+    Err(format!("DHC1 did not succeed in 8 seeds at n = {}, k = {}", pt.n, pt.k))
+}
+
+fn render_json(
+    setup: &[SetupSample],
+    e2e: Option<(E2ePoint, &[E2eSample], bool)>,
+    cores: usize,
+    seed: u64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"partition\",\n");
+    out.push_str(
+        "  \"workload\": \"phase-1 setup (view vs copy, k = sqrt(n)) + end-to-end DHC1\",\n",
+    );
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"setup\": [\n");
+    for (i, s) in setup.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"k\": {}, \"m\": {}, \"copy_ms\": {:.3}, \"view_ms\": {:.3}, \
+             \"speedup\": {:.2}}}{}\n",
+            s.n,
+            s.k,
+            s.m,
+            s.copy_ms,
+            s.view_ms,
+            s.copy_ms / s.view_ms,
+            if i + 1 < setup.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    match e2e {
+        Some((pt, samples, identical)) => {
+            out.push_str(&format!(
+                "  \"dhc1_e2e\": {{\"n\": {}, \"k\": {}, \"bit_identical\": {}, \"runs\": [\n",
+                pt.n, pt.k, identical
+            ));
+            for (i, s) in samples.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"mode\": \"{}\", \"wall_s\": {:.3}, \"rounds\": {}, \
+                     \"messages\": {}}}{}\n",
+                    s.mode,
+                    s.wall_s,
+                    s.rounds,
+                    s.messages,
+                    if i + 1 < samples.len() { "," } else { "" },
+                ));
+            }
+            out.push_str("  ]}\n");
+        }
+        None => out.push_str("  \"dhc1_e2e\": null\n"),
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Runs E14 and renders its report (optionally writing the JSON baseline).
+pub fn run(params: &Params, seed: u64) -> String {
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E14 partition pipeline: zero-copy class views vs materialized subgraphs \
+         (machine has {cores} core(s))\n\n"
+    ));
+
+    out.push_str("  Phase-1 setup, k = sqrt(n) classes on G(n, 4 ln n / n):\n");
+    let mut t = Table::new(vec!["n", "k", "m", "copy ms", "view ms", "speedup"]);
+    let mut setup = Vec::new();
+    for &n in &params.setup_sizes {
+        let s = measure_setup(n, params.setup_reps, seed);
+        t.row(vec![
+            s.n.to_string(),
+            s.k.to_string(),
+            s.m.to_string(),
+            f3(s.copy_ms),
+            f3(s.view_ms),
+            format!("{:.2}x", s.copy_ms / s.view_ms),
+        ]);
+        setup.push(s);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\n    copy = one O(n) remap + fresh CSR per class (O(n*k) total);\n    view = one O(n+m) grouping pass shared by all classes.\n\n",
+    );
+
+    let mut e2e_rows: Vec<E2eSample> = Vec::new();
+    let mut e2e_identical = false;
+    if let Some(pt) = params.e2e {
+        out.push_str(&format!(
+            "  End-to-end DHC1, n = {}, k = {} (both modes, same seed):\n",
+            pt.n, pt.k
+        ));
+        match measure_e2e(pt, seed) {
+            Ok((samples, identical)) => {
+                let mut t = Table::new(vec!["mode", "wall s", "rounds", "messages", "identical"]);
+                for s in &samples {
+                    t.row(vec![
+                        s.mode.to_string(),
+                        f3(s.wall_s),
+                        s.rounds.to_string(),
+                        s.messages.to_string(),
+                        identical.to_string(),
+                    ]);
+                }
+                out.push_str(&t.render());
+                out.push_str(
+                    "\n    identical = cycles and full metrics are bit-equal across modes\n    (also pinned by crates/core/tests/view_equivalence.rs).\n",
+                );
+                e2e_rows = samples;
+                e2e_identical = identical;
+            }
+            Err(e) => out.push_str(&format!("    {e}\n")),
+        }
+    }
+
+    if params.emit_json {
+        let path =
+            std::env::var("BENCH_PARTITION_OUT").unwrap_or_else(|_| "BENCH_partition.json".into());
+        let e2e = params
+            .e2e
+            .filter(|_| !e2e_rows.is_empty())
+            .map(|pt| (pt, &e2e_rows[..], e2e_identical));
+        match std::fs::write(&path, render_json(&setup, e2e, cores, seed)) {
+            Ok(()) => out.push_str(&format!("    baseline written to {path}\n")),
+            Err(e) => out.push_str(&format!("    could not write {path}: {e}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_reports() {
+        let report = run(&Params::for_effort(Effort::Smoke), 20180424);
+        assert!(report.contains("partition pipeline"), "{report}");
+        assert!(!report.contains("baseline written"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let setup = vec![SetupSample { n: 100, k: 10, m: 50, copy_ms: 2.0, view_ms: 1.0 }];
+        let e2e = vec![E2eSample { mode: "view", wall_s: 1.5, rounds: 9, messages: 11 }];
+        let json = render_json(&setup, Some((E2ePoint { n: 100, k: 10 }, &e2e, true)), 1, 7);
+        assert!(json.contains("\"speedup\": 2.00"));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.trim_end().ends_with('}'));
+        let no_e2e = render_json(&setup, None, 1, 7);
+        assert!(no_e2e.contains("\"dhc1_e2e\": null"));
+    }
+}

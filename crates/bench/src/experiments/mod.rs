@@ -9,6 +9,7 @@ pub mod e10_ablations;
 pub mod e11_kmachine;
 pub mod e12_other_models;
 pub mod e13_engine;
+pub mod e14_partition;
 pub mod e1_dra_steps;
 pub mod e2_partition_balance;
 pub mod e3_dhc1_scaling;
@@ -50,14 +51,15 @@ pub fn run_by_id(id: &str, effort: Effort, seed: u64) -> Result<String, String> 
         "e11" => e11_kmachine::run(&e11_kmachine::Params::for_effort(effort), seed),
         "e12" => e12_other_models::run(&e12_other_models::Params::for_effort(effort), seed),
         "e13" => e13_engine::run(&e13_engine::Params::for_effort(effort), seed),
+        "e14" => e14_partition::run(&e14_partition::Params::for_effort(effort), seed),
         other => return Err(format!("unknown experiment id: {other}")),
     };
     Ok(report)
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 13] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
+pub const ALL_IDS: [&str; 14] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"];
 
 #[cfg(test)]
 mod tests {
@@ -70,6 +72,6 @@ mod tests {
 
     #[test]
     fn all_ids_listed() {
-        assert_eq!(ALL_IDS.len(), 13);
+        assert_eq!(ALL_IDS.len(), 14);
     }
 }

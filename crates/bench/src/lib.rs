@@ -13,7 +13,10 @@
 //!   `std::thread`-based parallelism;
 //! * [`engine_probe`] — the flood-echo microprotocol used to track the
 //!   round engine's throughput (`benches/engine.rs`, experiment E13);
-//! * [`experiments`] — one module per experiment (`e1` … `e13`).
+//! * [`partition_probe`] — the Phase-1 setup workload comparing
+//!   zero-copy class views against materialized induced subgraphs
+//!   (`benches/partition.rs`, experiment E14);
+//! * [`experiments`] — one module per experiment (`e1` … `e14`).
 //!
 //! Regenerate everything with:
 //!
@@ -26,6 +29,7 @@
 
 pub mod engine_probe;
 pub mod experiments;
+pub mod partition_probe;
 pub mod stats;
 pub mod table;
 pub mod workload;

@@ -3,13 +3,17 @@
 
 use crate::effects::Effects;
 use crate::{NodeId, Payload, SimError};
-use dhc_graph::Graph;
 
 /// Handle given to [`Protocol`](crate::Protocol) callbacks.
 ///
 /// Deliberately exposes only what a CONGEST node may know: its own id, `n`,
 /// its neighbor list, and the current round number — not the global
-/// topology.
+/// topology. That locality is also what keeps the engine
+/// topology-agnostic: the context carries the node's neighbor **slice**
+/// (plus `n`) rather than a graph reference, so one non-generic `Context`
+/// serves every [`Topology`](dhc_graph::Topology) implementation — full
+/// graphs and zero-copy partition class views alike — without infecting
+/// the [`Protocol`](crate::Protocol) trait with a topology parameter.
 ///
 /// Internally the context is a thin wrapper over the node's private
 /// effects scratch: every mutation a callback performs (sends, halts,
@@ -21,7 +25,10 @@ use dhc_graph::Graph;
 pub struct Context<'a, M: Payload> {
     pub(crate) node: NodeId,
     pub(crate) round: usize,
-    pub(crate) graph: &'a Graph,
+    pub(crate) n: usize,
+    /// This node's sorted neighbor slice (the `Topology` contract
+    /// guarantees ascending order, which `is_neighbor` relies on).
+    pub(crate) nbrs: &'a [NodeId],
     pub(crate) fx: &'a mut Effects<M>,
 }
 
@@ -33,7 +40,7 @@ impl<M: Payload> Context<'_, M> {
 
     /// Total number of nodes `n` (a global the paper's model provides).
     pub fn n(&self) -> usize {
-        self.graph.node_count()
+        self.n
     }
 
     /// Current round number (0 during `init`).
@@ -43,17 +50,17 @@ impl<M: Payload> Context<'_, M> {
 
     /// This node's sorted neighbor list.
     pub fn neighbors(&self) -> &[NodeId] {
-        self.graph.neighbors(self.node)
+        self.nbrs
     }
 
     /// This node's degree.
     pub fn degree(&self) -> usize {
-        self.graph.degree(self.node)
+        self.nbrs.len()
     }
 
-    /// Whether `v` is a neighbor of this node.
+    /// Whether `v` is a neighbor of this node. `O(log deg)`.
     pub fn is_neighbor(&self, v: NodeId) -> bool {
-        self.graph.has_edge(self.node, v)
+        self.nbrs.binary_search(&v).is_ok()
     }
 
     /// Queues `msg` for delivery to neighbor `to` at the start of the next
@@ -81,7 +88,7 @@ impl<M: Payload> Context<'_, M> {
     /// CONGEST model allows). The payload is cloned once per neighbor
     /// except the last, which receives `msg` itself.
     pub fn send_all(&mut self, msg: M) {
-        let nbrs = self.graph.neighbors(self.node);
+        let nbrs = self.nbrs;
         if let Some((&last, rest)) = nbrs.split_last() {
             self.fx.sends.reserve(nbrs.len());
             for &to in rest {

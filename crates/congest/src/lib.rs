@@ -9,8 +9,10 @@
 //! * the [`Protocol`] trait — per-node state machines with an
 //!   inbox-driven `round` callback and a [`Context`] for sending,
 //!   scheduling wake-ups, charging local computation, and halting;
-//! * the [`Network`] engine — deterministic round execution over a
-//!   [`dhc_graph::Graph`] topology with **per-edge bandwidth enforcement**
+//! * the [`Network`] engine — deterministic round execution over any
+//!   [`dhc_graph::Topology`] (a plain [`dhc_graph::Graph`], a zero-copy
+//!   partition [`dhc_graph::ClassView`], or a future overlay topology)
+//!   with **per-edge bandwidth enforcement**
 //!   (more than `B` message-words across one directed edge in one round is
 //!   a simulation error, exactly the CONGEST constraint). Each round runs
 //!   as a **parallel compute phase** (active nodes execute independently

@@ -17,7 +17,7 @@ use crate::effects::Effects;
 use crate::mailbox::Mailboxes;
 use crate::trace::{Trace, TraceEvent};
 use crate::{Config, Context, Metrics, NodeId, Protocol, Report, SimError};
-use dhc_graph::Graph;
+use dhc_graph::{Graph, Topology};
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -25,13 +25,19 @@ use std::collections::BinaryHeap;
 /// A synchronous CONGEST network: a topology, one [`Protocol`] instance per
 /// node, and the round scheduler.
 ///
+/// The network is generic over its [`Topology`] (defaulting to a plain
+/// [`Graph`]), so the same engine simulates a whole graph, a zero-copy
+/// [`dhc_graph::ClassView`] of one partition class, or any future overlay
+/// topology — the engine only ever reads node counts and sorted neighbor
+/// slices.
+///
 /// Execution is deterministic — and independent of
 /// [`Config::engine_threads`]: the parallel compute phase writes only
 /// per-node scratch, and all shared state is updated by the commit fold
 /// in ascending node-id order. Inboxes are sorted by sender. Only nodes
 /// with pending messages or scheduled wake-ups run in a given round.
-pub struct Network<'g, P: Protocol> {
-    graph: &'g Graph,
+pub struct Network<'g, P: Protocol, T: Topology = Graph> {
+    graph: &'g T,
     config: Config,
     nodes: Vec<P>,
     halted: Vec<bool>,
@@ -58,21 +64,26 @@ pub struct Network<'g, P: Protocol> {
 }
 
 /// One active node's unit of work for the compute phase.
+///
+/// Carries the node's sorted neighbor slice so neither the job nor the
+/// worker closure needs the topology itself — which is why the parallel
+/// compute phase imposes no `Sync` bound on `T`.
 struct Job<'a, P: Protocol> {
     v: NodeId,
     node: &'a mut P,
     fx: &'a mut Effects<P::Msg>,
     inbox: &'a [(NodeId, P::Msg)],
+    nbrs: &'a [NodeId],
 }
 
-impl<'g, P: Protocol> Network<'g, P> {
+impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
     /// Creates the network and runs every node's `init` (round 0).
     ///
     /// # Errors
     ///
     /// [`SimError::NodeCountMismatch`] if `protocols.len() != n`, or any
     /// fault raised by an `init` callback (e.g. sending to a non-neighbor).
-    pub fn new(graph: &'g Graph, config: Config, protocols: Vec<P>) -> Result<Self, SimError> {
+    pub fn new(graph: &'g T, config: Config, protocols: Vec<P>) -> Result<Self, SimError> {
         if protocols.len() != graph.node_count() {
             return Err(SimError::NodeCountMismatch {
                 graph_nodes: graph.node_count(),
@@ -285,15 +296,16 @@ impl<'g, P: Protocol> Network<'g, P> {
         // --- Compute phase: per-node, no shared mutation. ---
         {
             let Network { graph, nodes, effects, mail, config, round, pool, .. } = self;
-            let graph: &Graph = graph;
+            let graph: &T = graph;
+            let n = graph.node_count();
             let round = *round;
             let sample_memory = config.memory_sample_interval > 0;
 
             let run_job = |job: Job<'_, P>| {
-                let Job { v, node, fx, inbox } = job;
+                let Job { v, node, fx, inbox, nbrs } = job;
                 fx.reset();
                 {
-                    let mut ctx = Context { node: v, round, graph, fx: &mut *fx };
+                    let mut ctx = Context { node: v, round, n, nbrs, fx: &mut *fx };
                     match kind {
                         CallKind::Init => node.init(&mut ctx),
                         CallKind::Round => node.round(&mut ctx, inbox),
@@ -306,14 +318,14 @@ impl<'g, P: Protocol> Network<'g, P> {
             match pool {
                 Some(pool) if work.len() > 1 => {
                     let mut jobs: Vec<Job<'_, P>> = Vec::with_capacity(work.len());
-                    carve_jobs(nodes, fx_pool, mail, work, |job| jobs.push(job));
+                    carve_jobs(graph, nodes, fx_pool, mail, work, |job| jobs.push(job));
                     pool.install(|| {
                         let _: Vec<()> = jobs.into_par_iter().map(&run_job).collect();
                     });
                 }
                 // Default sequential path: run each node as it is carved,
                 // with no intermediate job list.
-                _ => carve_jobs(nodes, fx_pool, mail, work, run_job),
+                _ => carve_jobs(graph, nodes, fx_pool, mail, work, run_job),
             }
         }
 
@@ -424,7 +436,7 @@ impl<'g, P: Protocol> Network<'g, P> {
     }
 }
 
-impl<P: Protocol> std::fmt::Debug for Network<'_, P> {
+impl<P: Protocol, T: Topology> std::fmt::Debug for Network<'_, P, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
             .field("n", &self.nodes.len())
@@ -438,8 +450,10 @@ impl<P: Protocol> std::fmt::Debug for Network<'_, P> {
 /// Carves one disjoint `&mut` node/effects pair per listed node (ids
 /// strictly ascending) and hands each [`Job`] to `with` — the shared
 /// walk behind both compute-phase paths (inline execution when
-/// sequential, job-list collection when parallel).
-fn carve_jobs<'a, P: Protocol>(
+/// sequential, job-list collection when parallel). The topology is read
+/// only here, to attach each node's neighbor slice to its job.
+fn carve_jobs<'a, P: Protocol, T: Topology>(
+    graph: &'a T,
     nodes: &'a mut [P],
     effects: &'a mut [Effects<P::Msg>],
     mail: &'a Mailboxes<P::Msg>,
@@ -456,7 +470,7 @@ fn carve_jobs<'a, P: Protocol>(
         base = v + 1;
         let (fx, fx_tail) = fx_rest.split_first_mut().expect("effects pool sized to work");
         fx_rest = fx_tail;
-        with(Job { v, node, fx, inbox: mail.inbox(v) });
+        with(Job { v, node, fx, inbox: mail.inbox(v), nbrs: graph.neighbors(v) });
     }
 }
 

@@ -53,6 +53,17 @@ pub struct DhcConfig {
     /// **identical for every value**: the engine commits each round's
     /// effects in ascending node-id order regardless of thread count.
     pub engine_threads: usize,
+    /// Phase 1 runs each color class as a **zero-copy**
+    /// [`dhc_graph::ClassView`] over one shared
+    /// [`dhc_graph::PartitionedGraph`] by default (`false`). Setting
+    /// this to `true` materializes every class with
+    /// [`dhc_graph::Graph::induced_subgraph`] instead — the equivalence
+    /// oracle and the benchmarking baseline (experiment `e14`).
+    /// Outcomes, metrics, and traces are **bit-identical** either way:
+    /// both representations expose the same node count and the same
+    /// sorted local-id neighbor lists (pinned by
+    /// `crates/core/tests/view_equivalence.rs`).
+    pub materialize_phase1: bool,
 }
 
 impl DhcConfig {
@@ -69,6 +80,7 @@ impl DhcConfig {
             root_solve_retries: 8,
             parallelism: 1,
             engine_threads: 1,
+            materialize_phase1: false,
         }
     }
 
@@ -109,6 +121,16 @@ impl DhcConfig {
     /// time; see [`engine_threads`](Self::engine_threads).
     pub fn with_engine_threads(mut self, threads: usize) -> Self {
         self.engine_threads = threads;
+        self
+    }
+
+    /// Selects the Phase-1 subgraph representation: `false` (the
+    /// default) simulates each color class on a zero-copy class view,
+    /// `true` materializes induced subgraphs — the equivalence oracle.
+    /// Never changes results; see
+    /// [`materialize_phase1`](Self::materialize_phase1).
+    pub fn with_materialized_phase1(mut self, materialize: bool) -> Self {
+        self.materialize_phase1 = materialize;
         self
     }
 

@@ -39,7 +39,7 @@ use crate::runner::{draw_colors, run_phase1, PhaseBreakdown, RunOutcome};
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
 use dhc_congest::{Context, Network, NodeId, Payload, Protocol, SimError};
 use dhc_graph::rng::derive_seed;
-use dhc_graph::Graph;
+use dhc_graph::{Graph, Partition};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -504,8 +504,9 @@ pub(crate) fn run(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError
     }
     let colors: Vec<u32> = (0..n).map(|v| relabel[&partition.color(v)]).collect();
     let k = next as usize;
+    let compacted = Partition::from_colors(colors, k);
 
-    let phase1 = run_phase1(graph, &colors, cfg)?;
+    let phase1 = run_phase1(graph, &compacted, cfg)?;
     let mut metrics = phase1.metrics.clone();
     let mut phases = vec![PhaseBreakdown {
         name: "phase1".to_string(),

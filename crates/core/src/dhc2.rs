@@ -581,8 +581,9 @@ pub(crate) fn run_with_colors(
     }
     let colors: Vec<u32> = (0..n).map(|v| relabel[&partition.color(v)]).collect();
     let k = next as usize;
+    let compacted = Partition::from_colors(colors, k);
 
-    let phase1 = run_phase1(graph, &colors, cfg)?;
+    let phase1 = run_phase1(graph, &compacted, cfg)?;
     let mut metrics = phase1.metrics.clone();
     let mut phases = vec![PhaseBreakdown {
         name: "phase1".to_string(),

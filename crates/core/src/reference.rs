@@ -87,7 +87,7 @@ pub fn dhc1_reference(graph: &Graph, k: usize, seed: u64) -> Result<HamiltonianC
 /// Phase 1: a verified subcycle per non-empty color class.
 fn phase1_cycles(graph: &Graph, partition: &Partition, seed: u64) -> Result<Vec<Cycle>, DhcError> {
     let mut cycles = Vec::new();
-    for (color, class) in partition.classes().iter().enumerate() {
+    for (color, class) in partition.classes().enumerate() {
         if class.is_empty() {
             continue;
         }

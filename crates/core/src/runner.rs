@@ -7,9 +7,8 @@ use crate::output::pairs_from_links;
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
 use dhc_congest::{Metrics, Network};
 use dhc_graph::rng::{derive_seed, rng_from_seed};
-use dhc_graph::{Graph, HamiltonianCycle, NodeId, Partition};
+use dhc_graph::{Graph, HamiltonianCycle, NodeId, Partition, PartitionedGraph, Topology};
 use rayon::prelude::*;
-use std::collections::BTreeMap;
 
 /// Per-phase cost breakdown of a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,31 +63,36 @@ struct RawPhase1 {
 }
 
 /// One partition's completed simulation: its member map (`local →
-/// global`), the extracted protocol states, and the run's metrics.
-struct PartitionRun {
-    map: Vec<NodeId>,
+/// global`, borrowed from the partition's flat class storage), the
+/// extracted protocol states, and the run's metrics.
+struct PartitionRun<'a> {
+    map: &'a [NodeId],
     raw: Vec<RawPhase1>,
     metrics: Metrics,
 }
 
-/// Simulates one color class's DRA instance on its induced subgraph.
+/// Simulates one color class's DRA instance on its induced subgraph,
+/// given as any [`Topology`] over local ids — a zero-copy
+/// [`dhc_graph::ClassView`] on the hot path, or a materialized
+/// [`Graph`] when [`DhcConfig::materialize_phase1`] selects the
+/// copying oracle. `map` is the class member list (`local → global`,
+/// ascending), which both representations share.
 ///
-/// The subgraph relabels members to local ids `0..k` in ascending
-/// global-id order, but each node's RNG stream stays keyed by its
-/// **global** id, so the run is a pure function of
-/// `(graph, members, color, seed)` — independent of how the other
-/// partitions are scheduled. Messages that crossed partition
-/// boundaries in a whole-graph simulation carried only the round-1
-/// color exchange, which the subgraph construction resolves up front.
-fn run_one_partition(
-    graph: &Graph,
+/// Local ids run over `0..map.len()` in ascending global-id order, but
+/// each node's RNG stream stays keyed by its **global** id, so the run
+/// is a pure function of `(graph, members, color, seed)` — independent
+/// of how the other partitions are scheduled, and independent of the
+/// subgraph representation (both expose identical sorted local-id
+/// neighbor lists). Messages that crossed partition boundaries in a
+/// whole-graph simulation carried only the round-1 color exchange,
+/// which the subgraph construction resolves up front.
+fn run_one_partition<'a, T: Topology>(
+    topo: &T,
     color: u32,
-    members: &[NodeId],
+    map: &'a [NodeId],
     cfg: &DhcConfig,
     seed_base: u64,
-) -> Result<PartitionRun, DhcError> {
-    let (sub, map) =
-        graph.induced_subgraph(members).expect("partition classes hold valid, distinct node ids");
+) -> Result<PartitionRun<'a>, DhcError> {
     let protocols: Vec<DraNode> = map
         .iter()
         .enumerate()
@@ -96,7 +100,7 @@ fn run_one_partition(
             DraNode::with_rng_stream(local, color, derive_seed(seed_base, global as u64))
         })
         .collect();
-    let mut net = Network::new(&sub, cfg.sim_config(), protocols)?;
+    let mut net = Network::new(topo, cfg.sim_config(), protocols)?;
     net.run()?;
     let (report, nodes) = net.finish();
     let raw = nodes
@@ -121,17 +125,37 @@ fn run_one_partition(
 /// subgraph simulations — without this correction the partitioned
 /// runner would systematically under-report message/word totals and
 /// per-node load relative to a whole-graph execution.
-fn account_cross_color_exchange(metrics: &mut Metrics, graph: &Graph, colors: &[u32]) {
+fn account_cross_color_exchange(
+    metrics: &mut Metrics,
+    graph: &Graph,
+    colors: &[u32],
+    pg: Option<&PartitionedGraph<'_>>,
+) {
     let n = graph.node_count();
-    let mut cross = vec![0u64; n];
     let mut total = 0u64;
-    for (u, v) in graph.edges() {
-        if colors[u] != colors[v] {
-            cross[u] += 1;
-            cross[v] += 1;
-            total += 2;
+    let cross: Vec<u64> = match pg {
+        // O(n): the grouped adjacency already knows every node's
+        // cross-color degree (degree minus same-color neighbors).
+        Some(pg) => (0..n)
+            .map(|v| {
+                let c = pg.cross_degree(v) as u64;
+                total += c;
+                c
+            })
+            .collect(),
+        // Copying oracle path: O(m) edge scan.
+        None => {
+            let mut cross = vec![0u64; n];
+            for (u, v) in graph.edges() {
+                if colors[u] != colors[v] {
+                    cross[u] += 1;
+                    cross[v] += 1;
+                    total += 2;
+                }
+            }
+            cross
         }
-    }
+    };
     if total == 0 {
         return;
     }
@@ -157,39 +181,56 @@ fn account_cross_color_exchange(metrics: &mut Metrics, graph: &Graph, colors: &[
     metrics.max_edge_words = metrics.max_edge_words.max(1);
 }
 
-/// Runs the per-partition DRA (Phase 1 of DHC1/DHC2) for the given node
-/// coloring and validates that every partition built a full subcycle.
+/// Runs the per-partition DRA (Phase 1 of DHC1/DHC2) for the given
+/// partition and validates that every partition built a full subcycle.
 ///
 /// Each color class is an **isolated** simulation over its induced
-/// subgraph, so the classes execute concurrently on up to
-/// [`DhcConfig::effective_parallelism`] worker threads (the paper's
+/// subgraph — by default a zero-copy [`dhc_graph::ClassView`] into one
+/// shared [`PartitionedGraph`] built in a single `O(n + m)` pass (no
+/// per-class CSR, no per-class `O(n)` remap), or a materialized
+/// [`Graph::induced_subgraph`] when [`DhcConfig::materialize_phase1`]
+/// selects the copying oracle. The classes execute concurrently on up
+/// to [`DhcConfig::effective_parallelism`] worker threads (the paper's
 /// Phase 1 runs its `√n` / `n^{1-δ}` DRA instances simultaneously —
 /// this is the same structure, exploited for wall-clock speed).
 /// Outcomes are folded in ascending color order and every per-node
 /// stream is keyed by the global node id, so the result is identical
-/// for every parallelism level.
+/// for every parallelism level and for both subgraph representations.
 pub(crate) fn run_phase1(
     graph: &Graph,
-    colors: &[u32],
+    partition: &Partition,
     cfg: &DhcConfig,
 ) -> Result<Phase1Outcome, DhcError> {
     let n = graph.node_count();
     let seed_base = derive_seed(cfg.seed, 0x0001);
-    let mut classes: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
-    for (v, &color) in colors.iter().enumerate() {
-        classes.entry(color).or_default().push(v);
-    }
-    let jobs: Vec<(u32, Vec<NodeId>)> = classes.into_iter().collect();
+    let jobs: Vec<usize> =
+        (0..partition.class_count()).filter(|&c| !partition.class(c).is_empty()).collect();
+
+    // The zero-copy grouping; `None` selects the copying oracle.
+    let pg = (!cfg.materialize_phase1).then(|| PartitionedGraph::new(graph, partition));
 
     let threads = cfg.effective_parallelism(jobs.len());
-    let run_job = |&(color, ref members): &(u32, Vec<NodeId>)| -> Result<PartitionRun, DhcError> {
-        run_one_partition(graph, color, members, cfg, seed_base)
+    let run_job = |&class: &usize| -> Result<PartitionRun<'_>, DhcError> {
+        let members = partition.class(class);
+        let color = class as u32;
+        match &pg {
+            Some(pg) => {
+                let view = pg.class_view(class).expect("job classes are non-empty");
+                run_one_partition(&view, color, members, cfg, seed_base)
+            }
+            None => {
+                let (sub, _) = graph
+                    .induced_subgraph(members)
+                    .expect("partition classes hold valid, distinct node ids");
+                run_one_partition(&sub, color, members, cfg, seed_base)
+            }
+        }
     };
     // A fresh scoped pool per call is free with the vendored rayon
     // stand-in (no persistent workers); if the real rayon is swapped
     // in, hoist this to a per-config pool to avoid per-run thread
     // spawn overhead in trial sweeps.
-    let results: Vec<Result<PartitionRun, DhcError>> = if threads <= 1 {
+    let results: Vec<Result<PartitionRun<'_>, DhcError>> = if threads <= 1 {
         jobs.iter().map(run_job).collect()
     } else {
         let pool = rayon::ThreadPoolBuilder::new()
@@ -206,12 +247,12 @@ pub(crate) fn run_phase1(
     let mut raw_of: Vec<Option<RawPhase1>> = vec![None; n];
     for result in results {
         let run = result?;
-        metrics.absorb_parallel(&run.metrics, &run.map);
+        metrics.absorb_parallel(&run.metrics, run.map);
         for (local, &global) in run.map.iter().enumerate() {
             raw_of[global] = Some(run.raw[local]);
         }
     }
-    account_cross_color_exchange(&mut metrics, graph, colors);
+    account_cross_color_exchange(&mut metrics, graph, partition.colors(), pg.as_ref());
 
     // Validate in global node order (stable error selection): everyone
     // done, nobody failed.
@@ -299,7 +340,7 @@ pub fn run_partition_cycles(
     if n < 3 {
         return Err(DhcError::GraphTooSmall { n });
     }
-    let outcome = run_phase1(graph, partition.colors(), cfg)?;
+    let outcome = run_phase1(graph, partition, cfg)?;
     // Group nodes per color and order them by cycindex.
     let mut by_color: std::collections::BTreeMap<u32, Vec<(usize, NodeId)>> =
         std::collections::BTreeMap::new();
@@ -343,8 +384,8 @@ pub fn run_dra(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
     if n < 3 {
         return Err(DhcError::GraphTooSmall { n });
     }
-    let colors = vec![0u32; n];
-    let outcome = run_phase1(graph, &colors, cfg)?;
+    let partition = Partition::from_colors(vec![0u32; n], 1);
+    let outcome = run_phase1(graph, &partition, cfg)?;
     let succ: Vec<Option<NodeId>> = outcome.states.iter().map(|s| Some(s.succ)).collect();
     let pred: Vec<Option<NodeId>> = outcome.states.iter().map(|s| Some(s.pred)).collect();
     let pairs = pairs_from_links(&succ, &pred)?;
@@ -478,7 +519,7 @@ mod tests {
         let g = dhc_graph::Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         let colors = [0, 1, 0, 1];
         let mut m = Metrics::empty(4);
-        account_cross_color_exchange(&mut m, &g, &colors);
+        account_cross_color_exchange(&mut m, &g, &colors, None);
         assert_eq!(m.messages, 8);
         assert_eq!(m.words, 8);
         assert_eq!(m.sent_per_node, vec![2, 2, 2, 2]);
@@ -486,9 +527,21 @@ mod tests {
         assert_eq!(m.round_traffic, vec![8]);
         assert_eq!(m.max_node_sends_per_round, 2);
 
+        // The O(n) grouped-adjacency fast path agrees with the edge scan.
+        let partition = Partition::from_colors(colors.to_vec(), 2);
+        let pg = PartitionedGraph::new(&g, &partition);
+        let mut fast = Metrics::empty(4);
+        account_cross_color_exchange(&mut fast, &g, &colors, Some(&pg));
+        assert_eq!(fast, m);
+
         // Uniform coloring: nothing crosses, metrics untouched.
         let mut m = Metrics::empty(4);
-        account_cross_color_exchange(&mut m, &g, &[0; 4]);
+        account_cross_color_exchange(&mut m, &g, &[0; 4], None);
+        assert_eq!(m, Metrics::empty(4));
+        let uniform = Partition::from_colors(vec![0; 4], 1);
+        let pg = PartitionedGraph::new(&g, &uniform);
+        let mut m = Metrics::empty(4);
+        account_cross_color_exchange(&mut m, &g, &[0; 4], Some(&pg));
         assert_eq!(m, Metrics::empty(4));
     }
 

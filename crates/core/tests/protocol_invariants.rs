@@ -149,5 +149,6 @@ fn explicit_partition_runs_match_struct_random_ones() {
     let mut rng = rng_from_seed(95);
     let random = Partition::random(n, 5, &mut rng);
     let explicit = Partition::from_colors(random.colors().to_vec(), 5);
-    assert_eq!(random.classes(), explicit.classes());
+    assert_eq!(random, explicit);
+    assert!(random.classes().eq(explicit.classes()));
 }

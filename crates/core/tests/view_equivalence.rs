@@ -1,0 +1,175 @@
+//! Pins the zero-copy Phase-1 class views to the copying oracle:
+//! DHC1/DHC2 outcomes, metrics, and engine traces must be **bit-identical**
+//! whether Phase 1 simulates each color class on a
+//! [`dhc_graph::ClassView`] (the default) or on a materialized
+//! [`dhc_graph::Graph::induced_subgraph`]
+//! ([`DhcConfig::with_materialized_phase1`]), at every engine thread
+//! count.
+
+use dhc_congest::{Config, Context, Network, NodeId, Payload, Protocol, Trace};
+use dhc_core::{run_dhc1, run_dhc2, run_dra, run_partition_cycles, DhcConfig, RunOutcome};
+use dhc_graph::rng::rng_from_seed;
+use dhc_graph::{generator, thresholds, Graph, Partition, PartitionedGraph, Topology};
+
+const ENGINE_THREADS: [usize; 2] = [1, 4];
+
+fn assert_outcomes_identical(view: &RunOutcome, copy: &RunOutcome, what: &str) {
+    assert_eq!(view.cycle.order(), copy.cycle.order(), "{what}: cycle diverged");
+    assert_eq!(view.metrics, copy.metrics, "{what}: metrics diverged");
+    assert_eq!(view.phases, copy.phases, "{what}: phase breakdown diverged");
+}
+
+#[test]
+fn dhc1_bit_identical_view_vs_copy_at_thread_counts() {
+    let n = 196;
+    let p = thresholds::edge_probability(n, 0.5, 6.0);
+    let g = generator::gnp(n, p, &mut rng_from_seed(70)).unwrap();
+    // DHC1 succeeds whp, not surely: take the first succeeding seed.
+    let base = (71..79)
+        .map(|seed| DhcConfig::new(seed).with_partitions(8))
+        .find(|cfg| run_dhc1(&g, cfg).is_ok())
+        .expect("DHC1 should succeed for at least one of 8 seeds");
+    for threads in ENGINE_THREADS {
+        let cfg = base.clone().with_engine_threads(threads);
+        let view = run_dhc1(&g, &cfg).unwrap();
+        let copy = run_dhc1(&g, &cfg.clone().with_materialized_phase1(true)).unwrap();
+        assert_outcomes_identical(&view, &copy, &format!("dhc1 @ {threads} threads"));
+    }
+}
+
+#[test]
+fn dhc2_bit_identical_view_vs_copy_at_thread_counts() {
+    let n = 192;
+    let p = thresholds::edge_probability(n, 0.5, 6.0);
+    let g = generator::gnp(n, p, &mut rng_from_seed(80)).unwrap();
+    let base = (81..89)
+        .map(|seed| DhcConfig::new(seed).with_partitions(6))
+        .find(|cfg| run_dhc2(&g, cfg).is_ok())
+        .expect("DHC2 should succeed for at least one of 8 seeds");
+    for threads in ENGINE_THREADS {
+        let cfg = base.clone().with_engine_threads(threads);
+        let view = run_dhc2(&g, &cfg).unwrap();
+        let copy = run_dhc2(&g, &cfg.clone().with_materialized_phase1(true)).unwrap();
+        assert_outcomes_identical(&view, &copy, &format!("dhc2 @ {threads} threads"));
+    }
+}
+
+#[test]
+fn dra_and_partition_cycles_bit_identical_view_vs_copy() {
+    let n = 144;
+    let g = generator::gnp(n, 0.5, &mut rng_from_seed(90)).unwrap();
+    let cfg = DhcConfig::new(91);
+    let view = run_dra(&g, &cfg).unwrap();
+    let copy = run_dra(&g, &cfg.clone().with_materialized_phase1(true)).unwrap();
+    assert_outcomes_identical(&view, &copy, "dra");
+
+    let partition = Partition::random(n, 3, &mut rng_from_seed(92));
+    let (cv, mv) = run_partition_cycles(&g, &partition, &cfg).unwrap();
+    let (cc, mc) =
+        run_partition_cycles(&g, &partition, &cfg.with_materialized_phase1(true)).unwrap();
+    assert_eq!(cv, cc, "subcycles diverged");
+    assert_eq!(mv, mc, "phase-1 metrics diverged");
+}
+
+#[test]
+fn failures_are_bit_identical_view_vs_copy() {
+    // A disconnected graph makes Phase 1 fail; the typed error must not
+    // depend on the subgraph representation.
+    let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+    let cfg = DhcConfig::new(0);
+    let view = run_dra(&g, &cfg).unwrap_err();
+    let copy = run_dra(&g, &cfg.with_materialized_phase1(true)).unwrap_err();
+    assert_eq!(format!("{view:?}"), format!("{copy:?}"));
+}
+
+/// Flood-echo over one class, used to pin **trace** equality (the
+/// algorithm runners do not retain per-partition traces, so this drives
+/// the engine directly over both subgraph representations).
+struct Flood {
+    seen: bool,
+    pending: usize,
+    parent: Option<NodeId>,
+}
+
+#[derive(Clone, Debug)]
+struct Tok;
+impl Payload for Tok {}
+
+impl Protocol for Flood {
+    type Msg = Tok;
+    fn init(&mut self, ctx: &mut Context<'_, Tok>) {
+        if ctx.node() == 0 {
+            self.seen = true;
+            self.pending = ctx.degree();
+            ctx.send_all(Tok);
+            if self.pending == 0 {
+                ctx.halt();
+            }
+        }
+    }
+    fn round(&mut self, ctx: &mut Context<'_, Tok>, inbox: &[(NodeId, Tok)]) {
+        for &(from, _) in inbox {
+            if self.seen {
+                ctx.send(from, Tok);
+            } else {
+                self.seen = true;
+                self.parent = Some(from);
+                self.pending = ctx.degree() - 1;
+                for i in 0..ctx.degree() {
+                    let to = ctx.neighbors()[i];
+                    if to != from {
+                        ctx.send(to, Tok);
+                    }
+                }
+            }
+        }
+        if self.seen && self.pending == 0 {
+            if let Some(p) = self.parent {
+                ctx.send(p, Tok);
+            }
+            ctx.halt();
+        } else if !inbox.is_empty() {
+            self.pending = self.pending.saturating_sub(inbox.len());
+            if self.pending == 0 {
+                if let Some(p) = self.parent {
+                    ctx.send(p, Tok);
+                }
+                ctx.halt();
+            }
+        }
+    }
+}
+
+fn run_traced<T: Topology>(topo: &T, threads: usize) -> (Trace, dhc_congest::Metrics) {
+    let nodes: Vec<Flood> =
+        (0..topo.node_count()).map(|_| Flood { seen: false, pending: 0, parent: None }).collect();
+    let cfg = Config::default()
+        .with_bandwidth_words(4)
+        .with_trace_capacity(100_000)
+        .with_engine_threads(threads);
+    let mut net = Network::new(topo, cfg, nodes).unwrap();
+    // Disconnected classes stall the flood; that is fine for trace
+    // comparison purposes — both representations must stall identically.
+    let _ = net.run();
+    let trace = net.trace().clone();
+    let (report, _) = net.finish();
+    (trace, report.metrics)
+}
+
+#[test]
+fn traces_bit_identical_on_class_view_vs_materialized_subgraph() {
+    let n = 120;
+    let g = generator::gnp(n, 0.3, &mut rng_from_seed(95)).unwrap();
+    let partition = Partition::random(n, 4, &mut rng_from_seed(96));
+    let pg = PartitionedGraph::new(&g, &partition);
+    for c in 0..partition.class_count() {
+        let Ok(view) = pg.class_view(c) else { continue };
+        let (sub, _) = g.induced_subgraph(partition.class(c)).unwrap();
+        for threads in ENGINE_THREADS {
+            let (vt, vm) = run_traced(&view, threads);
+            let (ct, cm) = run_traced(&sub, threads);
+            assert_eq!(vt.events(), ct.events(), "class {c} trace @ {threads} threads");
+            assert_eq!(vm, cm, "class {c} metrics @ {threads} threads");
+        }
+    }
+}

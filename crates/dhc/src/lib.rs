@@ -6,7 +6,8 @@
 //! This facade re-exports the workspace crates:
 //!
 //! * [`graph`] — `G(n, p)` / `G(n, M)` / random-regular generators, CSR
-//!   adjacency, BFS/diameter, partitions, cycle verification;
+//!   adjacency, BFS/diameter, partitions with zero-copy class topology
+//!   views ([`Topology`], [`PartitionedGraph`]), cycle verification;
 //! * [`congest`] — the synchronous CONGEST-model simulator with bandwidth
 //!   enforcement and per-node resource metrics;
 //! * [`rotation`] — the sequential Angluin–Valiant / Pósa rotation solver;
@@ -44,7 +45,7 @@ pub use dhc_rotation as rotation;
 pub use dhc_core::{
     run_collect_all, run_dhc1, run_dhc2, run_dra, run_upcast, DhcConfig, DhcError, RunOutcome,
 };
-pub use dhc_graph::{Graph, HamiltonianCycle};
+pub use dhc_graph::{ClassView, Graph, HamiltonianCycle, Partition, PartitionedGraph, Topology};
 
 /// Compiles the workspace README's code blocks as doctests, so the
 /// documented quickstart can never drift from the real API.

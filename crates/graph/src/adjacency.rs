@@ -146,14 +146,19 @@ impl Graph {
         }
         let n = self.node_count();
         let mut to_local: Vec<Option<usize>> = vec![None; n];
+        let mut degree_sum = 0usize;
         for (local, &g) in nodes.iter().enumerate() {
             if g >= n {
                 return Err(GraphError::NodeOutOfRange { node: g, n });
             }
             assert!(to_local[g].is_none(), "duplicate node {g} in induced_subgraph selection");
             to_local[g] = Some(local);
+            degree_sum += self.degree(g);
         }
-        let mut b = GraphBuilder::new(nodes.len());
+        // Each internal edge is pushed once (u < v) and contributes 2 to
+        // the selection's degree sum, so degree_sum / 2 bounds the edge
+        // count: the builder never reallocates while collecting.
+        let mut b = GraphBuilder::with_capacity(nodes.len(), degree_sum / 2);
         for (local_u, &g_u) in nodes.iter().enumerate() {
             for &g_v in self.neighbors(g_u) {
                 if let Some(local_v) = to_local[g_v] {

@@ -6,15 +6,25 @@ use rand::Rng;
 /// Maximum number of full restarts before giving up.
 const MAX_ATTEMPTS: usize = 64;
 
+/// Largest live-stub count at which a probing stall falls back to exact
+/// enumeration of the `O(live²)` suitable pairs. Above it, the attempt
+/// restarts instead: a stall with many live stubs is vanishingly rare
+/// (the probe makes `10 + 10·live` draws first), and a restart costs
+/// `O(n·d)` where the enumeration would cost `O(live²·d)` — the
+/// quadratic cliff this bound removes at large `n·d`.
+const STALL_ENUM_LIMIT: usize = 1024;
+
 /// Samples a random `d`-regular simple graph on `n` nodes.
 ///
 /// Uses the Steger–Wormald refinement of the configuration model: stubs are
 /// paired one edge at a time, each time choosing a uniformly random *suitable*
-/// pair (no self-loop, no multi-edge). When random probing stalls, the
-/// suitable pairs are enumerated exactly; only if none exist does the whole
-/// pairing restart. For `d = o(n^{1/3})` the output distribution is
-/// asymptotically uniform, which covers the regimes used in the paper's
-/// "other random graph models" extension.
+/// pair (no self-loop, no multi-edge). When random probing stalls near the
+/// end (few live stubs), the suitable pairs are enumerated exactly; a stall
+/// with more than `STALL_ENUM_LIMIT` (1024) live stubs restarts the attempt
+/// instead, bounding the fallback so large `n·d` never falls off the
+/// `O(live²)` enumeration cliff. For `d = o(n^{1/3})` the output
+/// distribution is asymptotically uniform, which covers the regimes used in
+/// the paper's "other random graph models" extension.
 ///
 /// # Errors
 ///
@@ -87,7 +97,12 @@ fn try_pairing<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Vec<(
         if placed {
             continue;
         }
-        // Probing stalled: enumerate suitable pairs exactly.
+        if live > STALL_ENUM_LIMIT {
+            // Probing stalled while many stubs are live: restart the
+            // attempt rather than paying the quadratic enumeration.
+            return None;
+        }
+        // Endgame stall: enumerate suitable pairs exactly.
         let mut suitable = Vec::new();
         for i in 0..live {
             for j in (i + 1)..live {

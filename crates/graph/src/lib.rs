@@ -10,7 +10,11 @@
 //!   `G(n, M)` and random-regular models mentioned as extensions,
 //! * structural queries used by the analysis: BFS ([`bfs`]), exact and
 //!   estimated diameter ([`diameter`]), connectivity,
-//! * vertex [`partition`]s and induced subgraphs (Phase 1 of DHC1/DHC2),
+//! * vertex [`partition`]s and their induced subgraphs — materialized, or
+//!   as zero-copy [`ClassView`]s over a [`PartitionedGraph`] (Phase 1 of
+//!   DHC1/DHC2),
+//! * the [`Topology`] trait the CONGEST engine is generic over, so views
+//!   and future overlay topologies simulate without copying,
 //! * a strict Hamiltonian-cycle verifier ([`cycle`]),
 //! * deterministic seeding helpers ([`rng`]) so every experiment is
 //!   reproducible from a single `u64`.
@@ -46,11 +50,15 @@ pub mod partition;
 pub mod rng;
 pub mod stats;
 pub mod thresholds;
+pub mod topology;
+pub mod view;
 
 pub use adjacency::{EdgeIter, Graph, GraphBuilder};
 pub use cycle::HamiltonianCycle;
 pub use error::GraphError;
 pub use partition::Partition;
+pub use topology::Topology;
+pub use view::{ClassView, PartitionedGraph};
 
 /// Node identifier inside a [`Graph`]: a dense index in `0..n`.
 pub type NodeId = usize;

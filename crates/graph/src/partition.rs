@@ -4,6 +4,12 @@
 //! classes are the parallel DRA instances' vertex sets. Lemmas 4 and 7 of
 //! the paper show every class has size within `[½, 3/2]` of the mean whp —
 //! experiment E2 measures exactly this.
+//!
+//! Class membership is stored flat, CSR-style (one offsets array plus one
+//! member array), so a `k`-class partition of `n` nodes costs `n + k + 1`
+//! words regardless of `k`, every class is a contiguous ascending slice,
+//! and [`PartitionedGraph`](crate::PartitionedGraph) can index straight
+//! into it.
 
 use crate::{Graph, GraphError, NodeId};
 use rand::Rng;
@@ -18,12 +24,15 @@ use rand::Rng;
 ///
 /// let p = Partition::random(100, 4, &mut rng_from_seed(0));
 /// assert_eq!(p.class_count(), 4);
-/// assert_eq!(p.classes().iter().map(Vec::len).sum::<usize>(), 100);
+/// assert_eq!(p.classes().map(<[usize]>::len).sum::<usize>(), 100);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     color: Vec<u32>,
-    classes: Vec<Vec<NodeId>>,
+    /// `offsets[c]..offsets[c + 1]` indexes `members` for class `c`.
+    offsets: Vec<usize>,
+    /// Class member lists, concatenated; ascending within each class.
+    members: Vec<NodeId>,
 }
 
 impl Partition {
@@ -36,13 +45,10 @@ impl Partition {
     pub fn random<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Self {
         assert!(k > 0, "partition needs at least one class");
         let mut color = Vec::with_capacity(n);
-        let mut classes: Vec<Vec<NodeId>> = vec![Vec::new(); k];
-        for v in 0..n {
-            let c = rng.gen_range(0..k) as u32;
-            color.push(c);
-            classes[c as usize].push(v);
+        for _ in 0..n {
+            color.push(rng.gen_range(0..k) as u32);
         }
-        Partition { color, classes }
+        Self::from_checked_colors(color, k)
     }
 
     /// Builds a partition from an explicit color assignment.
@@ -52,12 +58,29 @@ impl Partition {
     /// Panics if `k == 0` or any color is `>= k`.
     pub fn from_colors(color: Vec<u32>, k: usize) -> Self {
         assert!(k > 0, "partition needs at least one class");
-        let mut classes: Vec<Vec<NodeId>> = vec![Vec::new(); k];
-        for (v, &c) in color.iter().enumerate() {
+        for &c in &color {
             assert!((c as usize) < k, "color {c} out of range for {k} classes");
-            classes[c as usize].push(v);
         }
-        Partition { color, classes }
+        Self::from_checked_colors(color, k)
+    }
+
+    /// Counting-sort the (validated) colors into the flat class storage.
+    fn from_checked_colors(color: Vec<u32>, k: usize) -> Self {
+        let n = color.len();
+        let mut offsets = vec![0usize; k + 1];
+        for &c in &color {
+            offsets[c as usize + 1] += 1;
+        }
+        for c in 0..k {
+            offsets[c + 1] += offsets[c];
+        }
+        let mut cursor = offsets.clone();
+        let mut members = vec![0 as NodeId; n];
+        for (v, &c) in color.iter().enumerate() {
+            members[cursor[c as usize]] = v;
+            cursor[c as usize] += 1;
+        }
+        Partition { color, offsets, members }
     }
 
     /// The color of node `v`.
@@ -74,28 +97,34 @@ impl Partition {
         &self.color
     }
 
+    /// Number of nodes `n`.
+    pub fn node_count(&self) -> usize {
+        self.color.len()
+    }
+
     /// Number of classes `k` (some may be empty).
     pub fn class_count(&self) -> usize {
-        self.classes.len()
+        self.offsets.len() - 1
     }
 
-    /// The node lists per class, each sorted ascending.
-    pub fn classes(&self) -> &[Vec<NodeId>] {
-        &self.classes
+    /// Iterates over the node list of every class, each a contiguous
+    /// ascending slice.
+    pub fn classes(&self) -> impl ExactSizeIterator<Item = &[NodeId]> + '_ {
+        (0..self.class_count()).map(move |c| self.class(c))
     }
 
-    /// The nodes of class `c`.
+    /// The nodes of class `c`, ascending.
     ///
     /// # Panics
     ///
     /// Panics if `c >= k`.
     pub fn class(&self, c: usize) -> &[NodeId] {
-        &self.classes[c]
+        &self.members[self.offsets[c]..self.offsets[c + 1]]
     }
 
     /// Sizes of all classes.
     pub fn class_sizes(&self) -> Vec<usize> {
-        self.classes.iter().map(Vec::len).collect()
+        self.offsets.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
     /// Smallest and largest class size.
@@ -111,13 +140,17 @@ impl Partition {
     /// `mean = n / k`.
     pub fn is_balanced(&self) -> bool {
         let n = self.color.len() as f64;
-        let k = self.classes.len() as f64;
+        let k = self.class_count() as f64;
         let mean = n / k;
         let (lo, hi) = (mean / 2.0, 1.5 * mean);
-        self.classes.iter().all(|c| (c.len() as f64) >= lo && (c.len() as f64) <= hi)
+        self.classes().all(|c| (c.len() as f64) >= lo && (c.len() as f64) <= hi)
     }
 
-    /// The induced subgraph of class `c` plus the local→global mapping.
+    /// The **materialized** induced subgraph of class `c` plus the
+    /// local→global mapping. Prefer
+    /// [`PartitionedGraph::class_view`](crate::PartitionedGraph::class_view)
+    /// on hot paths — it exposes the same subgraph zero-copy; this copying
+    /// form remains as the equivalence oracle.
     ///
     /// # Errors
     ///
@@ -127,7 +160,7 @@ impl Partition {
     ///
     /// Panics if `c >= k`.
     pub fn induced(&self, graph: &Graph, c: usize) -> Result<(Graph, Vec<NodeId>), GraphError> {
-        graph.induced_subgraph(&self.classes[c])
+        graph.induced_subgraph(self.class(c))
     }
 }
 
@@ -141,7 +174,7 @@ mod tests {
     fn covers_all_nodes_disjointly() {
         let p = Partition::random(200, 7, &mut rng_from_seed(1));
         let mut seen = [false; 200];
-        for (c, class) in p.classes().iter().enumerate() {
+        for (c, class) in p.classes().enumerate() {
             for &v in class {
                 assert!(!seen[v], "node {v} in two classes");
                 seen[v] = true;
@@ -152,11 +185,21 @@ mod tests {
     }
 
     #[test]
+    fn classes_are_ascending_slices() {
+        let p = Partition::random(300, 5, &mut rng_from_seed(2));
+        for class in p.classes() {
+            assert!(class.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(p.classes().len(), 5);
+    }
+
+    #[test]
     fn from_colors_round_trip() {
         let colors = vec![0, 2, 1, 2, 0];
         let p = Partition::from_colors(colors.clone(), 3);
         assert_eq!(p.colors(), &colors[..]);
         assert_eq!(p.class(2), &[1, 3]);
+        assert_eq!(p.node_count(), 5);
     }
 
     #[test]

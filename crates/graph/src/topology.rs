@@ -1,0 +1,160 @@
+//! The [`Topology`] abstraction: what a CONGEST simulation needs to know
+//! about its communication graph.
+//!
+//! The round engine, the algorithms, and the experiments never need a
+//! *materialized* CSR graph — only node counts, degrees, sorted neighbor
+//! slices, and edge queries. Expressing that as a trait lets one physical
+//! [`Graph`] back many logical topologies at zero copy: the whole graph
+//! itself, the per-color-class views of a
+//! [`PartitionedGraph`](crate::PartitionedGraph) (Phase 1 of DHC1/DHC2),
+//! and future overlays (hypernode graphs, k-machine mappings).
+
+use crate::{Graph, NodeId};
+
+/// A finite simple undirected graph over the dense id space
+/// `0..node_count()`, exposed through neighbor slices.
+///
+/// # Contract
+///
+/// Implementations must uphold, for every `v < node_count()`:
+///
+/// * `neighbors(v)` is **strictly ascending**, contains no `v` itself
+///   (no self-loops), and every entry is `< node_count()`;
+/// * adjacency is symmetric: `u ∈ neighbors(v)` iff `v ∈ neighbors(u)`;
+/// * `degree(v) == neighbors(v).len()` and
+///   `edge_count() == Σ degree(v) / 2`.
+///
+/// The sortedness is what lets default [`has_edge`](Topology::has_edge)
+/// (and the engine's neighbor checks) run in `O(log deg)` without any
+/// per-topology lookup structure.
+pub trait Topology {
+    /// Number of nodes `n`.
+    fn node_count(&self) -> usize;
+
+    /// Number of undirected edges `m`.
+    fn edge_count(&self) -> usize;
+
+    /// Sorted neighbor list of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    fn neighbors(&self, v: NodeId) -> &[NodeId];
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Whether the undirected edge `{u, v}` is present. `O(log deg(u))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty topology).
+    fn max_degree(&self) -> usize {
+        (0..self.node_count()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Memory footprint of the topology's index structures in machine
+    /// words, as reported by experiments that track per-node memory. For
+    /// zero-copy views this is the *marginal* cost of the view, not the
+    /// backing graph's.
+    fn words(&self) -> usize;
+}
+
+impl Topology for Graph {
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        Graph::edge_count(self)
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        Graph::neighbors(self, v)
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        Graph::degree(self, v)
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        Graph::has_edge(self, u, v)
+    }
+
+    fn max_degree(&self) -> usize {
+        Graph::max_degree(self)
+    }
+
+    fn words(&self) -> usize {
+        Graph::words(self)
+    }
+}
+
+impl<T: Topology + ?Sized> Topology for &T {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        (**self).neighbors(v)
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        (**self).degree(v)
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        (**self).has_edge(u, v)
+    }
+
+    fn max_degree(&self) -> usize {
+        (**self).max_degree()
+    }
+
+    fn words(&self) -> usize {
+        (**self).words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo_summary<T: Topology>(t: &T) -> (usize, usize, usize) {
+        (t.node_count(), t.edge_count(), t.max_degree())
+    }
+
+    #[test]
+    fn graph_implements_topology() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        assert_eq!(topo_summary(&g), (4, 5, 3));
+        assert_eq!(Topology::neighbors(&g, 0), &[1, 2, 3]);
+        assert!(Topology::has_edge(&g, 2, 0));
+        assert!(!Topology::has_edge(&g, 1, 3));
+        assert_eq!(Topology::degree(&g, 1), 2);
+        assert_eq!(Topology::words(&g), g.words());
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let r: &Graph = &g;
+        assert_eq!(topo_summary(&r), (3, 2, 2));
+        assert_eq!(Topology::neighbors(&r, 1), &[0, 2]);
+    }
+}

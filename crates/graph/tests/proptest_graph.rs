@@ -56,7 +56,7 @@ proptest! {
     #[test]
     fn partition_classes_are_disjoint_cover(seed in any::<u64>(), k in 1usize..10) {
         let p = Partition::random(64, k, &mut rng_from_seed(seed));
-        let total: usize = p.classes().iter().map(Vec::len).sum();
+        let total: usize = p.classes().map(<[usize]>::len).sum();
         prop_assert_eq!(total, 64);
         let mut seen = [false; 64];
         for class in p.classes() {

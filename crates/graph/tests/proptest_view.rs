@@ -1,0 +1,92 @@
+//! Property tests pinning the zero-copy [`ClassView`] to the copying
+//! oracle: on random `G(n, p)` graphs with random partitions, every class
+//! view must agree **edge-for-edge and degree-for-degree** with the
+//! materialized [`Graph::induced_subgraph`] of the same class.
+
+use dhc_graph::rng::rng_from_seed;
+use dhc_graph::{generator, GraphError, Partition, PartitionedGraph, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn class_views_match_induced_subgraphs_on_gnp(
+        seed in any::<u64>(),
+        n in 3usize..96,
+        pm in 0u32..100,
+        k in 1usize..12,
+    ) {
+        let p = pm as f64 / 100.0;
+        let g = generator::gnp(n, p, &mut rng_from_seed(seed)).unwrap();
+        let partition = Partition::random(n, k, &mut rng_from_seed(seed ^ 0x9E37));
+        let pg = PartitionedGraph::new(&g, &partition);
+
+        let mut covered = 0usize;
+        let mut intra_edges = 0usize;
+        for c in 0..partition.class_count() {
+            let class = partition.class(c);
+            if class.is_empty() {
+                prop_assert!(matches!(pg.class_view(c), Err(GraphError::EmptySelection)));
+                continue;
+            }
+            let view = pg.class_view(c).unwrap();
+            let (sub, map) = g.induced_subgraph(class).unwrap();
+
+            // Same id space and member map.
+            prop_assert_eq!(view.members(), &map[..]);
+            prop_assert_eq!(view.node_count(), sub.node_count());
+            prop_assert_eq!(view.edge_count(), sub.edge_count());
+
+            // Degree-for-degree, edge-for-edge (slices, order included).
+            for (v, &mapped) in map.iter().enumerate() {
+                prop_assert_eq!(view.degree(v), sub.degree(v));
+                prop_assert_eq!(view.neighbors(v), sub.neighbors(v));
+                // O(1) round trip through the global id space.
+                let global = view.to_global(v);
+                prop_assert_eq!(mapped, global);
+                prop_assert_eq!(view.to_local(global), Some(v));
+            }
+
+            // Edge queries agree with the oracle in both directions.
+            for lu in 0..sub.node_count() {
+                for lv in 0..sub.node_count() {
+                    prop_assert_eq!(view.has_edge(lu, lv), sub.has_edge(lu, lv));
+                }
+            }
+
+            covered += view.node_count();
+            intra_edges += view.edge_count();
+        }
+        // Views cover every node exactly once; cross + intra = all edges.
+        prop_assert_eq!(covered, n);
+        let cross_total: usize = (0..n).map(|v| pg.cross_degree(v)).sum();
+        prop_assert_eq!(intra_edges + cross_total / 2, g.edge_count());
+    }
+
+    #[test]
+    fn view_neighbor_slices_satisfy_the_topology_contract(
+        seed in any::<u64>(),
+        n in 3usize..64,
+        k in 1usize..8,
+    ) {
+        let g = generator::gnp(n, 0.3, &mut rng_from_seed(seed)).unwrap();
+        let partition = Partition::random(n, k, &mut rng_from_seed(seed ^ 0xC0FF));
+        let pg = PartitionedGraph::new(&g, &partition);
+        for c in 0..partition.class_count() {
+            let Ok(view) = pg.class_view(c) else { continue };
+            let mut degree_sum = 0usize;
+            for v in 0..view.node_count() {
+                let nbrs = view.neighbors(v);
+                // Strictly ascending, in range, no self-loops.
+                prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(nbrs.iter().all(|&w| w < view.node_count()));
+                prop_assert!(!nbrs.contains(&v));
+                // Symmetric.
+                for &w in nbrs {
+                    prop_assert!(view.neighbors(w).binary_search(&v).is_ok());
+                }
+                degree_sum += nbrs.len();
+            }
+            prop_assert_eq!(degree_sum, 2 * view.edge_count());
+        }
+    }
+}
