@@ -1,10 +1,14 @@
 //! Criterion micro-benchmarks: round-engine throughput (rounds/sec) on
-//! the flood-echo microprotocol, at one engine thread and at all cores.
-//! Experiment E13 records the same workload to `BENCH_engine.json` so the
-//! perf trajectory is tracked across PRs.
+//! the flood-echo microprotocol and the broadcast-storm workload (every
+//! node `send_all`s every round — the shared-payload flood fabric's hot
+//! path), at one engine thread and at all cores. Experiment E13 records
+//! the same workloads to `BENCH_engine.json` so the perf trajectory is
+//! tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dhc_bench::engine_probe::{flood_echo, probe_graph};
+use dhc_bench::engine_probe::{
+    flood_echo, flood_echo_unicast, flood_storm, flood_storm_unicast, probe_graph, STORM_DEPTH,
+};
 use std::time::Duration;
 
 fn bench_engine_rounds(c: &mut Criterion) {
@@ -19,6 +23,22 @@ fn bench_engine_rounds(c: &mut Criterion) {
                 BenchmarkId::new(format!("flood_echo_{label}"), n),
                 &g,
                 |b, g| b.iter(|| flood_echo(g, threads)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("broadcast_storm_{label}"), n),
+                &g,
+                |b, g| b.iter(|| flood_storm(g, STORM_DEPTH, threads)),
+            );
+            // Pre-fabric baselines: the same floods as per-neighbor sends.
+            group.bench_with_input(
+                BenchmarkId::new(format!("flood_echo_unicast_{label}"), n),
+                &g,
+                |b, g| b.iter(|| flood_echo_unicast(g, threads)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("broadcast_storm_unicast_{label}"), n),
+                &g,
+                |b, g| b.iter(|| flood_storm_unicast(g, STORM_DEPTH, threads)),
             );
         }
     }

@@ -2,7 +2,7 @@
 //! with echo — the primitive every rotation broadcast pays for).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dhc_congest::{Config, Context, Network, NodeId, Protocol};
+use dhc_congest::{Config, Context, Inbox, Network, Protocol};
 use dhc_graph::{generator, rng::rng_from_seed};
 use std::time::Duration;
 
@@ -20,7 +20,7 @@ impl Protocol for Flood {
             ctx.halt();
         }
     }
-    fn round(&mut self, ctx: &mut Context<'_, u64>, inbox: &[(NodeId, u64)]) {
+    fn round(&mut self, ctx: &mut Context<'_, u64>, inbox: Inbox<'_, u64>) {
         if !inbox.is_empty() && !self.seen {
             self.seen = true;
             ctx.send_all(1);

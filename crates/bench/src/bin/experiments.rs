@@ -1,8 +1,13 @@
 //! Regenerates the paper's quantitative claims; see PAPER.md.
 //!
 //! ```text
-//! cargo run --release -p dhc-bench --bin experiments -- [--quick|--smoke] [--seed S] <id>...|all
+//! cargo run --release -p dhc-bench --bin experiments -- \
+//!     [--quick|--smoke] [--heavy] [--seed S] <id>...|all
 //! ```
+//!
+//! `--heavy` opts into the points that run for over a minute each (E14's
+//! end-to-end DHC1 at n = 10⁴); they are skipped with a notice otherwise
+//! so `experiments all` stays tractable.
 
 use dhc_bench::experiments::{run_by_id, Effort, ALL_IDS};
 use std::time::Instant;
@@ -10,6 +15,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut effort = Effort::Full;
+    let mut heavy = false;
     let mut seed = 20180424u64; // paper's arXiv date
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -17,6 +23,7 @@ fn main() {
         match a.as_str() {
             "--quick" => effort = Effort::Quick,
             "--smoke" => effort = Effort::Smoke,
+            "--heavy" => heavy = true,
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage("missing value after --seed"));
                 seed = v.parse().unwrap_or_else(|_| usage("--seed expects an integer"));
@@ -35,7 +42,7 @@ fn main() {
     );
     for id in ids {
         let start = Instant::now();
-        match run_by_id(&id, effort, seed) {
+        match run_by_id(&id, effort, heavy, seed) {
             Ok(report) => {
                 println!("{report}");
                 println!("    [{id} took {:.1}s]\n", start.elapsed().as_secs_f64());
@@ -50,6 +57,6 @@ fn main() {
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: experiments [--quick|--smoke] [--seed S] <e1..e14|all>...");
+    eprintln!("usage: experiments [--quick|--smoke] [--heavy] [--seed S] <e1..e14|all>...");
     std::process::exit(2)
 }

@@ -1,17 +1,27 @@
-//! Round-engine throughput probe: a flood-echo microprotocol whose cost
-//! is almost pure engine overhead (mailbox routing, active-set
-//! bookkeeping, per-edge bandwidth checks), used by `benches/engine.rs`
-//! and experiment E13 to track rounds/sec across engine-thread counts.
+//! Round-engine throughput probes used by `benches/engine.rs` and
+//! experiment E13 to track rounds/sec across engine-thread counts:
 //!
-//! The protocol is the primitive every rotation broadcast in the paper
-//! pays for: node 0 floods a wave over the whole graph; each node adopts
-//! the first sender as its parent, forwards the wave, and answers every
-//! wave it was sent with exactly one reply — immediately if it declined,
-//! or after its whole subtree completed if it adopted. Total traffic is
-//! `Θ(m)` messages over `Θ(diameter)` rounds, with every node active in
-//! several rounds — the same shape as the DRA/DHC inner loops.
+//! * **flood-echo** — a microprotocol whose cost is almost pure engine
+//!   overhead (mailbox routing, active-set bookkeeping, per-edge
+//!   bandwidth checks): node 0 floods a wave over the whole graph; each
+//!   node adopts the first sender as its parent, forwards the wave, and
+//!   answers every wave it was sent with exactly one reply — immediately
+//!   if it declined, or after its whole subtree completed if it adopted.
+//!   Total traffic is `Θ(m)` messages over `Θ(diameter)` rounds, the
+//!   same shape as the DRA/DHC inner loops.
+//! * **broadcast storm** — every node floods all neighbors every round:
+//!   the pure `send_all` hot path of the paper's color waves and
+//!   rotation/abort/done floods.
+//!
+//! Both probes run in two modes: the default rides the engine's
+//! **broadcast fabric** (`send_all` / `send_all_except`, one shared
+//! payload per flooding op), while the *unicast* twin expands every
+//! flood into per-neighbor `send` calls — the pre-fabric cost model,
+//! kept as the speedup baseline. The two modes are observationally
+//! identical (same rounds, messages, metrics; pinned by
+//! `crates/congest/tests/broadcast_equivalence.rs`).
 
-use dhc_congest::{Config, Context, Network, NodeId, Payload, Protocol};
+use dhc_congest::{Config, Context, Inbox, Network, NodeId, Payload, Protocol};
 use dhc_graph::Graph;
 
 /// Flood-echo messages.
@@ -33,6 +43,8 @@ pub struct FloodEcho {
     /// Replies still outstanding for the waves this node sent.
     pending: usize,
     done: bool,
+    /// Expand floods into per-neighbor unicasts (pre-fabric baseline).
+    expand: bool,
 }
 
 impl FloodEcho {
@@ -55,12 +67,19 @@ impl Protocol for FloodEcho {
         if ctx.node() == 0 {
             self.seen = true;
             self.pending = ctx.degree();
-            ctx.send_all(ProbeMsg::Wave);
+            if self.expand {
+                for i in 0..ctx.degree() {
+                    let to = ctx.neighbors()[i];
+                    ctx.send(to, ProbeMsg::Wave);
+                }
+            } else {
+                ctx.send_all(ProbeMsg::Wave);
+            }
         }
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, ProbeMsg>, inbox: &[(NodeId, ProbeMsg)]) {
-        for &(from, ref msg) in inbox {
+    fn round(&mut self, ctx: &mut Context<'_, ProbeMsg>, inbox: Inbox<'_, ProbeMsg>) {
+        for (from, msg) in inbox.iter() {
             match msg {
                 ProbeMsg::Wave => {
                     if self.seen {
@@ -71,11 +90,15 @@ impl Protocol for FloodEcho {
                         self.seen = true;
                         self.parent = Some(from);
                         self.pending = ctx.degree() - 1;
-                        for i in 0..ctx.degree() {
-                            let to = ctx.neighbors()[i];
-                            if to != from {
-                                ctx.send(to, ProbeMsg::Wave);
+                        if self.expand {
+                            for i in 0..ctx.degree() {
+                                let to = ctx.neighbors()[i];
+                                if to != from {
+                                    ctx.send(to, ProbeMsg::Wave);
+                                }
                             }
+                        } else {
+                            ctx.send_all_except(from, ProbeMsg::Wave);
                         }
                     }
                 }
@@ -96,7 +119,22 @@ impl Protocol for FloodEcho {
 /// Panics if the simulation faults — only possible on a disconnected
 /// graph (the flood then stalls).
 pub fn flood_echo(graph: &Graph, engine_threads: usize) -> (usize, u64) {
-    let nodes: Vec<FloodEcho> = (0..graph.node_count()).map(|_| FloodEcho::default()).collect();
+    flood_echo_mode(graph, engine_threads, false)
+}
+
+/// [`flood_echo`] with the floods expanded into per-neighbor unicasts —
+/// the pre-broadcast-fabric cost model, kept as the speedup baseline.
+///
+/// # Panics
+///
+/// Like [`flood_echo`].
+pub fn flood_echo_unicast(graph: &Graph, engine_threads: usize) -> (usize, u64) {
+    flood_echo_mode(graph, engine_threads, true)
+}
+
+fn flood_echo_mode(graph: &Graph, engine_threads: usize, expand: bool) -> (usize, u64) {
+    let nodes: Vec<FloodEcho> =
+        (0..graph.node_count()).map(|_| FloodEcho { expand, ..FloodEcho::default() }).collect();
     // A node may forward the wave to a neighbor and decline that same
     // neighbor's wave in one round: two 1-word messages per edge.
     let cfg = Config::default().with_bandwidth_words(2).with_engine_threads(engine_threads);
@@ -112,9 +150,123 @@ pub fn probe_graph(n: usize, seed: u64) -> Graph {
     dhc_graph::generator::gnp(n, p, &mut dhc_graph::rng::rng_from_seed(seed)).expect("valid gnp")
 }
 
+/// Storm depth (rounds of all-node broadcasting) shared by
+/// `benches/engine.rs` and experiment E13.
+pub const STORM_DEPTH: usize = 50;
+
+/// Per-node state of the broadcast-storm probe.
+#[derive(Debug)]
+pub struct Storm {
+    remaining: usize,
+    /// Expand floods into per-neighbor unicasts (pre-fabric baseline).
+    expand: bool,
+}
+
+impl Storm {
+    fn flood(&self, ctx: &mut Context<'_, StormMsg>, tag: u64) {
+        if self.expand {
+            for i in 0..ctx.degree() {
+                let to = ctx.neighbors()[i];
+                ctx.send(to, StormMsg([tag; 6]));
+            }
+        } else {
+            ctx.send_all(StormMsg([tag; 6]));
+        }
+    }
+}
+
+/// Storm payload: six words, the size of the paper's rotation-broadcast
+/// messages (`DraMsg::Rotation` / `HypMsg::HypRotation`) — the dominant
+/// flood payload of the DHC runs.
+#[derive(Clone, Debug)]
+pub struct StormMsg(pub [u64; 6]);
+
+impl Payload for StormMsg {
+    fn words(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl Protocol for Storm {
+    type Msg = StormMsg;
+
+    fn init(&mut self, ctx: &mut Context<'_, StormMsg>) {
+        self.flood(ctx, 0);
+    }
+
+    fn round(&mut self, ctx: &mut Context<'_, StormMsg>, _inbox: Inbox<'_, StormMsg>) {
+        if self.remaining == 0 {
+            ctx.halt();
+        } else {
+            self.remaining -= 1;
+            self.flood(ctx, self.remaining as u64);
+        }
+    }
+}
+
+/// Broadcast-storm probe: **every** node floods a six-word
+/// [`StormMsg`] (the paper's rotation-broadcast size) to all neighbors
+/// in every round for `depth` rounds, then halts — `Θ(n)` broadcasts
+/// and `Θ(m)` deliveries per round, the pure `send_all` hot path the
+/// DRA color waves and rotation/abort/done floods exercise. Returns
+/// `(rounds, messages)`.
+///
+/// # Panics
+///
+/// Panics if the simulation faults — only possible when the graph has an
+/// isolated node (which never activates and stalls the run).
+pub fn flood_storm(graph: &Graph, depth: usize, engine_threads: usize) -> (usize, u64) {
+    flood_storm_mode(graph, depth, engine_threads, false)
+}
+
+/// [`flood_storm`] with the floods expanded into per-neighbor unicasts —
+/// the pre-broadcast-fabric cost model, kept as the speedup baseline.
+///
+/// # Panics
+///
+/// Like [`flood_storm`].
+pub fn flood_storm_unicast(graph: &Graph, depth: usize, engine_threads: usize) -> (usize, u64) {
+    flood_storm_mode(graph, depth, engine_threads, true)
+}
+
+fn flood_storm_mode(
+    graph: &Graph,
+    depth: usize,
+    engine_threads: usize,
+    expand: bool,
+) -> (usize, u64) {
+    let nodes: Vec<Storm> =
+        (0..graph.node_count()).map(|_| Storm { remaining: depth, expand }).collect();
+    let cfg = Config::default()
+        .with_bandwidth_words(StormMsg([0; 6]).words())
+        .with_engine_threads(engine_threads);
+    let mut net = Network::new(graph, cfg, nodes).expect("probe network");
+    net.run().expect("storm completes without isolated nodes");
+    (net.metrics().rounds, net.metrics().messages)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn flood_storm_sends_two_m_per_round_and_matches_thread_counts() {
+        let g = probe_graph(200, 9);
+        let depth = 10;
+        let (rounds, messages) = flood_storm(&g, depth, 1);
+        assert_eq!(rounds, depth + 1);
+        assert_eq!(messages, 2 * g.edge_count() as u64 * (depth as u64 + 1));
+        assert_eq!((rounds, messages), flood_storm(&g, depth, 4));
+        assert_eq!((rounds, messages), flood_storm(&g, depth, 0));
+        // The unicast twin is observationally identical.
+        assert_eq!((rounds, messages), flood_storm_unicast(&g, depth, 1));
+    }
+
+    #[test]
+    fn flood_echo_unicast_twin_is_observationally_identical() {
+        let g = probe_graph(300, 8);
+        assert_eq!(flood_echo(&g, 1), flood_echo_unicast(&g, 1));
+    }
 
     #[test]
     fn flood_echo_completes_and_is_thread_count_independent() {

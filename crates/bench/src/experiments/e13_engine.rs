@@ -1,14 +1,18 @@
 //! **E13 — engine throughput baseline** (not a paper claim): rounds/sec
-//! of the two-phase round engine on the flood-echo microprotocol, at one
-//! engine thread and at all cores, recorded to `BENCH_engine.json` so the
-//! perf trajectory is tracked across PRs.
+//! of the two-phase round engine on two workloads — the flood-echo
+//! microprotocol and the **broadcast storm** (every node `send_all`s
+//! every round, the shared-payload flood fabric's hot path) — at one
+//! engine thread and at all cores, recorded to `BENCH_engine.json` so
+//! the perf trajectory is tracked across PRs.
 //!
 //! The engine is the substrate every paper experiment stands on; a
 //! regression here silently inflates E1–E12 wall-clock without changing
 //! any simulated quantity, which is why the baseline is tracked
 //! explicitly.
 
-use crate::engine_probe::{flood_echo, probe_graph};
+use crate::engine_probe::{
+    flood_echo, flood_echo_unicast, flood_storm, flood_storm_unicast, probe_graph, STORM_DEPTH,
+};
 use crate::table::{f3, Table};
 use std::time::Instant;
 
@@ -39,6 +43,7 @@ impl Params {
 
 /// One measured point.
 struct Sample {
+    workload: &'static str,
     n: usize,
     engine_threads: usize,
     rounds: usize,
@@ -47,14 +52,20 @@ struct Sample {
     rounds_per_sec: f64,
 }
 
-fn measure(n: usize, threads: usize, reps: usize, seed: u64) -> Sample {
+fn measure(workload: &'static str, n: usize, threads: usize, reps: usize, seed: u64) -> Sample {
     let g = probe_graph(n, seed);
     let mut best = f64::INFINITY;
     let mut rounds = 0;
     let mut messages = 0;
     for _ in 0..reps.max(1) {
         let t0 = Instant::now();
-        let (r, m) = flood_echo(&g, threads);
+        let (r, m) = match workload {
+            "flood-echo" => flood_echo(&g, threads),
+            "flood-echo-unicast" => flood_echo_unicast(&g, threads),
+            "broadcast-storm" => flood_storm(&g, STORM_DEPTH, threads),
+            "broadcast-storm-unicast" => flood_storm_unicast(&g, STORM_DEPTH, threads),
+            other => unreachable!("unknown E13 workload {other}"),
+        };
         let dt = t0.elapsed().as_secs_f64();
         if dt < best {
             best = dt;
@@ -63,6 +74,7 @@ fn measure(n: usize, threads: usize, reps: usize, seed: u64) -> Sample {
         messages = m;
     }
     Sample {
+        workload,
         n,
         engine_threads: threads,
         rounds,
@@ -75,14 +87,16 @@ fn measure(n: usize, threads: usize, reps: usize, seed: u64) -> Sample {
 fn render_json(samples: &[Sample], cores: usize, seed: u64) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine\",\n");
-    out.push_str("  \"workload\": \"flood-echo on G(n, 3 ln n / n)\",\n");
+    out.push_str("  \"workload\": \"flood-echo + broadcast-storm(50) on G(n, 3 ln n / n); -unicast twins = pre-fabric baseline\",\n");
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"n\": {}, \"engine_threads\": {}, \"rounds\": {}, \"messages\": {}, \
-             \"wall_ms\": {:.3}, \"rounds_per_sec\": {:.1}}}{}\n",
+            "    {{\"workload\": \"{}\", \"n\": {}, \"engine_threads\": {}, \
+             \"rounds\": {}, \"messages\": {}, \"wall_ms\": {:.3}, \
+             \"rounds_per_sec\": {:.1}}}{}\n",
+            s.workload,
             s.n,
             s.engine_threads,
             s.rounds,
@@ -101,22 +115,32 @@ pub fn run(params: &Params, seed: u64) -> String {
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let mut out = String::new();
     out.push_str(&format!(
-        "E13 engine throughput: flood-echo rounds/sec (machine has {cores} core(s))\n\n"
+        "E13 engine throughput: flood-echo + broadcast-storm rounds/sec, with -unicast \
+         pre-fabric twins (machine has {cores} core(s))\n\n"
     ));
-    let mut t = Table::new(vec!["n", "threads", "rounds", "messages", "wall ms", "rounds/s"]);
+    let mut t =
+        Table::new(vec!["workload", "n", "threads", "rounds", "messages", "wall ms", "rounds/s"]);
     let mut samples = Vec::new();
-    for &n in &params.sizes {
-        for threads in [1usize, 0] {
-            let s = measure(n, threads, params.reps, seed);
-            t.row(vec![
-                s.n.to_string(),
-                if threads == 0 { format!("all ({cores})") } else { threads.to_string() },
-                s.rounds.to_string(),
-                s.messages.to_string(),
-                f3(s.wall_ms),
-                f3(s.rounds_per_sec),
-            ]);
-            samples.push(s);
+    // The `-unicast` twins expand every flood into per-neighbor sends —
+    // the pre-broadcast-fabric cost model, kept so the baseline records
+    // pre- vs post-fabric numbers side by side on the same machine.
+    for &workload in
+        &["flood-echo", "flood-echo-unicast", "broadcast-storm", "broadcast-storm-unicast"]
+    {
+        for &n in &params.sizes {
+            for threads in [1usize, 0] {
+                let s = measure(workload, n, threads, params.reps, seed);
+                t.row(vec![
+                    s.workload.to_string(),
+                    s.n.to_string(),
+                    if threads == 0 { format!("all ({cores})") } else { threads.to_string() },
+                    s.rounds.to_string(),
+                    s.messages.to_string(),
+                    f3(s.wall_ms),
+                    f3(s.rounds_per_sec),
+                ]);
+                samples.push(s);
+            }
         }
     }
     out.push_str(&t.render());
@@ -147,6 +171,7 @@ mod tests {
     #[test]
     fn json_shape() {
         let s = Sample {
+            workload: "flood-echo",
             n: 10,
             engine_threads: 1,
             rounds: 5,
@@ -157,6 +182,7 @@ mod tests {
         let json = render_json(&[s], 4, 9);
         assert!(json.contains("\"cores\": 4"));
         assert!(json.contains("\"engine_threads\": 1"));
+        assert!(json.contains("\"workload\": \"flood-echo\""));
         assert!(json.trim_end().ends_with('}'));
     }
 }

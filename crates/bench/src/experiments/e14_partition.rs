@@ -11,9 +11,10 @@
 //! per class) against the view path's single `O(n + m)` grouping pass.
 //! The end-to-end comparison runs the largest DHC1 operating point this
 //! container sustains (`n = 10⁴`, `k = 50` classes at full effort —
-//! ~2·10⁹ simulated messages, a few minutes per run); the two modes
-//! must produce **bit-identical** cycles and metrics, which the
-//! experiment asserts.
+//! ~2·10⁹ simulated messages; ~40 s per view-mode run on the broadcast
+//! fabric, ~5× the pre-fabric engine) and requires the experiments
+//! binary's `--heavy` flag; the two modes must produce **bit-identical**
+//! cycles and metrics, which the experiment asserts.
 
 use crate::partition_probe::{setup_copy, setup_graph, setup_partition, setup_view};
 use crate::table::{f3, Table};
@@ -33,6 +34,12 @@ pub struct E2ePoint {
     pub k: usize,
 }
 
+/// End-to-end points with more nodes than this take over a minute on a
+/// CI-class host (the n = 10⁴ point runs both Phase-1 representations,
+/// ~40 s + ~70 s post-broadcast-fabric, ~200 s *each* before it) and
+/// are gated behind the experiments binary's explicit `--heavy` flag.
+pub const HEAVY_E2E_NODES: usize = 4_000;
+
 /// Sweep parameters for E14.
 #[derive(Debug, Clone)]
 pub struct Params {
@@ -45,6 +52,9 @@ pub struct Params {
     /// Whether to write the `BENCH_partition.json` baseline (disabled
     /// for smoke runs so tests do not touch the filesystem).
     pub emit_json: bool,
+    /// A heavy point dropped by [`gated`](Params::gated); `run` prints a
+    /// one-line skip notice for it.
+    pub skipped_heavy: Option<E2ePoint>,
 }
 
 impl Params {
@@ -56,6 +66,7 @@ impl Params {
                 setup_reps: 3,
                 e2e: Some(E2ePoint { n: 10_000, k: 50 }),
                 emit_json: true,
+                skipped_heavy: None,
             },
             // Quick uses a smaller e2e point than Full, so it must not
             // overwrite the committed baseline: `BENCH_partition.json`
@@ -66,14 +77,34 @@ impl Params {
                 setup_reps: 2,
                 e2e: Some(E2ePoint { n: 2_500, k: 25 }),
                 emit_json: false,
+                skipped_heavy: None,
             },
             Effort::Smoke => Params {
                 setup_sizes: vec![2_000],
                 setup_reps: 1,
                 e2e: Some(E2ePoint { n: 240, k: 4 }),
                 emit_json: false,
+                skipped_heavy: None,
             },
         }
+    }
+
+    /// Applies the `--heavy` gate: without the flag, end-to-end points
+    /// above [`HEAVY_E2E_NODES`] are dropped so `experiments all` stays
+    /// tractable. The JSON baseline write is disabled too — a rewrite
+    /// without the heavy rows would silently lose the committed ones —
+    /// and `run` prints a one-line notice naming what was skipped.
+    pub fn gated(mut self, heavy: bool) -> Self {
+        if !heavy {
+            if let Some(pt) = self.e2e {
+                if pt.n > HEAVY_E2E_NODES {
+                    self.e2e = None;
+                    self.emit_json = false;
+                    self.skipped_heavy = Some(pt);
+                }
+            }
+        }
+        self
     }
 }
 
@@ -240,6 +271,13 @@ pub fn run(params: &Params, seed: u64) -> String {
     out.push_str(
         "\n    copy = one O(n) remap + fresh CSR per class (O(n*k) total);\n    view = one O(n+m) grouping pass shared by all classes.\n\n",
     );
+
+    if let Some(pt) = params.skipped_heavy {
+        out.push_str(&format!(
+            "  heavy point skipped: end-to-end DHC1 at n = {}, k = {} (over a minute per mode);\n  pass --heavy to run it and refresh BENCH_partition.json\n",
+            pt.n, pt.k
+        ));
+    }
 
     let mut e2e_rows: Vec<E2eSample> = Vec::new();
     let mut e2e_identical = false;

@@ -31,12 +31,15 @@ pub enum Effort {
     Smoke,
 }
 
-/// Runs one experiment by id (`"e1"` … `"e9"`), returning its report.
+/// Runs one experiment by id (`"e1"` … `"e14"`), returning its report.
+/// `heavy` opts into the experiment points that take over a minute per
+/// run (currently E14's end-to-end DHC1 at n = 10⁴); without it those
+/// points are skipped with a printed notice.
 ///
 /// # Errors
 ///
 /// Returns `Err` with the unknown id for anything else.
-pub fn run_by_id(id: &str, effort: Effort, seed: u64) -> Result<String, String> {
+pub fn run_by_id(id: &str, effort: Effort, heavy: bool, seed: u64) -> Result<String, String> {
     let report = match id {
         "e1" => e1_dra_steps::run(&e1_dra_steps::Params::for_effort(effort), seed),
         "e2" => e2_partition_balance::run(&e2_partition_balance::Params::for_effort(effort), seed),
@@ -51,7 +54,7 @@ pub fn run_by_id(id: &str, effort: Effort, seed: u64) -> Result<String, String> 
         "e11" => e11_kmachine::run(&e11_kmachine::Params::for_effort(effort), seed),
         "e12" => e12_other_models::run(&e12_other_models::Params::for_effort(effort), seed),
         "e13" => e13_engine::run(&e13_engine::Params::for_effort(effort), seed),
-        "e14" => e14_partition::run(&e14_partition::Params::for_effort(effort), seed),
+        "e14" => e14_partition::run(&e14_partition::Params::for_effort(effort).gated(heavy), seed),
         other => return Err(format!("unknown experiment id: {other}")),
     };
     Ok(report)
@@ -67,7 +70,20 @@ mod tests {
 
     #[test]
     fn unknown_id_is_error() {
-        assert!(run_by_id("e42", Effort::Smoke, 0).is_err());
+        assert!(run_by_id("e42", Effort::Smoke, false, 0).is_err());
+    }
+
+    #[test]
+    fn heavy_gate_drops_full_e2e_point_and_baseline_write() {
+        let full = e14_partition::Params::for_effort(Effort::Full);
+        let gated = full.clone().gated(false);
+        assert!(gated.e2e.is_none() && !gated.emit_json && gated.skipped_heavy.is_some());
+        let heavy = full.clone().gated(true);
+        assert_eq!(heavy.e2e.map(|p| p.n), Some(10_000));
+        assert!(heavy.emit_json);
+        // Sub-minute points pass through untouched.
+        let quick = e14_partition::Params::for_effort(Effort::Quick).gated(false);
+        assert!(quick.e2e.is_some() && quick.skipped_heavy.is_none());
     }
 
     #[test]

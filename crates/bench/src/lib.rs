@@ -11,8 +11,10 @@
 //! * [`workload`] — the `G(n, p)` operating points of the paper
 //!   (`p = c ln n / n^δ`) plus trial-sweep plumbing with
 //!   `std::thread`-based parallelism;
-//! * [`engine_probe`] — the flood-echo microprotocol used to track the
-//!   round engine's throughput (`benches/engine.rs`, experiment E13);
+//! * [`engine_probe`] — the flood-echo and broadcast-storm
+//!   microprotocols used to track the round engine's throughput, each
+//!   with a per-neighbor-unicast twin as the pre-broadcast-fabric
+//!   baseline (`benches/engine.rs`, experiment E13);
 //! * [`partition_probe`] — the Phase-1 setup workload comparing
 //!   zero-copy class views against materialized induced subgraphs
 //!   (`benches/partition.rs`, experiment E14);

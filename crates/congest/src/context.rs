@@ -81,20 +81,50 @@ impl<M: Payload> Context<'_, M> {
             }
             return;
         }
-        self.fx.sends.push((to, msg));
+        let seq = self.fx.next_seq();
+        self.fx.sends.push((seq, to, msg));
     }
 
     /// Sends `msg` to every neighbor (one copy per incident edge, as the
-    /// CONGEST model allows). The payload is cloned once per neighbor
-    /// except the last, which receives `msg` itself.
+    /// CONGEST model allows).
+    ///
+    /// Lowered onto the engine's **broadcast fabric**: the payload is
+    /// stored once in the round's broadcast arena — `O(1)` work here,
+    /// independent of the degree — and every neighbor reads it by
+    /// reference next round. Simulated quantities (delivery order,
+    /// bandwidth, `Metrics`, `Trace`) are bit-identical to calling
+    /// [`send`](Context::send) once per neighbor in ascending order.
     pub fn send_all(&mut self, msg: M) {
-        let nbrs = self.nbrs;
-        if let Some((&last, rest)) = nbrs.split_last() {
-            self.fx.sends.reserve(nbrs.len());
-            for &to in rest {
-                self.fx.sends.push((to, msg.clone()));
-            }
-            self.fx.sends.push((last, msg));
+        if self.nbrs.is_empty() {
+            return;
+        }
+        let seq = self.fx.next_seq();
+        self.fx.bcasts.push((seq, None, msg));
+    }
+
+    /// Sends `msg` to every neighbor **except** `skip` — the skip-one
+    /// flood relay every broadcast-with-echo protocol uses ("forward to
+    /// everyone but the neighbor it came from"). Same broadcast-fabric
+    /// lowering and same equivalence guarantee as
+    /// [`send_all`](Context::send_all); if `skip` is not a neighbor
+    /// (or is this node), the call degenerates to `send_all`.
+    pub fn send_all_except(&mut self, skip: NodeId, msg: M) {
+        if self.nbrs.is_empty() {
+            return;
+        }
+        let skip = if skip != self.node && self.is_neighbor(skip) { Some(skip) } else { None };
+        let seq = self.fx.next_seq();
+        self.fx.bcasts.push((seq, skip, msg));
+    }
+
+    /// [`send_all`](Context::send_all) /
+    /// [`send_all_except`](Context::send_all_except) with an *optional*
+    /// exclusion — the flood shape protocols actually carry around
+    /// ("relay to everyone except where this came from, if anywhere").
+    pub fn flood_except(&mut self, skip: Option<NodeId>, msg: M) {
+        match skip {
+            Some(s) => self.send_all_except(s, msg),
+            None => self.send_all(msg),
         }
     }
 

@@ -2,12 +2,20 @@
 //!
 //! During a round's **compute phase** every active node runs against an
 //! immutable view of the network and records everything it wants to do —
-//! sends, a halt, a wake-up request, compute charges, faults — into its
-//! own [`Effects`] value. No shared state is mutated, which is what makes
-//! the compute phase safe to run on any number of worker threads. The
-//! engine's sequential **commit fold** then applies the effects in
-//! ascending node-id order, so the observable outcome (metrics, trace,
-//! message delivery order) is bit-identical at every thread count.
+//! unicast sends, broadcasts, a halt, a wake-up request, compute charges,
+//! faults — into its own [`Effects`] value. No shared state is mutated,
+//! which is what makes the compute phase safe to run on any number of
+//! worker threads. The engine's sequential **commit fold** then applies
+//! the effects in ascending node-id order, so the observable outcome
+//! (metrics, trace, message delivery order) is bit-identical at every
+//! thread count.
+//!
+//! Unicast sends and broadcasts share one per-node **op sequence**: every
+//! `Context::send` / `send_all` / `send_all_except` call consumes the next
+//! sequence number. The number travels with the staged message (or
+//! broadcast record) so the receiver-side [`Inbox`](crate::Inbox) merge
+//! can reproduce the exact call-order interleaving a per-neighbor unicast
+//! expansion would have produced.
 //!
 //! `Effects` values live in a pool owned by the
 //! [`Network`](crate::Network) and are reused across rounds: the vectors
@@ -19,14 +27,30 @@ use crate::{NodeId, Payload, SimError};
 /// commit fold.
 #[derive(Debug)]
 pub(crate) struct Effects<M: Payload> {
-    /// Queued sends as `(destination, message)`, in call order.
-    pub(crate) sends: Vec<(NodeId, M)>,
-    /// `sends[i].1.words().max(1)`, precomputed on the worker thread so
+    /// Queued unicast sends as `(op seq, destination, message)`, in call
+    /// order.
+    pub(crate) sends: Vec<(u32, NodeId, M)>,
+    /// Queued broadcasts as `(op seq, excluded neighbor, message)`, in
+    /// call order. One entry per `send_all`/`send_all_except` call —
+    /// **one** payload copy regardless of the sender's degree.
+    pub(crate) bcasts: Vec<(u32, Option<NodeId>, M)>,
+    /// Next op sequence number (shared by sends and broadcasts).
+    pub(crate) seq: u32,
+    /// `sends[i].2.words().max(1)`, precomputed on the worker thread so
     /// the fold never calls into payload code.
     pub(crate) send_words: Vec<usize>,
-    /// `(destination, words)` sorted by destination — the fold's input
-    /// for the per-directed-edge bandwidth check.
+    /// `bcasts[i].2.words().max(1)`, likewise.
+    pub(crate) bcast_words: Vec<usize>,
+    /// Sum of `bcast_words`: the broadcast word load every non-excluded
+    /// neighbor receives this round.
+    pub(crate) bcast_total_words: usize,
+    /// `(destination, words)` of the **unicast** sends, sorted by
+    /// destination — one input of the fold's per-directed-edge bandwidth
+    /// check.
     pub(crate) edge_words: Vec<(NodeId, usize)>,
+    /// `(excluded neighbor, words)` per broadcast that excludes one,
+    /// sorted — the fold subtracts these from the broadcast base load.
+    pub(crate) skip_words: Vec<(NodeId, usize)>,
     /// The node called [`Context::halt`](crate::Context::halt).
     pub(crate) halted: bool,
     /// Requested wake-up round (already minimized across `wake_in` calls).
@@ -45,8 +69,13 @@ impl<M: Payload> Default for Effects<M> {
     fn default() -> Self {
         Effects {
             sends: Vec::new(),
+            bcasts: Vec::new(),
+            seq: 0,
             send_words: Vec::new(),
+            bcast_words: Vec::new(),
+            bcast_total_words: 0,
             edge_words: Vec::new(),
+            skip_words: Vec::new(),
             halted: false,
             wake: None,
             compute: 0,
@@ -60,13 +89,25 @@ impl<M: Payload> Effects<M> {
     /// Clears the scratch for reuse, keeping vector capacity.
     pub(crate) fn reset(&mut self) {
         self.sends.clear();
+        self.bcasts.clear();
+        self.seq = 0;
         self.send_words.clear();
+        self.bcast_words.clear();
+        self.bcast_total_words = 0;
         self.edge_words.clear();
+        self.skip_words.clear();
         self.halted = false;
         self.wake = None;
         self.compute = 0;
         self.fault = None;
         self.memory = None;
+    }
+
+    /// Consumes the next op sequence number.
+    pub(crate) fn next_seq(&mut self) -> u32 {
+        let s = self.seq;
+        self.seq += 1;
+        s
     }
 
     /// Finishes the compute phase for this node: records the sampled
@@ -75,13 +116,24 @@ impl<M: Payload> Effects<M> {
     pub(crate) fn seal(&mut self, memory: Option<usize>) {
         self.memory = memory;
         self.send_words.clear();
-        self.send_words.extend(self.sends.iter().map(|(_, m)| m.words().max(1)));
+        self.send_words.extend(self.sends.iter().map(|(_, _, m)| m.words().max(1)));
         self.edge_words.clear();
         self.edge_words
-            .extend(self.sends.iter().zip(&self.send_words).map(|(&(to, _), &w)| (to, w)));
+            .extend(self.sends.iter().zip(&self.send_words).map(|(&(_, to, _), &w)| (to, w)));
         // Only the per-destination sums matter, so an unstable sort is
         // fine — and it is deterministic for a fixed input either way.
         self.edge_words.sort_unstable();
+        self.bcast_words.clear();
+        self.bcast_words.extend(self.bcasts.iter().map(|(_, _, m)| m.words().max(1)));
+        self.bcast_total_words = self.bcast_words.iter().sum();
+        self.skip_words.clear();
+        self.skip_words.extend(
+            self.bcasts
+                .iter()
+                .zip(&self.bcast_words)
+                .filter_map(|(&(_, skip, _), &w)| skip.map(|s| (s, w))),
+        );
+        self.skip_words.sort_unstable();
     }
 }
 
@@ -92,25 +144,43 @@ mod tests {
     #[test]
     fn seal_precomputes_sorted_edge_words() {
         let mut fx: Effects<u64> = Effects::default();
-        fx.sends.push((3, 7));
-        fx.sends.push((1, 8));
-        fx.sends.push((3, 9));
+        fx.sends.push((0, 3, 7));
+        fx.sends.push((1, 1, 8));
+        fx.sends.push((2, 3, 9));
         fx.seal(Some(5));
         assert_eq!(fx.send_words, vec![1, 1, 1]);
         assert_eq!(fx.edge_words, vec![(1, 1), (3, 1), (3, 1)]);
         assert_eq!(fx.memory, Some(5));
+        assert_eq!(fx.bcast_total_words, 0);
+    }
+
+    #[test]
+    fn seal_precomputes_broadcast_words_and_skips() {
+        let mut fx: Effects<u64> = Effects::default();
+        fx.bcasts.push((0, None, 7));
+        fx.bcasts.push((1, Some(4), 8));
+        fx.bcasts.push((2, Some(2), 9));
+        fx.seal(None);
+        assert_eq!(fx.bcast_words, vec![1, 1, 1]);
+        assert_eq!(fx.bcast_total_words, 3);
+        assert_eq!(fx.skip_words, vec![(2, 1), (4, 1)]);
     }
 
     #[test]
     fn reset_clears_everything() {
         let mut fx: Effects<u64> = Effects::default();
-        fx.sends.push((0, 1));
+        let seq = fx.next_seq();
+        fx.sends.push((seq, 0, 1));
+        let seq = fx.next_seq();
+        fx.bcasts.push((seq, None, 2));
         fx.halted = true;
         fx.wake = Some(9);
         fx.compute = 4;
         fx.seal(None);
         fx.reset();
         assert!(fx.sends.is_empty() && fx.send_words.is_empty() && fx.edge_words.is_empty());
+        assert!(fx.bcasts.is_empty() && fx.bcast_words.is_empty() && fx.skip_words.is_empty());
+        assert_eq!((fx.seq, fx.bcast_total_words), (0, 0));
         assert!(!fx.halted && fx.wake.is_none() && fx.compute == 0 && fx.fault.is_none());
     }
 }

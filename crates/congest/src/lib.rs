@@ -7,7 +7,11 @@
 //! provides:
 //!
 //! * the [`Protocol`] trait — per-node state machines with an
-//!   inbox-driven `round` callback and a [`Context`] for sending,
+//!   inbox-driven `round` callback (the [`Inbox`] view merges direct
+//!   messages with broadcast payloads read by reference) and a
+//!   [`Context`] for sending — unicast `send`, or the **broadcast
+//!   fabric**'s `send_all` / `send_all_except`, which store one payload
+//!   copy per flooding sender instead of one per incident edge —
 //!   scheduling wake-ups, charging local computation, and halting;
 //! * the [`Network`] engine — deterministic round execution over any
 //!   [`dhc_graph::Topology`] (a plain [`dhc_graph::Graph`], a zero-copy
@@ -34,7 +38,7 @@
 //! A two-node ping-pong protocol:
 //!
 //! ```
-//! use dhc_congest::{Config, Context, Network, Payload, Protocol};
+//! use dhc_congest::{Config, Context, Inbox, Network, Payload, Protocol};
 //! use dhc_graph::Graph;
 //!
 //! #[derive(Clone, Debug)]
@@ -51,8 +55,8 @@
 //!             ctx.send(1, Ping(self.hops_left));
 //!         }
 //!     }
-//!     fn round(&mut self, ctx: &mut Context<'_, Ping>, inbox: &[(usize, Ping)]) {
-//!         for &(from, Ping(k)) in inbox {
+//!     fn round(&mut self, ctx: &mut Context<'_, Ping>, inbox: Inbox<'_, Ping>) {
+//!         for (from, &Ping(k)) in inbox.iter() {
 //!             if k == 0 {
 //!                 ctx.halt(); // received the last ping
 //!             } else {
@@ -90,6 +94,7 @@ pub mod trace;
 pub use config::Config;
 pub use context::Context;
 pub use error::SimError;
+pub use mailbox::{Inbox, InboxIter};
 pub use metrics::{Metrics, Report};
 pub use network::Network;
 pub use payload::Payload;
@@ -118,9 +123,11 @@ pub trait Protocol: Send {
     /// in round 1.
     fn init(&mut self, ctx: &mut Context<'_, Self::Msg>);
 
-    /// Called in each round where this node is active, with the messages
-    /// delivered this round (sorted by sender id).
-    fn round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[(NodeId, Self::Msg)]);
+    /// Called in each round where this node is active, with an [`Inbox`]
+    /// view over the messages delivered this round (sorted by sender id;
+    /// broadcast payloads are read by reference from the round's shared
+    /// broadcast arena, never copied per receiver).
+    fn round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: Inbox<'_, Self::Msg>);
 
     /// Approximate local memory footprint in machine words, sampled by the
     /// engine for the per-node memory metrics. The default (0) opts out.

@@ -1,83 +1,337 @@
-//! Double-buffered per-node mailboxes for the round engine.
+//! Double-buffered per-node mailboxes, the per-round broadcast arena,
+//! and the sender-sorted [`Inbox`] view protocols read from.
 //!
-//! Messages committed in round `r` are routed straight into the
-//! destination's **back** mailbox; because the commit fold visits senders
-//! in ascending id order (each sender's sends in call order), every
-//! mailbox is born sorted by sender and the per-inbox `sort_by_key` of
-//! the old engine disappears. At the end of the round
-//! [`Mailboxes::seal`] flips the buffers: the consumed front mailboxes
-//! are cleared (keeping their capacity), front and back swap, and the
-//! touched-destination list becomes the next round's message-driven
-//! active set — ascending, duplicate-free, and built without the old
-//! engine's scan over all `n` pending inboxes.
+//! **Direct messages** committed in round `r` are routed straight into
+//! the destination's **back** mailbox; because the commit fold visits
+//! senders in ascending id order (each sender's sends in call order),
+//! every mailbox is born sorted by sender and needs no per-inbox sort.
 //!
-//! Every message is moved exactly once (sender effects → destination
-//! mailbox) and all buffers — both mailbox arrays and the
-//! touched/ready lists — are arena-style: allocated once, reused every
-//! round, capacity-stable after warm-up.
+//! **Broadcasts** are the flood fabric: one `Context::send_all` /
+//! `send_all_except` call commits a **single** [`BcastRec`] into the
+//! round's broadcast arena — one payload copy per broadcasting op, no
+//! matter the sender's degree — and *activates* each addressed neighbor
+//! with a counter bump. The payload is never copied again: receivers
+//! read it by reference through the [`Inbox`] view, which lazily merges
+//! the node's direct buffer with the arena records addressed to it
+//! (arena records from sender `s` address exactly `s`'s neighbors minus
+//! the record's `skip`). Flood routing therefore costs `O(#broadcasts)`
+//! payload moves per round instead of `O(Σ deg)`.
+//!
+//! At the end of the round [`Mailboxes::seal`] flips the buffers: the
+//! consumed front mailboxes, arena, ranges, and counters are cleared
+//! (keeping capacity), front and back swap, and the touched-destination
+//! list becomes the next round's message-driven active set — ascending,
+//! duplicate-free, and built without any scan over all `n` inboxes.
+//!
+//! Every direct message is moved exactly once (sender effects →
+//! destination mailbox), every broadcast payload exactly once (sender
+//! effects → arena), and all buffers are arena-style: allocated once,
+//! reused every round, capacity-stable after warm-up.
 
-use crate::NodeId;
+use crate::{NodeId, Payload};
+
+/// One staged broadcast: a single payload copy addressed to every
+/// neighbor of the sender except `skip`.
+#[derive(Debug)]
+pub(crate) struct BcastRec<M> {
+    /// The sender's op sequence number (interleaves with direct sends).
+    pub(crate) seq: u32,
+    /// Excluded neighbor, if any (`Context::send_all_except`).
+    pub(crate) skip: Option<NodeId>,
+    /// The payload — stored once, read by reference by every receiver.
+    pub(crate) msg: M,
+}
 
 /// The engine's mailboxes; see the module docs.
 #[derive(Debug)]
 pub(crate) struct Mailboxes<M> {
-    /// Front buffers: the current round's inboxes, `(sender, message)`
-    /// sorted by sender. Only indices listed in `ready` are non-empty.
-    front: Vec<Vec<(NodeId, M)>>,
-    /// Back buffers: next round's inboxes, filled by [`stage`](Self::stage).
-    back: Vec<Vec<(NodeId, M)>>,
+    /// Front buffers: the current round's direct inboxes,
+    /// `(sender, op seq, message)` sorted by `(sender, seq)`. Only
+    /// indices listed in `ready` are non-empty.
+    front: Vec<Vec<(NodeId, u32, M)>>,
+    /// Back buffers: next round's direct inboxes, filled by
+    /// [`stage`](Self::stage).
+    back: Vec<Vec<(NodeId, u32, M)>>,
+    /// Current round's broadcast arena, sender-contiguous in ascending
+    /// sender order (the commit fold's order).
+    recs_front: Vec<BcastRec<M>>,
+    /// Next round's broadcast arena.
+    recs_back: Vec<BcastRec<M>>,
+    /// Per-sender `(start, len)` into `recs_front`.
+    ranges_front: Vec<(u32, u32)>,
+    /// Per-sender `(start, len)` into `recs_back`.
+    ranges_back: Vec<(u32, u32)>,
+    /// Senders with a non-empty front range (for O(#senders) clearing).
+    senders_front: Vec<NodeId>,
+    /// Senders with a non-empty back range.
+    senders_back: Vec<NodeId>,
+    /// Per-receiver count of front-arena records addressed to it.
+    bcount_front: Vec<u32>,
+    /// Per-receiver count of back-arena records addressed to it.
+    bcount_back: Vec<u32>,
     /// Destinations staged this round (unsorted, duplicate-free).
     touched: Vec<NodeId>,
-    /// Sealed `(node, inbox len)` list, ascending by node id — the
-    /// message-driven active set of the current round.
+    /// Sealed `(node, delivered count)` list, ascending by node id — the
+    /// message-driven active set of the current round. The count covers
+    /// direct messages **and** addressed broadcast records.
     ready: Vec<(NodeId, usize)>,
 }
 
-impl<M> Mailboxes<M> {
+impl<M: Payload> Mailboxes<M> {
     /// Empty mailboxes for an `n`-node network.
     pub(crate) fn new(n: usize) -> Self {
         Mailboxes {
             front: (0..n).map(|_| Vec::new()).collect(),
             back: (0..n).map(|_| Vec::new()).collect(),
+            recs_front: Vec::new(),
+            recs_back: Vec::new(),
+            ranges_front: vec![(0, 0); n],
+            ranges_back: vec![(0, 0); n],
+            senders_front: Vec::new(),
+            senders_back: Vec::new(),
+            bcount_front: vec![0; n],
+            bcount_back: vec![0; n],
             touched: Vec::new(),
             ready: Vec::new(),
         }
     }
 
-    /// Stages one message for delivery next round. Called by the commit
-    /// fold in deterministic order (senders ascending), so each mailbox
-    /// ends up sorted by sender with per-sender send order preserved.
-    pub(crate) fn stage(&mut self, from: NodeId, to: NodeId, msg: M) {
-        let inbox = &mut self.back[to];
-        if inbox.is_empty() {
+    /// Records `to` as activated next round, if it was not already.
+    fn note_touch(&mut self, to: NodeId) {
+        if self.back[to].is_empty() && self.bcount_back[to] == 0 {
             self.touched.push(to);
         }
-        inbox.push((from, msg));
     }
 
-    /// Flips the buffers: clears the consumed front inboxes (keeping
-    /// capacity), promotes the staged back buffers to front, and rebuilds
-    /// the ready list for the next round.
+    /// Stages one direct message for delivery next round. Called by the
+    /// commit fold in deterministic order (senders ascending, each
+    /// sender's ops by ascending `seq`), so each mailbox ends up sorted
+    /// by `(sender, seq)`.
+    pub(crate) fn stage(&mut self, from: NodeId, seq: u32, to: NodeId, msg: M) {
+        self.note_touch(to);
+        self.back[to].push((from, seq, msg));
+    }
+
+    /// Stages one broadcast record (a single payload copy). The caller —
+    /// the commit fold — must pair this with one
+    /// [`deliver`](Self::deliver) per addressed neighbor; the fold
+    /// commits each sender's broadcasts contiguously, so the per-sender
+    /// arena range stays contiguous.
+    pub(crate) fn stage_broadcast(&mut self, from: NodeId, seq: u32, skip: Option<NodeId>, msg: M) {
+        let idx = self.recs_back.len() as u32;
+        let (start, len) = &mut self.ranges_back[from];
+        if *len == 0 {
+            *start = idx;
+            self.senders_back.push(from);
+        }
+        *len += 1;
+        self.recs_back.push(BcastRec { seq, skip, msg });
+    }
+
+    /// Activates `to` as the receiver of one staged broadcast record —
+    /// a counter bump, no payload copy.
+    pub(crate) fn deliver(&mut self, to: NodeId) {
+        self.note_touch(to);
+        self.bcount_back[to] += 1;
+    }
+
+    /// Flips the buffers: clears the consumed front inboxes and arena
+    /// (keeping capacity), promotes the staged back buffers to front,
+    /// and rebuilds the ready list for the next round.
     pub(crate) fn seal(&mut self) {
         for &(v, _) in &self.ready {
             self.front[v].clear();
+            self.bcount_front[v] = 0;
         }
+        self.recs_front.clear();
+        for &s in &self.senders_front {
+            self.ranges_front[s] = (0, 0);
+        }
+        self.senders_front.clear();
         std::mem::swap(&mut self.front, &mut self.back);
+        std::mem::swap(&mut self.recs_front, &mut self.recs_back);
+        std::mem::swap(&mut self.ranges_front, &mut self.ranges_back);
+        std::mem::swap(&mut self.senders_front, &mut self.senders_back);
+        std::mem::swap(&mut self.bcount_front, &mut self.bcount_back);
         self.touched.sort_unstable();
         self.ready.clear();
-        self.ready.extend(self.touched.iter().map(|&d| (d, self.front[d].len())));
+        self.ready.extend(
+            self.touched.iter().map(|&d| (d, self.front[d].len() + self.bcount_front[d] as usize)),
+        );
         self.touched.clear();
     }
 
-    /// The sealed `(node, inbox len)` list: every node with mail this
-    /// round, ascending.
+    /// The sealed `(node, delivered count)` list: every node with mail
+    /// or addressed broadcasts this round, ascending.
     pub(crate) fn ready(&self) -> &[(NodeId, usize)] {
         &self.ready
     }
 
-    /// One node's inbox for the current round.
-    pub(crate) fn inbox(&self, v: NodeId) -> &[(NodeId, M)] {
-        &self.front[v]
+    /// One node's merged inbox view for the current round. `nbrs` must
+    /// be the node's sorted neighbor slice — it is how the view resolves
+    /// which arena records address the node.
+    pub(crate) fn inbox<'a>(&'a self, v: NodeId, nbrs: &'a [NodeId]) -> Inbox<'a, M> {
+        let bcount = self.bcount_front[v] as usize;
+        Inbox {
+            direct: &self.front[v],
+            recs: &self.recs_front,
+            ranges: &self.ranges_front,
+            // With no addressed broadcasts the merge degenerates to the
+            // direct buffer; dropping the neighbor slice makes iteration
+            // skip the arena probe entirely.
+            nbrs: if bcount == 0 { &[] } else { nbrs },
+            me: v,
+            len: self.front[v].len() + bcount,
+        }
+    }
+}
+
+/// One round's delivered messages for one node: a lightweight
+/// sender-sorted view merging the node's direct-message buffer with the
+/// broadcast-arena records addressed to it.
+///
+/// Handed to [`Protocol::round`](crate::Protocol::round). Messages are
+/// ordered by `(sender id, sender's call order)` — exactly the order a
+/// per-neighbor unicast expansion of every broadcast would have produced
+/// — and broadcast payloads are read **by reference** from the arena,
+/// never re-copied per receiver.
+///
+/// The view is `Copy`; iterate it any number of times with
+/// [`iter`](Inbox::iter) (or `for (from, msg) in &inbox`).
+#[derive(Debug, Clone, Copy)]
+pub struct Inbox<'a, M: Payload> {
+    /// Direct messages `(sender, op seq, message)`, `(sender, seq)`-sorted.
+    direct: &'a [(NodeId, u32, M)],
+    /// The round's broadcast arena (all senders).
+    recs: &'a [BcastRec<M>],
+    /// Per-sender `(start, len)` into `recs`.
+    ranges: &'a [(u32, u32)],
+    /// This node's sorted neighbor slice (empty when no broadcast
+    /// addresses the node).
+    nbrs: &'a [NodeId],
+    /// This node's id (to honor per-record `skip`).
+    me: NodeId,
+    /// Total delivered messages (direct + addressed broadcasts).
+    len: usize,
+}
+
+impl<'a, M: Payload> Inbox<'a, M> {
+    /// Number of messages delivered this round.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no message was delivered (wake-up-only activation).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the messages as `(sender, &message)`, sorted by sender
+    /// id (ties between one sender's messages keep that sender's call
+    /// order).
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        InboxIter {
+            direct: self.direct,
+            di: 0,
+            recs: self.recs,
+            ranges: self.ranges,
+            nbrs: self.nbrs,
+            ni: 0,
+            cur_sender: 0,
+            cur: 0,
+            cur_end: 0,
+            me: self.me,
+        }
+    }
+}
+
+impl<'a, M: Payload> IntoIterator for &Inbox<'a, M> {
+    type Item = (NodeId, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+impl<'a, M: Payload> IntoIterator for Inbox<'a, M> {
+    type Item = (NodeId, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+/// Iterator over an [`Inbox`]: a two-pointer merge of the direct buffer
+/// and the addressed broadcast records, both `(sender, seq)`-ascending.
+#[derive(Debug)]
+pub struct InboxIter<'a, M: Payload> {
+    direct: &'a [(NodeId, u32, M)],
+    di: usize,
+    recs: &'a [BcastRec<M>],
+    ranges: &'a [(u32, u32)],
+    nbrs: &'a [NodeId],
+    ni: usize,
+    cur_sender: NodeId,
+    cur: u32,
+    cur_end: u32,
+    me: NodeId,
+}
+
+impl<M: Payload> InboxIter<'_, M> {
+    /// Positions the broadcast cursor on the next record addressed to
+    /// this node, returning its `(sender, seq)` without consuming it.
+    fn peek_bcast(&mut self) -> Option<(NodeId, u32)> {
+        loop {
+            while self.cur < self.cur_end {
+                let rec = &self.recs[self.cur as usize];
+                if rec.skip == Some(self.me) {
+                    self.cur += 1;
+                } else {
+                    return Some((self.cur_sender, rec.seq));
+                }
+            }
+            loop {
+                let &s = self.nbrs.get(self.ni)?;
+                self.ni += 1;
+                let (start, len) = self.ranges[s];
+                if len > 0 {
+                    self.cur_sender = s;
+                    self.cur = start;
+                    self.cur_end = start + len;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl<'a, M: Payload> Iterator for InboxIter<'a, M> {
+    type Item = (NodeId, &'a M);
+
+    fn next(&mut self) -> Option<(NodeId, &'a M)> {
+        let bcast = self.peek_bcast();
+        match (self.direct.get(self.di), bcast) {
+            (Some(&(from, seq, ref msg)), Some((bfrom, bseq))) => {
+                if (from, seq) <= (bfrom, bseq) {
+                    self.di += 1;
+                    Some((from, msg))
+                } else {
+                    let rec = &self.recs[self.cur as usize];
+                    self.cur += 1;
+                    Some((bfrom, &rec.msg))
+                }
+            }
+            (Some(&(from, _, ref msg)), None) => {
+                self.di += 1;
+                Some((from, msg))
+            }
+            (None, Some((bfrom, _))) => {
+                let rec = &self.recs[self.cur as usize];
+                self.cur += 1;
+                Some((bfrom, &rec.msg))
+            }
+            (None, None) => None,
+        }
     }
 }
 
@@ -85,46 +339,98 @@ impl<M> Mailboxes<M> {
 mod tests {
     use super::*;
 
+    fn collect(inbox: Inbox<'_, u64>) -> Vec<(NodeId, u64)> {
+        inbox.iter().map(|(from, &m)| (from, m)).collect()
+    }
+
     #[test]
     fn seal_groups_by_destination_with_senders_in_commit_order() {
         let mut mb: Mailboxes<u64> = Mailboxes::new(5);
         // Commit order: sender 0 then sender 2 then sender 4.
-        mb.stage(0, 3, 10);
-        mb.stage(0, 1, 11);
-        mb.stage(2, 3, 12);
-        mb.stage(4, 1, 13);
-        mb.stage(4, 1, 14);
+        mb.stage(0, 0, 3, 10);
+        mb.stage(0, 1, 1, 11);
+        mb.stage(2, 0, 3, 12);
+        mb.stage(4, 0, 1, 13);
+        mb.stage(4, 1, 1, 14);
         mb.seal();
         assert_eq!(mb.ready(), &[(1, 3), (3, 2)]);
-        assert_eq!(mb.inbox(1), &[(0, 11), (4, 13), (4, 14)]);
-        assert_eq!(mb.inbox(3), &[(0, 10), (2, 12)]);
+        assert_eq!(collect(mb.inbox(1, &[0, 4])), vec![(0, 11), (4, 13), (4, 14)]);
+        assert_eq!(collect(mb.inbox(3, &[0, 2])), vec![(0, 10), (2, 12)]);
     }
 
     #[test]
     fn seal_twice_clears_previous_round() {
         let mut mb: Mailboxes<u64> = Mailboxes::new(3);
-        mb.stage(0, 1, 1);
+        mb.stage(0, 0, 1, 1);
         mb.seal();
         assert_eq!(mb.ready().len(), 1);
         mb.seal();
         assert!(mb.ready().is_empty());
-        assert!(mb.inbox(1).is_empty());
-        mb.stage(1, 2, 9);
+        assert!(mb.inbox(1, &[0, 2]).is_empty());
+        mb.stage(1, 0, 2, 9);
         mb.seal();
         assert_eq!(mb.ready(), &[(2, 1)]);
-        assert_eq!(mb.inbox(2), &[(1, 9)]);
+        assert_eq!(collect(mb.inbox(2, &[1])), vec![(1, 9)]);
     }
 
     #[test]
     fn buffers_are_reused_across_rounds() {
         let mut mb: Mailboxes<u64> = Mailboxes::new(2);
         for round in 0..4 {
-            mb.stage(0, 1, round);
+            mb.stage(0, 0, 1, round);
             mb.seal();
-            assert_eq!(mb.inbox(1), &[(0, round)]);
+            assert_eq!(collect(mb.inbox(1, &[0])), vec![(0, round)]);
         }
         // After the first two rounds both buffers are warm; capacity is
         // retained through clear + swap.
         assert!(mb.front[1].capacity() >= 1 && mb.back[1].capacity() >= 1);
+    }
+
+    /// Broadcast staging: one record, counter-bump activations, payload
+    /// visible to every addressed neighbor through the inbox view.
+    #[test]
+    fn broadcast_is_stored_once_and_merged_per_receiver() {
+        // Path 0-1-2-3; node 1 broadcasts, node 3 unicasts to 2.
+        let mut mb: Mailboxes<u64> = Mailboxes::new(4);
+        mb.stage_broadcast(1, 0, None, 77);
+        mb.deliver(0);
+        mb.deliver(2);
+        mb.stage(3, 0, 2, 88);
+        mb.seal();
+        assert_eq!(mb.recs_front.len(), 1, "one payload copy for the broadcast");
+        assert_eq!(mb.ready(), &[(0, 1), (2, 2)]);
+        assert_eq!(collect(mb.inbox(0, &[1])), vec![(1, 77)]);
+        assert_eq!(collect(mb.inbox(2, &[1, 3])), vec![(1, 77), (3, 88)]);
+    }
+
+    /// A record's `skip` hides it from exactly that receiver, and the
+    /// per-sender op sequence interleaves broadcasts with direct sends.
+    #[test]
+    fn skip_and_seq_interleaving() {
+        // Triangle 0-1-2. Node 0's ops: send(1, a); send_all_except(2, b);
+        // send(1, c)  => node 1 sees a, b, c; node 2 sees nothing from
+        // the broadcast.
+        let mut mb: Mailboxes<u64> = Mailboxes::new(3);
+        mb.stage(0, 0, 1, 100);
+        mb.stage_broadcast(0, 1, Some(2), 200);
+        mb.deliver(1);
+        mb.stage(0, 2, 1, 300);
+        mb.seal();
+        assert_eq!(collect(mb.inbox(1, &[0, 2])), vec![(0, 100), (0, 200), (0, 300)]);
+        assert_eq!(mb.ready(), &[(1, 3)]);
+    }
+
+    #[test]
+    fn broadcast_arena_cleared_on_seal() {
+        let mut mb: Mailboxes<u64> = Mailboxes::new(2);
+        mb.stage_broadcast(0, 0, None, 5);
+        mb.deliver(1);
+        mb.seal();
+        assert_eq!(mb.ready(), &[(1, 1)]);
+        mb.seal();
+        assert!(mb.ready().is_empty());
+        assert!(mb.recs_front.is_empty() && mb.recs_back.is_empty());
+        assert_eq!(mb.ranges_front[0], (0, 0));
+        assert_eq!(mb.bcount_front, vec![0, 0]);
     }
 }

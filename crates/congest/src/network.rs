@@ -11,10 +11,15 @@
 //!    node-id order: bandwidth checks, metrics, trace events, wake-up
 //!    scheduling, halting, and routing of sends into the next round's
 //!    [`Mailboxes`] all happen here, so the result is bit-identical at
-//!    every thread count.
+//!    every thread count. Broadcast effects (`send_all` /
+//!    `send_all_except`) commit **one** payload copy into the round's
+//!    broadcast arena and activate each addressed neighbor with a
+//!    counter bump, while bandwidth, metrics, and trace are still
+//!    charged per directed edge — observationally identical to the
+//!    per-neighbor unicast expansion, at a fraction of the cost.
 
 use crate::effects::Effects;
-use crate::mailbox::Mailboxes;
+use crate::mailbox::{Inbox, Mailboxes};
 use crate::trace::{Trace, TraceEvent};
 use crate::{Config, Context, Metrics, NodeId, Protocol, Report, SimError};
 use dhc_graph::{Graph, Topology};
@@ -72,7 +77,7 @@ struct Job<'a, P: Protocol> {
     v: NodeId,
     node: &'a mut P,
     fx: &'a mut Effects<P::Msg>,
-    inbox: &'a [(NodeId, P::Msg)],
+    inbox: Inbox<'a, P::Msg>,
     nbrs: &'a [NodeId],
 }
 
@@ -330,54 +335,149 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
         }
 
         // --- Commit fold: ascending node id, fully sequential. ---
+        let graph = self.graph;
         for (i, &v) in work.iter().enumerate() {
             let fx = &mut self.effects[i];
             if let Some(err) = fx.fault.take() {
                 return Err(err);
             }
+            let nbrs = graph.neighbors(v);
             self.metrics.compute_per_node[v] += fx.compute;
             if let Some(mem) = fx.memory {
                 if mem > self.metrics.peak_memory_per_node[v] {
                     self.metrics.peak_memory_per_node[v] = mem;
                 }
             }
-            if fx.sends.len() > self.metrics.max_node_sends_per_round {
-                self.metrics.max_node_sends_per_round = fx.sends.len();
+            // Per-directed-edge accounting: every broadcast still counts
+            // one message per addressed neighbor — only the payload
+            // materialization is shared.
+            let total_sends = fx.sends.len()
+                + fx.bcasts
+                    .iter()
+                    .map(|&(_, skip, _)| nbrs.len() - usize::from(skip.is_some()))
+                    .sum::<usize>();
+            if total_sends > self.metrics.max_node_sends_per_round {
+                self.metrics.max_node_sends_per_round = total_sends;
             }
             // Bandwidth check: words per destination from this sender.
-            let ew = &fx.edge_words;
-            let mut a = 0;
-            while a < ew.len() {
-                let to = ew[a].0;
-                let mut words = 0usize;
-                let mut b = a;
-                while b < ew.len() && ew[b].0 == to {
-                    words += ew[b].1;
-                    b += 1;
+            if fx.bcast_total_words == 0 {
+                // Unicast-only: walk the sorted (destination, words) list.
+                let ew = &fx.edge_words;
+                let mut a = 0;
+                while a < ew.len() {
+                    let to = ew[a].0;
+                    let mut words = 0usize;
+                    let mut b = a;
+                    while b < ew.len() && ew[b].0 == to {
+                        words += ew[b].1;
+                        b += 1;
+                    }
+                    if words > self.config.bandwidth_words {
+                        return Err(SimError::BandwidthExceeded {
+                            from: v,
+                            to,
+                            round: self.round,
+                            attempted_words: words,
+                            budget_words: self.config.bandwidth_words,
+                        });
+                    }
+                    if words > self.metrics.max_edge_words {
+                        self.metrics.max_edge_words = words;
+                    }
+                    a = b;
                 }
-                if words > self.config.bandwidth_words {
-                    return Err(SimError::BandwidthExceeded {
-                        from: v,
-                        to,
-                        round: self.round,
-                        attempted_words: words,
-                        budget_words: self.config.bandwidth_words,
-                    });
+            } else {
+                // Broadcasting sender: every neighbor carries the
+                // broadcast base load minus per-record skips, plus any
+                // unicast words — walked in ascending destination order,
+                // exactly the per-edge totals (and first-violation
+                // destination) of the expanded unicast equivalent.
+                let base = fx.bcast_total_words;
+                let (uni, skips) = (&fx.edge_words, &fx.skip_words);
+                let (mut a, mut b) = (0, 0);
+                for &to in nbrs {
+                    let mut words = base;
+                    while a < uni.len() && uni[a].0 < to {
+                        a += 1;
+                    }
+                    while a < uni.len() && uni[a].0 == to {
+                        words += uni[a].1;
+                        a += 1;
+                    }
+                    while b < skips.len() && skips[b].0 < to {
+                        b += 1;
+                    }
+                    while b < skips.len() && skips[b].0 == to {
+                        words -= skips[b].1;
+                        b += 1;
+                    }
+                    if words > self.config.bandwidth_words {
+                        return Err(SimError::BandwidthExceeded {
+                            from: v,
+                            to,
+                            round: self.round,
+                            attempted_words: words,
+                            budget_words: self.config.bandwidth_words,
+                        });
+                    }
+                    if words > self.metrics.max_edge_words {
+                        self.metrics.max_edge_words = words;
+                    }
                 }
-                if words > self.metrics.max_edge_words {
-                    self.metrics.max_edge_words = words;
-                }
-                a = b;
             }
-            // Route sends into the next round's mailboxes.
-            for ((to, msg), words) in fx.sends.drain(..).zip(fx.send_words.drain(..)) {
-                self.metrics.words += words as u64;
-                self.metrics.messages += 1;
-                self.metrics.sent_per_node[v] += 1;
-                if self.trace.is_enabled() {
-                    self.trace.push(TraceEvent::Sent { round: self.round, from: v, to, words });
+            // Route sends and broadcasts into the next round's mailboxes,
+            // merged back into call order by op sequence so trace events
+            // and per-receiver delivery order match the unicast expansion.
+            let mut uni = fx.sends.drain(..).zip(fx.send_words.drain(..)).peekable();
+            let mut bc = fx.bcasts.drain(..).zip(fx.bcast_words.drain(..)).peekable();
+            loop {
+                let take_uni = match (uni.peek(), bc.peek()) {
+                    (Some(&((useq, _, _), _)), Some(&((bseq, _, _), _))) => useq < bseq,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if take_uni {
+                    let ((seq, to, msg), words) = uni.next().expect("peeked");
+                    self.metrics.words += words as u64;
+                    self.metrics.messages += 1;
+                    self.metrics.sent_per_node[v] += 1;
+                    if self.trace.is_enabled() {
+                        self.trace.push(TraceEvent::Sent { round: self.round, from: v, to, words });
+                    }
+                    self.mail.stage(v, seq, to, msg);
+                } else {
+                    let ((seq, skip, msg), words) = bc.next().expect("peeked");
+                    let count = nbrs.len() - usize::from(skip.is_some());
+                    if count == 0 {
+                        // A skip-one broadcast from a degree-1 node
+                        // addresses nobody: nothing to stage or charge.
+                        continue;
+                    }
+                    self.metrics.words += words as u64 * count as u64;
+                    self.metrics.messages += count as u64;
+                    self.metrics.sent_per_node[v] += count as u64;
+                    if self.trace.is_enabled() {
+                        for &to in nbrs {
+                            if Some(to) != skip {
+                                self.trace.push(TraceEvent::Sent {
+                                    round: self.round,
+                                    from: v,
+                                    to,
+                                    words,
+                                });
+                            }
+                        }
+                    }
+                    // One payload copy into the arena; every addressed
+                    // neighbor is activated with a counter bump.
+                    self.mail.stage_broadcast(v, seq, skip, msg);
+                    for &to in nbrs {
+                        if Some(to) != skip {
+                            self.mail.deliver(to);
+                        }
+                    }
                 }
-                self.mail.stage(v, to, msg);
             }
             if let Some(target) = fx.wake {
                 if !fx.halted {
@@ -470,7 +570,8 @@ fn carve_jobs<'a, P: Protocol, T: Topology>(
         base = v + 1;
         let (fx, fx_tail) = fx_rest.split_first_mut().expect("effects pool sized to work");
         fx_rest = fx_tail;
-        with(Job { v, node, fx, inbox: mail.inbox(v), nbrs: graph.neighbors(v) });
+        let nbrs = graph.neighbors(v);
+        with(Job { v, node, fx, inbox: mail.inbox(v, nbrs), nbrs });
     }
 }
 
@@ -503,7 +604,7 @@ mod tests {
                 ctx.halt();
             }
         }
-        fn round(&mut self, ctx: &mut Context<'_, Token>, inbox: &[(NodeId, Token)]) {
+        fn round(&mut self, ctx: &mut Context<'_, Token>, inbox: Inbox<'_, Token>) {
             if !inbox.is_empty() && !self.seen {
                 self.seen = true;
                 ctx.send_all(Token(1));
@@ -573,7 +674,7 @@ mod tests {
             }
             ctx.halt();
         }
-        fn round(&mut self, _: &mut Context<'_, Token>, _: &[(NodeId, Token)]) {}
+        fn round(&mut self, _: &mut Context<'_, Token>, _: Inbox<'_, Token>) {}
     }
 
     #[test]
@@ -595,7 +696,7 @@ mod tests {
             }
             ctx.halt();
         }
-        fn round(&mut self, _: &mut Context<'_, Token>, _: &[(NodeId, Token)]) {}
+        fn round(&mut self, _: &mut Context<'_, Token>, _: Inbox<'_, Token>) {}
     }
 
     #[test]
@@ -624,7 +725,7 @@ mod tests {
                 ctx.halt();
             }
         }
-        fn round(&mut self, _: &mut Context<'_, Token>, _: &[(NodeId, Token)]) {}
+        fn round(&mut self, _: &mut Context<'_, Token>, _: Inbox<'_, Token>) {}
     }
 
     #[test]
@@ -645,7 +746,7 @@ mod tests {
         fn init(&mut self, ctx: &mut Context<'_, Token>) {
             ctx.wake_in(3);
         }
-        fn round(&mut self, ctx: &mut Context<'_, Token>, _: &[(NodeId, Token)]) {
+        fn round(&mut self, ctx: &mut Context<'_, Token>, _: Inbox<'_, Token>) {
             self.fired_rounds.push(ctx.round_number());
             if self.remaining == 0 {
                 ctx.halt();
@@ -735,7 +836,7 @@ mod tests {
                 ctx.send(1, Token(0));
             }
         }
-        fn round(&mut self, ctx: &mut Context<'_, Token>, inbox: &[(NodeId, Token)]) {
+        fn round(&mut self, ctx: &mut Context<'_, Token>, inbox: Inbox<'_, Token>) {
             self.invocations += 1;
             if ctx.node() == 1 && !inbox.is_empty() {
                 ctx.send(0, Token(1));
@@ -762,6 +863,123 @@ mod tests {
         let again = net.step().unwrap_err();
         assert!(matches!(again, SimError::Stalled { .. }), "{again:?}");
         assert_eq!(net.nodes()[1].invocations, 1);
+    }
+
+    /// Node 0 floods everyone but node 1 via `send_all_except`; node 2
+    /// echoes with interleaved unicast + broadcast ops.
+    struct Skipper {
+        got: Vec<(NodeId, u64)>,
+    }
+    impl Protocol for Skipper {
+        type Msg = Token;
+        fn init(&mut self, ctx: &mut Context<'_, Token>) {
+            if ctx.node() == 0 {
+                ctx.send_all_except(1, Token(7));
+            }
+            // Everyone activates in round 1 (and halts there), even the
+            // skipped neighbor.
+            ctx.wake_in(1);
+        }
+        fn round(&mut self, ctx: &mut Context<'_, Token>, inbox: Inbox<'_, Token>) {
+            for (from, &Token(k)) in inbox.iter() {
+                self.got.push((from, k));
+            }
+            if ctx.node() == 2 && ctx.round_number() == 1 {
+                // Interleave: unicast, broadcast, unicast — receivers must
+                // see this exact call order from sender 2.
+                ctx.send(0, Token(10));
+                ctx.send_all(Token(11));
+                ctx.send(0, Token(12));
+            }
+            if ctx.node() == 0 && ctx.round_number() < 2 {
+                // The hub stays up one extra round to observe node 2's
+                // interleaved ops.
+                ctx.stay_awake();
+            } else {
+                ctx.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn send_all_except_skips_exactly_one_neighbor() {
+        let g = dhc_graph::generator::star(4); // hub 0, leaves 1..3
+        let nodes = (0..4).map(|_| Skipper { got: Vec::new() }).collect();
+        let cfg = Config::default().with_bandwidth_words(4).with_trace_capacity(100);
+        let mut net = Network::new(&g, cfg, nodes).unwrap();
+        net.run().unwrap();
+        assert_eq!(net.nodes()[1].got, vec![], "skipped neighbor got the flood");
+        assert_eq!(net.nodes()[2].got, vec![(0, 7)]);
+        assert_eq!(net.nodes()[3].got, vec![(0, 7)]);
+        // Init flood: 2 messages (leaves 2, 3). Round 1: node 2 sends
+        // 2 unicasts + 1 broadcast to its single neighbor (the hub).
+        assert_eq!(net.metrics().messages, 5);
+        let sends =
+            net.trace().events().iter().filter(|e| matches!(e, TraceEvent::Sent { .. })).count()
+                as u64;
+        assert_eq!(sends, net.metrics().messages);
+    }
+
+    #[test]
+    fn interleaved_unicast_and_broadcast_arrive_in_call_order() {
+        let g = dhc_graph::generator::star(4);
+        let nodes = (0..4).map(|_| Skipper { got: Vec::new() }).collect();
+        let cfg = Config::default().with_bandwidth_words(4);
+        let mut net = Network::new(&g, cfg, nodes).unwrap();
+        net.run().unwrap();
+        // Node 2's round-1 ops arrive at the hub in call order, the
+        // broadcast merged between the two unicasts by op sequence.
+        assert_eq!(net.nodes()[0].got, vec![(2, 10), (2, 11), (2, 12)]);
+        assert_eq!(net.metrics().received_per_node[0], 3);
+        assert_eq!(net.metrics().sent_per_node, vec![2, 0, 3, 0]);
+    }
+
+    /// Two broadcasts in one round exceed the 1-word default budget.
+    struct DoubleFlood;
+    impl Protocol for DoubleFlood {
+        type Msg = Token;
+        fn init(&mut self, ctx: &mut Context<'_, Token>) {
+            if ctx.node() == 0 {
+                ctx.send_all(Token(1));
+                ctx.send_all(Token(2));
+            }
+            ctx.halt();
+        }
+        fn round(&mut self, _: &mut Context<'_, Token>, _: Inbox<'_, Token>) {}
+    }
+
+    #[test]
+    fn broadcast_bandwidth_enforced_per_directed_edge() {
+        let g = dhc_graph::generator::path_graph(3);
+        let err = Network::new(&g, Config::default(), vec![DoubleFlood, DoubleFlood, DoubleFlood])
+            .unwrap_err();
+        // First violating destination in ascending order is neighbor 1.
+        assert!(matches!(
+            err,
+            SimError::BandwidthExceeded { from: 0, to: 1, attempted_words: 2, budget_words: 1, .. }
+        ));
+        let g = dhc_graph::generator::path_graph(3);
+        let net = Network::new(
+            &g,
+            Config::default().with_bandwidth_words(2),
+            vec![DoubleFlood, DoubleFlood, DoubleFlood],
+        )
+        .unwrap();
+        assert_eq!(net.metrics().max_edge_words, 2);
+    }
+
+    /// The broadcast arena holds one payload per flooding op, not per
+    /// edge: the flood test above plus this pin the count.
+    #[test]
+    fn inbox_views_share_one_broadcast_payload() {
+        let g = dhc_graph::generator::complete(6);
+        let nodes = (0..6).map(|_| Skipper { got: Vec::new() }).collect();
+        let cfg = Config::default().with_bandwidth_words(4);
+        let mut net = Network::new(&g, cfg, nodes).unwrap();
+        net.step().unwrap();
+        // Every neighbor of 0 except 1 saw the one arena record.
+        let seen: Vec<_> = net.nodes().iter().map(|nd| nd.got.len()).collect();
+        assert_eq!(seen, vec![0, 0, 1, 1, 1, 1]);
     }
 
     #[test]

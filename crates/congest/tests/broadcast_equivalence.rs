@@ -1,0 +1,177 @@
+//! Property tests for the broadcast fabric: a protocol using the
+//! `send_all` / `send_all_except` broadcast effects and its explicit
+//! per-neighbor-unicast twin must be **observationally identical** — same
+//! per-node inbox streams (contents *and* order), same `Metrics`, same
+//! `Trace` — at every `engine_threads` setting.
+//!
+//! This is the contract that makes the shared-payload flood routing an
+//! implementation detail: one arena record per flooding op, but per-edge
+//! accounting, sender-sorted delivery, and call-order interleaving
+//! exactly as if `deg(v)` copies had been sent.
+
+use dhc_congest::{Config, Context, Inbox, Network, NodeId, Payload, Protocol, TraceEvent};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Num(u64);
+impl Payload for Num {}
+
+/// One scripted send op, executed during one activation.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// `send_all` (or its unicast expansion).
+    All,
+    /// `send_all_except(neighbors[i % deg])` (or its expansion).
+    Except(usize),
+    /// One unicast `send(neighbors[i % deg])`.
+    Uni(usize),
+}
+
+/// Runs a per-node op script; `expand` selects the unicast twin.
+#[derive(Debug)]
+struct Scripted {
+    script: VecDeque<Vec<Op>>,
+    expand: bool,
+    /// Monotone payload tag so receivers can check order.
+    counter: u64,
+    /// `(round, inbox contents)` per activation.
+    log: Vec<(usize, Vec<(NodeId, u64)>)>,
+}
+
+impl Scripted {
+    fn exec(&mut self, ctx: &mut Context<'_, Num>, op: Op) {
+        let deg = ctx.degree();
+        if deg == 0 {
+            return;
+        }
+        let tag = self.counter;
+        self.counter += 1;
+        match op {
+            Op::All => {
+                if self.expand {
+                    for i in 0..deg {
+                        let to = ctx.neighbors()[i];
+                        ctx.send(to, Num(tag));
+                    }
+                } else {
+                    ctx.send_all(Num(tag));
+                }
+            }
+            Op::Except(i) => {
+                let skip = ctx.neighbors()[i % deg];
+                if self.expand {
+                    for j in 0..deg {
+                        let to = ctx.neighbors()[j];
+                        if to != skip {
+                            ctx.send(to, Num(tag));
+                        }
+                    }
+                } else {
+                    ctx.send_all_except(skip, Num(tag));
+                }
+            }
+            Op::Uni(i) => {
+                let to = ctx.neighbors()[i % deg];
+                ctx.send(to, Num(tag));
+            }
+        }
+    }
+}
+
+impl Protocol for Scripted {
+    type Msg = Num;
+
+    fn init(&mut self, ctx: &mut Context<'_, Num>) {
+        // Every node activates in every round until its script runs dry,
+        // so scripts execute on a fixed schedule in both variants.
+        if self.script.is_empty() {
+            ctx.halt();
+        } else {
+            ctx.wake_in(1);
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Context<'_, Num>, inbox: Inbox<'_, Num>) {
+        let got: Vec<(NodeId, u64)> = inbox.iter().map(|(from, &Num(x))| (from, x)).collect();
+        assert_eq!(got.len(), inbox.len(), "Inbox::len must match its iteration");
+        self.log.push((ctx.round_number(), got));
+        match self.script.pop_front() {
+            Some(ops) => {
+                for op in ops {
+                    self.exec(ctx, op);
+                }
+                ctx.wake_in(1);
+            }
+            None => ctx.halt(),
+        }
+    }
+}
+
+type NodeLog = Vec<(usize, Vec<(NodeId, u64)>)>;
+
+fn run_scripts(
+    scripts: &[Vec<Vec<Op>>],
+    edge_prob: f64,
+    graph_seed: u64,
+    expand: bool,
+    threads: usize,
+) -> (dhc_congest::Metrics, Vec<TraceEvent>, Vec<NodeLog>) {
+    let n = scripts.len();
+    let g = dhc_graph::generator::gnp(n, edge_prob, &mut dhc_graph::rng::rng_from_seed(graph_seed))
+        .expect("valid gnp");
+    let nodes: Vec<Scripted> = scripts
+        .iter()
+        .map(|s| Scripted { script: s.clone().into(), expand, counter: 0, log: Vec::new() })
+        .collect();
+    // Up to 4 ops per activation, each at most 1 word per edge.
+    let cfg = Config::default()
+        .with_bandwidth_words(4)
+        .with_trace_capacity(1_000_000)
+        .with_engine_threads(threads);
+    let mut net = Network::new(&g, cfg, nodes).unwrap();
+    net.run().unwrap();
+    let trace = net.trace().events().to_vec();
+    let (report, nodes) = net.finish();
+    (report.metrics, trace, nodes.into_iter().map(|nd| nd.log).collect())
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u32..3, 0usize..8).prop_map(|(kind, i)| match kind {
+        0 => Op::All,
+        1 => Op::Except(i),
+        _ => Op::Uni(i),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Broadcast-based and unicast-expanded executions of the same random
+    /// script are bit-identical in outcomes, `Metrics`, and `Trace`, at
+    /// engine threads 1 and 4.
+    #[test]
+    fn broadcast_and_unicast_twin_are_bit_identical(
+        scripts in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(op_strategy(), 0..4), 0..4),
+            4..10,
+        ),
+        edge_pct in 20u64..90,
+        graph_seed in 0u64..1_000,
+    ) {
+        let edge_prob = edge_pct as f64 / 100.0;
+        let broadcast = run_scripts(&scripts, edge_prob, graph_seed, false, 1);
+        let unicast = run_scripts(&scripts, edge_prob, graph_seed, true, 1);
+        prop_assert_eq!(&broadcast.0, &unicast.0, "Metrics diverged from the unicast twin");
+        prop_assert_eq!(&broadcast.1, &unicast.1, "Trace diverged from the unicast twin");
+        prop_assert_eq!(&broadcast.2, &unicast.2, "inbox logs diverged from the unicast twin");
+
+        let b4 = run_scripts(&scripts, edge_prob, graph_seed, false, 4);
+        prop_assert_eq!(&broadcast.0, &b4.0, "broadcast metrics diverged at 4 threads");
+        prop_assert_eq!(&broadcast.1, &b4.1, "broadcast trace diverged at 4 threads");
+        prop_assert_eq!(&broadcast.2, &b4.2, "broadcast logs diverged at 4 threads");
+        let u4 = run_scripts(&scripts, edge_prob, graph_seed, true, 4);
+        prop_assert_eq!(&unicast.0, &u4.0, "unicast metrics diverged at 4 threads");
+        prop_assert_eq!(&unicast.2, &u4.2, "unicast logs diverged at 4 threads");
+    }
+}

@@ -3,7 +3,7 @@
 //! a round, never run a halted node, and must produce bit-identical
 //! results at every `engine_threads` setting.
 
-use dhc_congest::{Config, Context, Network, NodeId, Payload, Protocol, TraceEvent};
+use dhc_congest::{Config, Context, Inbox, Network, NodeId, Payload, Protocol, TraceEvent};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
@@ -53,7 +53,7 @@ impl Protocol for Scripted {
         }
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, Ping>, inbox: &[(NodeId, Ping)]) {
+    fn round(&mut self, ctx: &mut Context<'_, Ping>, inbox: Inbox<'_, Ping>) {
         assert!(self.halt_round.is_none(), "engine invoked a halted node");
         let r = ctx.round_number();
         self.activations.push((r, inbox.len()));

@@ -37,7 +37,7 @@
 use crate::output::NodeCycleOutput;
 use crate::runner::{draw_colors, run_phase1, PhaseBreakdown, RunOutcome};
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
-use dhc_congest::{Context, Network, NodeId, Payload, Protocol, SimError};
+use dhc_congest::{Context, Inbox, Network, NodeId, Payload, Protocol, SimError};
 use dhc_graph::rng::derive_seed;
 use dhc_graph::{Graph, Partition};
 use rand::rngs::SmallRng;
@@ -201,12 +201,7 @@ impl HypNode {
             return;
         }
         self.failed = true;
-        for i in 0..ctx.degree() {
-            let to = ctx.neighbors()[i];
-            if Some(to) != skip {
-                ctx.send(to, HypMsg::HypAbort);
-            }
-        }
+        ctx.flood_except(skip, HypMsg::HypAbort);
         ctx.halt();
     }
 
@@ -224,12 +219,7 @@ impl HypNode {
         if self.id == x {
             self.link = Some(y);
         }
-        for i in 0..ctx.degree() {
-            let to = ctx.neighbors()[i];
-            if Some(to) != skip {
-                ctx.send(to, HypMsg::HypDone { x, y });
-            }
-        }
+        ctx.flood_except(skip, HypMsg::HypDone { x, y });
         ctx.halt();
     }
 
@@ -277,11 +267,7 @@ impl HypNode {
                         self.rot_parent = None;
                         self.rot_initiator = true;
                         self.rot_pending = ctx.degree();
-                        let msg = HypMsg::HypRotation { key, h: pos, j, y: self.id, x };
-                        for i in 0..ctx.degree() {
-                            let to = ctx.neighbors()[i];
-                            ctx.send(to, msg.clone());
-                        }
+                        ctx.send_all(HypMsg::HypRotation { key, h: pos, j, y: self.id, x });
                     }
                     TermRole::Free => {
                         // Only hypernode 0's open start is Free-on-path.
@@ -372,13 +358,7 @@ impl HypNode {
         self.rot_initiator = false;
         self.apply_rotation(h, j, y, x);
         self.rot_pending = ctx.degree() - 1;
-        let msg = HypMsg::HypRotation { key, h, j, y, x };
-        for i in 0..ctx.degree() {
-            let to = ctx.neighbors()[i];
-            if to != from {
-                ctx.send(to, msg.clone());
-            }
-        }
+        ctx.send_all_except(from, HypMsg::HypRotation { key, h, j, y, x });
         self.rot_complete_check(ctx);
     }
 
@@ -414,11 +394,11 @@ impl Protocol for HypNode {
         }
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, HypMsg>, inbox: &[(NodeId, HypMsg)]) {
+    fn round(&mut self, ctx: &mut Context<'_, HypMsg>, inbox: Inbox<'_, HypMsg>) {
         if !self.announces_seen {
             self.announces_seen = true;
             if self.is_terminal {
-                for &(from, ref msg) in inbox {
+                for (from, msg) in inbox.iter() {
                     if let HypMsg::TermAnnounce { color } = *msg {
                         if color != self.color {
                             self.unused.push((from, color));
@@ -432,7 +412,7 @@ impl Protocol for HypNode {
                 return;
             }
         }
-        for &(from, ref msg) in inbox {
+        for (from, msg) in inbox.iter() {
             if self.done || self.failed {
                 break;
             }

@@ -35,7 +35,7 @@
 use crate::output::pairs_from_links;
 use crate::runner::{draw_colors, run_phase1, PhaseBreakdown, RunOutcome};
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
-use dhc_congest::{Context, Metrics, Network, NodeId, Payload, Protocol, SimError};
+use dhc_congest::{Context, Inbox, Metrics, Network, NodeId, Payload, Protocol, SimError};
 use dhc_graph::{Graph, Partition};
 use std::collections::{HashMap, HashSet};
 
@@ -206,6 +206,10 @@ pub(crate) struct MergeNode {
     same_nbrs: Vec<NodeId>,
     partner_nbrs: Vec<NodeId>,
     relay_nbrs: Vec<NodeId>,
+    /// Whether the relay set (both paired color classes) covers the whole
+    /// neighborhood — always true at the last merge level — so the
+    /// decision/abort floods can ride the O(1) broadcast fabric.
+    relay_all: bool,
 
     /// As `u`: queue of partner-neighbor ids to pipeline to `pred`.
     send_queue: Vec<NodeId>,
@@ -249,6 +253,7 @@ impl MergeNode {
             same_nbrs: Vec::new(),
             partner_nbrs: Vec::new(),
             relay_nbrs: Vec::new(),
+            relay_all: false,
             send_queue: Vec::new(),
             sent_end: false,
             uset: HashSet::new(),
@@ -353,10 +358,7 @@ impl MergeNode {
                 match self.best {
                     None => {
                         self.no_bridge = true;
-                        let nbrs = self.relay_nbrs.clone();
-                        for to in nbrs {
-                            ctx.send(to, MergeMsg::NoBridge);
-                        }
+                        self.relay_flood(ctx, MergeMsg::NoBridge, None);
                         ctx.halt();
                     }
                     Some(c) => {
@@ -373,12 +375,24 @@ impl MergeNode {
                         };
                         apply_decision(&mut self.st, &d, true);
                         self.decided = true;
-                        let nbrs = self.relay_nbrs.clone();
-                        for to in nbrs {
-                            ctx.send(to, MergeMsg::Decision(d));
-                        }
+                        self.relay_flood(ctx, MergeMsg::Decision(d), None);
                         ctx.halt();
                     }
+                }
+            }
+        }
+    }
+
+    /// Floods `msg` over the two paired color classes, optionally
+    /// skipping the neighbor it arrived from. Broadcasts when the relay
+    /// set is the whole neighborhood (observationally identical).
+    fn relay_flood(&self, ctx: &mut Context<'_, MergeMsg>, msg: MergeMsg, skip: Option<NodeId>) {
+        if self.relay_all {
+            ctx.flood_except(skip, msg);
+        } else {
+            for &to in &self.relay_nbrs {
+                if Some(to) != skip {
+                    ctx.send(to, msg.clone());
                 }
             }
         }
@@ -390,12 +404,7 @@ impl MergeNode {
         }
         apply_decision(&mut self.st, &d, self.role == Role::Active);
         self.decided = true;
-        let nbrs = self.relay_nbrs.clone();
-        for to in nbrs {
-            if to != from {
-                ctx.send(to, MergeMsg::Decision(d));
-            }
-        }
+        self.relay_flood(ctx, MergeMsg::Decision(d), Some(from));
         ctx.halt();
     }
 
@@ -404,12 +413,7 @@ impl MergeNode {
             return;
         }
         self.no_bridge = true;
-        let nbrs = self.relay_nbrs.clone();
-        for to in nbrs {
-            if to != from {
-                ctx.send(to, MergeMsg::NoBridge);
-            }
-        }
+        self.relay_flood(ctx, MergeMsg::NoBridge, Some(from));
         ctx.halt();
     }
 }
@@ -427,7 +431,7 @@ impl Protocol for MergeNode {
         ctx.send_all(MergeMsg::Color { color: self.st.color });
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, MergeMsg>, inbox: &[(NodeId, MergeMsg)]) {
+    fn round(&mut self, ctx: &mut Context<'_, MergeMsg>, inbox: Inbox<'_, MergeMsg>) {
         if !self.colors_known {
             self.colors_known = true;
             let (active_c, partner_c) = match self.role {
@@ -441,7 +445,7 @@ impl Protocol for MergeNode {
                     return;
                 }
             };
-            for &(from, ref msg) in inbox {
+            for (from, msg) in inbox.iter() {
                 if let MergeMsg::Color { color } = *msg {
                     if color == self.st.color {
                         self.same_nbrs.push(from);
@@ -455,6 +459,7 @@ impl Protocol for MergeNode {
                     }
                 }
             }
+            self.relay_all = self.relay_nbrs.len() == ctx.degree();
             match self.role {
                 Role::Active => {
                     // As u: pipeline partner-neighbor ids to pred.
@@ -490,7 +495,7 @@ impl Protocol for MergeNode {
             return;
         }
 
-        for &(from, ref msg) in inbox {
+        for (from, msg) in inbox.iter() {
             if self.decided || self.no_bridge {
                 break;
             }

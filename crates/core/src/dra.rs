@@ -28,7 +28,7 @@
 //! flood, so the simulation always terminates with a typed outcome.
 
 use crate::error::PartitionFailure;
-use dhc_congest::{Context, NodeId, Payload, Protocol};
+use dhc_congest::{Context, Inbox, NodeId, Payload, Protocol};
 use dhc_graph::rng::derive_seed;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -142,6 +142,12 @@ pub struct DraNode {
     /// Same-color neighbors (the partition-internal edges).
     part_nbrs: Vec<NodeId>,
     colors_known: bool,
+    /// Whether the partition edges are *all* of this node's edges (true
+    /// in the per-class-view simulations that dominate Phase 1). When
+    /// set, partition floods lower onto the engine's O(1) broadcast
+    /// fabric; otherwise they stay per-neighbor unicasts over the
+    /// same-color subset.
+    flood_all: bool,
 
     // Leader election.
     best_root: NodeId,
@@ -199,6 +205,7 @@ impl DraNode {
             rng: SmallRng::seed_from_u64(stream),
             part_nbrs: Vec::new(),
             colors_known: false,
+            flood_all: false,
             best_root: id,
             wave_parent: None,
             wave_pending: 0,
@@ -230,9 +237,7 @@ impl DraNode {
 
     fn fail_and_flood(&mut self, ctx: &mut Context<'_, DraMsg>, reason: PartitionFailure) {
         self.failed = Some(reason);
-        for &to in &self.part_nbrs {
-            ctx.send(to, DraMsg::Abort { reason: encode_failure(reason) });
-        }
+        self.flood(ctx, DraMsg::Abort { reason: encode_failure(reason) }, None);
         ctx.halt();
     }
 
@@ -253,6 +258,22 @@ impl DraNode {
     fn remove_unused(&mut self, v: NodeId) {
         if let Some(i) = self.unused.iter().position(|&x| x == v) {
             self.unused.swap_remove(i);
+        }
+    }
+
+    /// Floods `msg` over the partition edges, optionally skipping one
+    /// neighbor (the relay pattern). Uses the broadcast fabric when the
+    /// partition spans the whole neighborhood — one payload copy instead
+    /// of `deg(v)` — and is observationally identical either way.
+    fn flood(&self, ctx: &mut Context<'_, DraMsg>, msg: DraMsg, skip: Option<NodeId>) {
+        if self.flood_all {
+            ctx.flood_except(skip, msg);
+        } else {
+            for &to in &self.part_nbrs {
+                if Some(to) != skip {
+                    ctx.send(to, msg.clone());
+                }
+            }
         }
     }
 
@@ -351,9 +372,7 @@ impl DraNode {
                 self.done = true;
                 let size = self.cycle_size.expect("leader knows size");
                 let tail = self.id;
-                for &to in &self.part_nbrs {
-                    ctx.send(to, DraMsg::Done { tail, head: s, size });
-                }
+                self.flood(ctx, DraMsg::Done { tail, head: s, size }, None);
                 ctx.halt();
             }
             Some(j) => {
@@ -367,10 +386,7 @@ impl DraNode {
                 self.rot_parent = None;
                 self.rot_initiator = true;
                 self.rot_pending = self.part_nbrs.len();
-                let msg = DraMsg::Rotation { key, h, j, vj: self.id, vh: s };
-                for &to in &self.part_nbrs {
-                    ctx.send(to, msg.clone());
-                }
+                self.flood(ctx, DraMsg::Rotation { key, h, j, vj: self.id, vh: s }, None);
                 // At least the old head s is a partition neighbor, so
                 // rot_pending >= 1 here.
             }
@@ -399,12 +415,7 @@ impl DraNode {
         self.rot_initiator = false;
         self.apply_rotation(h, j, vj, vh);
         self.rot_pending = self.part_nbrs.len() - 1;
-        let msg = DraMsg::Rotation { key, h, j, vj, vh };
-        for &to in &self.part_nbrs {
-            if to != s {
-                ctx.send(to, msg.clone());
-            }
-        }
+        self.flood(ctx, DraMsg::Rotation { key, h, j, vj, vh }, Some(s));
         self.rot_complete_check(ctx);
     }
 
@@ -426,11 +437,7 @@ impl DraNode {
             self.awaiting_reply = false;
             self.is_head = false;
         }
-        for &to in &self.part_nbrs {
-            if to != s {
-                ctx.send(to, DraMsg::Done { tail, head, size });
-            }
-        }
+        self.flood(ctx, DraMsg::Done { tail, head, size }, Some(s));
         ctx.halt();
     }
 
@@ -439,11 +446,7 @@ impl DraNode {
             return;
         }
         self.failed = Some(decode_failure(reason));
-        for &to in &self.part_nbrs {
-            if to != s {
-                ctx.send(to, DraMsg::Abort { reason });
-            }
-        }
+        self.flood(ctx, DraMsg::Abort { reason }, Some(s));
         ctx.halt();
     }
 }
@@ -462,10 +465,10 @@ impl Protocol for DraNode {
         ctx.send_all(DraMsg::Color { color: self.color });
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, DraMsg>, inbox: &[(NodeId, DraMsg)]) {
+    fn round(&mut self, ctx: &mut Context<'_, DraMsg>, inbox: Inbox<'_, DraMsg>) {
         if !self.colors_known {
             // Round 1: all Color messages arrive together.
-            for &(from, ref msg) in inbox {
+            for (from, msg) in inbox.iter() {
                 if let DraMsg::Color { color } = *msg {
                     if color == self.color {
                         self.part_nbrs.push(from);
@@ -473,6 +476,7 @@ impl Protocol for DraNode {
                 }
             }
             self.colors_known = true;
+            self.flood_all = self.part_nbrs.len() == ctx.degree();
             if self.part_nbrs.is_empty() {
                 // Isolated within its partition: a 1-node component.
                 self.failed = Some(PartitionFailure::TooSmall);
@@ -486,13 +490,10 @@ impl Protocol for DraNode {
             self.wave_parent = None;
             self.wave_pending = self.part_nbrs.len();
             self.wave_acc = 0;
-            let root = self.id;
-            for &to in &self.part_nbrs {
-                ctx.send(to, DraMsg::Wave { root });
-            }
+            self.flood(ctx, DraMsg::Wave { root: self.id }, None);
             return;
         }
-        for &(from, ref msg) in inbox {
+        for (from, msg) in inbox.iter() {
             if self.done || self.failed.is_some() {
                 break;
             }
@@ -504,11 +505,7 @@ impl Protocol for DraNode {
                         self.wave_parent = Some(from);
                         self.wave_acc = 0;
                         self.wave_pending = self.part_nbrs.len() - 1;
-                        for &to in &self.part_nbrs {
-                            if to != from {
-                                ctx.send(to, DraMsg::Wave { root });
-                            }
-                        }
+                        self.flood(ctx, DraMsg::Wave { root }, Some(from));
                         self.wave_complete_check(ctx);
                     } else if root == self.best_root {
                         self.wave_pending = self.wave_pending.saturating_sub(1);

@@ -30,7 +30,7 @@
 use crate::output::NodeCycleOutput;
 use crate::runner::{PhaseBreakdown, RunOutcome};
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
-use dhc_congest::{Context, Network, NodeId, Payload, Protocol};
+use dhc_congest::{Context, Inbox, Network, NodeId, Payload, Protocol};
 use dhc_graph::rng::derive_seed;
 use dhc_graph::{Graph, GraphBuilder};
 use dhc_rotation::{posa_with_restarts, PosaConfig};
@@ -323,12 +323,7 @@ impl UpcastNode {
         }
         self.aborted = true;
         // Flood over all edges so even non-tree neighbors terminate.
-        for i in 0..ctx.degree() {
-            let to = ctx.neighbors()[i];
-            if Some(to) != skip {
-                ctx.send(to, UpMsg::Abort);
-            }
-        }
+        ctx.flood_except(skip, UpMsg::Abort);
         ctx.halt();
     }
 }
@@ -349,7 +344,7 @@ impl Protocol for UpcastNode {
         ctx.send_all(UpMsg::Wave { root: self.id });
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, UpMsg>, inbox: &[(NodeId, UpMsg)]) {
+    fn round(&mut self, ctx: &mut Context<'_, UpMsg>, inbox: Inbox<'_, UpMsg>) {
         // Election waves are handled as a batch with a *randomized* parent
         // choice among the senders that delivered the best root this round.
         // (Deterministic tie-breaking would funnel whole BFS levels through
@@ -365,8 +360,8 @@ impl Protocol for UpcastNode {
         if let Some(r) = wave_min {
             let senders: Vec<NodeId> = inbox
                 .iter()
-                .filter(|(_, m)| matches!(*m, UpMsg::Wave { root } if root == r))
-                .map(|&(f, _)| f)
+                .filter(|&(_, m)| matches!(*m, UpMsg::Wave { root } if root == r))
+                .map(|(f, _)| f)
                 .collect();
             if r < self.best_root {
                 self.best_root = r;
@@ -376,19 +371,14 @@ impl Protocol for UpcastNode {
                 self.children.clear();
                 // The co-senders of this wave already count as responses.
                 self.pending = (ctx.degree() - 1).saturating_sub(senders.len() - 1);
-                for i in 0..ctx.degree() {
-                    let to = ctx.neighbors()[i];
-                    if to != parent {
-                        ctx.send(to, UpMsg::Wave { root: r });
-                    }
-                }
+                ctx.send_all_except(parent, UpMsg::Wave { root: r });
                 self.wave_check(ctx);
             } else if r == self.best_root {
                 self.pending = self.pending.saturating_sub(senders.len());
                 self.wave_check(ctx);
             }
         }
-        for &(from, ref msg) in inbox {
+        for (from, msg) in inbox.iter() {
             if self.aborted {
                 return;
             }

@@ -6,7 +6,7 @@
 //! ([`DhcConfig::with_materialized_phase1`]), at every engine thread
 //! count.
 
-use dhc_congest::{Config, Context, Network, NodeId, Payload, Protocol, Trace};
+use dhc_congest::{Config, Context, Inbox, Network, NodeId, Payload, Protocol, Trace};
 use dhc_core::{run_dhc1, run_dhc2, run_dra, run_partition_cycles, DhcConfig, RunOutcome};
 use dhc_graph::rng::rng_from_seed;
 use dhc_graph::{generator, thresholds, Graph, Partition, PartitionedGraph, Topology};
@@ -107,20 +107,15 @@ impl Protocol for Flood {
             }
         }
     }
-    fn round(&mut self, ctx: &mut Context<'_, Tok>, inbox: &[(NodeId, Tok)]) {
-        for &(from, _) in inbox {
+    fn round(&mut self, ctx: &mut Context<'_, Tok>, inbox: Inbox<'_, Tok>) {
+        for (from, _) in inbox.iter() {
             if self.seen {
                 ctx.send(from, Tok);
             } else {
                 self.seen = true;
                 self.parent = Some(from);
                 self.pending = ctx.degree() - 1;
-                for i in 0..ctx.degree() {
-                    let to = ctx.neighbors()[i];
-                    if to != from {
-                        ctx.send(to, Tok);
-                    }
-                }
+                ctx.send_all_except(from, Tok);
             }
         }
         if self.seen && self.pending == 0 {

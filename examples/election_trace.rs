@@ -6,7 +6,7 @@
 //! cargo run -p dhc --example election_trace [n] [seed]
 //! ```
 
-use dhc::congest::{Config, Context, Network, NodeId, Payload, Protocol, TraceEvent};
+use dhc::congest::{Config, Context, Inbox, Network, NodeId, Payload, Protocol, TraceEvent};
 use dhc::graph::{generator, rng::rng_from_seed};
 
 /// Minimal standalone leader election with size count (the first stage of
@@ -61,8 +61,8 @@ impl Protocol for Elect {
         self.pending = ctx.degree();
         ctx.send_all(Msg::Wave(self.id));
     }
-    fn round(&mut self, ctx: &mut Context<'_, Msg>, inbox: &[(NodeId, Msg)]) {
-        for &(from, ref msg) in inbox {
+    fn round(&mut self, ctx: &mut Context<'_, Msg>, inbox: Inbox<'_, Msg>) {
+        for (from, msg) in inbox.iter() {
             match *msg {
                 Msg::Wave(root) => {
                     if root < self.best {
@@ -70,12 +70,9 @@ impl Protocol for Elect {
                         self.parent = Some(from);
                         self.acc = 0;
                         self.pending = ctx.degree() - 1;
-                        for i in 0..ctx.degree() {
-                            let to = ctx.neighbors()[i];
-                            if to != from {
-                                ctx.send(to, Msg::Wave(root));
-                            }
-                        }
+                        // Skip-one relay on the broadcast fabric: one
+                        // payload copy however large the neighborhood.
+                        ctx.send_all_except(from, Msg::Wave(root));
                     } else if root == self.best {
                         self.pending = self.pending.saturating_sub(1);
                     }
