@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for the k-machine execution backend: a
+//! DHC2 run with the machine accounting layer attached versus the plain
+//! run on the same graph and seed. The delta is the full cost of the
+//! per-message link accounting, the per-round log, and the dilation fold
+//! — experiment E11 records the simulated quantities themselves to
+//! `BENCH_kmachine.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhc_core::{run_dhc2, run_dhc2_kmachine, DhcConfig, KMachineConfig};
+use dhc_graph::rng::rng_from_seed;
+use dhc_graph::{generator, thresholds, Graph};
+use std::time::Duration;
+
+/// A DHC2 operating point that succeeds for the fixed seed below.
+fn bench_graph(n: usize) -> Graph {
+    let p = thresholds::edge_probability(n, 0.5, 6.0);
+    generator::gnp(n, p, &mut rng_from_seed(0xB11)).expect("valid gnp")
+}
+
+/// The first of 8 seeds whose DHC2 run succeeds on `g`.
+fn succeeding_cfg(g: &Graph, parts: usize) -> DhcConfig {
+    (0..8u64)
+        .map(|s| DhcConfig::new(0xD2 + s).with_partitions(parts))
+        .find(|cfg| run_dhc2(g, cfg).is_ok())
+        .expect("DHC2 should succeed for at least one of 8 seeds")
+}
+
+fn bench_kmachine_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmachine");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    let n = 192;
+    let g = bench_graph(n);
+    let cfg = succeeding_cfg(&g, 6);
+    group.bench_with_input(BenchmarkId::new("dhc2-plain", n), &(&g, &cfg), |b, (g, cfg)| {
+        b.iter(|| run_dhc2(g, cfg).expect("seed-scanned success"))
+    });
+    for k in [4usize, 16] {
+        let kcfg = KMachineConfig::new(k).with_rvp_seed(7);
+        group.bench_with_input(
+            BenchmarkId::new(format!("dhc2-kmachine-k{k}"), n),
+            &(&g, &cfg, kcfg),
+            |b, (g, cfg, kcfg)| b.iter(|| run_dhc2_kmachine(g, cfg, kcfg).expect("same run")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmachine_overhead);
+criterion_main!(benches);

@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! cargo run --release -p dhc-bench --bin experiments -- \
-//!     [--quick|--smoke] [--heavy] [--seed S] <id>...|all
+//!     [--list] [--quick|--smoke] [--heavy] [--seed S] <id>...|all
 //! ```
 //!
-//! `--heavy` opts into the points that run for over a minute each (E14's
-//! end-to-end DHC1 at n = 10⁴); they are skipped with a notice otherwise
-//! so `experiments all` stays tractable.
+//! `--list` prints every experiment id with its one-line description and
+//! exits. `--heavy` opts into the points that run for over a minute each
+//! (E14's end-to-end DHC1 at n = 10⁴); they are skipped with a notice
+//! otherwise so `experiments all` stays tractable.
 
-use dhc_bench::experiments::{run_by_id, Effort, ALL_IDS};
+use dhc_bench::experiments::{run_by_id, Effort, ALL_IDS, CATALOG};
 use std::time::Instant;
 
 fn main() {
@@ -21,6 +22,12 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--list" => {
+                for (id, description) in CATALOG {
+                    println!("{id:<4} {description}");
+                }
+                return;
+            }
             "--quick" => effort = Effort::Quick,
             "--smoke" => effort = Effort::Smoke,
             "--heavy" => heavy = true,
@@ -57,6 +64,8 @@ fn main() {
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: experiments [--quick|--smoke] [--heavy] [--seed S] <e1..e14|all>...");
+    eprintln!(
+        "usage: experiments [--list] [--quick|--smoke] [--heavy] [--seed S] <e1..e14|all>..."
+    );
     std::process::exit(2)
 }

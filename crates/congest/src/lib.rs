@@ -27,7 +27,14 @@
 //! * [`Metrics`] — rounds, messages, message-words, per-node send/receive/
 //!   compute counters, sampled per-node memory high-water marks, and
 //!   per-round congestion, feeding the paper's "fully distributed"
-//!   experiments (E8).
+//!   experiments (E8);
+//! * the [`machine`] module — an optional **k-machine accounting layer**
+//!   ([`Network::new_with_machines`]): nodes are mapped to `k` machines
+//!   ([`MachineMap`]), intra-machine messages are free, each directed
+//!   machine-pair link carries a configurable word budget per k-machine
+//!   round, and every executed CONGEST round *dilates* into
+//!   `max(1, ⌈max link load / B⌉)` k-machine rounds. Pure observation:
+//!   outcomes, [`Metrics`], and traces are bit-identical to the plain run.
 //!
 //! The engine is *event-efficient*: only nodes with a non-empty inbox or a
 //! scheduled wake-up are invoked, so simulation cost is proportional to
@@ -85,6 +92,7 @@ mod config;
 mod context;
 mod effects;
 mod error;
+pub mod machine;
 mod mailbox;
 mod metrics;
 mod network;
@@ -94,6 +102,7 @@ pub mod trace;
 pub use config::Config;
 pub use context::Context;
 pub use error::SimError;
+pub use machine::{MachineMap, MachineMetrics, MachineRoundLog};
 pub use mailbox::{Inbox, InboxIter};
 pub use metrics::{Metrics, Report};
 pub use network::Network;

@@ -167,6 +167,10 @@ pub struct Report {
     pub metrics: Metrics,
     /// Number of nodes that called [`Context::halt`](crate::Context::halt).
     pub halted: usize,
+    /// Per-round cross-machine traffic when the network was built with
+    /// [`Network::new_with_machines`](crate::Network::new_with_machines);
+    /// `None` for plain runs. Unspecified (partial) if the run faulted.
+    pub machine_log: Option<crate::machine::MachineRoundLog>,
 }
 
 #[cfg(test)]

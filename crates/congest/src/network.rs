@@ -19,6 +19,7 @@
 //!    per-neighbor unicast expansion, at a fraction of the cost.
 
 use crate::effects::Effects;
+use crate::machine::{MachineLayer, MachineMap};
 use crate::mailbox::{Inbox, Mailboxes};
 use crate::trace::{Trace, TraceEvent};
 use crate::{Config, Context, Metrics, NodeId, Protocol, Report, SimError};
@@ -66,6 +67,10 @@ pub struct Network<'g, P: Protocol, T: Topology = Graph> {
     finished: bool,
     /// Worker pool for the compute phase (`None` when single-threaded).
     pool: Option<rayon::ThreadPool>,
+    /// Optional k-machine accounting layer (see [`crate::machine`]):
+    /// driven only by the sequential commit fold, so it observes the run
+    /// without influencing it and is deterministic at every thread count.
+    machines: Option<MachineLayer>,
 }
 
 /// One active node's unit of work for the compute phase.
@@ -89,6 +94,45 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
     /// [`SimError::NodeCountMismatch`] if `protocols.len() != n`, or any
     /// fault raised by an `init` callback (e.g. sending to a non-neighbor).
     pub fn new(graph: &'g T, config: Config, protocols: Vec<P>) -> Result<Self, SimError> {
+        Self::new_inner(graph, config, protocols, None)
+    }
+
+    /// Like [`new`](Network::new), but with the **k-machine accounting
+    /// layer** attached: every committed message is additionally charged
+    /// to the directed machine-pair link between its endpoints' machines
+    /// (intra-machine traffic is free; a broadcast crosses each link
+    /// once), and the per-round link loads are returned as
+    /// [`Report::machine_log`] from [`finish`](Network::finish). The
+    /// layer is pure observation — execution, outcomes, [`Metrics`], and
+    /// traces are bit-identical to [`new`](Network::new).
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Network::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` does not map exactly the graph's nodes.
+    pub fn new_with_machines(
+        graph: &'g T,
+        config: Config,
+        protocols: Vec<P>,
+        machines: MachineMap,
+    ) -> Result<Self, SimError> {
+        assert_eq!(
+            machines.len(),
+            graph.node_count(),
+            "machine map must cover exactly the graph's nodes"
+        );
+        Self::new_inner(graph, config, protocols, Some(MachineLayer::new(machines)))
+    }
+
+    fn new_inner(
+        graph: &'g T,
+        config: Config,
+        protocols: Vec<P>,
+        machines: Option<MachineLayer>,
+    ) -> Result<Self, SimError> {
         if protocols.len() != graph.node_count() {
             return Err(SimError::NodeCountMismatch {
                 graph_nodes: graph.node_count(),
@@ -124,6 +168,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             trace: Trace::with_capacity(trace_capacity),
             finished: false,
             pool,
+            machines,
         };
         let all: Vec<NodeId> = (0..n).collect();
         net.run_phase(&all, CallKind::Init)?;
@@ -147,7 +192,14 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
     /// Consumes the network, returning the final [`Report`] (by value, no
     /// metrics clone) and the per-node protocol states.
     pub fn finish(self) -> (Report, Vec<P>) {
-        (Report { metrics: self.metrics, halted: self.halted_count }, self.nodes)
+        (
+            Report {
+                metrics: self.metrics,
+                halted: self.halted_count,
+                machine_log: self.machines.map(MachineLayer::into_log),
+            },
+            self.nodes,
+        )
     }
 
     /// Executes one round. Does nothing once the run has finished.
@@ -445,6 +497,9 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                     if self.trace.is_enabled() {
                         self.trace.push(TraceEvent::Sent { round: self.round, from: v, to, words });
                     }
+                    if let Some(ml) = self.machines.as_mut() {
+                        ml.unicast(v, to, words);
+                    }
                     self.mail.stage(v, seq, to, msg);
                 } else {
                     let ((seq, skip, msg), words) = bc.next().expect("peeked");
@@ -470,11 +525,19 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                         }
                     }
                     // One payload copy into the arena; every addressed
-                    // neighbor is activated with a counter bump.
+                    // neighbor is activated with a counter bump. The
+                    // machine layer likewise charges the payload once per
+                    // receiving *machine*, not per receiving node.
                     self.mail.stage_broadcast(v, seq, skip, msg);
+                    if let Some(ml) = self.machines.as_mut() {
+                        ml.begin_broadcast(v, words);
+                    }
                     for &to in nbrs {
                         if Some(to) != skip {
                             self.mail.deliver(to);
+                            if let Some(ml) = self.machines.as_mut() {
+                                ml.broadcast_dest(to);
+                            }
                         }
                     }
                 }
@@ -498,6 +561,13 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                     self.trace.push(TraceEvent::Halted { round: self.round, node: v });
                 }
             }
+        }
+        // Close the machine layer's round: every executed phase (init is
+        // round 0) becomes one log entry, so the dilation accounting sees
+        // exactly the executed schedule (fast-forwarded quiescent rounds
+        // cost nothing).
+        if let Some(ml) = self.machines.as_mut() {
+            ml.end_round(self.round);
         }
         self.metrics.rounds = self.round;
         Ok(())

@@ -32,6 +32,7 @@
 //! Levels are separated by a global barrier (one protocol execution per
 //! level), which the paper's synchronous phase structure assumes.
 
+use crate::kmachine::KMachineProbe;
 use crate::output::pairs_from_links;
 use crate::runner::{draw_colors, run_phase1, PhaseBreakdown, RunOutcome};
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
@@ -556,15 +557,20 @@ impl Protocol for MergeNode {
     }
 }
 
-/// Runs the full DHC2 algorithm.
-pub(crate) fn run(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
+/// Runs the full DHC2 algorithm, optionally instrumented with the
+/// k-machine accounting probe (see [`crate::kmachine`]).
+pub(crate) fn run(
+    graph: &Graph,
+    cfg: &DhcConfig,
+    km: Option<&mut KMachineProbe>,
+) -> Result<RunOutcome, DhcError> {
     cfg.validate()?;
     let n = graph.node_count();
     if n < 3 {
         return Err(DhcError::GraphTooSmall { n });
     }
     let (partition, _) = draw_colors(n, cfg);
-    run_with_colors(graph, cfg, &partition)
+    run_with_colors(graph, cfg, &partition, km)
 }
 
 /// Runs DHC2 with an explicit Phase-1 partition (used by tests and
@@ -573,6 +579,7 @@ pub(crate) fn run_with_colors(
     graph: &Graph,
     cfg: &DhcConfig,
     partition: &Partition,
+    mut km: Option<&mut KMachineProbe>,
 ) -> Result<RunOutcome, DhcError> {
     let n = graph.node_count();
     // Compact colors: relabel non-empty classes to 0..k'-1 so pairing works.
@@ -588,7 +595,7 @@ pub(crate) fn run_with_colors(
     let k = next as usize;
     let compacted = Partition::from_colors(colors, k);
 
-    let phase1 = run_phase1(graph, &compacted, cfg)?;
+    let phase1 = run_phase1(graph, &compacted, cfg, km.as_deref_mut())?;
     let mut metrics = phase1.metrics.clone();
     let mut phases = vec![PhaseBreakdown {
         name: "phase1".to_string(),
@@ -613,10 +620,14 @@ pub(crate) fn run_with_colors(
     while colors_remaining > 1 {
         let nodes: Vec<MergeNode> =
             (0..n).map(|v| MergeNode::new(v, states[v], colors_remaining)).collect();
-        let mut net = Network::new(graph, cfg.sim_config(), nodes)?;
+        let mut net = match km.as_deref() {
+            Some(p) => Network::new_with_machines(graph, cfg.sim_config(), nodes, p.global_map())?,
+            None => Network::new(graph, cfg.sim_config(), nodes)?,
+        };
         let run_result = net.run();
         let (report, nodes) = net.finish();
         let level_metrics: Metrics = report.metrics;
+        let level_machine_log = report.machine_log;
         match run_result {
             Ok(_) => {}
             Err(SimError::Stalled { .. }) => {
@@ -638,6 +649,9 @@ pub(crate) fn run_with_colors(
             states[v] = nd.state();
         }
         metrics.merge(&level_metrics);
+        if let (Some(p), Some(log)) = (km.as_deref_mut(), level_machine_log) {
+            p.absorb_phase_log(log);
+        }
         phases.push(PhaseBreakdown {
             name: format!("merge-level-{level}"),
             rounds: level_metrics.rounds,
@@ -799,7 +813,7 @@ mod tests {
         let delta = 0.5;
         let p = thresholds::edge_probability(n, delta, 6.0);
         let g = generator::gnp(n, p, &mut rng_from_seed(20)).unwrap();
-        let out = run(&g, &DhcConfig::new(21).with_delta(delta)).unwrap();
+        let out = run(&g, &DhcConfig::new(21).with_delta(delta), None).unwrap();
         assert_eq!(out.cycle.len(), n);
         // Phase breakdown: phase1 + ceil(log2 k) levels.
         let k = DhcConfig::new(0).with_delta(delta).partition_count(n);
@@ -812,7 +826,7 @@ mod tests {
         let n = 96;
         let p = thresholds::edge_probability(n, 1.0, 12.0);
         let g = generator::gnp(n, p, &mut rng_from_seed(22)).unwrap();
-        let out = run(&g, &DhcConfig::new(23).with_delta(1.0)).unwrap();
+        let out = run(&g, &DhcConfig::new(23).with_delta(1.0), None).unwrap();
         assert_eq!(out.cycle.len(), n);
         assert_eq!(out.phases.len(), 1);
     }
@@ -823,7 +837,7 @@ mod tests {
         let n = 192;
         let p = 0.35;
         let g = generator::gnp(n, p, &mut rng_from_seed(24)).unwrap();
-        let out = run(&g, &DhcConfig::new(25).with_partitions(3)).unwrap();
+        let out = run(&g, &DhcConfig::new(25).with_partitions(3), None).unwrap();
         assert_eq!(out.cycle.len(), n);
         // ceil(log2 3) = 2 levels.
         assert_eq!(out.phases.len(), 3);
@@ -844,7 +858,7 @@ mod tests {
         let g = Graph::from_edges(16, edges).unwrap();
         let colors: Vec<u32> = (0..16).map(|v| if v < 8 { 0 } else { 1 }).collect();
         let partition = Partition::from_colors(colors, 2);
-        let err = run_with_colors(&g, &DhcConfig::new(1), &partition).unwrap_err();
+        let err = run_with_colors(&g, &DhcConfig::new(1), &partition, None).unwrap_err();
         assert!(matches!(err, DhcError::NoBridge { level: 0, color: 0 }), "{err:?}");
     }
 
@@ -854,8 +868,8 @@ mod tests {
         let p = 0.6;
         let g = generator::gnp(n, p, &mut rng_from_seed(30)).unwrap();
         let cfg = DhcConfig::new(32).with_partitions(4);
-        let a = run(&g, &cfg).unwrap();
-        let b = run(&g, &cfg).unwrap();
+        let a = run(&g, &cfg, None).unwrap();
+        let b = run(&g, &cfg, None).unwrap();
         assert_eq!(a.cycle.order(), b.cycle.order());
         assert_eq!(a.metrics.rounds, b.metrics.rounds);
     }

@@ -23,7 +23,15 @@
 //!   upcast, local solve at the root (via [`dhc_rotation::posa`]), and a
 //!   routed downcast of each node's two cycle edges.
 //! * [`mod@reference`] — centralized re-implementations of
-//!   DHC1/DHC2 used as correctness oracles in tests.
+//!   DHC1/DHC2 used as correctness oracles in tests;
+//! * [`kmachine`] — the paper's §IV k-machine conversion, both
+//!   **estimated** ([`kmachine::ConversionEstimate`], the KNPR
+//!   `Õ(M/k² + T·Δ'/k)` bound on measured CONGEST metrics) and
+//!   **measured** ([`run_dra_kmachine`] / [`run_dhc1_kmachine`] /
+//!   [`run_dhc2_kmachine`] / [`run_upcast_kmachine`]: the unchanged
+//!   protocols execute with the simulator's machine accounting layer
+//!   attached, and the run's real link loads and dilated round count come
+//!   back in a [`KMachineReport`]).
 //!
 //! Every algorithm returns a [`RunOutcome`] containing the verified
 //! [`dhc_graph::HamiltonianCycle`] and full [`dhc_congest::Metrics`]
@@ -66,6 +74,10 @@ pub mod upcast;
 
 pub use config::DhcConfig;
 pub use error::{DhcError, PartitionFailure};
+pub use kmachine::{
+    run_dhc1_kmachine, run_dhc2_kmachine, run_dra_kmachine, run_upcast_kmachine, KMachineConfig,
+    KMachineReport,
+};
 pub use output::{cycle_from_incident_pairs, NodeCycleOutput};
 pub use runner::{
     run_collect_all, run_dhc1, run_dhc2, run_dra, run_partition_cycles, run_upcast, PhaseBreakdown,

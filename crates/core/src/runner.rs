@@ -3,8 +3,10 @@
 
 use crate::dra::DraNode;
 use crate::error::PartitionFailure;
+use crate::kmachine::KMachineProbe;
 use crate::output::pairs_from_links;
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
+use dhc_congest::machine::{MachineMap, MachineRoundLog};
 use dhc_congest::{Metrics, Network};
 use dhc_graph::rng::{derive_seed, rng_from_seed};
 use dhc_graph::{Graph, HamiltonianCycle, NodeId, Partition, PartitionedGraph, Topology};
@@ -69,6 +71,9 @@ struct PartitionRun<'a> {
     map: &'a [NodeId],
     raw: Vec<RawPhase1>,
     metrics: Metrics,
+    /// Per-round cross-machine traffic when this class ran under the
+    /// k-machine accounting layer.
+    machine_log: Option<MachineRoundLog>,
 }
 
 /// Simulates one color class's DRA instance on its induced subgraph,
@@ -92,6 +97,7 @@ fn run_one_partition<'a, T: Topology>(
     map: &'a [NodeId],
     cfg: &DhcConfig,
     seed_base: u64,
+    machines: Option<MachineMap>,
 ) -> Result<PartitionRun<'a>, DhcError> {
     let protocols: Vec<DraNode> = map
         .iter()
@@ -100,7 +106,10 @@ fn run_one_partition<'a, T: Topology>(
             DraNode::with_rng_stream(local, color, derive_seed(seed_base, global as u64))
         })
         .collect();
-    let mut net = Network::new(topo, cfg.sim_config(), protocols)?;
+    let mut net = match machines {
+        Some(m) => Network::new_with_machines(topo, cfg.sim_config(), protocols, m)?,
+        None => Network::new(topo, cfg.sim_config(), protocols)?,
+    };
     net.run()?;
     let (report, nodes) = net.finish();
     let raw = nodes
@@ -115,7 +124,7 @@ fn run_one_partition<'a, T: Topology>(
             cycle_size: node.cycle_size,
         })
         .collect();
-    Ok(PartitionRun { map, raw, metrics: report.metrics })
+    Ok(PartitionRun { map, raw, metrics: report.metrics, machine_log: report.machine_log })
 }
 
 /// Charges the round-1 `Color` announcements that cross partition
@@ -200,6 +209,7 @@ pub(crate) fn run_phase1(
     graph: &Graph,
     partition: &Partition,
     cfg: &DhcConfig,
+    km: Option<&mut KMachineProbe>,
 ) -> Result<Phase1Outcome, DhcError> {
     let n = graph.node_count();
     let seed_base = derive_seed(cfg.seed, 0x0001);
@@ -209,20 +219,24 @@ pub(crate) fn run_phase1(
     // The zero-copy grouping; `None` selects the copying oracle.
     let pg = (!cfg.materialize_phase1).then(|| PartitionedGraph::new(graph, partition));
 
+    // Immutable view of the machine assignment for the job closures; the
+    // probe itself is only touched again after the jobs complete.
+    let spec = km.as_deref();
     let threads = cfg.effective_parallelism(jobs.len());
     let run_job = |&class: &usize| -> Result<PartitionRun<'_>, DhcError> {
         let members = partition.class(class);
         let color = class as u32;
+        let machines = spec.map(|p| p.class_map(members));
         match &pg {
             Some(pg) => {
                 let view = pg.class_view(class).expect("job classes are non-empty");
-                run_one_partition(&view, color, members, cfg, seed_base)
+                run_one_partition(&view, color, members, cfg, seed_base, machines)
             }
             None => {
                 let (sub, _) = graph
                     .induced_subgraph(members)
                     .expect("partition classes hold valid, distinct node ids");
-                run_one_partition(&sub, color, members, cfg, seed_base)
+                run_one_partition(&sub, color, members, cfg, seed_base, machines)
             }
         }
     };
@@ -242,17 +256,67 @@ pub(crate) fn run_phase1(
 
     // Fold in partition (color) order: simulation faults surface for the
     // lowest failing color, metrics compose as one parallel phase, and
-    // per-node states scatter back to global ids.
+    // per-node states scatter back to global ids. The classes' machine
+    // logs merge round-by-round — they execute concurrently in simulated
+    // time, so their round-r messages share the machine links.
     let mut metrics = Metrics::empty(n);
+    let mut phase_log = spec.map(|p| MachineRoundLog::empty(p.machine_count()));
     let mut raw_of: Vec<Option<RawPhase1>> = vec![None; n];
     for result in results {
         let run = result?;
         metrics.absorb_parallel(&run.metrics, run.map);
+        if let (Some(pl), Some(log)) = (phase_log.as_mut(), run.machine_log.as_ref()) {
+            pl.absorb_parallel(log);
+        }
         for (local, &global) in run.map.iter().enumerate() {
             raw_of[global] = Some(run.raw[local]);
         }
     }
     account_cross_color_exchange(&mut metrics, graph, partition.colors(), pg.as_ref());
+    // The synthesized round-1 cross-partition color announcements cross
+    // machine links too. Each announcement is one **broadcast** op
+    // (`send_all(Color)` in init), so the machine layer's semantics
+    // charge the payload once per (sender, receiving machine), no matter
+    // how many neighbors the machine hosts. The per-class simulations
+    // already charged every machine hosting a same-color neighbor of the
+    // sender; the correction charges exactly the machines reached *only*
+    // through cross-color neighbors, in the init slot (round 0, where
+    // the class runs record their announcement sends) — so the merged
+    // round-0 loads equal a whole-graph machine-instrumented execution's
+    // (pinned by `phase1_round0_matches_whole_graph_broadcast_oracle`).
+    if let (Some(pl), Some(p)) = (phase_log.as_mut(), spec) {
+        let colors = partition.colors();
+        let k = p.machine_count();
+        // Per-sender epoch marks: which machines host a same-color /
+        // cross-color neighbor of the current node.
+        let mut same_epoch = vec![0u32; k];
+        let mut cross_epoch = vec![0u32; k];
+        let mut touched: Vec<usize> = Vec::with_capacity(k);
+        for u in 0..n {
+            let epoch = u as u32 + 1;
+            touched.clear();
+            for &v in graph.neighbors(u) {
+                let m = p.machine_of(v);
+                if same_epoch[m] != epoch && cross_epoch[m] != epoch {
+                    touched.push(m);
+                }
+                if colors[u] == colors[v] {
+                    same_epoch[m] = epoch;
+                } else {
+                    cross_epoch[m] = epoch;
+                }
+            }
+            let mu = p.machine_of(u);
+            for &m in &touched {
+                if cross_epoch[m] == epoch && same_epoch[m] != epoch {
+                    pl.charge(0, mu, m, 1);
+                }
+            }
+        }
+    }
+    if let (Some(probe), Some(pl)) = (km, phase_log) {
+        probe.absorb_phase_log(pl);
+    }
 
     // Validate in global node order (stable error selection): everyone
     // done, nobody failed.
@@ -340,7 +404,7 @@ pub fn run_partition_cycles(
     if n < 3 {
         return Err(DhcError::GraphTooSmall { n });
     }
-    let outcome = run_phase1(graph, partition, cfg)?;
+    let outcome = run_phase1(graph, partition, cfg, None)?;
     // Group nodes per color and order them by cycindex.
     let mut by_color: std::collections::BTreeMap<u32, Vec<(usize, NodeId)>> =
         std::collections::BTreeMap::new();
@@ -379,13 +443,23 @@ pub fn run_partition_cycles(
 /// # }
 /// ```
 pub fn run_dra(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
+    run_dra_with(graph, cfg, None)
+}
+
+/// [`run_dra`], optionally instrumented with the k-machine accounting
+/// probe (see [`crate::kmachine`]).
+pub(crate) fn run_dra_with(
+    graph: &Graph,
+    cfg: &DhcConfig,
+    km: Option<&mut KMachineProbe>,
+) -> Result<RunOutcome, DhcError> {
     cfg.validate()?;
     let n = graph.node_count();
     if n < 3 {
         return Err(DhcError::GraphTooSmall { n });
     }
     let partition = Partition::from_colors(vec![0u32; n], 1);
-    let outcome = run_phase1(graph, &partition, cfg)?;
+    let outcome = run_phase1(graph, &partition, cfg, km)?;
     let succ: Vec<Option<NodeId>> = outcome.states.iter().map(|s| Some(s.succ)).collect();
     let pred: Vec<Option<NodeId>> = outcome.states.iter().map(|s| Some(s.pred)).collect();
     let pairs = pairs_from_links(&succ, &pred)?;
@@ -415,7 +489,7 @@ pub(crate) fn draw_colors(n: usize, cfg: &DhcConfig) -> (Partition, usize) {
 /// Returns a [`DhcError`] on invalid configuration, partition failure,
 /// missing bridges, or simulation faults.
 pub fn run_dhc2(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
-    crate::dhc2::run(graph, cfg)
+    crate::dhc2::run(graph, cfg, None)
 }
 
 /// Runs **DHC1** (the paper's Algorithm 2): Phase-1 partition DRA plus the
@@ -426,7 +500,7 @@ pub fn run_dhc2(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> 
 /// Returns a [`DhcError`] on invalid configuration, partition failure,
 /// stitch starvation, or simulation faults.
 pub fn run_dhc1(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
-    crate::dhc1::run(graph, cfg)
+    crate::dhc1::run(graph, cfg, None)
 }
 
 /// Runs the **Upcast** algorithm (the paper's §III): BFS-tree sampling
@@ -436,7 +510,7 @@ pub fn run_dhc1(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> 
 ///
 /// Returns a [`DhcError`] on root-solve failure or simulation faults.
 pub fn run_upcast(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
-    crate::upcast::run(graph, cfg, false)
+    crate::upcast::run(graph, cfg, false, None)
 }
 
 /// Runs the trivial `O(m)` baseline: like Upcast but every node upcasts
@@ -447,7 +521,7 @@ pub fn run_upcast(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError
 ///
 /// Returns a [`DhcError`] on root-solve failure or simulation faults.
 pub fn run_collect_all(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
-    crate::upcast::run(graph, cfg, true)
+    crate::upcast::run(graph, cfg, true, None)
 }
 
 #[cfg(test)]
@@ -543,6 +617,51 @@ mod tests {
         let mut m = Metrics::empty(4);
         account_cross_color_exchange(&mut m, &g, &[0; 4], Some(&pg));
         assert_eq!(m, Metrics::empty(4));
+    }
+
+    #[test]
+    fn phase1_round0_matches_whole_graph_broadcast_oracle() {
+        // Two triangles joined by cross edges, with explicit colors and
+        // machine assignment. The init color announcement is one 1-word
+        // broadcast per node, so a whole-graph machine-instrumented run
+        // charges it once per (sender, receiving machine) — the merged
+        // Phase-1 round-0 link loads (class-run broadcasts + synthesized
+        // cross-color correction) must equal exactly that oracle.
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (0, 3), (0, 4), (2, 4)],
+        )
+        .unwrap();
+        let partition = Partition::from_colors(vec![0, 0, 0, 1, 1, 1], 2);
+        let assignment = vec![0usize, 0, 1, 0, 1, 1];
+        let k = 2;
+        // DRA succeeds whp, not surely: take the first succeeding seed.
+        let probe = (5..13)
+            .find_map(|seed| {
+                let mut probe = KMachineProbe::with_assignment(assignment.clone(), k, 4);
+                run_phase1(&g, &partition, &DhcConfig::new(seed), Some(&mut probe))
+                    .ok()
+                    .map(|_| probe)
+            })
+            .expect("Phase 1 on two triangles should succeed for at least one of 8 seeds");
+        let round0 = &probe.logs()[0].rounds()[0];
+        assert_eq!(round0.round, 0);
+        let mut expected = vec![0u64; k * k];
+        for u in 0..6 {
+            let mut machines: Vec<usize> = g.neighbors(u).iter().map(|&v| assignment[v]).collect();
+            machines.sort_unstable();
+            machines.dedup();
+            for m in machines {
+                if m != assignment[u] {
+                    expected[assignment[u] * k + m] += 1;
+                }
+            }
+        }
+        let mut got = vec![0u64; k * k];
+        for &(link, words) in &round0.links {
+            got[link as usize] = words;
+        }
+        assert_eq!(got, expected, "round-0 link loads diverged from the broadcast oracle");
     }
 
     #[test]

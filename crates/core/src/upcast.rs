@@ -27,6 +27,7 @@
 //! is exactly the paper's point that Upcast is *not* fully distributed; the
 //! per-node memory metrics expose it (experiment E8).
 
+use crate::kmachine::KMachineProbe;
 use crate::output::NodeCycleOutput;
 use crate::runner::{PhaseBreakdown, RunOutcome};
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
@@ -447,17 +448,30 @@ impl Protocol for UpcastNode {
     }
 }
 
-/// Runs Upcast (or the collect-everything baseline when `all_edges`).
-pub(crate) fn run(graph: &Graph, cfg: &DhcConfig, all_edges: bool) -> Result<RunOutcome, DhcError> {
+/// Runs Upcast (or the collect-everything baseline when `all_edges`),
+/// optionally instrumented with the k-machine accounting probe (see
+/// [`crate::kmachine`]).
+pub(crate) fn run(
+    graph: &Graph,
+    cfg: &DhcConfig,
+    all_edges: bool,
+    km: Option<&mut KMachineProbe>,
+) -> Result<RunOutcome, DhcError> {
     cfg.validate()?;
     let n = graph.node_count();
     if n < 3 {
         return Err(DhcError::GraphTooSmall { n });
     }
     let nodes: Vec<UpcastNode> = (0..n).map(|v| UpcastNode::new(v, cfg, all_edges)).collect();
-    let mut net = Network::new(graph, cfg.sim_config(), nodes)?;
+    let mut net = match km.as_deref() {
+        Some(p) => Network::new_with_machines(graph, cfg.sim_config(), nodes, p.global_map())?,
+        None => Network::new(graph, cfg.sim_config(), nodes)?,
+    };
     net.run()?;
     let (report, nodes) = net.finish();
+    if let (Some(p), Some(log)) = (km, report.machine_log) {
+        p.absorb_phase_log(log);
+    }
     if let Some(root) = nodes.iter().find(|nd| nd.aborted) {
         return Err(DhcError::RootSolveFailed { sampled_edges: root.root_edge_count });
     }
@@ -484,7 +498,7 @@ mod tests {
         let n = 200;
         let p = thresholds::edge_probability(n, 0.5, 2.0);
         let g = generator::gnp(n, p, &mut rng_from_seed(40)).unwrap();
-        let out = run(&g, &DhcConfig::new(41), false).unwrap();
+        let out = run(&g, &DhcConfig::new(41), false, None).unwrap();
         assert_eq!(out.cycle.len(), n);
         assert_eq!(out.phases[0].name, "upcast");
     }
@@ -496,7 +510,7 @@ mod tests {
         let n = 200;
         let p = thresholds::edge_probability(n, 0.5, 2.0);
         let g = generator::gnp(n, p, &mut rng_from_seed(42)).unwrap();
-        let out = run(&g, &DhcConfig::new(43), false).unwrap();
+        let out = run(&g, &DhcConfig::new(43), false, None).unwrap();
         let mems = &out.metrics.peak_memory_per_node;
         let max = *mems.iter().max().unwrap();
         let median = {
@@ -513,8 +527,8 @@ mod tests {
         let n = 150;
         let p = 0.3;
         let g = generator::gnp(n, p, &mut rng_from_seed(44)).unwrap();
-        let up = run(&g, &DhcConfig::new(45), false).unwrap();
-        let all = run(&g, &DhcConfig::new(45), true).unwrap();
+        let up = run(&g, &DhcConfig::new(45), false, None).unwrap();
+        let all = run(&g, &DhcConfig::new(45), true, None).unwrap();
         assert_eq!(up.cycle.len(), n);
         assert_eq!(all.cycle.len(), n);
         assert!(
@@ -533,7 +547,7 @@ mod tests {
         let p = thresholds::edge_probability(n, 1.0, 8.0);
         let g = generator::gnp(n, p, &mut rng_from_seed(46)).unwrap();
         let cfg = DhcConfig::new(47).with_sample_factor(0.3);
-        let err = run(&g, &cfg, false).unwrap_err();
+        let err = run(&g, &cfg, false, None).unwrap_err();
         assert!(matches!(err, DhcError::RootSolveFailed { .. }), "{err:?}");
     }
 
@@ -547,7 +561,7 @@ mod tests {
             }
         }
         let g = Graph::from_edges(12, edges).unwrap();
-        let err = run(&g, &DhcConfig::new(0), false).unwrap_err();
+        let err = run(&g, &DhcConfig::new(0), false, None).unwrap_err();
         assert!(matches!(err, DhcError::RootSolveFailed { .. }), "{err:?}");
     }
 
@@ -555,8 +569,8 @@ mod tests {
     fn upcast_is_deterministic() {
         let n = 100;
         let g = generator::gnp(n, 0.3, &mut rng_from_seed(48)).unwrap();
-        let a = run(&g, &DhcConfig::new(49), false).unwrap();
-        let b = run(&g, &DhcConfig::new(49), false).unwrap();
+        let a = run(&g, &DhcConfig::new(49), false, None).unwrap();
+        let b = run(&g, &DhcConfig::new(49), false, None).unwrap();
         assert_eq!(a.cycle.order(), b.cycle.order());
         assert_eq!(a.metrics.rounds, b.metrics.rounds);
     }

@@ -9,7 +9,9 @@
 //!   adjacency, BFS/diameter, partitions with zero-copy class topology
 //!   views ([`Topology`], [`PartitionedGraph`]), cycle verification;
 //! * [`congest`] — the synchronous CONGEST-model simulator with bandwidth
-//!   enforcement and per-node resource metrics;
+//!   enforcement, per-node resource metrics, and an optional k-machine
+//!   accounting layer (intra-machine messages free, bandwidth-limited
+//!   machine-pair links, round dilation);
 //! * [`rotation`] — the sequential Angluin–Valiant / Pósa rotation solver;
 //! * [`core`] — the paper's distributed algorithms (DRA, DHC1, DHC2,
 //!   Upcast) and their runners.
@@ -42,8 +44,11 @@ pub use dhc_graph as graph;
 pub use dhc_rotation as rotation;
 
 // Most-used items at the top level for convenience.
+pub use dhc_congest::{MachineMap, MachineMetrics, MachineRoundLog};
 pub use dhc_core::{
-    run_collect_all, run_dhc1, run_dhc2, run_dra, run_upcast, DhcConfig, DhcError, RunOutcome,
+    run_collect_all, run_dhc1, run_dhc1_kmachine, run_dhc2, run_dhc2_kmachine, run_dra,
+    run_dra_kmachine, run_upcast, run_upcast_kmachine, DhcConfig, DhcError, KMachineConfig,
+    KMachineReport, RunOutcome,
 };
 pub use dhc_graph::{ClassView, Graph, HamiltonianCycle, Partition, PartitionedGraph, Topology};
 
