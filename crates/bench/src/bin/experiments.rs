@@ -7,8 +7,9 @@
 //!
 //! `--list` prints every experiment id with its one-line description and
 //! exits. `--heavy` opts into the points that run for over a minute each
-//! (E14's end-to-end DHC1 at n = 10⁴); they are skipped with a notice
-//! otherwise so `experiments all` stays tractable.
+//! (E14's end-to-end DHC1 at n = 10⁴, E15's delay/crash sweeps); they
+//! are skipped with a notice otherwise so `experiments all` stays
+//! tractable.
 
 use dhc_bench::experiments::{run_by_id, Effort, ALL_IDS, CATALOG};
 use std::time::Instant;
@@ -65,7 +66,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments [--list] [--quick|--smoke] [--heavy] [--seed S] <e1..e14|all>..."
+        "usage: experiments [--list] [--quick|--smoke] [--heavy] [--seed S] <e1..e15|all>..."
     );
     std::process::exit(2)
 }

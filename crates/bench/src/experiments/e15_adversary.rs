@@ -1,0 +1,430 @@
+//! **E15 — adversary degradation curves** (not a paper claim): how the
+//! paper's algorithms degrade when the clean synchronous CONGEST model
+//! is relaxed by the seeded [`Adversary`] layer. Sweeps the per-edge
+//! drop rate for DRA/DHC1/DHC2 (success rate vs loss — the headline
+//! curve), plus bounded-delay and crash/restart sweeps for DHC2, and
+//! records the curves to `BENCH_adversary.json` so robustness is
+//! tracked across PRs.
+//!
+//! Every trial is fully seeded (graph seed, algorithm seed, fault seed),
+//! so the curves are reproducible bit-for-bit; the same graphs are
+//! reused across sweep points so a point differs from its neighbor
+//! *only* in the adversary knob. Failures are split into
+//! round-limit outcomes (the adversary starved the run: quiescence or
+//! cap under loss) and algorithmic failures (e.g. a partition whose
+//! surviving traffic no longer supports a subcycle).
+
+use crate::table::Table;
+use dhc_congest::SimError;
+use dhc_core::{run_dhc1, run_dhc2, run_dra, Adversary, DhcConfig, DhcError, RunOutcome};
+use dhc_graph::rng::rng_from_seed;
+use dhc_graph::{generator, thresholds, Graph};
+
+use super::Effort;
+
+/// Sweep parameters for E15.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Graph size for every sweep.
+    pub n: usize,
+    /// Phase-1 partition count for DHC1/DHC2.
+    pub partitions: usize,
+    /// Seeded trials per sweep point.
+    pub trials: usize,
+    /// Per-delivery drop probabilities (parts per million) swept for
+    /// all three algorithms.
+    pub drop_ppms: Vec<u32>,
+    /// `(delay_ppm, max_delay)` points swept for DHC2 (heavy).
+    pub delay_points: Vec<(u32, usize)>,
+    /// Crash counts swept for DHC2 (heavy); nodes are spread over the
+    /// id range, alternating permanent crashes and crash/restart.
+    pub crash_counts: Vec<usize>,
+    /// Round cap — the safety net that turns starved lossy runs into a
+    /// typed outcome.
+    pub max_rounds: usize,
+    /// Whether to write the `BENCH_adversary.json` baseline (disabled
+    /// for smoke runs so tests do not touch the filesystem).
+    pub emit_json: bool,
+    /// Set by [`gated`](Params::gated) when the delay/crash sweeps were
+    /// dropped; `run` prints a one-line skip notice.
+    pub skipped_heavy: bool,
+}
+
+impl Params {
+    /// Parameters for the given effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            // The knob ranges look tiny but are where the action is:
+            // with M load-bearing messages per run the success rate is
+            // ~(1 - p)^M, and at these sizes M ~ 10⁵–10⁶, so the whole
+            // success-to-failure transition happens at single-digit ppm
+            // (2% loss is already certain death — every flood/echo
+            // message matters).
+            Effort::Full => Params {
+                n: 96,
+                partitions: 4,
+                trials: 16,
+                drop_ppms: vec![0, 1, 2, 5, 10, 20, 50, 100],
+                delay_points: vec![(1, 1), (5, 2), (20, 4)],
+                crash_counts: vec![0, 1, 2, 4],
+                max_rounds: 20_000,
+                emit_json: true,
+                skipped_heavy: false,
+            },
+            // Quick must not overwrite the committed baseline: the rows
+            // stay comparable across PRs only if they always come from
+            // the Full workload.
+            Effort::Quick => Params {
+                n: 64,
+                partitions: 2,
+                trials: 6,
+                drop_ppms: vec![0, 5, 50],
+                delay_points: vec![(5, 2)],
+                crash_counts: vec![0, 2],
+                max_rounds: 10_000,
+                emit_json: false,
+                skipped_heavy: false,
+            },
+            Effort::Smoke => Params {
+                n: 48,
+                partitions: 2,
+                trials: 2,
+                drop_ppms: vec![0, 200_000],
+                delay_points: vec![],
+                crash_counts: vec![],
+                max_rounds: 2_000,
+                emit_json: false,
+                skipped_heavy: false,
+            },
+        }
+    }
+
+    /// Applies the `--heavy` gate: without the flag the delay and crash
+    /// sweeps (the long tail of the runtime — every delayed run walks
+    /// real extra rounds instead of failing fast) are dropped, and the
+    /// JSON baseline write is disabled so a partial report never
+    /// replaces the committed full one.
+    pub fn gated(mut self, heavy: bool) -> Self {
+        let has_heavy = !self.delay_points.is_empty() || !self.crash_counts.is_empty();
+        if !heavy && has_heavy {
+            self.delay_points.clear();
+            self.crash_counts.clear();
+            self.emit_json = false;
+            self.skipped_heavy = true;
+        }
+        self
+    }
+}
+
+/// Outcome tally for one sweep point over `trials` seeded runs.
+#[derive(Debug, Clone, Copy, Default)]
+struct Tally {
+    success: usize,
+    round_limit: usize,
+    other: usize,
+    /// Mean rounds over the successful runs (0 when none succeeded).
+    mean_rounds: f64,
+}
+
+impl Tally {
+    fn rate(&self, trials: usize) -> f64 {
+        self.success as f64 / trials.max(1) as f64
+    }
+}
+
+fn tally(results: Vec<Result<RunOutcome, DhcError>>) -> Tally {
+    let mut t = Tally::default();
+    let mut rounds = 0usize;
+    for r in results {
+        match r {
+            Ok(out) => {
+                t.success += 1;
+                rounds += out.metrics.rounds;
+            }
+            Err(DhcError::Simulation(SimError::RoundLimitExceeded { .. })) => t.round_limit += 1,
+            Err(_) => t.other += 1,
+        }
+    }
+    if t.success > 0 {
+        t.mean_rounds = rounds as f64 / t.success as f64;
+    }
+    t
+}
+
+/// One algorithm under sweep: its name, trial graphs, and base config.
+struct Subject<'a> {
+    name: &'static str,
+    graphs: &'a [Graph],
+    run: fn(&Graph, &DhcConfig) -> Result<RunOutcome, DhcError>,
+    partitions: usize,
+}
+
+impl Subject<'_> {
+    /// Runs every trial against one adversary-builder and tallies.
+    fn sweep_point(
+        &self,
+        params: &Params,
+        seed: u64,
+        adversary: impl Fn(u64) -> Adversary,
+    ) -> Tally {
+        let results = self
+            .graphs
+            .iter()
+            .enumerate()
+            .map(|(t, g)| {
+                let fault_seed = seed ^ 0xFA117 ^ ((t as u64) << 20);
+                let cfg = DhcConfig::new(seed.wrapping_add(t as u64))
+                    .with_partitions(self.partitions)
+                    .with_max_rounds(params.max_rounds)
+                    .with_adversary(adversary(fault_seed));
+                (self.run)(g, &cfg)
+            })
+            .collect();
+        tally(results)
+    }
+}
+
+/// The crash schedule for `count` crashed nodes on `n` nodes: nodes
+/// spread evenly over the id range, crashing at staggered early rounds;
+/// every other one restarts 10 rounds later, the rest stay down.
+fn crash_schedule(adv: Adversary, count: usize, n: usize) -> Adversary {
+    let mut adv = adv;
+    for j in 0..count {
+        let node = (j + 1) * n / (count + 1);
+        let at = 3 + j;
+        let restart = (j % 2 == 1).then_some(at + 10);
+        adv = adv.with_crash(node, at, restart);
+    }
+    adv
+}
+
+struct CurvePoint {
+    knob: String,
+    tally: Tally,
+}
+
+fn curve_table(out: &mut String, knob_header: &str, points: &[CurvePoint], trials: usize) {
+    let mut t =
+        Table::new(vec![knob_header, "success", "round-limit", "other", "rate", "mean rounds"]);
+    for p in points {
+        t.row(vec![
+            p.knob.clone(),
+            p.tally.success.to_string(),
+            p.tally.round_limit.to_string(),
+            p.tally.other.to_string(),
+            format!("{:.2}", p.tally.rate(trials)),
+            format!("{:.0}", p.tally.mean_rounds),
+        ]);
+    }
+    out.push_str(&t.render());
+}
+
+fn json_points(out: &mut String, knob_key: &str, points: &[CurvePoint], trials: usize) {
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"{knob_key}\": {}, \"success\": {}, \"round_limit\": {}, \"other\": {}, \
+             \"rate\": {:.4}, \"mean_rounds\": {:.1}}}{}\n",
+            p.knob,
+            p.tally.success,
+            p.tally.round_limit,
+            p.tally.other,
+            p.tally.rate(trials),
+            p.tally.mean_rounds,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+}
+
+fn render_json(
+    params: &Params,
+    seed: u64,
+    drop_curves: &[(&'static str, Vec<CurvePoint>)],
+    delay: &[CurvePoint],
+    crash: &[CurvePoint],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"adversary\",\n");
+    out.push_str(
+        "  \"workload\": \"success-rate degradation under seeded faults (drop/delay/crash)\",\n",
+    );
+    out.push_str(&format!(
+        "  \"n\": {}, \"partitions\": {}, \"trials\": {}, \"max_rounds\": {}, \"seed\": {seed},\n",
+        params.n, params.partitions, params.trials, params.max_rounds
+    ));
+    out.push_str("  \"drop_curves\": {\n");
+    for (i, (name, points)) in drop_curves.iter().enumerate() {
+        out.push_str(&format!("  \"{name}\": [\n"));
+        json_points(&mut out, "drop_ppm", points, params.trials);
+        out.push_str(&format!("  ]{}\n", if i + 1 < drop_curves.len() { "," } else { "" }));
+    }
+    out.push_str("  },\n");
+    for (key, points) in [("delay_sweep", delay), ("crash_sweep", crash)] {
+        if points.is_empty() {
+            out.push_str(&format!("  \"{key}\": null"));
+        } else {
+            out.push_str(&format!("  \"{key}\": [\n"));
+            json_points(
+                &mut out,
+                if key == "delay_sweep" { "point" } else { "crashes" },
+                points,
+                params.trials,
+            );
+            out.push_str("  ]");
+        }
+        out.push_str(if key == "delay_sweep" { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Runs E15 and renders its report (optionally writing the JSON baseline).
+pub fn run(params: &Params, seed: u64) -> String {
+    let n = params.n;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E15 adversary degradation: seeded drop/delay/crash sweeps at n = {n}, {} trials per \
+         point\n\n",
+        params.trials
+    ));
+
+    // The same trial graphs across every point of a curve: a point
+    // differs from its neighbor only in the adversary knob.
+    let p_dra = thresholds::edge_probability(n, 1.0, 12.0);
+    let p_dhc = thresholds::edge_probability(n, 0.5, 6.0);
+    let graphs = |p: f64, salt: u64| -> Vec<Graph> {
+        (0..params.trials)
+            .map(|t| {
+                generator::gnp(n, p, &mut rng_from_seed(seed ^ salt ^ ((t as u64) << 8)))
+                    .expect("valid gnp point")
+            })
+            .collect()
+    };
+    let dra_graphs = graphs(p_dra, 0xD7A);
+    let dhc_graphs = graphs(p_dhc, 0xD4C);
+
+    let subjects = [
+        Subject { name: "dra", graphs: &dra_graphs, run: run_dra, partitions: 1 },
+        Subject { name: "dhc1", graphs: &dhc_graphs, run: run_dhc1, partitions: params.partitions },
+        Subject { name: "dhc2", graphs: &dhc_graphs, run: run_dhc2, partitions: params.partitions },
+    ];
+
+    out.push_str(&format!("  Per-delivery drop rate (ppm of {}) vs success rate:\n", 1_000_000));
+    let mut drop_curves: Vec<(&'static str, Vec<CurvePoint>)> = Vec::new();
+    for s in &subjects {
+        let points: Vec<CurvePoint> = params
+            .drop_ppms
+            .iter()
+            .map(|&ppm| CurvePoint {
+                knob: ppm.to_string(),
+                tally: s.sweep_point(params, seed, |fs| Adversary::seeded(fs).with_drop_ppm(ppm)),
+            })
+            .collect();
+        out.push_str(&format!("    {}:\n", s.name));
+        curve_table(&mut out, "drop ppm", &points, params.trials);
+        drop_curves.push((s.name, points));
+    }
+    out.push_str(
+        "\n    round-limit = the adversary starved the run (quiescence under loss or round \
+         cap);\n    other = algorithmic failure (e.g. partition subcycle no longer forms).\n\n",
+    );
+
+    if params.skipped_heavy {
+        out.push_str(
+            "  heavy sweeps skipped: DHC2 delay and crash/restart curves;\n  pass --heavy to run \
+             them and refresh BENCH_adversary.json\n",
+        );
+    }
+
+    let dhc2 = &subjects[2];
+    let mut delay_curve = Vec::new();
+    if !params.delay_points.is_empty() {
+        out.push_str("  DHC2 under bounded per-delivery delay (ppm, max rounds late):\n");
+        delay_curve = params
+            .delay_points
+            .iter()
+            .map(|&(ppm, max_delay)| CurvePoint {
+                knob: format!("[{ppm}, {max_delay}]"),
+                tally: dhc2.sweep_point(params, seed, |fs| {
+                    Adversary::seeded(fs).with_delay(ppm, max_delay)
+                }),
+            })
+            .collect();
+        curve_table(&mut out, "[ppm, max_delay]", &delay_curve, params.trials);
+        out.push('\n');
+    }
+
+    let mut crash_curve = Vec::new();
+    if !params.crash_counts.is_empty() {
+        out.push_str(
+            "  DHC2 under node crashes (staggered rounds 3+; every other node restarts 10 \
+             rounds later):\n",
+        );
+        crash_curve = params
+            .crash_counts
+            .iter()
+            .map(|&count| CurvePoint {
+                knob: count.to_string(),
+                tally: dhc2.sweep_point(params, seed, |fs| {
+                    crash_schedule(Adversary::seeded(fs), count, n)
+                }),
+            })
+            .collect();
+        curve_table(&mut out, "crashes", &crash_curve, params.trials);
+        out.push('\n');
+    }
+
+    if params.emit_json {
+        let path =
+            std::env::var("BENCH_ADVERSARY_OUT").unwrap_or_else(|_| "BENCH_adversary.json".into());
+        let json = render_json(params, seed, &drop_curves, &delay_curve, &crash_curve);
+        match std::fs::write(&path, json) {
+            Ok(()) => out.push_str(&format!("    baseline written to {path}\n")),
+            Err(e) => out.push_str(&format!("    could not write {path}: {e}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_reports() {
+        let report = run(&Params::for_effort(Effort::Smoke), 20180424);
+        assert!(report.contains("adversary degradation"), "{report}");
+        assert!(!report.contains("baseline written"));
+    }
+
+    #[test]
+    fn heavy_gate_drops_delay_and_crash_sweeps() {
+        let full = Params::for_effort(Effort::Full);
+        let gated = full.clone().gated(false);
+        assert!(gated.delay_points.is_empty() && gated.crash_counts.is_empty());
+        assert!(!gated.emit_json && gated.skipped_heavy);
+        let heavy = full.clone().gated(true);
+        assert!(!heavy.delay_points.is_empty() && heavy.emit_json && !heavy.skipped_heavy);
+        // Smoke has no heavy sweeps, so the gate is a no-op on it.
+        let smoke = Params::for_effort(Effort::Smoke).gated(false);
+        assert!(!smoke.skipped_heavy);
+    }
+
+    #[test]
+    fn json_shape() {
+        let params = Params::for_effort(Effort::Smoke);
+        let pt = |knob: &str| CurvePoint {
+            knob: knob.to_string(),
+            tally: Tally { success: 2, round_limit: 0, other: 0, mean_rounds: 9.0 },
+        };
+        let curves = vec![("dra", vec![pt("0"), pt("200000")])];
+        let json = render_json(&params, 7, &curves, &[], &[]);
+        assert!(json.contains("\"bench\": \"adversary\""));
+        assert!(json.contains("\"drop_ppm\": 0"));
+        assert!(json.contains("\"delay_sweep\": null"));
+        assert!(json.contains("\"crash_sweep\": null"));
+        assert!(json.trim_end().ends_with('}'));
+        let with_sweeps = render_json(&params, 7, &curves, &[pt("[100000, 1]")], &[pt("2")]);
+        assert!(with_sweeps.contains("\"point\": [100000, 1]"));
+        assert!(with_sweeps.contains("\"crashes\": 2"));
+    }
+}

@@ -10,6 +10,7 @@ pub mod e11_kmachine;
 pub mod e12_other_models;
 pub mod e13_engine;
 pub mod e14_partition;
+pub mod e15_adversary;
 pub mod e1_dra_steps;
 pub mod e2_partition_balance;
 pub mod e3_dhc1_scaling;
@@ -31,10 +32,10 @@ pub enum Effort {
     Smoke,
 }
 
-/// Runs one experiment by id (`"e1"` … `"e14"`), returning its report.
+/// Runs one experiment by id (`"e1"` … `"e15"`), returning its report.
 /// `heavy` opts into the experiment points that take over a minute per
-/// run (currently E14's end-to-end DHC1 at n = 10⁴); without it those
-/// points are skipped with a printed notice.
+/// run (E14's end-to-end DHC1 at n = 10⁴ and E15's delay/crash sweeps);
+/// without it those points are skipped with a printed notice.
 ///
 /// # Errors
 ///
@@ -55,6 +56,7 @@ pub fn run_by_id(id: &str, effort: Effort, heavy: bool, seed: u64) -> Result<Str
         "e12" => e12_other_models::run(&e12_other_models::Params::for_effort(effort), seed),
         "e13" => e13_engine::run(&e13_engine::Params::for_effort(effort), seed),
         "e14" => e14_partition::run(&e14_partition::Params::for_effort(effort).gated(heavy), seed),
+        "e15" => e15_adversary::run(&e15_adversary::Params::for_effort(effort).gated(heavy), seed),
         other => return Err(format!("unknown experiment id: {other}")),
     };
     Ok(report)
@@ -62,7 +64,7 @@ pub fn run_by_id(id: &str, effort: Effort, heavy: bool, seed: u64) -> Result<Str
 
 /// All experiments in order: `(id, one-line description)` — what the
 /// binary's `--list` flag prints.
-pub const CATALOG: [(&str, &str); 14] = [
+pub const CATALOG: [(&str, &str); 15] = [
     ("e1", "Theorem 2: DRA rotation-walk steps and rounds on a single partition"),
     ("e2", "Lemmas 4 and 7: random-coloring class balance and intra-class degrees"),
     ("e3", "Theorem 1: DHC1 round/message scaling at p = c ln n / sqrt(n)"),
@@ -77,13 +79,14 @@ pub const CATALOG: [(&str, &str); 14] = [
     ("e12", "Conclusion's extension claim: other random-graph models"),
     ("e13", "Engine throughput baseline: flood-echo and broadcast-storm rounds/sec"),
     ("e14", "Partition-pipeline baseline: zero-copy class views vs materialized subgraphs"),
+    ("e15", "Adversary degradation: success rates under seeded drop/delay/crash faults"),
 ];
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 14] = {
-    let mut ids = [""; 14];
+pub const ALL_IDS: [&str; 15] = {
+    let mut ids = [""; 15];
     let mut i = 0;
-    while i < 14 {
+    while i < 15 {
         ids[i] = CATALOG[i].0;
         i += 1;
     }
@@ -114,7 +117,7 @@ mod tests {
 
     #[test]
     fn all_ids_listed() {
-        assert_eq!(ALL_IDS.len(), 14);
+        assert_eq!(ALL_IDS.len(), 15);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use crate::adversary::Adversary;
+
 /// Engine configuration: round budget, bandwidth, and metric sampling.
 ///
 /// # Example
@@ -45,6 +47,11 @@ pub struct Config {
     /// active nodes to amortize the spawn (large `n`, dense activity).
     /// Swapping in the real `rayon` removes that per-round cost.
     pub engine_threads: usize,
+    /// Optional seeded fault model (message drop/duplicate/delay, node
+    /// crash/restart). `None` (the default) — or a null adversary —
+    /// runs the clean synchronous CONGEST engine unchanged; see
+    /// [`Adversary`].
+    pub adversary: Option<Adversary>,
 }
 
 impl Default for Config {
@@ -56,6 +63,7 @@ impl Default for Config {
             record_round_traffic: true,
             trace_capacity: 0,
             engine_threads: 1,
+            adversary: None,
         }
     }
 }
@@ -98,6 +106,15 @@ impl Config {
         self.engine_threads = threads;
         self
     }
+
+    /// Returns the configuration with the given seeded fault model
+    /// attached. A null adversary ([`Adversary::is_null`]) is detected
+    /// at network construction and leaves the clean engine code paths
+    /// bit-for-bit untouched.
+    pub fn with_adversary(mut self, adversary: Adversary) -> Self {
+        self.adversary = Some(adversary);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +148,12 @@ mod tests {
     #[test]
     fn engine_is_single_threaded_by_default() {
         assert_eq!(Config::default().engine_threads, 1);
+    }
+
+    #[test]
+    fn adversary_attaches() {
+        assert_eq!(Config::default().adversary, None);
+        let c = Config::default().with_adversary(Adversary::seeded(3).with_drop_ppm(100));
+        assert_eq!(c.adversary.as_ref().map(|a| a.drop_ppm), Some(100));
     }
 }

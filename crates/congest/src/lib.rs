@@ -35,6 +35,14 @@
 //!   round, and every executed CONGEST round *dilates* into
 //!   `max(1, ⌈max link load / B⌉)` k-machine rounds. Pure observation:
 //!   outcomes, [`Metrics`], and traces are bit-identical to the plain run.
+//! * the [`adversary`] module — an optional **seeded fault layer**
+//!   ([`Config::with_adversary`]): per-delivery message drop / duplicate /
+//!   bounded delay with fixed-point probability knobs, plus node
+//!   crash/restart schedules. Every fault is a pure function of the
+//!   fault seed, drawn inside the sequential commit fold, so faulty
+//!   executions keep the engine's bit-identical-at-every-thread-count
+//!   guarantee; a null adversary ([`Adversary::none`]) leaves the clean
+//!   code paths untouched entirely.
 //!
 //! The engine is *event-efficient*: only nodes with a non-empty inbox or a
 //! scheduled wake-up are invoked, so simulation cost is proportional to
@@ -88,6 +96,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 mod config;
 mod context;
 mod effects;
@@ -99,6 +108,7 @@ mod network;
 mod payload;
 pub mod trace;
 
+pub use adversary::{Adversary, CrashEvent};
 pub use config::Config;
 pub use context::Context;
 pub use error::SimError;

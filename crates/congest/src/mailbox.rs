@@ -28,7 +28,23 @@
 //! effects → arena), and all buffers are arena-style: allocated once,
 //! reused every round, capacity-stable after warm-up.
 
-use crate::{NodeId, Payload};
+use crate::{NodeId, Payload, SimError};
+
+/// One adversary-delayed message parked in virtual time until its due
+/// round (see [`Mailboxes::stage_delayed`]).
+#[derive(Debug)]
+struct DelayedMsg<M> {
+    /// Round at whose start the message is re-injected.
+    due: usize,
+    /// Sender.
+    from: NodeId,
+    /// The sender's op sequence number at send time.
+    seq: u32,
+    /// Recipient.
+    to: NodeId,
+    /// The payload.
+    msg: M,
+}
 
 /// One staged broadcast: a single payload copy addressed to every
 /// neighbor of the sender except `skip`.
@@ -75,6 +91,10 @@ pub(crate) struct Mailboxes<M> {
     /// message-driven active set of the current round. The count covers
     /// direct messages **and** addressed broadcast records.
     ready: Vec<(NodeId, usize)>,
+    /// Adversary-delayed messages waiting for their due round
+    /// (insertion order = the commit order of the rounds that delayed
+    /// them, which keeps re-injection deterministic).
+    delayed: Vec<DelayedMsg<M>>,
 }
 
 impl<M: Payload> Mailboxes<M> {
@@ -93,6 +113,7 @@ impl<M: Payload> Mailboxes<M> {
             bcount_back: vec![0; n],
             touched: Vec::new(),
             ready: Vec::new(),
+            delayed: Vec::new(),
         }
     }
 
@@ -165,6 +186,99 @@ impl<M: Payload> Mailboxes<M> {
     /// or addressed broadcasts this round, ascending.
     pub(crate) fn ready(&self) -> &[(NodeId, usize)] {
         &self.ready
+    }
+
+    /// Parks one adversary-delayed message until the start of round
+    /// `due`. Called by the commit fold in deterministic order.
+    pub(crate) fn stage_delayed(&mut self, due: usize, from: NodeId, seq: u32, to: NodeId, msg: M) {
+        self.delayed.push(DelayedMsg { due, from, seq, to, msg });
+    }
+
+    /// Earliest due round among parked messages, if any — a wake source
+    /// for the engine's quiescent fast-forward.
+    pub(crate) fn next_due(&self) -> Option<usize> {
+        self.delayed.iter().map(|d| d.due).min()
+    }
+
+    /// Re-injects every parked message due at or before `round` into the
+    /// **front** (current-round) inboxes, charging each against the
+    /// arrival round's per-edge budget.
+    ///
+    /// Everything arriving on a directed edge in one round — freshly
+    /// delivered messages plus re-injected delayed ones — must fit the
+    /// edge budget; a violation surfaces as the ordinary
+    /// [`SimError::BandwidthExceeded`], never a silent queue. (Under an
+    /// active adversary broadcasts are committed as per-destination
+    /// direct messages, so the front buffers are the complete arrival
+    /// set and this check is exhaustive.)
+    pub(crate) fn inject_due(&mut self, round: usize, budget: usize) -> Result<(), SimError> {
+        if self.delayed.iter().all(|d| d.due > round) {
+            return Ok(());
+        }
+        let mut rest = Vec::with_capacity(self.delayed.len());
+        let mut due = Vec::new();
+        for d in self.delayed.drain(..) {
+            if d.due <= round {
+                due.push(d);
+            } else {
+                rest.push(d);
+            }
+        }
+        self.delayed = rest;
+
+        // Per-edge arrival charge: base = fresh same-sender words already
+        // in the destination's front buffer, then each injected copy adds
+        // its own words. Checked in injection order, which is itself
+        // commit order — deterministic first violation.
+        let mut charged: Vec<(NodeId, NodeId, usize)> = Vec::new();
+        for d in &due {
+            let w = d.msg.words().max(1);
+            let acc = match charged.iter_mut().find(|e| (e.0, e.1) == (d.from, d.to)) {
+                Some(e) => {
+                    e.2 += w;
+                    e.2
+                }
+                None => {
+                    let base: usize = self.front[d.to]
+                        .iter()
+                        .filter(|&&(f, _, _)| f == d.from)
+                        .map(|(_, _, m)| m.words().max(1))
+                        .sum();
+                    charged.push((d.from, d.to, base + w));
+                    base + w
+                }
+            };
+            if acc > budget {
+                return Err(SimError::BandwidthExceeded {
+                    from: d.from,
+                    to: d.to,
+                    round,
+                    attempted_words: acc,
+                    budget_words: budget,
+                });
+            }
+        }
+
+        let mut hit: Vec<NodeId> = Vec::new();
+        for d in due {
+            if !hit.contains(&d.to) {
+                hit.push(d.to);
+            }
+            self.front[d.to].push((d.from, d.seq, d.msg));
+        }
+        for to in hit {
+            // Stable sort: on `(sender, seq)` ties the fresh message
+            // (staged first) keeps priority over the late one.
+            self.front[to].sort_by_key(|&(f, s, _)| (f, s));
+            let count = self.front[to].len() + self.bcount_front[to] as usize;
+            // Keep `ready` consistent so the engine activates `to` and
+            // the next `seal` clears the injected buffer.
+            match self.ready.binary_search_by_key(&to, |&(v, _)| v) {
+                Ok(i) => self.ready[i].1 = count,
+                Err(i) => self.ready.insert(i, (to, count)),
+            }
+        }
+        Ok(())
     }
 
     /// One node's merged inbox view for the current round. `nbrs` must
@@ -418,6 +532,74 @@ mod tests {
         mb.seal();
         assert_eq!(collect(mb.inbox(1, &[0, 2])), vec![(0, 100), (0, 200), (0, 300)]);
         assert_eq!(mb.ready(), &[(1, 3)]);
+    }
+
+    #[test]
+    fn delayed_messages_wait_for_their_round_and_merge_in_order() {
+        let mut mb: Mailboxes<u64> = Mailboxes::new(3);
+        mb.stage_delayed(3, 0, 0, 2, 50);
+        assert_eq!(mb.next_due(), Some(3));
+        // Round 2: nothing due yet.
+        mb.stage(1, 0, 2, 40);
+        mb.seal();
+        mb.inject_due(2, 4).unwrap();
+        assert_eq!(collect(mb.inbox(2, &[0, 1])), vec![(1, 40)]);
+        assert_eq!(mb.next_due(), Some(3));
+        // Round 3: the delayed message lands and sorts before the fresh
+        // one (sender 0 < sender 1), and `ready` picks up node 2.
+        mb.stage(1, 0, 2, 41);
+        mb.seal();
+        mb.inject_due(3, 4).unwrap();
+        assert_eq!(mb.next_due(), None);
+        assert_eq!(mb.ready(), &[(2, 2)]);
+        assert_eq!(collect(mb.inbox(2, &[0, 1])), vec![(0, 50), (1, 41)]);
+        // Round 4: the injected buffer was cleared by the next seal.
+        mb.seal();
+        assert!(mb.ready().is_empty());
+        assert!(mb.inbox(2, &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn injection_activates_an_otherwise_idle_destination() {
+        let mut mb: Mailboxes<u64> = Mailboxes::new(2);
+        mb.stage_delayed(1, 0, 0, 1, 7);
+        mb.seal();
+        assert!(mb.ready().is_empty());
+        mb.inject_due(1, 1).unwrap();
+        assert_eq!(mb.ready(), &[(1, 1)]);
+        assert_eq!(collect(mb.inbox(1, &[0])), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn injection_respects_the_arrival_round_budget() {
+        let mut mb: Mailboxes<u64> = Mailboxes::new(2);
+        // A fresh word on edge 0→1 plus a delayed one: fits budget 2,
+        // not budget 1.
+        mb.stage_delayed(1, 0, 0, 1, 7);
+        mb.stage(0, 1, 1, 8);
+        mb.seal();
+        let err = {
+            let mut tight = Mailboxes::<u64>::new(2);
+            tight.stage_delayed(1, 0, 0, 1, 7);
+            tight.stage(0, 1, 1, 8);
+            tight.seal();
+            tight.inject_due(1, 1).unwrap_err()
+        };
+        assert!(
+            matches!(
+                err,
+                SimError::BandwidthExceeded {
+                    from: 0,
+                    to: 1,
+                    round: 1,
+                    attempted_words: 2,
+                    budget_words: 1
+                }
+            ),
+            "{err:?}"
+        );
+        mb.inject_due(1, 2).unwrap();
+        assert_eq!(collect(mb.inbox(1, &[0])), vec![(0, 7), (0, 8)]);
     }
 
     #[test]

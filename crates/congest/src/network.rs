@@ -18,6 +18,7 @@
 //!    charged per directed edge — observationally identical to the
 //!    per-neighbor unicast expansion, at a fraction of the cost.
 
+use crate::adversary::{AdversaryState, Fate};
 use crate::effects::Effects;
 use crate::machine::{MachineLayer, MachineMap};
 use crate::mailbox::{Inbox, Mailboxes};
@@ -71,6 +72,19 @@ pub struct Network<'g, P: Protocol, T: Topology = Graph> {
     /// driven only by the sequential commit fold, so it observes the run
     /// without influencing it and is deterministic at every thread count.
     machines: Option<MachineLayer>,
+    /// Optional seeded fault layer (see [`crate::adversary`]): attached
+    /// like the machine layer but *influencing* delivery. `None` when no
+    /// adversary — or a null one — is configured, so the clean engine
+    /// paths run bit-for-bit unchanged. All fault draws happen in the
+    /// sequential commit fold (or the equally sequential delay-queue
+    /// injection), keeping every-thread-count determinism.
+    adversary: Option<AdversaryState>,
+    /// Reusable per-node scratch for the adversarial commit: the drawn
+    /// fate of each delivery, in merged op order.
+    scratch_fates: Vec<Fate>,
+    /// Reusable per-node scratch for the adversarial bandwidth check:
+    /// `(destination, charged words)` per delivery.
+    scratch_charged: Vec<(NodeId, usize)>,
 }
 
 /// One active node's unit of work for the compute phase.
@@ -151,6 +165,13 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                 .expect("engine worker pool")
         });
         let trace_capacity = config.trace_capacity;
+        // A null adversary (all knobs zero) is dropped here outright, so
+        // attaching `Adversary::none()` provably cannot perturb the run:
+        // the engine takes its unmodified clean code paths.
+        let adversary = match &config.adversary {
+            Some(adv) if !adv.is_null() => Some(AdversaryState::new(adv.clone(), n)),
+            _ => None,
+        };
         let mut net = Network {
             graph,
             config,
@@ -169,7 +190,21 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             finished: false,
             pool,
             machines,
+            adversary,
+            scratch_fates: Vec::new(),
+            scratch_charged: Vec::new(),
         };
+        // Pre-schedule a wake at every restart round, so a restarted
+        // node activates (with an empty inbox) even in an otherwise
+        // quiescent network.
+        {
+            let Network { adversary, wakes, .. } = &mut net;
+            if let Some(st) = adversary.as_ref() {
+                for (r, v) in st.restart_wakes() {
+                    wakes.push(Reverse((r, v)));
+                }
+            }
+        }
         let all: Vec<NodeId> = (0..n).collect();
         net.run_phase(&all, CallKind::Init)?;
         net.mail.seal();
@@ -224,10 +259,17 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
         self.round += 1;
 
         if self.mail.ready().is_empty() {
-            // Quiescent: fast-forward to the next scheduled wake-up, if any
-            // (the skipped empty rounds still count toward simulated time).
-            match self.wakes.peek() {
-                Some(&Reverse((r, _))) => {
+            // Quiescent: fast-forward to the next scheduled wake-up or
+            // delayed-message due round, if any (the skipped empty rounds
+            // still count toward simulated time).
+            let next_wake = self.wakes.peek().map(|&Reverse((r, _))| r);
+            let next_due = self.mail.next_due();
+            let next = match (next_wake, next_due) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            match next {
+                Some(r) => {
                     if r > self.round {
                         self.round = r;
                     }
@@ -243,11 +285,47 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                         self.finished = true;
                         return Ok(());
                     }
+                    // Under an active adversary, a starved network (no
+                    // mail, wakes, delayed messages, or pending restarts)
+                    // is an *environmental* outcome — message loss, not a
+                    // protocol deadlock — and no future round can make
+                    // progress, so it terminates as the round-cap error
+                    // instead of `Stalled`.
+                    if self.adversary.is_some() {
+                        return Err(SimError::RoundLimitExceeded {
+                            max_rounds: self.config.max_rounds,
+                            unhalted: self.nodes.len() - self.halted_count,
+                        });
+                    }
                     return Err(SimError::Stalled {
                         round: self.round,
                         unhalted: self.nodes.len() - self.halted_count,
                     });
                 }
+            }
+        }
+
+        if self.adversary.is_some() {
+            // Re-inject delayed messages due this round (checking them
+            // against the arrival round's edge budgets), then apply the
+            // crash schedule so the suppression filter below sees this
+            // round's up/down states.
+            if let Err(e) = self.mail.inject_due(self.round, self.config.bandwidth_words) {
+                // Seal so a post-error `step` cannot re-deliver this
+                // round's inboxes, mirroring the fold's error path.
+                self.mail.seal();
+                return Err(e);
+            }
+            let round = self.round;
+            let Network { adversary, trace, .. } = &mut *self;
+            if let Some(st) = adversary.as_mut() {
+                st.advance(round, |node, went_down| {
+                    trace.push(if went_down {
+                        TraceEvent::Crashed { round, node }
+                    } else {
+                        TraceEvent::Restarted { round, node }
+                    });
+                });
             }
         }
 
@@ -290,7 +368,8 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                 } else {
                     let w = woken[j];
                     j += 1;
-                    if !self.halted[w] && self.trace.is_enabled() {
+                    let down = self.adversary.as_ref().is_some_and(|st| st.is_down(w));
+                    if !self.halted[w] && !down && self.trace.is_enabled() {
                         self.trace.push(TraceEvent::Woke { round: self.round, node: w });
                     }
                     active.push((w, 0));
@@ -313,7 +392,10 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
         }
 
         // Delivery accounting; halted nodes consume (drop) their messages
-        // without running.
+        // without running, and so do crashed nodes — a down node's
+        // receives are suppressed exactly like a halted node's (delivery
+        // metrics included), but unlike halting it may run again after a
+        // restart.
         let mut round_messages = 0u64;
         let mut work = std::mem::take(&mut self.scratch_work);
         work.clear();
@@ -321,7 +403,8 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             round_messages += len as u64;
             self.metrics.received_per_node[v] += len as u64;
             self.metrics.compute_per_node[v] += len as u64;
-            if !self.halted[v] {
+            let down = self.adversary.as_ref().is_some_and(|st| st.is_down(v));
+            if !self.halted[v] && !down {
                 work.push(v);
             }
         }
@@ -388,7 +471,14 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
 
         // --- Commit fold: ascending node id, fully sequential. ---
         let graph = self.graph;
+        let adversarial = self.adversary.is_some();
         for (i, &v) in work.iter().enumerate() {
+            if adversarial {
+                // The fault-influenced commit lives in its own fold so the
+                // clean path below stays exactly the pre-adversary engine.
+                self.commit_adversarial(i, v)?;
+                continue;
+            }
             let fx = &mut self.effects[i];
             if let Some(err) = fx.fault.take() {
                 return Err(err);
@@ -570,6 +660,212 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             ml.end_round(self.round);
         }
         self.metrics.rounds = self.round;
+        Ok(())
+    }
+
+    /// Commits one node's effects under an **active adversary**: the
+    /// fault-influenced twin of the clean fold in
+    /// [`run_phase`](Self::run_phase).
+    ///
+    /// Two passes, both sequential. Pass 1 draws the [`Fate`] of every
+    /// delivery — broadcasts expanded over their addressed neighbors in
+    /// ascending order, unicasts and broadcasts merged by op sequence —
+    /// and checks the per-edge budgets with duplicates charged twice
+    /// (a duplicated copy is extra traffic on the edge, so it can push a
+    /// protocol that saturates its budget over the limit; the violation
+    /// surfaces as the ordinary [`SimError::BandwidthExceeded`], never a
+    /// silent queue). Pass 2 routes: delivered copies are staged as
+    /// usual, dropped ones are charged to the sender but never staged,
+    /// duplicated ones are staged twice, and delayed ones are parked in
+    /// the mailbox delay queue until their due round.
+    ///
+    /// Broadcasts are committed as **per-destination direct messages**
+    /// (each copy can meet a different fate), so the broadcast arena is
+    /// never used under an active adversary; the k-machine layer
+    /// likewise sees the per-edge unicast expansion.
+    fn commit_adversarial(&mut self, i: usize, v: NodeId) -> Result<(), SimError> {
+        let round = self.round;
+        let budget = self.config.bandwidth_words;
+        let Network {
+            graph,
+            effects,
+            mail,
+            metrics,
+            trace,
+            machines,
+            adversary,
+            wakes,
+            halted,
+            halted_count,
+            scratch_fates,
+            scratch_charged,
+            ..
+        } = self;
+        let st = adversary.as_mut().expect("adversarial commit without an adversary");
+        let fx = &mut effects[i];
+        if let Some(err) = fx.fault.take() {
+            return Err(err);
+        }
+        let nbrs = graph.neighbors(v);
+        metrics.compute_per_node[v] += fx.compute;
+        if let Some(mem) = fx.memory {
+            if mem > metrics.peak_memory_per_node[v] {
+                metrics.peak_memory_per_node[v] = mem;
+            }
+        }
+
+        // --- Pass 1: draw fates (merged op order, broadcasts expanded
+        // over ascending addressed neighbors) and charge the edges. ---
+        scratch_fates.clear();
+        scratch_charged.clear();
+        let mut attempts = 0usize;
+        {
+            let (mut ui, mut bi) = (0, 0);
+            loop {
+                let take_uni = match (fx.sends.get(ui), fx.bcasts.get(bi)) {
+                    (Some(&(useq, _, _)), Some(&(bseq, _, _))) => useq < bseq,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if take_uni {
+                    let (seq, to, _) = fx.sends[ui];
+                    let words = fx.send_words[ui];
+                    ui += 1;
+                    let fate = st.adv.fate(round, v, seq, to);
+                    let w = if fate == Fate::Duplicate { words * 2 } else { words };
+                    scratch_fates.push(fate);
+                    scratch_charged.push((to, w));
+                    attempts += usize::from(fate == Fate::Duplicate) + 1;
+                } else {
+                    let (seq, skip, _) = fx.bcasts[bi];
+                    let words = fx.bcast_words[bi];
+                    bi += 1;
+                    for &to in nbrs {
+                        if Some(to) == skip {
+                            continue;
+                        }
+                        let fate = st.adv.fate(round, v, seq, to);
+                        let w = if fate == Fate::Duplicate { words * 2 } else { words };
+                        scratch_fates.push(fate);
+                        scratch_charged.push((to, w));
+                        attempts += usize::from(fate == Fate::Duplicate) + 1;
+                    }
+                }
+            }
+        }
+        if attempts > metrics.max_node_sends_per_round {
+            metrics.max_node_sends_per_round = attempts;
+        }
+        // Stable sort, then aggregate per destination ascending: same
+        // first-violation destination as the clean fold's walk.
+        scratch_charged.sort_by_key(|&(to, _)| to);
+        let mut a = 0;
+        while a < scratch_charged.len() {
+            let to = scratch_charged[a].0;
+            let mut words = 0usize;
+            let mut b = a;
+            while b < scratch_charged.len() && scratch_charged[b].0 == to {
+                words += scratch_charged[b].1;
+                b += 1;
+            }
+            if words > budget {
+                return Err(SimError::BandwidthExceeded {
+                    from: v,
+                    to,
+                    round,
+                    attempted_words: words,
+                    budget_words: budget,
+                });
+            }
+            if words > metrics.max_edge_words {
+                metrics.max_edge_words = words;
+            }
+            a = b;
+        }
+
+        // --- Pass 2: route each delivery by its fate. ---
+        let trace_on = trace.is_enabled();
+        let mut fi = 0;
+        let mut uni = fx.sends.drain(..).zip(fx.send_words.drain(..)).peekable();
+        let mut bc = fx.bcasts.drain(..).zip(fx.bcast_words.drain(..)).peekable();
+        // One delivery: sender-side metrics and trace, then fate routing.
+        let mut commit_one = |to: NodeId, seq: u32, words: usize, msg: P::Msg| {
+            let fate = scratch_fates[fi];
+            fi += 1;
+            let copies: u64 = if fate == Fate::Duplicate { 2 } else { 1 };
+            metrics.words += words as u64 * copies;
+            metrics.messages += copies;
+            metrics.sent_per_node[v] += copies;
+            if trace_on {
+                trace.push(TraceEvent::Sent { round, from: v, to, words });
+                match fate {
+                    Fate::Deliver => {}
+                    Fate::Drop => trace.push(TraceEvent::Dropped { round, from: v, to }),
+                    Fate::Duplicate => trace.push(TraceEvent::Duplicated { round, from: v, to }),
+                    Fate::Delay(d) => {
+                        trace.push(TraceEvent::Delayed {
+                            round,
+                            from: v,
+                            to,
+                            until: round + 1 + d,
+                        });
+                    }
+                }
+            }
+            if let Some(ml) = machines.as_mut() {
+                for _ in 0..copies {
+                    ml.unicast(v, to, words);
+                }
+            }
+            match fate {
+                Fate::Deliver => mail.stage(v, seq, to, msg),
+                // Charged to the sender, lost in transit.
+                Fate::Drop => {}
+                Fate::Duplicate => {
+                    mail.stage(v, seq, to, msg.clone());
+                    mail.stage(v, seq, to, msg);
+                }
+                Fate::Delay(d) => mail.stage_delayed(round + 1 + d, v, seq, to, msg),
+            }
+        };
+        loop {
+            let take_uni = match (uni.peek(), bc.peek()) {
+                (Some(&((useq, _, _), _)), Some(&((bseq, _, _), _))) => useq < bseq,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_uni {
+                let ((seq, to, msg), words) = uni.next().expect("peeked");
+                commit_one(to, seq, words, msg);
+            } else {
+                let ((seq, skip, msg), words) = bc.next().expect("peeked");
+                for &to in nbrs {
+                    if Some(to) == skip {
+                        continue;
+                    }
+                    commit_one(to, seq, words, msg.clone());
+                }
+            }
+        }
+        debug_assert_eq!(fi, scratch_fates.len(), "fate scratch out of sync");
+
+        if let Some(target) = fx.wake {
+            if !fx.halted {
+                wakes.push(Reverse((target, v)));
+                if trace_on {
+                    trace.push(TraceEvent::WakeScheduled { round, node: v, target });
+                }
+            }
+        }
+        if fx.halted && !halted[v] {
+            halted[v] = true;
+            *halted_count += 1;
+            if trace_on {
+                trace.push(TraceEvent::Halted { round, node: v });
+            }
+        }
         Ok(())
     }
 
@@ -1050,6 +1346,189 @@ mod tests {
         // Every neighbor of 0 except 1 saw the one arena record.
         let seen: Vec<_> = net.nodes().iter().map(|nd| nd.got.len()).collect();
         assert_eq!(seen, vec![0, 0, 1, 1, 1, 1]);
+    }
+
+    /// Records the round of every delivery; node 0 pings node 1 once.
+    struct Recorder {
+        got: Vec<(usize, NodeId, u64)>,
+    }
+    impl Protocol for Recorder {
+        type Msg = Token;
+        fn init(&mut self, ctx: &mut Context<'_, Token>) {
+            if ctx.node() == 0 {
+                ctx.send(1, Token(9));
+            }
+            ctx.wake_in(8); // stay reachable long enough to observe late arrivals
+        }
+        fn round(&mut self, ctx: &mut Context<'_, Token>, inbox: Inbox<'_, Token>) {
+            for (from, &Token(k)) in inbox.iter() {
+                self.got.push((ctx.round_number(), from, k));
+            }
+            if ctx.round_number() >= 8 {
+                ctx.halt();
+            }
+        }
+    }
+
+    fn recorders(n: usize) -> Vec<Recorder> {
+        (0..n).map(|_| Recorder { got: Vec::new() }).collect()
+    }
+
+    fn adversary_cfg(adv: crate::Adversary) -> Config {
+        Config::default().with_bandwidth_words(4).with_trace_capacity(1000).with_adversary(adv)
+    }
+
+    #[test]
+    fn certain_drop_loses_the_message_but_charges_the_sender() {
+        let g = dhc_graph::generator::path_graph(2);
+        let adv = crate::Adversary::seeded(1).with_drop_ppm(crate::adversary::PPM);
+        let mut net = Network::new(&g, adversary_cfg(adv), recorders(2)).unwrap();
+        net.run().unwrap();
+        assert_eq!(net.nodes()[1].got, vec![], "dropped message was delivered");
+        // Sender-side accounting is unchanged: the word crossed the edge.
+        assert_eq!(net.metrics().messages, 1);
+        assert_eq!(net.metrics().sent_per_node[0], 1);
+        let drops = net
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Dropped { from: 0, to: 1, .. }))
+            .count();
+        assert_eq!(drops, 1);
+    }
+
+    #[test]
+    fn certain_duplicate_delivers_two_copies() {
+        let g = dhc_graph::generator::path_graph(2);
+        let adv = crate::Adversary::seeded(1).with_duplicate_ppm(crate::adversary::PPM);
+        let mut net = Network::new(&g, adversary_cfg(adv), recorders(2)).unwrap();
+        net.run().unwrap();
+        assert_eq!(net.nodes()[1].got, vec![(1, 0, 9), (1, 0, 9)]);
+        assert_eq!(net.metrics().messages, 2, "both copies count");
+    }
+
+    #[test]
+    fn duplicates_respect_the_edge_budget() {
+        // Budget 1: the duplicated copy is one word too many.
+        let g = dhc_graph::generator::path_graph(2);
+        let adv = crate::Adversary::seeded(1).with_duplicate_ppm(crate::adversary::PPM);
+        let cfg = Config::default().with_adversary(adv);
+        let err = Network::new(&g, cfg, recorders(2)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::BandwidthExceeded {
+                    from: 0,
+                    to: 1,
+                    attempted_words: 2,
+                    budget_words: 1,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn certain_delay_arrives_late() {
+        let g = dhc_graph::generator::path_graph(2);
+        let adv = crate::Adversary::seeded(1).with_delay(crate::adversary::PPM, 1);
+        let mut net = Network::new(&g, adversary_cfg(adv), recorders(2)).unwrap();
+        net.run().unwrap();
+        // Sent in init (round 0), delayed by exactly 1: arrives round 2
+        // instead of round 1.
+        assert_eq!(net.nodes()[1].got, vec![(2, 0, 9)]);
+        assert!(net
+            .trace()
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Delayed { from: 0, to: 1, until: 2, .. })));
+    }
+
+    #[test]
+    fn crashed_node_is_suppressed_and_restart_resumes_with_state() {
+        // Node 1 down for rounds 1..=3: the init ping vanishes into the
+        // crash, the round-8 wake (scheduled in init, surviving the
+        // crash) still fires after restart.
+        let g = dhc_graph::generator::path_graph(2);
+        let adv = crate::Adversary::seeded(0).with_crash(1, 1, Some(4));
+        let mut net = Network::new(&g, adversary_cfg(adv), recorders(2)).unwrap();
+        net.run().unwrap();
+        assert_eq!(net.nodes()[1].got, vec![], "delivery while down must be suppressed");
+        let ev = net.trace().events();
+        assert!(ev.iter().any(|e| matches!(e, TraceEvent::Crashed { node: 1, .. })));
+        assert!(ev.iter().any(|e| matches!(e, TraceEvent::Restarted { node: 1, round: 4 })));
+        // The node ran again after restart: it halted at its round-8 wake.
+        assert!(net.is_finished());
+    }
+
+    #[test]
+    fn crash_forever_turns_quiescence_into_round_limit() {
+        // Flood on a path: node 1 crashes before forwarding, the token
+        // dies with it, and the run terminates with the typed round-cap
+        // outcome instead of hanging or stalling.
+        let g = dhc_graph::generator::path_graph(3);
+        let adv = crate::Adversary::seeded(0).with_crash(1, 1, None);
+        let cfg = Config::default().with_adversary(adv);
+        let mut net = Network::new(&g, cfg, flood_nodes(3)).unwrap();
+        let err = net.run().unwrap_err();
+        assert!(matches!(err, SimError::RoundLimitExceeded { .. }), "{err:?}");
+        assert!(!net.nodes()[2].seen);
+    }
+
+    #[test]
+    fn total_drop_terminates_with_round_limit() {
+        let g = dhc_graph::generator::grid(3, 3);
+        let adv = crate::Adversary::seeded(2).with_drop_ppm(crate::adversary::PPM);
+        let cfg = Config::default().with_adversary(adv);
+        let mut net = Network::new(&g, cfg, flood_nodes(9)).unwrap();
+        let err = net.run().unwrap_err();
+        assert!(matches!(err, SimError::RoundLimitExceeded { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn null_adversary_is_bit_identical_to_no_adversary() {
+        let g = dhc_graph::generator::grid(4, 4);
+        let run = |adv: Option<crate::Adversary>| {
+            let mut cfg = Config::default().with_trace_capacity(10_000);
+            if let Some(adv) = adv {
+                cfg = cfg.with_adversary(adv);
+            }
+            let mut net = Network::new(&g, cfg, flood_nodes(16)).unwrap();
+            net.run().unwrap();
+            let trace = net.trace().events().to_vec();
+            let (report, _) = net.finish();
+            (report.metrics, trace)
+        };
+        assert_eq!(run(None), run(Some(crate::Adversary::none())));
+        assert_eq!(run(None), run(Some(crate::Adversary::seeded(77))));
+    }
+
+    #[test]
+    fn faulty_runs_identical_at_all_thread_counts() {
+        let g = dhc_graph::generator::grid(4, 4);
+        let adv = crate::Adversary::seeded(5)
+            .with_drop_ppm(200_000)
+            .with_duplicate_ppm(150_000)
+            .with_delay(200_000, 3)
+            .with_crash(3, 2, Some(5));
+        let run = |threads: usize| {
+            let cfg = Config::default()
+                .with_bandwidth_words(4)
+                .with_trace_capacity(10_000)
+                .with_engine_threads(threads)
+                .with_adversary(adv.clone());
+            let mut net = Network::new(&g, cfg, recorders(16)).unwrap();
+            let outcome = net.run().map_err(|e| format!("{e:?}"));
+            let got: Vec<_> = net.nodes().iter().map(|r| r.got.clone()).collect();
+            let trace = net.trace().events().to_vec();
+            let (report, _) = net.finish();
+            (outcome, got, report.metrics, trace)
+        };
+        let baseline = run(1);
+        for threads in [2, 4, 0] {
+            assert_eq!(baseline, run(threads), "diverged at engine_threads = {threads}");
+        }
     }
 
     #[test]

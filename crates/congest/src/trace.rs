@@ -43,6 +43,53 @@ pub enum TraceEvent {
         /// The node.
         node: NodeId,
     },
+    /// The adversary dropped a message in transit (the `Sent` event is
+    /// still recorded and the sender is still charged).
+    Dropped {
+        /// Round of the send.
+        round: usize,
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+    },
+    /// The adversary duplicated a message (two copies arrive next round;
+    /// both count against the edge budget).
+    Duplicated {
+        /// Round of the send.
+        round: usize,
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+    },
+    /// The adversary delayed a message; it arrives at the start of round
+    /// `until` instead of `round + 1`.
+    Delayed {
+        /// Round of the send.
+        round: usize,
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Round the message is re-injected at.
+        until: usize,
+    },
+    /// A scheduled crash took a node down: its sends and receives are
+    /// suppressed until (and unless) it restarts.
+    Crashed {
+        /// First round the node is down.
+        round: usize,
+        /// The node.
+        node: NodeId,
+    },
+    /// A crashed node came back with its protocol state intact.
+    Restarted {
+        /// First round the node is back up.
+        round: usize,
+        /// The node.
+        node: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -52,7 +99,12 @@ impl TraceEvent {
             TraceEvent::Sent { round, .. }
             | TraceEvent::Halted { round, .. }
             | TraceEvent::WakeScheduled { round, .. }
-            | TraceEvent::Woke { round, .. } => round,
+            | TraceEvent::Woke { round, .. }
+            | TraceEvent::Dropped { round, .. }
+            | TraceEvent::Duplicated { round, .. }
+            | TraceEvent::Delayed { round, .. }
+            | TraceEvent::Crashed { round, .. }
+            | TraceEvent::Restarted { round, .. } => round,
         }
     }
 }

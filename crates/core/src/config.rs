@@ -1,6 +1,6 @@
 //! Algorithm configuration.
 
-use dhc_congest::Config as SimConfig;
+use dhc_congest::{Adversary, Config as SimConfig, NodeId};
 
 /// Configuration shared by all distributed algorithms in this crate.
 ///
@@ -64,6 +64,16 @@ pub struct DhcConfig {
     /// sorted local-id neighbor lists (pinned by
     /// `crates/core/tests/view_equivalence.rs`).
     pub materialize_phase1: bool,
+    /// Optional seeded fault model applied to **every** simulation an
+    /// algorithm runs (Phase-1 per-class runs, DHC1 stitching, DHC2
+    /// merge levels, Upcast): message drop / duplicate / bounded delay
+    /// and node crash/restart schedules, all pure functions of the fault
+    /// seed. `None` (the default) — or [`Adversary::none`] — keeps the
+    /// clean synchronous CONGEST model of the paper, bit-for-bit. Crash
+    /// schedules name *global* node ids; per-class runs translate them
+    /// to class-local ids and give each class its own fault stream (see
+    /// [`Adversary::for_class`]).
+    pub adversary: Option<Adversary>,
 }
 
 impl DhcConfig {
@@ -81,6 +91,7 @@ impl DhcConfig {
             parallelism: 1,
             engine_threads: 1,
             materialize_phase1: false,
+            adversary: None,
         }
     }
 
@@ -134,6 +145,13 @@ impl DhcConfig {
         self
     }
 
+    /// Attaches a seeded fault model to every simulation the algorithms
+    /// run; see [`adversary`](Self::adversary).
+    pub fn with_adversary(mut self, adversary: Adversary) -> Self {
+        self.adversary = Some(adversary);
+        self
+    }
+
     /// The concrete worker-thread count for `jobs` independent
     /// partition simulations, resolving `parallelism == 0` to the
     /// machine's available cores and never exceeding the job count.
@@ -155,12 +173,35 @@ impl DhcConfig {
     }
 
     /// The simulator configuration corresponding to this algorithm
-    /// configuration.
+    /// configuration, for whole-graph simulations (DRA over all nodes,
+    /// DHC1 stitching, DHC2 merge levels, Upcast). Any configured
+    /// [`adversary`](Self::adversary) is attached as-is.
     pub fn sim_config(&self) -> SimConfig {
-        SimConfig::default()
+        let mut sim = SimConfig::default()
             .with_max_rounds(self.max_rounds)
             .with_bandwidth_words(self.bandwidth_words)
-            .with_engine_threads(self.engine_threads)
+            .with_engine_threads(self.engine_threads);
+        if let Some(adv) = &self.adversary {
+            sim = sim.with_adversary(adv.clone());
+        }
+        sim
+    }
+
+    /// The simulator configuration for one Phase-1 color class simulated
+    /// over local ids: like [`sim_config`](Self::sim_config), but any
+    /// configured adversary is translated with
+    /// [`Adversary::for_class`] — crash schedules map global node ids to
+    /// the class's local ids (crashes outside `members` do not apply),
+    /// and each class gets its own fault stream.
+    pub fn sim_config_for_class(&self, color: u32, members: &[NodeId]) -> SimConfig {
+        let mut sim = SimConfig::default()
+            .with_max_rounds(self.max_rounds)
+            .with_bandwidth_words(self.bandwidth_words)
+            .with_engine_threads(self.engine_threads);
+        if let Some(adv) = &self.adversary {
+            sim = sim.with_adversary(adv.for_class(members, color));
+        }
+        sim
     }
 
     /// Validates parameter ranges.
@@ -235,5 +276,25 @@ mod tests {
         assert_eq!(cfg.sim_config().engine_threads, 1);
         let cfg = cfg.with_engine_threads(0);
         assert_eq!(cfg.sim_config().engine_threads, 0);
+    }
+
+    #[test]
+    fn adversary_propagates_whole_graph_and_per_class() {
+        let cfg = DhcConfig::new(0);
+        assert_eq!(cfg.sim_config().adversary, None);
+        assert_eq!(cfg.sim_config_for_class(0, &[0, 1]).adversary, None);
+
+        let adv = Adversary::seeded(9).with_drop_ppm(5).with_crash(4, 2, None);
+        let cfg = cfg.with_adversary(adv.clone());
+        assert_eq!(cfg.sim_config().adversary, Some(adv.clone()));
+        // Per-class: the class containing global node 4 (local id 1)
+        // keeps the crash under its local id; another class drops it.
+        let with4 = cfg.sim_config_for_class(1, &[2, 4, 7]).adversary.unwrap();
+        assert_eq!(with4.crashes.len(), 1);
+        assert_eq!(with4.crashes[0].node, 1);
+        assert_eq!(with4.drop_ppm, 5);
+        let without4 = cfg.sim_config_for_class(2, &[0, 5]).adversary.unwrap();
+        assert!(without4.crashes.is_empty());
+        assert_ne!(with4.fault_seed, without4.fault_seed);
     }
 }

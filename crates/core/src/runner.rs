@@ -106,9 +106,12 @@ fn run_one_partition<'a, T: Topology>(
             DraNode::with_rng_stream(local, color, derive_seed(seed_base, global as u64))
         })
         .collect();
+    // Per-class simulator config: a configured adversary is translated
+    // to this class's local ids and its own fault stream.
+    let sim = cfg.sim_config_for_class(color, map);
     let mut net = match machines {
-        Some(m) => Network::new_with_machines(topo, cfg.sim_config(), protocols, m)?,
-        None => Network::new(topo, cfg.sim_config(), protocols)?,
+        Some(m) => Network::new_with_machines(topo, sim, protocols, m)?,
+        None => Network::new(topo, sim, protocols)?,
     };
     net.run()?;
     let (report, nodes) = net.finish();

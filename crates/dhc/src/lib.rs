@@ -44,7 +44,7 @@ pub use dhc_graph as graph;
 pub use dhc_rotation as rotation;
 
 // Most-used items at the top level for convenience.
-pub use dhc_congest::{MachineMap, MachineMetrics, MachineRoundLog};
+pub use dhc_congest::{Adversary, CrashEvent, MachineMap, MachineMetrics, MachineRoundLog};
 pub use dhc_core::{
     run_collect_all, run_dhc1, run_dhc1_kmachine, run_dhc2, run_dhc2_kmachine, run_dra,
     run_dra_kmachine, run_upcast, run_upcast_kmachine, DhcConfig, DhcError, KMachineConfig,

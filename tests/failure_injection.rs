@@ -1,9 +1,10 @@
 //! Failure injection: every documented failure mode surfaces as a typed
 //! error (never a hang, panic, or silent wrong answer).
 
+use dhc::congest::SimError;
 use dhc::core::{run_dhc1, run_dhc2, run_dra, run_upcast, DhcConfig};
 use dhc::graph::{generator, rng::rng_from_seed, Graph};
-use dhc::DhcError;
+use dhc::{Adversary, DhcError};
 
 #[test]
 fn tiny_graphs_rejected_by_all() {
@@ -82,6 +83,36 @@ fn petersen_graph_is_rejected_not_mislabeled() {
     let cfg = DhcConfig::new(9).with_partitions(1);
     assert!(run_dra(&g, &cfg).is_err());
     assert!(run_upcast(&g, &cfg).is_err());
+}
+
+#[test]
+fn crashing_a_leader_quorum_yields_a_typed_error_not_a_hang() {
+    // Crash the lowest- and highest-id nodes early and permanently: one
+    // of them is the would-be leader of its partition, so leader
+    // election (and everything after it) cannot complete. The run must
+    // come back as a typed error — the adversary layer's quiescence
+    // detection turns the resulting silence into a round-limit outcome
+    // instead of an infinite stall.
+    let n = 96;
+    let g = generator::gnp(n, 0.5, &mut rng_from_seed(40)).unwrap();
+    let adv = Adversary::seeded(41).with_crash(0, 2, None).with_crash(n - 1, 2, None);
+    let cfg = DhcConfig::new(42).with_partitions(2).with_max_rounds(2_000).with_adversary(adv);
+    let err = run_dra(&g, &cfg).unwrap_err();
+    assert!(matches!(err, DhcError::Simulation(_) | DhcError::PartitionFailed { .. }), "{err:?}");
+}
+
+#[test]
+fn total_message_loss_terminates_with_round_limit() {
+    // A 100% drop rate delivers nothing at all: wake-up-driven nodes
+    // idle forever. Without the adversary this silence would be a
+    // protocol bug (`Stalled`); under an active adversary it is an
+    // environmental outcome and must surface as `RoundLimitExceeded`.
+    let n = 96;
+    let g = generator::gnp(n, 0.5, &mut rng_from_seed(43)).unwrap();
+    let adv = Adversary::seeded(44).with_drop_ppm(1_000_000);
+    let cfg = DhcConfig::new(45).with_partitions(2).with_max_rounds(500).with_adversary(adv);
+    let err = run_dra(&g, &cfg).unwrap_err();
+    assert!(matches!(err, DhcError::Simulation(SimError::RoundLimitExceeded { .. })), "{err:?}");
 }
 
 #[test]
