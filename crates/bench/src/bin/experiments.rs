@@ -7,9 +7,9 @@
 //!
 //! `--list` prints every experiment id with its one-line description and
 //! exits. `--heavy` opts into the points that run for over a minute each
-//! (E14's end-to-end DHC1 at n = 10⁴, E15's delay/crash sweeps); they
-//! are skipped with a notice otherwise so `experiments all` stays
-//! tractable.
+//! (E13's and E14's end-to-end DHC1 at n = 10⁴, E15's delay/crash
+//! sweeps); they are skipped with a notice otherwise so
+//! `experiments all` stays tractable.
 
 use dhc_bench::experiments::{run_by_id, Effort, ALL_IDS, CATALOG};
 use std::time::Instant;

@@ -1,22 +1,46 @@
 //! **E13 — engine throughput baseline** (not a paper claim): rounds/sec
 //! of the two-phase round engine on two workloads — the flood-echo
 //! microprotocol and the **broadcast storm** (every node `send_all`s
-//! every round, the shared-payload flood fabric's hot path) — at one
-//! engine thread and at all cores, recorded to `BENCH_engine.json` so
-//! the perf trajectory is tracked across PRs.
+//! every round, the shared-payload flood fabric's hot path) — across
+//! the engine-thread sweep `{1, 2, 4, all}`, recorded to
+//! `BENCH_engine.json` so the perf trajectory is tracked across PRs.
+//! Every row also records the **effective worker count** the setting
+//! resolves to on this host (the `0 = all cores` setting clamps to
+//! detected hardware concurrency), so numbers from different machines
+//! stay interpretable.
 //!
 //! The engine is the substrate every paper experiment stands on; a
 //! regression here silently inflates E1–E12 wall-clock without changing
 //! any simulated quantity, which is why the baseline is tracked
-//! explicitly.
+//! explicitly. The `--heavy` gate adds one end-to-end **DHC1** point
+//! (`n = 10⁴`, `k = 50`) at one thread and at all cores — the real
+//! workload the worker pool and sharded commit fold exist for — with
+//! the two runs asserted bit-identical.
 
 use crate::engine_probe::{
     flood_echo, flood_echo_unicast, flood_storm, flood_storm_unicast, probe_graph, STORM_DEPTH,
 };
 use crate::table::{f3, Table};
+use dhc_congest::Config as SimConfig;
+use dhc_core::{run_dhc1, DhcConfig};
+use dhc_graph::rng::rng_from_seed;
 use std::time::Instant;
 
 use super::Effort;
+
+/// End-to-end DHC1 scaling point: `n` nodes, `k` partitions.
+#[derive(Debug, Clone, Copy)]
+pub struct Dhc1Point {
+    /// Graph size.
+    pub n: usize,
+    /// Phase-1 partition count.
+    pub k: usize,
+}
+
+/// DHC1 points with more nodes than this take over a minute per run on
+/// a CI-class host and are gated behind the experiments binary's
+/// explicit `--heavy` flag (same threshold as E14's end-to-end point).
+pub const HEAVY_DHC1_NODES: usize = 4_000;
 
 /// Sweep parameters for E13.
 #[derive(Debug, Clone)]
@@ -28,24 +52,73 @@ pub struct Params {
     /// Whether to write the `BENCH_engine.json` baseline (disabled for
     /// smoke runs so tests do not touch the filesystem).
     pub emit_json: bool,
+    /// End-to-end DHC1 engine-scaling point, if any.
+    pub dhc1: Option<Dhc1Point>,
+    /// A heavy point dropped by [`gated`](Params::gated); `run` prints a
+    /// one-line skip notice for it.
+    pub skipped_heavy: Option<Dhc1Point>,
 }
 
 impl Params {
     /// Parameters for the given effort level.
     pub fn for_effort(effort: Effort) -> Self {
         match effort {
-            Effort::Full => Params { sizes: vec![1_000, 10_000], reps: 5, emit_json: true },
-            Effort::Quick => Params { sizes: vec![1_000, 10_000], reps: 3, emit_json: true },
-            Effort::Smoke => Params { sizes: vec![256], reps: 1, emit_json: false },
+            Effort::Full => Params {
+                sizes: vec![1_000, 10_000],
+                reps: 5,
+                emit_json: true,
+                dhc1: Some(Dhc1Point { n: 10_000, k: 50 }),
+                skipped_heavy: None,
+            },
+            Effort::Quick => Params {
+                sizes: vec![1_000, 10_000],
+                reps: 3,
+                emit_json: true,
+                dhc1: Some(Dhc1Point { n: 10_000, k: 50 }),
+                skipped_heavy: None,
+            },
+            Effort::Smoke => Params {
+                sizes: vec![256],
+                reps: 1,
+                emit_json: false,
+                dhc1: Some(Dhc1Point { n: 240, k: 4 }),
+                skipped_heavy: None,
+            },
         }
+    }
+
+    /// Applies the `--heavy` gate: without the flag, DHC1 points above
+    /// [`HEAVY_DHC1_NODES`] are dropped so `experiments all` stays
+    /// tractable. The JSON baseline write is disabled too — a rewrite
+    /// without the heavy rows would silently lose the committed ones —
+    /// and `run` prints a one-line notice naming what was skipped.
+    pub fn gated(mut self, heavy: bool) -> Self {
+        if !heavy {
+            if let Some(pt) = self.dhc1 {
+                if pt.n > HEAVY_DHC1_NODES {
+                    self.dhc1 = None;
+                    self.emit_json = false;
+                    self.skipped_heavy = Some(pt);
+                }
+            }
+        }
+        self
     }
 }
 
-/// One measured point.
+/// The worker count an `engine_threads` setting resolves to on this
+/// host — recorded per row so baselines from different machines stay
+/// interpretable.
+fn workers_for(threads: usize) -> usize {
+    SimConfig::default().with_engine_threads(threads).effective_engine_threads()
+}
+
+/// One measured microbenchmark point.
 struct Sample {
     workload: &'static str,
     n: usize,
     engine_threads: usize,
+    workers: usize,
     rounds: usize,
     messages: u64,
     wall_ms: f64,
@@ -77,6 +150,7 @@ fn measure(workload: &'static str, n: usize, threads: usize, reps: usize, seed: 
         workload,
         n,
         engine_threads: threads,
+        workers: workers_for(threads),
         rounds,
         messages,
         wall_ms: best * 1e3,
@@ -84,7 +158,70 @@ fn measure(workload: &'static str, n: usize, threads: usize, reps: usize, seed: 
     }
 }
 
-fn render_json(samples: &[Sample], cores: usize, seed: u64) -> String {
+/// One end-to-end DHC1 run at a thread setting.
+struct Dhc1Sample {
+    engine_threads: usize,
+    workers: usize,
+    wall_s: f64,
+    rounds: usize,
+    messages: u64,
+}
+
+/// The DHC1 operating point: class size `s = n/k` with intra-class
+/// expected degree `6 ln s` (the density Phase 1 needs) — the same
+/// regime as E14's end-to-end point.
+fn dhc1_graph(pt: Dhc1Point, seed: u64) -> dhc_graph::Graph {
+    let s = (pt.n / pt.k).max(2) as f64;
+    let p = (6.0 * s.ln() / (s - 1.0)).min(1.0);
+    dhc_graph::generator::gnp(pt.n, p, &mut rng_from_seed(seed ^ 0xE13)).expect("valid gnp")
+}
+
+/// Runs DHC1 at one engine thread and at all cores on the first
+/// succeeding seed; the two runs must be bit-identical (that contract
+/// is what makes the wall-clock comparison apples-to-apples).
+fn measure_dhc1(pt: Dhc1Point, seed: u64) -> Result<Vec<Dhc1Sample>, String> {
+    let g = dhc1_graph(pt, seed);
+    for attempt in 0..8u64 {
+        let cfg = DhcConfig::new(seed ^ (0xD1C1 + attempt)).with_partitions(pt.k);
+        let t0 = Instant::now();
+        let Ok(serial) = run_dhc1(&g, &cfg.clone().with_engine_threads(1)) else { continue };
+        let serial_wall = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let pooled = run_dhc1(&g, &cfg.clone().with_engine_threads(0))
+            .expect("the pooled run must succeed whenever the serial run does");
+        let pooled_wall = t0.elapsed().as_secs_f64();
+        assert!(
+            serial.cycle.order() == pooled.cycle.order() && serial.metrics == pooled.metrics,
+            "DHC1 runs diverged across thread counts at n = {}, k = {}",
+            pt.n,
+            pt.k
+        );
+        return Ok(vec![
+            Dhc1Sample {
+                engine_threads: 1,
+                workers: 1,
+                wall_s: serial_wall,
+                rounds: serial.metrics.rounds,
+                messages: serial.metrics.messages,
+            },
+            Dhc1Sample {
+                engine_threads: 0,
+                workers: workers_for(0),
+                wall_s: pooled_wall,
+                rounds: pooled.metrics.rounds,
+                messages: pooled.metrics.messages,
+            },
+        ]);
+    }
+    Err(format!("DHC1 did not succeed in 8 seeds at n = {}, k = {}", pt.n, pt.k))
+}
+
+fn render_json(
+    samples: &[Sample],
+    dhc1: Option<(Dhc1Point, &[Dhc1Sample])>,
+    cores: usize,
+    seed: u64,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine\",\n");
     out.push_str("  \"workload\": \"flood-echo + broadcast-storm(50) on G(n, 3 ln n / n); -unicast twins = pre-fabric baseline\",\n");
@@ -94,11 +231,12 @@ fn render_json(samples: &[Sample], cores: usize, seed: u64) -> String {
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"n\": {}, \"engine_threads\": {}, \
-             \"rounds\": {}, \"messages\": {}, \"wall_ms\": {:.3}, \
+             \"workers\": {}, \"rounds\": {}, \"messages\": {}, \"wall_ms\": {:.3}, \
              \"rounds_per_sec\": {:.1}}}{}\n",
             s.workload,
             s.n,
             s.engine_threads,
+            s.workers,
             s.rounds,
             s.messages,
             s.wall_ms,
@@ -106,7 +244,27 @@ fn render_json(samples: &[Sample], cores: usize, seed: u64) -> String {
             if i + 1 < samples.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    match dhc1 {
+        Some((pt, rows)) => {
+            out.push_str("  ],\n");
+            out.push_str(&format!("  \"dhc1\": {{\"n\": {}, \"k\": {}, \"rows\": [\n", pt.n, pt.k));
+            for (i, r) in rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"engine_threads\": {}, \"workers\": {}, \"wall_s\": {:.3}, \
+                     \"rounds\": {}, \"messages\": {}}}{}\n",
+                    r.engine_threads,
+                    r.workers,
+                    r.wall_s,
+                    r.rounds,
+                    r.messages,
+                    if i + 1 < rows.len() { "," } else { "" },
+                ));
+            }
+            out.push_str("  ]}\n");
+        }
+        None => out.push_str("  ]\n"),
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -115,11 +273,12 @@ pub fn run(params: &Params, seed: u64) -> String {
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let mut out = String::new();
     out.push_str(&format!(
-        "E13 engine throughput: flood-echo + broadcast-storm rounds/sec, with -unicast \
-         pre-fabric twins (machine has {cores} core(s))\n\n"
+        "E13 engine throughput: flood-echo + broadcast-storm rounds/sec across the \
+         engine-thread sweep, with -unicast pre-fabric twins (machine has {cores} core(s))\n\n"
     ));
-    let mut t =
-        Table::new(vec!["workload", "n", "threads", "rounds", "messages", "wall ms", "rounds/s"]);
+    let mut t = Table::new(vec![
+        "workload", "n", "threads", "workers", "rounds", "messages", "wall ms", "rounds/s",
+    ]);
     let mut samples = Vec::new();
     // The `-unicast` twins expand every flood into per-neighbor sends —
     // the pre-broadcast-fabric cost model, kept so the baseline records
@@ -128,12 +287,13 @@ pub fn run(params: &Params, seed: u64) -> String {
         &["flood-echo", "flood-echo-unicast", "broadcast-storm", "broadcast-storm-unicast"]
     {
         for &n in &params.sizes {
-            for threads in [1usize, 0] {
+            for threads in [1usize, 2, 4, 0] {
                 let s = measure(workload, n, threads, params.reps, seed);
                 t.row(vec![
                     s.workload.to_string(),
                     s.n.to_string(),
                     if threads == 0 { format!("all ({cores})") } else { threads.to_string() },
+                    s.workers.to_string(),
                     s.rounds.to_string(),
                     s.messages.to_string(),
                     f3(s.wall_ms),
@@ -145,11 +305,53 @@ pub fn run(params: &Params, seed: u64) -> String {
     }
     out.push_str(&t.render());
     out.push_str(
-        "\n    determinism contract: rounds and messages are identical at every thread count;\n    only wall-clock moves. Criterion variant: cargo bench -p dhc-bench --bench engine.\n",
+        "\n    determinism contract: rounds and messages are identical at every thread count;\n    only wall-clock moves. Criterion variants: cargo bench -p dhc-bench --bench engine / --bench pool.\n",
     );
+    let mut dhc1_rows = None;
+    if let Some(pt) = params.dhc1 {
+        out.push_str(&format!(
+            "\n    DHC1 end-to-end engine scaling (n = {}, k = {}):\n",
+            pt.n, pt.k
+        ));
+        match measure_dhc1(pt, seed) {
+            Ok(rows) => {
+                let mut dt = Table::new(vec!["threads", "workers", "wall s", "rounds", "messages"]);
+                for r in &rows {
+                    dt.row(vec![
+                        if r.engine_threads == 0 {
+                            format!("all ({cores})")
+                        } else {
+                            r.engine_threads.to_string()
+                        },
+                        r.workers.to_string(),
+                        f3(r.wall_s),
+                        r.rounds.to_string(),
+                        r.messages.to_string(),
+                    ]);
+                }
+                out.push_str(&dt.render());
+                out.push_str("    thread counts verified bit-identical (cycle and metrics).\n");
+                dhc1_rows = Some((pt, rows));
+            }
+            Err(e) => out.push_str(&format!("    {e}\n")),
+        }
+    }
+    if let Some(pt) = params.skipped_heavy {
+        out.push_str(&format!(
+            "\n    skipped (needs --heavy): DHC1 end-to-end at n = {}, k = {} \
+             (over a minute per run); baseline JSON not rewritten\n",
+            pt.n, pt.k
+        ));
+    }
     if params.emit_json {
         let path = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
-        match std::fs::write(&path, render_json(&samples, cores, seed)) {
+        let json = render_json(
+            &samples,
+            dhc1_rows.as_ref().map(|(pt, rows)| (*pt, rows.as_slice())),
+            cores,
+            seed,
+        );
+        match std::fs::write(&path, json) {
             Ok(()) => out.push_str(&format!("    baseline written to {path}\n")),
             Err(e) => out.push_str(&format!("    could not write {path}: {e}\n")),
         }
@@ -165,7 +367,21 @@ mod tests {
     fn smoke_runs_and_reports() {
         let report = run(&Params::for_effort(Effort::Smoke), 4);
         assert!(report.contains("engine throughput"));
+        assert!(report.contains("DHC1 end-to-end engine scaling"));
         assert!(!report.contains("baseline written"));
+    }
+
+    #[test]
+    fn heavy_gate_drops_dhc1_point_and_baseline_write() {
+        let full = Params::for_effort(Effort::Full);
+        let gated = full.clone().gated(false);
+        assert!(gated.dhc1.is_none() && !gated.emit_json && gated.skipped_heavy.is_some());
+        let heavy = full.clone().gated(true);
+        assert_eq!(heavy.dhc1.map(|p| p.n), Some(10_000));
+        assert!(heavy.emit_json);
+        // The smoke point is sub-threshold and passes through untouched.
+        let smoke = Params::for_effort(Effort::Smoke).gated(false);
+        assert!(smoke.dhc1.is_some() && smoke.skipped_heavy.is_none());
     }
 
     #[test]
@@ -174,15 +390,42 @@ mod tests {
             workload: "flood-echo",
             n: 10,
             engine_threads: 1,
+            workers: 1,
             rounds: 5,
             messages: 7,
             wall_ms: 0.5,
             rounds_per_sec: 10_000.0,
         };
-        let json = render_json(&[s], 4, 9);
+        let d = Dhc1Sample {
+            engine_threads: 0,
+            workers: 4,
+            wall_s: 1.25,
+            rounds: 100,
+            messages: 4_000,
+        };
+        let json = render_json(&[s], Some((Dhc1Point { n: 240, k: 4 }, &[d])), 4, 9);
         assert!(json.contains("\"cores\": 4"));
         assert!(json.contains("\"engine_threads\": 1"));
+        assert!(json.contains("\"workers\": 1"));
+        assert!(json.contains("\"dhc1\": {\"n\": 240, \"k\": 4"));
         assert!(json.contains("\"workload\": \"flood-echo\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn json_shape_without_dhc1_rows() {
+        let s = Sample {
+            workload: "flood-echo",
+            n: 10,
+            engine_threads: 2,
+            workers: 2,
+            rounds: 5,
+            messages: 7,
+            wall_ms: 0.5,
+            rounds_per_sec: 10_000.0,
+        };
+        let json = render_json(&[s], None, 1, 9);
+        assert!(!json.contains("\"dhc1\""));
         assert!(json.trim_end().ends_with('}'));
     }
 }

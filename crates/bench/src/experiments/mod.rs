@@ -34,8 +34,9 @@ pub enum Effort {
 
 /// Runs one experiment by id (`"e1"` … `"e15"`), returning its report.
 /// `heavy` opts into the experiment points that take over a minute per
-/// run (E14's end-to-end DHC1 at n = 10⁴ and E15's delay/crash sweeps);
-/// without it those points are skipped with a printed notice.
+/// run (E13's and E14's end-to-end DHC1 at n = 10⁴ and E15's
+/// delay/crash sweeps); without it those points are skipped with a
+/// printed notice.
 ///
 /// # Errors
 ///
@@ -54,7 +55,7 @@ pub fn run_by_id(id: &str, effort: Effort, heavy: bool, seed: u64) -> Result<Str
         "e10" => e10_ablations::run(&e10_ablations::Params::for_effort(effort), seed),
         "e11" => e11_kmachine::run(&e11_kmachine::Params::for_effort(effort), seed),
         "e12" => e12_other_models::run(&e12_other_models::Params::for_effort(effort), seed),
-        "e13" => e13_engine::run(&e13_engine::Params::for_effort(effort), seed),
+        "e13" => e13_engine::run(&e13_engine::Params::for_effort(effort).gated(heavy), seed),
         "e14" => e14_partition::run(&e14_partition::Params::for_effort(effort).gated(heavy), seed),
         "e15" => e15_adversary::run(&e15_adversary::Params::for_effort(effort).gated(heavy), seed),
         other => return Err(format!("unknown experiment id: {other}")),

@@ -34,19 +34,30 @@ pub struct Config {
     /// Capacity of the engine event trace (sends, halts, wake-ups);
     /// 0 (the default) disables tracing.
     pub trace_capacity: usize,
-    /// Worker threads for the per-round parallel compute phase: `1`
-    /// (the default) runs nodes sequentially, `0` uses all available
-    /// cores. Results are **identical for every value** — callbacks
-    /// write only per-node effect scratch and the commit fold applies
-    /// them in ascending node-id order — so this trades wall-clock time
-    /// only.
+    /// Worker threads for the per-round engine: `1` (the default) runs
+    /// everything sequentially inline, `0` uses all available cores.
+    /// Results are **identical for every value** — callbacks write only
+    /// per-node effect scratch, and the parallel commit fold merges its
+    /// shards in ascending node-id order — so this trades wall-clock
+    /// time only.
     ///
-    /// Note on the offline build: the vendored `rayon` stand-in has no
-    /// persistent workers, so each parallel round spawns scoped threads
-    /// and `engine_threads > 1` only pays off when rounds carry enough
-    /// active nodes to amortize the spawn (large `n`, dense activity).
-    /// Swapping in the real `rayon` removes that per-round cost.
+    /// Threads above 1 are served by a persistent worker pool
+    /// (`dhc-pool`): workers are spawned once at network construction
+    /// and parked on a condvar between rounds, so a round dispatch
+    /// costs one lock + notify, not a thread spawn. An effective count
+    /// of 1 (including `0` on a single-core host) never builds the
+    /// pool at all and runs the fully inline engine.
     pub engine_threads: usize,
+    /// Shard count for the parallel commit fold: `0` (the default)
+    /// auto-shards — the fold splits across the worker pool whenever
+    /// one exists and the round is busy enough to amortize the merge —
+    /// while any other value **forces** that many shards through the
+    /// sharded code path even on a single-threaded engine (the shards
+    /// then run inline). Results are identical for every value; the
+    /// knob exists for benchmarking and for the shard-merge equivalence
+    /// suites, which pin `commit_shards ∈ {1,2,3,7}` against the
+    /// sequential fold bit-for-bit.
+    pub commit_shards: usize,
     /// Optional seeded fault model (message drop/duplicate/delay, node
     /// crash/restart). `None` (the default) — or a null adversary —
     /// runs the clean synchronous CONGEST engine unchanged; see
@@ -63,6 +74,7 @@ impl Default for Config {
             record_round_traffic: true,
             trace_capacity: 0,
             engine_threads: 1,
+            commit_shards: 0,
             adversary: None,
         }
     }
@@ -99,12 +111,30 @@ impl Config {
         self
     }
 
-    /// Returns the configuration with the compute-phase worker-thread
-    /// count replaced (`0` = all available cores). Never changes
-    /// results; see [`engine_threads`](Self::engine_threads).
+    /// Returns the configuration with the engine worker-thread count
+    /// replaced (`0` = all available cores). Never changes results;
+    /// see [`engine_threads`](Self::engine_threads).
     pub fn with_engine_threads(mut self, threads: usize) -> Self {
         self.engine_threads = threads;
         self
+    }
+
+    /// Returns the configuration with the commit-fold shard count
+    /// forced (`0` = auto). Never changes results; see
+    /// [`commit_shards`](Self::commit_shards).
+    pub fn with_commit_shards(mut self, shards: usize) -> Self {
+        self.commit_shards = shards;
+        self
+    }
+
+    /// The worker count [`engine_threads`](Self::engine_threads)
+    /// resolves to on this host: the setting itself, or detected
+    /// hardware concurrency when it is `0`.
+    pub fn effective_engine_threads(&self) -> usize {
+        match self.engine_threads {
+            0 => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            t => t,
+        }
     }
 
     /// Returns the configuration with the given seeded fault model
@@ -148,6 +178,18 @@ mod tests {
     #[test]
     fn engine_is_single_threaded_by_default() {
         assert_eq!(Config::default().engine_threads, 1);
+    }
+
+    #[test]
+    fn commit_shards_default_auto_and_forced() {
+        assert_eq!(Config::default().commit_shards, 0);
+        assert_eq!(Config::default().with_commit_shards(3).commit_shards, 3);
+    }
+
+    #[test]
+    fn effective_engine_threads_resolves_zero() {
+        assert_eq!(Config::default().with_engine_threads(4).effective_engine_threads(), 4);
+        assert!(Config::default().with_engine_threads(0).effective_engine_threads() >= 1);
     }
 
     #[test]

@@ -21,9 +21,12 @@
 //!   a simulation error, exactly the CONGEST constraint). Each round runs
 //!   as a **parallel compute phase** (active nodes execute independently
 //!   against an immutable view, recording effects into private scratch;
-//!   [`Config::engine_threads`] sets the worker count) followed by a
-//!   **deterministic commit fold** that applies the effects in ascending
-//!   node-id order — results are bit-identical at every thread count;
+//!   [`Config::engine_threads`] sets the worker count, served by a
+//!   persistent worker pool) followed by a **deterministic commit
+//!   fold** that applies the effects in ascending node-id order — on
+//!   busy rounds the fold itself runs sharded across the pool, with a
+//!   merge that reproduces the sequential fold bit for bit, so results
+//!   are identical at every thread count;
 //! * [`Metrics`] — rounds, messages, message-words, per-node send/receive/
 //!   compute counters, sampled per-node memory high-water marks, and
 //!   per-round congestion, feeding the paper's "fully distributed"
@@ -39,10 +42,11 @@
 //!   ([`Config::with_adversary`]): per-delivery message drop / duplicate /
 //!   bounded delay with fixed-point probability knobs, plus node
 //!   crash/restart schedules. Every fault is a pure function of the
-//!   fault seed, drawn inside the sequential commit fold, so faulty
-//!   executions keep the engine's bit-identical-at-every-thread-count
-//!   guarantee; a null adversary ([`Adversary::none`]) leaves the clean
-//!   code paths untouched entirely.
+//!   fault seed and the delivery's identity, drawn inside the commit
+//!   fold, so faulty executions keep the engine's
+//!   bit-identical-at-every-thread-count guarantee; a null adversary
+//!   ([`Adversary::none`]) leaves the clean code paths untouched
+//!   entirely.
 //!
 //! The engine is *event-efficient*: only nodes with a non-empty inbox or a
 //! scheduled wake-up are invoked, so simulation cost is proportional to
@@ -105,6 +109,7 @@ pub mod machine;
 mod mailbox;
 mod metrics;
 mod network;
+mod parcommit;
 mod payload;
 pub mod trace;
 

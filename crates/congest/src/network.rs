@@ -7,8 +7,8 @@
 //!    compute charges into a private [`Effects`] scratch. Nothing shared
 //!    is mutated, so the nodes of one round run on any number of worker
 //!    threads ([`Config::engine_threads`]).
-//! 2. **Commit fold** — the effects are applied sequentially in ascending
-//!    node-id order: bandwidth checks, metrics, trace events, wake-up
+//! 2. **Commit fold** — the effects are applied in ascending node-id
+//!    order: bandwidth checks, metrics, trace events, wake-up
 //!    scheduling, halting, and routing of sends into the next round's
 //!    [`Mailboxes`] all happen here, so the result is bit-identical at
 //!    every thread count. Broadcast effects (`send_all` /
@@ -17,17 +17,36 @@
 //!    counter bump, while bandwidth, metrics, and trace are still
 //!    charged per directed edge — observationally identical to the
 //!    per-neighbor unicast expansion, at a fraction of the cost.
+//!
+//! Both phases share one persistent [`dhc_pool::WorkerPool`], built at
+//! network construction and parked between dispatches, so a round costs
+//! a lock-and-notify rather than thread spawns. On busy rounds the
+//! commit fold itself runs **sharded** (see [`crate::parcommit`]): the
+//! fold is validated by a read-only parallel plan pass, committed into
+//! per-shard buffers, and merged in ascending shard order — which *is*
+//! ascending node order — so its every observable output (metrics,
+//! trace order, typed failures, machine-layer link loads, realized
+//! fault schedules) equals the sequential fold's bit for bit. Any
+//! planned fault or bandwidth violation falls back to the sequential
+//! fold over untouched state, preserving the exact partial-commit error
+//! semantics.
 
 use crate::adversary::{AdversaryState, Fate};
 use crate::effects::Effects;
 use crate::machine::{MachineLayer, MachineMap};
 use crate::mailbox::{Inbox, Mailboxes};
+use crate::parcommit::{self, CommitScratch, DestRun, SenderRun, ShardCtx};
 use crate::trace::{Trace, TraceEvent};
 use crate::{Config, Context, Metrics, NodeId, Protocol, Report, SimError};
 use dhc_graph::{Graph, Topology};
-use rayon::prelude::*;
+use dhc_pool::WorkerPool;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Minimum active nodes in a round before the auto-sharded commit fold
+/// pays for its plan pass and merge; below this the sequential fold is
+/// faster. Forcing [`Config::commit_shards`] bypasses the threshold.
+const PAR_COMMIT_MIN_ACTIVE: usize = 256;
 
 /// A synchronous CONGEST network: a topology, one [`Protocol`] instance per
 /// node, and the round scheduler.
@@ -66,8 +85,10 @@ pub struct Network<'g, P: Protocol, T: Topology = Graph> {
     metrics: Metrics,
     trace: Trace,
     finished: bool,
-    /// Worker pool for the compute phase (`None` when single-threaded).
-    pool: Option<rayon::ThreadPool>,
+    /// Persistent worker pool serving the compute phase and the sharded
+    /// commit fold (`None` when the effective thread count is 1 —
+    /// everything then runs inline on the caller's thread).
+    pool: Option<WorkerPool>,
     /// Optional k-machine accounting layer (see [`crate::machine`]):
     /// driven only by the sequential commit fold, so it observes the run
     /// without influencing it and is deterministic at every thread count.
@@ -85,6 +106,14 @@ pub struct Network<'g, P: Protocol, T: Topology = Graph> {
     /// Reusable per-node scratch for the adversarial bandwidth check:
     /// `(destination, charged words)` per delivery.
     scratch_charged: Vec<(NodeId, usize)>,
+    /// Reusable per-active-node neighbor slices for the sharded commit
+    /// fold (carved on the main thread so shards need no `T: Sync`).
+    scratch_nbrs: Vec<&'g [NodeId]>,
+    /// Reusable `(sender's neighbors, skip)` directory of the round's
+    /// committed broadcasts, in commit order, for the destination pass.
+    scratch_dirs: Vec<(&'g [NodeId], Option<NodeId>)>,
+    /// Reusable per-shard buffers of the parallel commit fold.
+    commit: CommitScratch<P::Msg>,
 }
 
 /// One active node's unit of work for the compute phase.
@@ -154,16 +183,8 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             });
         }
         let n = graph.node_count();
-        let threads = match config.engine_threads {
-            0 => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
-            t => t,
-        };
-        let pool = (threads > 1).then(|| {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .expect("engine worker pool")
-        });
+        let threads = config.effective_engine_threads();
+        let pool = (threads > 1).then(|| WorkerPool::new(threads));
         let trace_capacity = config.trace_capacity;
         // A null adversary (all knobs zero) is dropped here outright, so
         // attaching `Adversary::none()` provably cannot perturb the run:
@@ -193,6 +214,9 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             adversary,
             scratch_fates: Vec::new(),
             scratch_charged: Vec::new(),
+            scratch_nbrs: Vec::new(),
+            scratch_dirs: Vec::new(),
+            commit: CommitScratch::new(),
         };
         // Pre-schedule a wake at every restart round, so a restarted
         // node activates (with an empty inbox) even in an otherwise
@@ -426,8 +450,9 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
     }
 
     /// Runs one phase over the listed nodes (strictly ascending by node
-    /// id): the parallel compute phase followed by the sequential commit
-    /// fold.
+    /// id): the parallel compute phase followed by the commit fold —
+    /// sharded across the worker pool on busy rounds, sequential
+    /// otherwise, with bit-identical results either way.
     fn run_phase(&mut self, work: &[NodeId], kind: CallKind) -> Result<(), SimError> {
         if self.effects.len() < work.len() {
             self.effects.resize_with(work.len(), Effects::default);
@@ -441,35 +466,55 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             let round = *round;
             let sample_memory = config.memory_sample_interval > 0;
 
-            let run_job = |job: Job<'_, P>| {
-                let Job { v, node, fx, inbox, nbrs } = job;
-                fx.reset();
+            let run_job = |job: &mut Job<'_, P>| {
+                job.fx.reset();
                 {
-                    let mut ctx = Context { node: v, round, n, nbrs, fx: &mut *fx };
+                    let mut ctx =
+                        Context { node: job.v, round, n, nbrs: job.nbrs, fx: &mut *job.fx };
                     match kind {
-                        CallKind::Init => node.init(&mut ctx),
-                        CallKind::Round => node.round(&mut ctx, inbox),
+                        CallKind::Init => job.node.init(&mut ctx),
+                        CallKind::Round => job.node.round(&mut ctx, job.inbox.clone()),
                     }
                 }
-                let memory = sample_memory.then(|| node.memory_words());
-                fx.seal(memory);
+                let memory = sample_memory.then(|| job.node.memory_words());
+                job.fx.seal(memory);
             };
             let fx_pool = &mut effects[..work.len()];
             match pool {
                 Some(pool) if work.len() > 1 => {
                     let mut jobs: Vec<Job<'_, P>> = Vec::with_capacity(work.len());
                     carve_jobs(graph, nodes, fx_pool, mail, work, |job| jobs.push(job));
-                    pool.install(|| {
-                        let _: Vec<()> = jobs.into_par_iter().map(&run_job).collect();
-                    });
+                    pool.run_mut(&mut jobs, &|_, job| run_job(job));
                 }
                 // Default sequential path: run each node as it is carved,
                 // with no intermediate job list.
-                _ => carve_jobs(graph, nodes, fx_pool, mail, work, run_job),
+                _ => carve_jobs(graph, nodes, fx_pool, mail, work, |mut job| run_job(&mut job)),
             }
         }
 
-        // --- Commit fold: ascending node id, fully sequential. ---
+        // --- Commit fold: ascending node id. ---
+        let shards = self.commit_shard_count(work.len());
+        let committed_sharded = shards > 0 && self.try_commit_sharded(work, shards);
+        if !committed_sharded {
+            self.commit_sequential(work)?;
+        }
+        // Close the machine layer's round: every executed phase (init is
+        // round 0) becomes one log entry, so the dilation accounting sees
+        // exactly the executed schedule (fast-forwarded quiescent rounds
+        // cost nothing).
+        if let Some(ml) = self.machines.as_mut() {
+            ml.end_round(self.round);
+        }
+        self.metrics.rounds = self.round;
+        Ok(())
+    }
+
+    /// The reference commit fold: one pass over the effects in ascending
+    /// node-id order, applying everything directly to shared state. The
+    /// sharded fold is pinned bit-for-bit against this path, and every
+    /// faulting round runs here so partial-commit error semantics come
+    /// from exactly one place.
+    fn commit_sequential(&mut self, work: &[NodeId]) -> Result<(), SimError> {
         let graph = self.graph;
         let adversarial = self.adversary.is_some();
         for (i, &v) in work.iter().enumerate() {
@@ -493,79 +538,26 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             // Per-directed-edge accounting: every broadcast still counts
             // one message per addressed neighbor — only the payload
             // materialization is shared.
-            let total_sends = fx.sends.len()
-                + fx.bcasts
-                    .iter()
-                    .map(|&(_, skip, _)| nbrs.len() - usize::from(skip.is_some()))
-                    .sum::<usize>();
+            let total_sends = parcommit::total_sends(fx, nbrs.len());
             if total_sends > self.metrics.max_node_sends_per_round {
                 self.metrics.max_node_sends_per_round = total_sends;
             }
-            // Bandwidth check: words per destination from this sender.
-            if fx.bcast_total_words == 0 {
-                // Unicast-only: walk the sorted (destination, words) list.
-                let ew = &fx.edge_words;
-                let mut a = 0;
-                while a < ew.len() {
-                    let to = ew[a].0;
-                    let mut words = 0usize;
-                    let mut b = a;
-                    while b < ew.len() && ew[b].0 == to {
-                        words += ew[b].1;
-                        b += 1;
-                    }
-                    if words > self.config.bandwidth_words {
-                        return Err(SimError::BandwidthExceeded {
-                            from: v,
-                            to,
-                            round: self.round,
-                            attempted_words: words,
-                            budget_words: self.config.bandwidth_words,
-                        });
-                    }
-                    if words > self.metrics.max_edge_words {
-                        self.metrics.max_edge_words = words;
-                    }
-                    a = b;
-                }
-            } else {
-                // Broadcasting sender: every neighbor carries the
-                // broadcast base load minus per-record skips, plus any
-                // unicast words — walked in ascending destination order,
-                // exactly the per-edge totals (and first-violation
-                // destination) of the expanded unicast equivalent.
-                let base = fx.bcast_total_words;
-                let (uni, skips) = (&fx.edge_words, &fx.skip_words);
-                let (mut a, mut b) = (0, 0);
-                for &to in nbrs {
-                    let mut words = base;
-                    while a < uni.len() && uni[a].0 < to {
-                        a += 1;
-                    }
-                    while a < uni.len() && uni[a].0 == to {
-                        words += uni[a].1;
-                        a += 1;
-                    }
-                    while b < skips.len() && skips[b].0 < to {
-                        b += 1;
-                    }
-                    while b < skips.len() && skips[b].0 == to {
-                        words -= skips[b].1;
-                        b += 1;
-                    }
-                    if words > self.config.bandwidth_words {
-                        return Err(SimError::BandwidthExceeded {
-                            from: v,
-                            to,
-                            round: self.round,
-                            attempted_words: words,
-                            budget_words: self.config.bandwidth_words,
-                        });
-                    }
-                    if words > self.metrics.max_edge_words {
-                        self.metrics.max_edge_words = words;
-                    }
-                }
+            // Bandwidth check: words per destination from this sender —
+            // the same walk the sharded fold's plan pass runs, so the two
+            // paths cannot drift.
+            if let Err((to, words)) = parcommit::check_bandwidth(
+                fx,
+                nbrs,
+                self.config.bandwidth_words,
+                &mut self.metrics.max_edge_words,
+            ) {
+                return Err(SimError::BandwidthExceeded {
+                    from: v,
+                    to,
+                    round: self.round,
+                    attempted_words: words,
+                    budget_words: self.config.bandwidth_words,
+                });
             }
             // Route sends and broadcasts into the next round's mailboxes,
             // merged back into call order by op sequence so trace events
@@ -652,15 +644,242 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                 }
             }
         }
-        // Close the machine layer's round: every executed phase (init is
-        // round 0) becomes one log entry, so the dilation accounting sees
-        // exactly the executed schedule (fast-forwarded quiescent rounds
-        // cost nothing).
-        if let Some(ml) = self.machines.as_mut() {
-            ml.end_round(self.round);
-        }
-        self.metrics.rounds = self.round;
         Ok(())
+    }
+
+    /// Shard count for this round's commit fold: `0` means "run the
+    /// sequential fold". A forced [`Config::commit_shards`] always
+    /// shards (clamped to the active count); auto mode shards only when
+    /// a pool exists and the round is busy enough to amortize the merge.
+    fn commit_shard_count(&self, work_len: usize) -> usize {
+        if work_len == 0 {
+            return 0;
+        }
+        if self.config.commit_shards != 0 {
+            return self.config.commit_shards.min(work_len);
+        }
+        match &self.pool {
+            Some(pool) if work_len >= PAR_COMMIT_MIN_ACTIVE => pool.workers().min(work_len),
+            _ => 0,
+        }
+    }
+
+    /// Attempts the sharded commit fold (see [`crate::parcommit`]).
+    /// Returns `false` — with **no** engine state mutated — when the
+    /// plan pass finds a protocol fault or bandwidth violation; the
+    /// caller then runs [`commit_sequential`](Self::commit_sequential),
+    /// which reproduces the exact partial-commit error semantics.
+    fn try_commit_sharded(&mut self, work: &[NodeId], shards: usize) -> bool {
+        let n = self.nodes.len();
+        let graph = self.graph;
+        let round = self.round;
+        let budget = self.config.bandwidth_words;
+        let dest_chunk = n.div_ceil(shards);
+        let machine_k = self.machines.as_ref().map(|ml| ml.map().machine_count());
+        self.scratch_nbrs.clear();
+        self.scratch_nbrs.extend(work.iter().map(|&v| graph.neighbors(v)));
+        self.commit.prepare(shards, machine_k);
+
+        let Network {
+            halted,
+            halted_count,
+            mail,
+            effects,
+            wakes,
+            metrics,
+            trace,
+            machines,
+            adversary,
+            pool,
+            commit,
+            scratch_nbrs,
+            scratch_dirs,
+            ..
+        } = &mut *self;
+
+        // Carve one SenderRun per shard: contiguous runs of the active
+        // list plus disjoint windows of the per-node arrays, split at
+        // the shard's node-id bounds.
+        let chunk = work.len().div_ceil(shards);
+        let mut runs: Vec<SenderRun<'_, 'g, P::Msg>> = Vec::with_capacity(shards);
+        {
+            let mut work_rest = work;
+            let mut fx_rest = &mut effects[..work.len()];
+            let mut nbrs_rest = &scratch_nbrs[..];
+            let mut sent_rest = &mut metrics.sent_per_node[..];
+            let mut comp_rest = &mut metrics.compute_per_node[..];
+            let mut mem_rest = &mut metrics.peak_memory_per_node[..];
+            let mut halt_rest = &mut halted[..];
+            let mut outs_rest = &mut commit.outs[..shards];
+            let mut buckets_rest = &mut commit.buckets[..shards * shards];
+            // First node id not yet covered by a carved window.
+            let mut consumed = 0;
+            let mut base_idx = 0;
+            for _ in 0..shards {
+                let take = chunk.min(work_rest.len());
+                let (w, rest) = work_rest.split_at(take);
+                work_rest = rest;
+                let (fx, rest) = fx_rest.split_at_mut(take);
+                fx_rest = rest;
+                let (nb, rest) = nbrs_rest.split_at(take);
+                nbrs_rest = rest;
+                let next = work_rest.first().map_or(n, |&v| v);
+                let width = next - consumed;
+                let (sent, rest) = sent_rest.split_at_mut(width);
+                sent_rest = rest;
+                let (comp, rest) = comp_rest.split_at_mut(width);
+                comp_rest = rest;
+                let (mem, rest) = mem_rest.split_at_mut(width);
+                mem_rest = rest;
+                let (halt, rest) = halt_rest.split_at_mut(width);
+                halt_rest = rest;
+                let (out, rest) = outs_rest.split_first_mut().expect("outs sized to shards");
+                outs_rest = rest;
+                let (bk, rest) = buckets_rest.split_at_mut(shards);
+                buckets_rest = rest;
+                runs.push(SenderRun {
+                    base_idx,
+                    work: w,
+                    effects: fx,
+                    nbrs: nb,
+                    node_base: consumed,
+                    sent,
+                    compute: comp,
+                    peak_mem: mem,
+                    halted: halt,
+                    out,
+                    buckets: bk,
+                });
+                base_idx += take;
+                consumed = next;
+            }
+        }
+
+        // --- Plan pass: read-only validation + max-metric accumulation. ---
+        let adversarial = adversary.is_some();
+        if adversarial {
+            let adv = &adversary.as_ref().expect("checked above").adv;
+            dispatch(pool.as_ref(), &mut runs, |r| r.plan_adversarial(adv, round, budget));
+        } else {
+            dispatch(pool.as_ref(), &mut runs, |r| r.plan(budget));
+        }
+        if runs.iter().any(|r| r.out.first_bad.is_some()) {
+            return false;
+        }
+
+        if adversarial {
+            // Fates are drawn and budgets cleared; the routing itself
+            // (delay queue, per-copy staging) stays sequential. Merge the
+            // planned maxes first — max is order-independent, and no
+            // error can interrupt the round from here on.
+            drop(runs);
+            for out in commit.outs[..shards].iter() {
+                if out.max_edge > metrics.max_edge_words {
+                    metrics.max_edge_words = out.max_edge;
+                }
+                if out.max_sends > metrics.max_node_sends_per_round {
+                    metrics.max_node_sends_per_round = out.max_sends;
+                }
+            }
+            let mut idx = 0;
+            for s in 0..shards {
+                let take = chunk.min(work.len() - idx);
+                let fates = std::mem::take(&mut commit.outs[s].fates);
+                let mut cursor = 0;
+                for j in 0..take {
+                    let v = work[idx + j];
+                    let fx = &mut effects[idx + j];
+                    debug_assert!(fx.fault.is_none(), "planned shard cannot hold a fault");
+                    metrics.compute_per_node[v] += fx.compute;
+                    if let Some(mem) = fx.memory {
+                        if mem > metrics.peak_memory_per_node[v] {
+                            metrics.peak_memory_per_node[v] = mem;
+                        }
+                    }
+                    cursor += route_node_adversarial(
+                        v,
+                        round,
+                        scratch_nbrs[idx + j],
+                        fx,
+                        &fates[cursor..],
+                        metrics,
+                        trace,
+                        machines,
+                        mail,
+                        wakes,
+                        halted,
+                        halted_count,
+                    );
+                }
+                debug_assert_eq!(cursor, fates.len(), "shard fate plan out of sync");
+                commit.outs[s].fates = fates;
+                idx += take;
+            }
+            return true;
+        }
+
+        // --- Commit pass: shard-local buffers, disjoint metric windows. ---
+        {
+            let ctx = ShardCtx {
+                round,
+                trace_on: trace.is_enabled(),
+                dest_chunk,
+                machines: machines.as_ref().map(|ml| ml.map()),
+            };
+            dispatch(pool.as_ref(), &mut runs, |r| r.commit(&ctx));
+            drop(runs);
+        }
+
+        // --- Merge: ascending shard order is ascending node order. ---
+        scratch_dirs.clear();
+        let trace_on = trace.is_enabled();
+        for out in commit.outs[..shards].iter_mut() {
+            metrics.words += out.words;
+            metrics.messages += out.messages;
+            if out.max_edge > metrics.max_edge_words {
+                metrics.max_edge_words = out.max_edge;
+            }
+            if out.max_sends > metrics.max_node_sends_per_round {
+                metrics.max_node_sends_per_round = out.max_sends;
+            }
+            *halted_count += out.halts;
+            for &(target, v) in &out.wakes {
+                wakes.push(Reverse((target, v)));
+            }
+            if trace_on {
+                // Replayed through `push` so capacity accounting (and the
+                // dropped counter) behave exactly as in the sequential fold.
+                for ev in out.trace.drain(..) {
+                    trace.push(ev);
+                }
+            }
+            if let (Some(ms), Some(ml)) = (out.machine.as_mut(), machines.as_mut()) {
+                ml.absorb_shard(ms);
+            }
+            for (from, seq, skip, msg) in out.bcasts.drain(..) {
+                scratch_dirs.push((graph.neighbors(from), skip));
+                mail.stage_broadcast(from, seq, skip, msg);
+            }
+        }
+
+        // --- Destination pass: shard the mailboxes by receiver id. ---
+        let mut dest_runs: Vec<DestRun<'_, 'g, P::Msg>> = Vec::with_capacity(shards);
+        for (d, part) in mail.dest_parts(dest_chunk, shards).into_iter().enumerate() {
+            let cols =
+                (0..shards).map(|s| std::mem::take(&mut commit.buckets[s * shards + d])).collect();
+            dest_runs.push(DestRun { part, cols, dirs: &scratch_dirs[..] });
+        }
+        dispatch(pool.as_ref(), &mut dest_runs, |r| r.route());
+        let mut touched = Vec::with_capacity(shards);
+        for (d, run) in dest_runs.into_iter().enumerate() {
+            for (s, col) in run.cols.into_iter().enumerate() {
+                debug_assert!(col.is_empty(), "destination pass left a bucket undrained");
+                commit.buckets[s * shards + d] = col;
+            }
+            touched.push(run.part.into_touched());
+        }
+        mail.absorb_touched(touched);
+        true
     }
 
     /// Commits one node's effects under an **active adversary**: the
@@ -715,157 +934,47 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
         }
 
         // --- Pass 1: draw fates (merged op order, broadcasts expanded
-        // over ascending addressed neighbors) and charge the edges. ---
+        // over ascending addressed neighbors) and charge the edges —
+        // the same pure plan the sharded fold runs, so the realized
+        // fault schedule is identical on both paths. ---
         scratch_fates.clear();
-        scratch_charged.clear();
-        let mut attempts = 0usize;
-        {
-            let (mut ui, mut bi) = (0, 0);
-            loop {
-                let take_uni = match (fx.sends.get(ui), fx.bcasts.get(bi)) {
-                    (Some(&(useq, _, _)), Some(&(bseq, _, _))) => useq < bseq,
-                    (Some(_), None) => true,
-                    (None, Some(_)) => false,
-                    (None, None) => break,
-                };
-                if take_uni {
-                    let (seq, to, _) = fx.sends[ui];
-                    let words = fx.send_words[ui];
-                    ui += 1;
-                    let fate = st.adv.fate(round, v, seq, to);
-                    let w = if fate == Fate::Duplicate { words * 2 } else { words };
-                    scratch_fates.push(fate);
-                    scratch_charged.push((to, w));
-                    attempts += usize::from(fate == Fate::Duplicate) + 1;
-                } else {
-                    let (seq, skip, _) = fx.bcasts[bi];
-                    let words = fx.bcast_words[bi];
-                    bi += 1;
-                    for &to in nbrs {
-                        if Some(to) == skip {
-                            continue;
-                        }
-                        let fate = st.adv.fate(round, v, seq, to);
-                        let w = if fate == Fate::Duplicate { words * 2 } else { words };
-                        scratch_fates.push(fate);
-                        scratch_charged.push((to, w));
-                        attempts += usize::from(fate == Fate::Duplicate) + 1;
-                    }
-                }
-            }
-        }
-        if attempts > metrics.max_node_sends_per_round {
-            metrics.max_node_sends_per_round = attempts;
-        }
-        // Stable sort, then aggregate per destination ascending: same
-        // first-violation destination as the clean fold's walk.
-        scratch_charged.sort_by_key(|&(to, _)| to);
-        let mut a = 0;
-        while a < scratch_charged.len() {
-            let to = scratch_charged[a].0;
-            let mut words = 0usize;
-            let mut b = a;
-            while b < scratch_charged.len() && scratch_charged[b].0 == to {
-                words += scratch_charged[b].1;
-                b += 1;
-            }
-            if words > budget {
-                return Err(SimError::BandwidthExceeded {
-                    from: v,
-                    to,
-                    round,
-                    attempted_words: words,
-                    budget_words: budget,
-                });
-            }
-            if words > metrics.max_edge_words {
-                metrics.max_edge_words = words;
-            }
-            a = b;
+        if let Err((to, words)) = parcommit::plan_adversarial_node(
+            &st.adv,
+            round,
+            budget,
+            v,
+            fx,
+            nbrs,
+            scratch_fates,
+            scratch_charged,
+            &mut metrics.max_edge_words,
+            &mut metrics.max_node_sends_per_round,
+        ) {
+            return Err(SimError::BandwidthExceeded {
+                from: v,
+                to,
+                round,
+                attempted_words: words,
+                budget_words: budget,
+            });
         }
 
         // --- Pass 2: route each delivery by its fate. ---
-        let trace_on = trace.is_enabled();
-        let mut fi = 0;
-        let mut uni = fx.sends.drain(..).zip(fx.send_words.drain(..)).peekable();
-        let mut bc = fx.bcasts.drain(..).zip(fx.bcast_words.drain(..)).peekable();
-        // One delivery: sender-side metrics and trace, then fate routing.
-        let mut commit_one = |to: NodeId, seq: u32, words: usize, msg: P::Msg| {
-            let fate = scratch_fates[fi];
-            fi += 1;
-            let copies: u64 = if fate == Fate::Duplicate { 2 } else { 1 };
-            metrics.words += words as u64 * copies;
-            metrics.messages += copies;
-            metrics.sent_per_node[v] += copies;
-            if trace_on {
-                trace.push(TraceEvent::Sent { round, from: v, to, words });
-                match fate {
-                    Fate::Deliver => {}
-                    Fate::Drop => trace.push(TraceEvent::Dropped { round, from: v, to }),
-                    Fate::Duplicate => trace.push(TraceEvent::Duplicated { round, from: v, to }),
-                    Fate::Delay(d) => {
-                        trace.push(TraceEvent::Delayed {
-                            round,
-                            from: v,
-                            to,
-                            until: round + 1 + d,
-                        });
-                    }
-                }
-            }
-            if let Some(ml) = machines.as_mut() {
-                for _ in 0..copies {
-                    ml.unicast(v, to, words);
-                }
-            }
-            match fate {
-                Fate::Deliver => mail.stage(v, seq, to, msg),
-                // Charged to the sender, lost in transit.
-                Fate::Drop => {}
-                Fate::Duplicate => {
-                    mail.stage(v, seq, to, msg.clone());
-                    mail.stage(v, seq, to, msg);
-                }
-                Fate::Delay(d) => mail.stage_delayed(round + 1 + d, v, seq, to, msg),
-            }
-        };
-        loop {
-            let take_uni = match (uni.peek(), bc.peek()) {
-                (Some(&((useq, _, _), _)), Some(&((bseq, _, _), _))) => useq < bseq,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => break,
-            };
-            if take_uni {
-                let ((seq, to, msg), words) = uni.next().expect("peeked");
-                commit_one(to, seq, words, msg);
-            } else {
-                let ((seq, skip, msg), words) = bc.next().expect("peeked");
-                for &to in nbrs {
-                    if Some(to) == skip {
-                        continue;
-                    }
-                    commit_one(to, seq, words, msg.clone());
-                }
-            }
-        }
-        debug_assert_eq!(fi, scratch_fates.len(), "fate scratch out of sync");
-
-        if let Some(target) = fx.wake {
-            if !fx.halted {
-                wakes.push(Reverse((target, v)));
-                if trace_on {
-                    trace.push(TraceEvent::WakeScheduled { round, node: v, target });
-                }
-            }
-        }
-        if fx.halted && !halted[v] {
-            halted[v] = true;
-            *halted_count += 1;
-            if trace_on {
-                trace.push(TraceEvent::Halted { round, node: v });
-            }
-        }
+        let used = route_node_adversarial(
+            v,
+            round,
+            nbrs,
+            fx,
+            scratch_fates,
+            metrics,
+            trace,
+            machines,
+            mail,
+            wakes,
+            halted,
+            halted_count,
+        );
+        debug_assert_eq!(used, scratch_fates.len(), "fate scratch out of sync");
         Ok(())
     }
 
@@ -939,6 +1048,122 @@ fn carve_jobs<'a, P: Protocol, T: Topology>(
         let nbrs = graph.neighbors(v);
         with(Job { v, node, fx, inbox: mail.inbox(v, nbrs), nbrs });
     }
+}
+
+/// Runs `f` over every item — on the worker pool when one exists,
+/// inline otherwise. Both commit-fold passes and the compute phase go
+/// through here, so "no pool" provably means "no extra threads".
+fn dispatch<I: Send, F: Fn(&mut I) + Sync>(pool: Option<&WorkerPool>, items: &mut [I], f: F) {
+    match pool {
+        Some(pool) => pool.run_mut(items, &|_, item| f(item)),
+        None => {
+            for item in items.iter_mut() {
+                f(item);
+            }
+        }
+    }
+}
+
+/// Routes one node's deliveries by their pre-drawn fates (see
+/// [`parcommit::plan_adversarial_node`]): sender-side metrics and trace
+/// per delivery, then per-fate staging — delivered copies as usual,
+/// dropped ones charged but never staged, duplicated ones staged twice,
+/// delayed ones parked in the mailbox delay queue until their due
+/// round. Finishes the node's wake/halt bookkeeping and returns how
+/// many fates it consumed.
+#[allow(clippy::too_many_arguments)]
+fn route_node_adversarial<M: crate::Payload>(
+    v: NodeId,
+    round: usize,
+    nbrs: &[NodeId],
+    fx: &mut Effects<M>,
+    fates: &[Fate],
+    metrics: &mut Metrics,
+    trace: &mut Trace,
+    machines: &mut Option<MachineLayer>,
+    mail: &mut Mailboxes<M>,
+    wakes: &mut BinaryHeap<Reverse<(usize, NodeId)>>,
+    halted: &mut [bool],
+    halted_count: &mut usize,
+) -> usize {
+    let trace_on = trace.is_enabled();
+    let mut fi = 0;
+    let mut uni = fx.sends.drain(..).zip(fx.send_words.drain(..)).peekable();
+    let mut bc = fx.bcasts.drain(..).zip(fx.bcast_words.drain(..)).peekable();
+    // One delivery: sender-side metrics and trace, then fate routing.
+    let mut commit_one = |to: NodeId, seq: u32, words: usize, msg: M| {
+        let fate = fates[fi];
+        fi += 1;
+        let copies: u64 = if fate == Fate::Duplicate { 2 } else { 1 };
+        metrics.words += words as u64 * copies;
+        metrics.messages += copies;
+        metrics.sent_per_node[v] += copies;
+        if trace_on {
+            trace.push(TraceEvent::Sent { round, from: v, to, words });
+            match fate {
+                Fate::Deliver => {}
+                Fate::Drop => trace.push(TraceEvent::Dropped { round, from: v, to }),
+                Fate::Duplicate => trace.push(TraceEvent::Duplicated { round, from: v, to }),
+                Fate::Delay(d) => {
+                    trace.push(TraceEvent::Delayed { round, from: v, to, until: round + 1 + d });
+                }
+            }
+        }
+        if let Some(ml) = machines.as_mut() {
+            for _ in 0..copies {
+                ml.unicast(v, to, words);
+            }
+        }
+        match fate {
+            Fate::Deliver => mail.stage(v, seq, to, msg),
+            // Charged to the sender, lost in transit.
+            Fate::Drop => {}
+            Fate::Duplicate => {
+                mail.stage(v, seq, to, msg.clone());
+                mail.stage(v, seq, to, msg);
+            }
+            Fate::Delay(d) => mail.stage_delayed(round + 1 + d, v, seq, to, msg),
+        }
+    };
+    loop {
+        let take_uni = match (uni.peek(), bc.peek()) {
+            (Some(&((useq, _, _), _)), Some(&((bseq, _, _), _))) => useq < bseq,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_uni {
+            let ((seq, to, msg), words) = uni.next().expect("peeked");
+            commit_one(to, seq, words, msg);
+        } else {
+            let ((seq, skip, msg), words) = bc.next().expect("peeked");
+            for &to in nbrs {
+                if Some(to) == skip {
+                    continue;
+                }
+                commit_one(to, seq, words, msg.clone());
+            }
+        }
+    }
+    drop(uni);
+    drop(bc);
+
+    if let Some(target) = fx.wake {
+        if !fx.halted {
+            wakes.push(Reverse((target, v)));
+            if trace_on {
+                trace.push(TraceEvent::WakeScheduled { round, node: v, target });
+            }
+        }
+    }
+    if fx.halted && !halted[v] {
+        halted[v] = true;
+        *halted_count += 1;
+        if trace_on {
+            trace.push(TraceEvent::Halted { round, node: v });
+        }
+    }
+    fi
 }
 
 /// Which protocol callback [`Network::run_phase`] should run.

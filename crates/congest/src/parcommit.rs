@@ -1,0 +1,538 @@
+//! Per-shard sub-folds of the **parallel commit fold**.
+//!
+//! The engine's commit fold is semantically a strict left fold over the
+//! round's effects in ascending node-id order. This module splits it
+//! into data-parallel passes whose deterministic ascending-shard merge
+//! reproduces the sequential fold bit-for-bit:
+//!
+//! 1. **Plan** (parallel, read-only): each sender shard validates its
+//!    nodes — protocol faults and per-edge bandwidth — and accumulates
+//!    the fold's max-type metrics. If any node fails, the engine falls
+//!    back to the sequential fold over *untouched* state, reproducing
+//!    the exact partial-commit error semantics (all earlier nodes fully
+//!    committed, the faulty node's compute/memory charged, the typed
+//!    error returned at the first bad node in ascending order).
+//! 2. **Commit** (parallel, clean plans only): each sender shard drains
+//!    its effects into shard-local buffers — count metrics, trace
+//!    events, broadcast records, machine-layer link loads, wake-ups,
+//!    and per-destination-shard unicast buckets — plus disjoint slices
+//!    of the per-node metric arrays. The merge adds counts, maxes
+//!    maxes, and replays the buffers in ascending shard order, which
+//!    *is* ascending node order.
+//! 3. **Destination pass** (parallel): each destination shard drains
+//!    its bucket column in ascending sender-shard order (= ascending
+//!    sender id) into its slice of the back mailboxes and bumps the
+//!    broadcast counters of its resident neighbors, so every inbox is
+//!    byte-identical to the sequential staging.
+//!
+//! Under an **active adversary** only the plan pass runs sharded: fate
+//! draws are pure functions of `(fault_seed, round, sender, op,
+//! receiver)` — placement-independent by construction — so per-shard
+//! draws equal the sequential draws verbatim, while the routing (delay
+//! queue, per-copy staging) stays sequential.
+
+use crate::adversary::{Adversary, Fate};
+use crate::effects::Effects;
+use crate::machine::{MachineMap, MachineShard};
+use crate::mailbox::DestPart;
+use crate::trace::TraceEvent;
+use crate::{NodeId, Payload};
+
+/// Round-constant inputs shared by every sender shard's commit pass.
+pub(crate) struct ShardCtx<'a> {
+    pub(crate) round: usize,
+    pub(crate) trace_on: bool,
+    /// Destination-shard width in node ids (`⌈n / shards⌉`).
+    pub(crate) dest_chunk: usize,
+    pub(crate) machines: Option<&'a MachineMap>,
+}
+
+/// One sender shard's reusable output buffers. Everything here is
+/// either merged by addition/max or replayed in ascending shard order,
+/// so the merged totals equal the sequential fold's.
+pub(crate) struct ShardOut<M: Payload> {
+    /// Work index (global) of the first failing node in this shard, if
+    /// the plan pass found one.
+    pub(crate) first_bad: Option<usize>,
+    pub(crate) max_edge: usize,
+    pub(crate) max_sends: usize,
+    pub(crate) words: u64,
+    pub(crate) messages: u64,
+    pub(crate) halts: usize,
+    /// `(target round, node)` wake-ups, in commit order.
+    pub(crate) wakes: Vec<(usize, NodeId)>,
+    pub(crate) trace: Vec<TraceEvent>,
+    /// Broadcast records `(from, seq, skip, payload)` in commit order —
+    /// replayed into the arena (and neighbor activation) by the merge.
+    pub(crate) bcasts: Vec<(NodeId, u32, Option<NodeId>, M)>,
+    pub(crate) machine: Option<MachineShard>,
+    /// Adversarial plan only: the fate of every delivery of this
+    /// shard's nodes, in merged op order.
+    pub(crate) fates: Vec<Fate>,
+    /// Per-node scratch for the adversarial charge aggregation.
+    charged: Vec<(NodeId, usize)>,
+}
+
+impl<M: Payload> ShardOut<M> {
+    fn new() -> Self {
+        ShardOut {
+            first_bad: None,
+            max_edge: 0,
+            max_sends: 0,
+            words: 0,
+            messages: 0,
+            halts: 0,
+            wakes: Vec::new(),
+            trace: Vec::new(),
+            bcasts: Vec::new(),
+            machine: None,
+            fates: Vec::new(),
+            charged: Vec::new(),
+        }
+    }
+
+    /// Readies the buffers for a round. The machine shard itself is
+    /// left alone when the layer is attached — `absorb_shard` drains it
+    /// back to clean, and a fallback round never writes it.
+    fn reset(&mut self, machine_k: Option<usize>) {
+        self.first_bad = None;
+        self.max_edge = 0;
+        self.max_sends = 0;
+        self.words = 0;
+        self.messages = 0;
+        self.halts = 0;
+        self.wakes.clear();
+        self.trace.clear();
+        self.bcasts.clear();
+        self.fates.clear();
+        match machine_k {
+            Some(k) if self.machine.as_ref().is_none_or(|ms| ms.machine_count() != k) => {
+                self.machine = Some(MachineShard::new(k));
+            }
+            Some(_) => {}
+            None => self.machine = None,
+        }
+    }
+}
+
+/// The network's reusable parallel-commit scratch: one [`ShardOut`] per
+/// sender shard and the `shards × shards` unicast bucket matrix
+/// (`buckets[s * shards + d]` = sender shard `s` → destination shard
+/// `d`), allocated once and recycled every round.
+pub(crate) struct CommitScratch<M: Payload> {
+    pub(crate) outs: Vec<ShardOut<M>>,
+    pub(crate) buckets: Vec<Vec<(NodeId, u32, NodeId, M)>>,
+}
+
+impl<M: Payload> CommitScratch<M> {
+    pub(crate) fn new() -> Self {
+        CommitScratch { outs: Vec::new(), buckets: Vec::new() }
+    }
+
+    pub(crate) fn prepare(&mut self, shards: usize, machine_k: Option<usize>) {
+        if self.outs.len() < shards {
+            self.outs.resize_with(shards, ShardOut::new);
+        }
+        for out in &mut self.outs[..shards] {
+            out.reset(machine_k);
+        }
+        if self.buckets.len() < shards * shards {
+            self.buckets.resize_with(shards * shards, Vec::new);
+        }
+        debug_assert!(self.buckets.iter().all(Vec::is_empty), "bucket matrix not drained");
+    }
+}
+
+/// One sender shard's unit of work: a contiguous run of the round's
+/// active nodes, the matching effect and neighbor slices, disjoint
+/// `&mut` windows of the per-node metric arrays (split at the shard's
+/// node-id bounds), its [`ShardOut`], and its row of the bucket matrix.
+pub(crate) struct SenderRun<'run, 'g, M: Payload> {
+    /// Global work index of `work[0]` (for `first_bad` reporting).
+    pub(crate) base_idx: usize,
+    pub(crate) work: &'run [NodeId],
+    pub(crate) effects: &'run mut [Effects<M>],
+    pub(crate) nbrs: &'run [&'g [NodeId]],
+    /// First node id of this shard's metric windows.
+    pub(crate) node_base: usize,
+    pub(crate) sent: &'run mut [u64],
+    pub(crate) compute: &'run mut [u64],
+    pub(crate) peak_mem: &'run mut [usize],
+    pub(crate) halted: &'run mut [bool],
+    pub(crate) out: &'run mut ShardOut<M>,
+    pub(crate) buckets: &'run mut [Vec<(NodeId, u32, NodeId, M)>],
+}
+
+impl<M: Payload> SenderRun<'_, '_, M> {
+    /// Clean plan pass: fault + bandwidth validation and max-metric
+    /// accumulation. Reads only; sets `first_bad` and stops at the
+    /// shard's first failing node.
+    pub(crate) fn plan(&mut self, budget: usize) {
+        let out = &mut *self.out;
+        for (j, fx) in self.effects.iter().enumerate() {
+            if fx.fault.is_some() {
+                out.first_bad = Some(self.base_idx + j);
+                return;
+            }
+            let nbrs = self.nbrs[j];
+            let total = total_sends(fx, nbrs.len());
+            if total > out.max_sends {
+                out.max_sends = total;
+            }
+            if check_bandwidth(fx, nbrs, budget, &mut out.max_edge).is_err() {
+                out.first_bad = Some(self.base_idx + j);
+                return;
+            }
+        }
+    }
+
+    /// Adversarial plan pass: draws every delivery's fate into
+    /// `out.fates` (pure hash — identical to the sequential draws) and
+    /// validates the duplicate-inclusive per-edge charges.
+    pub(crate) fn plan_adversarial(&mut self, adv: &Adversary, round: usize, budget: usize) {
+        let out = &mut *self.out;
+        for (j, (&v, fx)) in self.work.iter().zip(self.effects.iter()).enumerate() {
+            if fx.fault.is_some() {
+                out.first_bad = Some(self.base_idx + j);
+                return;
+            }
+            let planned = plan_adversarial_node(
+                adv,
+                round,
+                budget,
+                v,
+                fx,
+                self.nbrs[j],
+                &mut out.fates,
+                &mut out.charged,
+                &mut out.max_edge,
+                &mut out.max_sends,
+            );
+            if planned.is_err() {
+                out.first_bad = Some(self.base_idx + j);
+                return;
+            }
+        }
+    }
+
+    /// Clean commit pass: drains the shard's effects into its local
+    /// buffers and metric windows. Only run after every shard's plan
+    /// came back clean.
+    pub(crate) fn commit(&mut self, ctx: &ShardCtx<'_>) {
+        let SenderRun {
+            work,
+            effects,
+            nbrs: nbrs_all,
+            node_base,
+            sent,
+            compute,
+            peak_mem,
+            halted,
+            out,
+            buckets,
+            ..
+        } = self;
+        let out = &mut **out;
+        let node_base = *node_base;
+        for (j, (&v, fx)) in work.iter().zip(effects.iter_mut()).enumerate() {
+            debug_assert!(fx.fault.is_none(), "commit pass reached a faulted node");
+            let nbrs = nbrs_all[j];
+            let vi = v - node_base;
+            compute[vi] += fx.compute;
+            if let Some(mem) = fx.memory {
+                if mem > peak_mem[vi] {
+                    peak_mem[vi] = mem;
+                }
+            }
+            // Route, merged back into call order by op sequence —
+            // exactly the sequential fold's walk, writing shard-local.
+            let mut uni = fx.sends.drain(..).zip(fx.send_words.drain(..)).peekable();
+            let mut bc = fx.bcasts.drain(..).zip(fx.bcast_words.drain(..)).peekable();
+            loop {
+                let take_uni = match (uni.peek(), bc.peek()) {
+                    (Some(&((useq, _, _), _)), Some(&((bseq, _, _), _))) => useq < bseq,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if take_uni {
+                    let ((seq, to, msg), words) = uni.next().expect("peeked");
+                    out.words += words as u64;
+                    out.messages += 1;
+                    sent[vi] += 1;
+                    if ctx.trace_on {
+                        out.trace.push(TraceEvent::Sent { round: ctx.round, from: v, to, words });
+                    }
+                    if let (Some(ms), Some(map)) = (out.machine.as_mut(), ctx.machines) {
+                        ms.unicast(map, v, to, words);
+                    }
+                    buckets[to / ctx.dest_chunk].push((v, seq, to, msg));
+                } else {
+                    let ((seq, skip, msg), words) = bc.next().expect("peeked");
+                    let count = nbrs.len() - usize::from(skip.is_some());
+                    if count == 0 {
+                        continue;
+                    }
+                    out.words += words as u64 * count as u64;
+                    out.messages += count as u64;
+                    sent[vi] += count as u64;
+                    if ctx.trace_on {
+                        for &to in nbrs {
+                            if Some(to) != skip {
+                                out.trace.push(TraceEvent::Sent {
+                                    round: ctx.round,
+                                    from: v,
+                                    to,
+                                    words,
+                                });
+                            }
+                        }
+                    }
+                    if let (Some(ms), Some(map)) = (out.machine.as_mut(), ctx.machines) {
+                        ms.begin_broadcast(map, v, words);
+                        for &to in nbrs {
+                            if Some(to) != skip {
+                                ms.broadcast_dest(map, to);
+                            }
+                        }
+                    }
+                    out.bcasts.push((v, seq, skip, msg));
+                }
+            }
+            if let Some(target) = fx.wake {
+                if !fx.halted {
+                    out.wakes.push((target, v));
+                    if ctx.trace_on {
+                        out.trace.push(TraceEvent::WakeScheduled {
+                            round: ctx.round,
+                            node: v,
+                            target,
+                        });
+                    }
+                }
+            }
+            if fx.halted && !halted[vi] {
+                halted[vi] = true;
+                out.halts += 1;
+                if ctx.trace_on {
+                    out.trace.push(TraceEvent::Halted { round: ctx.round, node: v });
+                }
+            }
+        }
+    }
+}
+
+/// One destination shard's unit of work: its [`DestPart`] of the back
+/// mailboxes, its column of the unicast bucket matrix (ascending sender
+/// shard), and the round's committed broadcast directories.
+pub(crate) struct DestRun<'run, 'g, M: Payload> {
+    pub(crate) part: DestPart<'run, M>,
+    pub(crate) cols: Vec<Vec<(NodeId, u32, NodeId, M)>>,
+    /// `(sender's neighbors, skip)` of every broadcast committed this
+    /// round, in commit order.
+    pub(crate) dirs: &'run [(&'g [NodeId], Option<NodeId>)],
+}
+
+impl<M: Payload> DestRun<'_, '_, M> {
+    pub(crate) fn route(&mut self) {
+        // Direct messages: draining the columns in ascending sender
+        // shard, each in commit order, appends to every resident inbox
+        // in ascending (sender, seq) — the sequential staging order.
+        for col in &mut self.cols {
+            for (from, seq, to, msg) in col.drain(..) {
+                self.part.stage(from, seq, to, msg);
+            }
+        }
+        // Broadcast activation: bump the counter of every addressed
+        // neighbor that lives in this shard's id range. The bump order
+        // relative to the stages above differs from the sequential
+        // interleaving, but counters and first-touch tracking are
+        // order-independent (and `seal` sorts the touch list).
+        let (lo, hi) = self.part.range();
+        for &(nbrs, skip) in self.dirs {
+            let start = nbrs.partition_point(|&x| x < lo);
+            for &to in &nbrs[start..] {
+                if to >= hi {
+                    break;
+                }
+                if Some(to) != skip {
+                    self.part.deliver(to);
+                }
+            }
+        }
+    }
+}
+
+/// Total directed sends of one node's effects (broadcasts expanded per
+/// addressed neighbor) — the `max_node_sends_per_round` contribution.
+pub(crate) fn total_sends<M: Payload>(fx: &Effects<M>, nbrs_len: usize) -> usize {
+    fx.sends.len()
+        + fx.bcasts.iter().map(|(_, skip, _)| nbrs_len - usize::from(skip.is_some())).sum::<usize>()
+}
+
+/// Per-destination bandwidth check for one clean sender, updating
+/// `max_edge` exactly as the sequential fold's walk does (including the
+/// partial updates before a violation). Returns the first violating
+/// `(destination, attempted words)` in ascending destination order.
+///
+/// Shared by the sequential fold and the plan pass, so the two cannot
+/// drift.
+pub(crate) fn check_bandwidth<M: Payload>(
+    fx: &Effects<M>,
+    nbrs: &[NodeId],
+    budget: usize,
+    max_edge: &mut usize,
+) -> Result<(), (NodeId, usize)> {
+    if fx.bcast_total_words == 0 {
+        // Unicast-only: walk the sorted (destination, words) list.
+        let ew = &fx.edge_words;
+        let mut a = 0;
+        while a < ew.len() {
+            let to = ew[a].0;
+            let mut words = 0usize;
+            let mut b = a;
+            while b < ew.len() && ew[b].0 == to {
+                words += ew[b].1;
+                b += 1;
+            }
+            if words > budget {
+                return Err((to, words));
+            }
+            if words > *max_edge {
+                *max_edge = words;
+            }
+            a = b;
+        }
+    } else if fx.edge_words.is_empty() && fx.skip_words.is_empty() {
+        // Uniform broadcast load: every neighbor carries exactly the
+        // broadcast base — one check instead of a per-neighbor walk
+        // (the common flood shape; a violation's first destination is
+        // the first neighbor, like the full walk's).
+        if !nbrs.is_empty() {
+            let words = fx.bcast_total_words;
+            if words > budget {
+                return Err((nbrs[0], words));
+            }
+            if words > *max_edge {
+                *max_edge = words;
+            }
+        }
+    } else {
+        // Broadcasting sender with non-uniform load: every neighbor
+        // carries the broadcast base minus per-record skips, plus any
+        // unicast words — walked in ascending destination order,
+        // exactly the per-edge totals (and first-violation
+        // destination) of the expanded unicast equivalent.
+        let base = fx.bcast_total_words;
+        let (uni, skips) = (&fx.edge_words, &fx.skip_words);
+        let (mut a, mut b) = (0, 0);
+        for &to in nbrs {
+            let mut words = base;
+            while a < uni.len() && uni[a].0 < to {
+                a += 1;
+            }
+            while a < uni.len() && uni[a].0 == to {
+                words += uni[a].1;
+                a += 1;
+            }
+            while b < skips.len() && skips[b].0 < to {
+                b += 1;
+            }
+            while b < skips.len() && skips[b].0 == to {
+                words -= skips[b].1;
+                b += 1;
+            }
+            if words > budget {
+                return Err((to, words));
+            }
+            if words > *max_edge {
+                *max_edge = words;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Adversarial pass 1 for one node: draws the [`Fate`] of every
+/// delivery (merged op order, broadcasts expanded over ascending
+/// addressed neighbors) into `fates`, and checks the per-edge budgets
+/// with duplicates charged twice. Updates `max_sends` before and
+/// `max_edge` during the charge aggregation, mirroring the sequential
+/// commit's update points exactly. Pure with respect to the engine:
+/// reads effects, writes only the caller's accumulators.
+///
+/// Shared by the sequential adversarial commit and the sharded plan
+/// pass — the draws are placement-independent by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_adversarial_node<M: Payload>(
+    adv: &Adversary,
+    round: usize,
+    budget: usize,
+    v: NodeId,
+    fx: &Effects<M>,
+    nbrs: &[NodeId],
+    fates: &mut Vec<Fate>,
+    charged: &mut Vec<(NodeId, usize)>,
+    max_edge: &mut usize,
+    max_sends: &mut usize,
+) -> Result<(), (NodeId, usize)> {
+    charged.clear();
+    let mut attempts = 0usize;
+    let (mut ui, mut bi) = (0, 0);
+    loop {
+        let take_uni = match (fx.sends.get(ui), fx.bcasts.get(bi)) {
+            (Some(&(useq, _, _)), Some(&(bseq, _, _))) => useq < bseq,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_uni {
+            let (seq, to, _) = fx.sends[ui];
+            let words = fx.send_words[ui];
+            ui += 1;
+            let fate = adv.fate(round, v, seq, to);
+            let w = if fate == Fate::Duplicate { words * 2 } else { words };
+            fates.push(fate);
+            charged.push((to, w));
+            attempts += usize::from(fate == Fate::Duplicate) + 1;
+        } else {
+            let (seq, skip, _) = fx.bcasts[bi];
+            let words = fx.bcast_words[bi];
+            bi += 1;
+            for &to in nbrs {
+                if Some(to) == skip {
+                    continue;
+                }
+                let fate = adv.fate(round, v, seq, to);
+                let w = if fate == Fate::Duplicate { words * 2 } else { words };
+                fates.push(fate);
+                charged.push((to, w));
+                attempts += usize::from(fate == Fate::Duplicate) + 1;
+            }
+        }
+    }
+    if attempts > *max_sends {
+        *max_sends = attempts;
+    }
+    // Stable sort, then aggregate per destination ascending: same
+    // first-violation destination as the clean fold's walk.
+    charged.sort_by_key(|&(to, _)| to);
+    let mut a = 0;
+    while a < charged.len() {
+        let to = charged[a].0;
+        let mut words = 0usize;
+        let mut b = a;
+        while b < charged.len() && charged[b].0 == to {
+            words += charged[b].1;
+            b += 1;
+        }
+        if words > budget {
+            return Err((to, words));
+        }
+        if words > *max_edge {
+            *max_edge = words;
+        }
+        a = b;
+    }
+    Ok(())
+}

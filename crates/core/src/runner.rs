@@ -10,7 +10,6 @@ use dhc_congest::machine::{MachineMap, MachineRoundLog};
 use dhc_congest::{Metrics, Network};
 use dhc_graph::rng::{derive_seed, rng_from_seed};
 use dhc_graph::{Graph, HamiltonianCycle, NodeId, Partition, PartitionedGraph, Topology};
-use rayon::prelude::*;
 
 /// Per-phase cost breakdown of a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -243,18 +242,17 @@ pub(crate) fn run_phase1(
             }
         }
     };
-    // A fresh scoped pool per call is free with the vendored rayon
-    // stand-in (no persistent workers); if the real rayon is swapped
-    // in, hoist this to a per-config pool to avoid per-run thread
-    // spawn overhead in trial sweeps.
     let results: Vec<Result<PartitionRun<'_>, DhcError>> = if threads <= 1 {
         jobs.iter().map(run_job).collect()
     } else {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("phase-1 worker pool");
-        pool.install(|| jobs.par_iter().map(run_job).collect())
+        // The pool joins its workers when dropped at the end of this
+        // call; per-round reuse lives inside the engine's own pool, this
+        // one only amortizes across the partition classes.
+        let pool = dhc_pool::WorkerPool::new(threads);
+        let mut slots: Vec<(usize, Option<Result<PartitionRun<'_>, DhcError>>)> =
+            jobs.iter().map(|&c| (c, None)).collect();
+        pool.run_mut(&mut slots, &|_, (class, slot)| *slot = Some(run_job(class)));
+        slots.into_iter().map(|(_, slot)| slot.expect("pool ran every job")).collect()
     };
 
     // Fold in partition (color) order: simulation faults surface for the
