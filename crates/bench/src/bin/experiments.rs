@@ -66,7 +66,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments [--list] [--quick|--smoke] [--heavy] [--seed S] <e1..e15|all>..."
+        "usage: experiments [--list] [--quick|--smoke] [--heavy] [--seed S] <e1..e16|all>..."
     );
     std::process::exit(2)
 }

@@ -165,6 +165,9 @@ struct Dhc1Sample {
     wall_s: f64,
     rounds: usize,
     messages: u64,
+    /// Peak engine-buffer footprint ([`Metrics::peak_memory_words`]) —
+    /// the memory half of the baseline; outside the bit-identity check.
+    peak_words: u64,
 }
 
 /// The DHC1 operating point: class size `s = n/k` with intra-class
@@ -203,6 +206,7 @@ fn measure_dhc1(pt: Dhc1Point, seed: u64) -> Result<Vec<Dhc1Sample>, String> {
                 wall_s: serial_wall,
                 rounds: serial.metrics.rounds,
                 messages: serial.metrics.messages,
+                peak_words: serial.metrics.peak_memory_words(),
             },
             Dhc1Sample {
                 engine_threads: 0,
@@ -210,6 +214,7 @@ fn measure_dhc1(pt: Dhc1Point, seed: u64) -> Result<Vec<Dhc1Sample>, String> {
                 wall_s: pooled_wall,
                 rounds: pooled.metrics.rounds,
                 messages: pooled.metrics.messages,
+                peak_words: pooled.metrics.peak_memory_words(),
             },
         ]);
     }
@@ -251,12 +256,13 @@ fn render_json(
             for (i, r) in rows.iter().enumerate() {
                 out.push_str(&format!(
                     "    {{\"engine_threads\": {}, \"workers\": {}, \"wall_s\": {:.3}, \
-                     \"rounds\": {}, \"messages\": {}}}{}\n",
+                     \"rounds\": {}, \"messages\": {}, \"engine_peak_words\": {}}}{}\n",
                     r.engine_threads,
                     r.workers,
                     r.wall_s,
                     r.rounds,
                     r.messages,
+                    r.peak_words,
                     if i + 1 < rows.len() { "," } else { "" },
                 ));
             }
@@ -315,7 +321,14 @@ pub fn run(params: &Params, seed: u64) -> String {
         ));
         match measure_dhc1(pt, seed) {
             Ok(rows) => {
-                let mut dt = Table::new(vec!["threads", "workers", "wall s", "rounds", "messages"]);
+                let mut dt = Table::new(vec![
+                    "threads",
+                    "workers",
+                    "wall s",
+                    "rounds",
+                    "messages",
+                    "peak words",
+                ]);
                 for r in &rows {
                     dt.row(vec![
                         if r.engine_threads == 0 {
@@ -327,6 +340,7 @@ pub fn run(params: &Params, seed: u64) -> String {
                         f3(r.wall_s),
                         r.rounds.to_string(),
                         r.messages.to_string(),
+                        r.peak_words.to_string(),
                     ]);
                 }
                 out.push_str(&dt.render());
@@ -402,12 +416,14 @@ mod tests {
             wall_s: 1.25,
             rounds: 100,
             messages: 4_000,
+            peak_words: 123_456,
         };
         let json = render_json(&[s], Some((Dhc1Point { n: 240, k: 4 }, &[d])), 4, 9);
         assert!(json.contains("\"cores\": 4"));
         assert!(json.contains("\"engine_threads\": 1"));
         assert!(json.contains("\"workers\": 1"));
         assert!(json.contains("\"dhc1\": {\"n\": 240, \"k\": 4"));
+        assert!(json.contains("\"engine_peak_words\": 123456"));
         assert!(json.contains("\"workload\": \"flood-echo\""));
         assert!(json.trim_end().ends_with('}'));
     }

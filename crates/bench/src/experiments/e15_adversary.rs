@@ -193,7 +193,7 @@ fn crash_schedule(adv: Adversary, count: usize, n: usize) -> Adversary {
         let node = (j + 1) * n / (count + 1);
         let at = 3 + j;
         let restart = (j % 2 == 1).then_some(at + 10);
-        adv = adv.with_crash(node, at, restart);
+        adv = adv.with_crash((node) as u32, at, restart);
     }
     adv
 }

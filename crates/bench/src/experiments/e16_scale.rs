@@ -1,0 +1,495 @@
+//! **E16 — memory-lean scale sweep** (not a paper claim): runtime and
+//! memory trajectory of the hot path as `n` grows, recorded to
+//! `BENCH_scale.json`. Every point runs twice — **fat** (enum payloads,
+//! full round log: the pre-lean representation kept as the equivalence
+//! oracle) and **lean** (`--packed-payloads` wire + streaming-only
+//! metrics) — and the two runs are asserted bit-identical (cycle order,
+//! rounds, messages, words, max round traffic) wherever the oracle runs.
+//!
+//! Two workloads:
+//!
+//! - **DRA on G(n, 6 ln n / (n−1))** — the whole-graph rotation walk.
+//!   Its message complexity is Θ(n²), so these rows stay small
+//!   (n ≤ 2·10³); they anchor the per-message cost of both wires.
+//! - **Clustered DHC2** — `k` clusters of `s = 200` nodes
+//!   (intra-cluster G(s, 8 ln s / (s−1)); `⌈3·√(|A|·|B|)⌉` cross edges
+//!   per merge pair, matching DHC2's deterministic color-pairing merge
+//!   tree), run via [`run_dhc2_with_colors`] with the cluster coloring.
+//!   Phase 1 is `k` small DRAs, so total work grows near-linearly in
+//!   `n` at fixed `s` — this is the lane that reaches `n = 10⁶`.
+//!
+//! Each row records wall-clock, rounds, messages, CONGEST words,
+//! words/node, the engine's peak buffer footprint
+//! ([`dhc_congest::Metrics::peak_memory_words`]), and peak RSS (`VmHWM`, reset via
+//! `/proc/self/clear_refs` before each run where the kernel allows —
+//! rows record `null` when it does not, rather than a stale high-water
+//! mark). Points above `n = 10⁵` take several minutes per run on a
+//! CI-class host and are gated behind `--heavy`; unlike E13/E14 the
+//! JSON is still written without the flag (the committed baseline *is*
+//! the non-heavy trajectory), with the skipped points listed in a
+//! `skipped_heavy` array so the omission is explicit.
+
+use crate::table::{f3, Table};
+use dhc_congest::Config as SimConfig;
+use dhc_core::{run_dhc2_with_colors, run_dra, DhcConfig, RunOutcome};
+use dhc_graph::generator::{clustered, gnp};
+use dhc_graph::rng::rng_from_seed;
+use dhc_graph::Graph;
+use std::time::Instant;
+
+use super::Effort;
+
+/// Cluster size for the clustered-DHC2 lane. Held fixed across `n` so
+/// the sweep isolates scaling in the cluster *count*: Phase 1 cost per
+/// cluster is constant, and at `s = 200` the per-cluster DRA succeeds
+/// on the first seed in practice (smaller classes fail ~1% of the
+/// time, which is fatal once `k` reaches the thousands).
+pub const CLUSTER_SIZE: usize = 200;
+
+/// Intra-cluster edge probability multiplier: `p = 8 ln s / (s − 1)`.
+pub const INTRA_DEGREE_MULT: f64 = 8.0;
+
+/// Cross-edge density per merge pair: `⌈3·√(|A|·|B|)⌉` uniform pairs,
+/// giving ≈ 2·3² expected spliceable bridges per merge independent of
+/// the merge level.
+pub const BRIDGE_FACTOR: f64 = 3.0;
+
+/// DHC2 points above this many nodes take several minutes per run and
+/// are gated behind the experiments binary's explicit `--heavy` flag.
+pub const HEAVY_SCALE_NODES: usize = 100_000;
+
+/// The fat (enum-payload) oracle runs alongside the lean path up to
+/// this size; beyond it only the lean path runs (the acceptance bar is
+/// bit-identity at n ≤ 10⁵, and the fat run would double multi-minute
+/// wall-clock without changing what the row demonstrates).
+pub const FAT_ORACLE_MAX_NODES: usize = 100_000;
+
+/// One clustered-DHC2 scale point: `n = k · CLUSTER_SIZE` nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// Total node count.
+    pub n: usize,
+    /// Cluster (= Phase-1 partition) count.
+    pub k: usize,
+}
+
+/// Sweep parameters for E16.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// G(n, p) sizes for the whole-graph DRA lane.
+    pub dra_sizes: Vec<usize>,
+    /// Clustered-DHC2 lane points.
+    pub dhc2: Vec<ScalePoint>,
+    /// Cluster size (overridden only by the smoke preset so tests stay
+    /// sub-second).
+    pub cluster_size: usize,
+    /// Whether to write `BENCH_scale.json` (disabled for smoke runs).
+    pub emit_json: bool,
+    /// Heavy points dropped by [`gated`](Params::gated); listed in the
+    /// report and in the JSON's `skipped_heavy` array.
+    pub skipped_heavy: Vec<ScalePoint>,
+}
+
+impl Params {
+    /// Parameters for the given effort level.
+    pub fn for_effort(effort: Effort) -> Self {
+        match effort {
+            Effort::Full => Params {
+                dra_sizes: vec![1_000, 2_000],
+                dhc2: vec![
+                    ScalePoint { n: 10_000, k: 50 },
+                    ScalePoint { n: 100_000, k: 500 },
+                    ScalePoint { n: 300_000, k: 1_500 },
+                    ScalePoint { n: 1_000_000, k: 5_000 },
+                ],
+                cluster_size: CLUSTER_SIZE,
+                emit_json: true,
+                skipped_heavy: Vec::new(),
+            },
+            Effort::Quick => Params {
+                dra_sizes: vec![1_000],
+                dhc2: vec![ScalePoint { n: 4_000, k: 20 }],
+                cluster_size: CLUSTER_SIZE,
+                emit_json: true,
+                skipped_heavy: Vec::new(),
+            },
+            Effort::Smoke => Params {
+                dra_sizes: vec![200],
+                dhc2: vec![ScalePoint { n: 120, k: 3 }],
+                cluster_size: 40,
+                emit_json: false,
+                skipped_heavy: Vec::new(),
+            },
+        }
+    }
+
+    /// Applies the `--heavy` gate: without the flag, DHC2 points above
+    /// [`HEAVY_SCALE_NODES`] are dropped. The JSON baseline is still
+    /// written — the committed trajectory is the non-heavy rows — with
+    /// the dropped points recorded in `skipped_heavy`.
+    pub fn gated(mut self, heavy: bool) -> Self {
+        if !heavy {
+            let (kept, skipped) = self.dhc2.into_iter().partition(|pt| pt.n <= HEAVY_SCALE_NODES);
+            self.dhc2 = kept;
+            self.skipped_heavy = skipped;
+        }
+        self
+    }
+}
+
+/// One measured run (fat or lean) at a scale point.
+struct ModeRow {
+    mode: &'static str,
+    workers: usize,
+    wall_s: f64,
+    rounds: usize,
+    messages: u64,
+    words: u64,
+    words_per_node: f64,
+    peak_engine_words: u64,
+    peak_words_per_node: f64,
+    /// `VmHWM` after the run, if the high-water mark could be reset
+    /// before it (monotone stale values are recorded as `None`).
+    rss_hwm_kb: Option<u64>,
+}
+
+/// One scale point with its fat/lean rows.
+struct PointResult {
+    algo: &'static str,
+    n: usize,
+    k: usize,
+    m: usize,
+    rows: Vec<ModeRow>,
+    /// `Some(true)` when the fat oracle ran and matched; `None` when
+    /// the point is past [`FAT_ORACLE_MAX_NODES`] (lean-only).
+    bit_identical: Option<bool>,
+}
+
+/// Resets the process RSS high-water mark so the next `VmHWM` read is
+/// per-run, not process-lifetime. Needs kernel support for
+/// `/proc/self/clear_refs`; returns whether the reset took.
+fn reset_rss_hwm() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// Current `VmHWM` in kB from `/proc/self/status` (Linux only).
+fn rss_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn execute(
+    algo: &'static str,
+    g: &Graph,
+    colors: Option<&[u32]>,
+    k: usize,
+    cfg: &DhcConfig,
+) -> Result<RunOutcome, String> {
+    match algo {
+        "dra" => run_dra(g, cfg).map_err(|e| e.to_string()),
+        _ => run_dhc2_with_colors(g, cfg, colors.expect("clustered coloring"), k)
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Runs one run in one mode, measuring wall-clock and (when the reset
+/// works) per-run peak RSS.
+fn timed(
+    algo: &'static str,
+    g: &Graph,
+    colors: Option<&[u32]>,
+    k: usize,
+    cfg: &DhcConfig,
+    mode: &'static str,
+) -> Result<(ModeRow, RunOutcome), String> {
+    let rss_ok = reset_rss_hwm();
+    let t0 = Instant::now();
+    let out = execute(algo, g, colors, k, cfg)?;
+    let wall_s = t0.elapsed().as_secs_f64();
+    let n = g.node_count();
+    let row = ModeRow {
+        mode,
+        workers: SimConfig::default().effective_engine_threads(),
+        wall_s,
+        rounds: out.metrics.rounds,
+        messages: out.metrics.messages,
+        words: out.metrics.words,
+        words_per_node: out.metrics.words as f64 / n as f64,
+        peak_engine_words: out.metrics.peak_memory_words(),
+        peak_words_per_node: out.metrics.peak_memory_words() as f64 / n as f64,
+        rss_hwm_kb: if rss_ok { rss_hwm_kb() } else { None },
+    };
+    Ok((row, out))
+}
+
+/// Measures one scale point: scans up to 8 config seeds with the lean
+/// path (the representation that must scale), then replays the first
+/// succeeding seed through the fat oracle and asserts bit-identity on
+/// everything both paths compute (the round-traffic *log* differs by
+/// construction — lean keeps only the streaming maximum).
+fn measure_point(
+    algo: &'static str,
+    g: &Graph,
+    colors: Option<&[u32]>,
+    k: usize,
+    seed: u64,
+) -> Result<PointResult, String> {
+    let n = g.node_count();
+    for attempt in 0..8u64 {
+        let base = DhcConfig::new(seed ^ (0xE16C + attempt)).with_partitions(k);
+        let lean_cfg = base.clone().with_packed_payloads(true).with_round_traffic(false);
+        let Ok((lean_row, lean)) = timed(algo, g, colors, k, &lean_cfg, "lean") else { continue };
+        let mut rows = vec![lean_row];
+        let mut bit_identical = None;
+        if n <= FAT_ORACLE_MAX_NODES {
+            let (fat_row, fat) = timed(algo, g, colors, k, &base, "fat")?;
+            let same = fat.cycle.order() == lean.cycle.order()
+                && fat.metrics.rounds == lean.metrics.rounds
+                && fat.metrics.messages == lean.metrics.messages
+                && fat.metrics.words == lean.metrics.words
+                && fat.metrics.max_round_traffic == lean.metrics.max_round_traffic;
+            assert!(
+                same,
+                "fat and lean runs diverged at {algo} n = {n} (the packed wire must be \
+                 bit-identical to the enum oracle)"
+            );
+            rows.insert(0, fat_row);
+            bit_identical = Some(true);
+        }
+        return Ok(PointResult { algo, n, k, m: g.edge_count(), rows, bit_identical });
+    }
+    Err(format!("{algo} did not succeed in 8 seeds at n = {n}, k = {k}"))
+}
+
+fn render_json(points: &[PointResult], params: &Params, cores: usize, seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"scale\",\n");
+    out.push_str(
+        "  \"workload\": \"DRA on G(n, 6 ln n/(n-1)) + clustered DHC2 (k clusters of s nodes, \
+         intra G(s, 8 ln s/(s-1)), ceil(3 sqrt(|A||B|)) cross edges per merge pair); fat = enum \
+         payloads + round log, lean = packed wire + streaming metrics\",\n",
+    );
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"cluster_size\": {},\n", params.cluster_size));
+    out.push_str(&format!("  \"intra_degree_mult\": {INTRA_DEGREE_MULT},\n"));
+    out.push_str(&format!("  \"bridge_factor\": {BRIDGE_FACTOR},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let bit = match p.bit_identical {
+            Some(b) => b.to_string(),
+            None => "null".into(),
+        };
+        out.push_str(&format!(
+            "    {{\"algo\": \"{}\", \"n\": {}, \"k\": {}, \"m\": {}, \"bit_identical\": {}, \
+             \"rows\": [\n",
+            p.algo, p.n, p.k, p.m, bit
+        ));
+        for (j, r) in p.rows.iter().enumerate() {
+            let rss = match r.rss_hwm_kb {
+                Some(kb) => kb.to_string(),
+                None => "null".into(),
+            };
+            out.push_str(&format!(
+                "      {{\"mode\": \"{}\", \"workers\": {}, \"wall_s\": {:.3}, \"rounds\": {}, \
+                 \"messages\": {}, \"words\": {}, \"words_per_node\": {:.1}, \
+                 \"peak_engine_words\": {}, \"peak_words_per_node\": {:.1}, \
+                 \"rss_hwm_kb\": {}}}{}\n",
+                r.mode,
+                r.workers,
+                r.wall_s,
+                r.rounds,
+                r.messages,
+                r.words,
+                r.words_per_node,
+                r.peak_engine_words,
+                r.peak_words_per_node,
+                rss,
+                if j + 1 < p.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!("    ]}}{}\n", if i + 1 < points.len() { "," } else { "" }));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"skipped_heavy\": [");
+    for (i, pt) in params.skipped_heavy.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"n\": {}, \"k\": {}}}{}",
+            pt.n,
+            pt.k,
+            if i + 1 < params.skipped_heavy.len() { ", " } else { "" }
+        ));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Runs E16 and renders its report (optionally writing the JSON baseline).
+pub fn run(params: &Params, seed: u64) -> String {
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let s = params.cluster_size;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E16 memory-lean scale sweep: fat (enum + round log) vs lean (packed wire + \
+         streaming metrics) runtime and memory trajectory (machine has {cores} core(s))\n\n"
+    ));
+    let mut t = Table::new(vec![
+        "algo",
+        "n",
+        "k",
+        "m",
+        "mode",
+        "wall s",
+        "rounds",
+        "messages",
+        "words/node",
+        "peak words",
+        "peak RSS kB",
+    ]);
+    let mut points = Vec::new();
+    let mut failures = Vec::new();
+    for &n in &params.dra_sizes {
+        let p = (6.0 * (n as f64).ln() / (n as f64 - 1.0)).min(1.0);
+        let g = gnp(n, p, &mut rng_from_seed(seed ^ 0xE16)).expect("valid gnp");
+        match measure_point("dra", &g, None, 1, seed) {
+            Ok(pt) => points.push(pt),
+            Err(e) => failures.push(e),
+        }
+    }
+    for &ScalePoint { n, k } in &params.dhc2 {
+        let intra_p = (INTRA_DEGREE_MULT * (s as f64).ln() / (s as f64 - 1.0)).min(1.0);
+        let (g, colors) = clustered(k, s, intra_p, BRIDGE_FACTOR, &mut rng_from_seed(seed ^ 0xE16))
+            .expect("valid clustered graph");
+        debug_assert_eq!(g.node_count(), n, "point n must equal k * cluster_size");
+        match measure_point("dhc2", &g, Some(&colors), k, seed) {
+            Ok(pt) => points.push(pt),
+            Err(e) => failures.push(e),
+        }
+    }
+    for p in &points {
+        for r in &p.rows {
+            t.row(vec![
+                p.algo.to_string(),
+                p.n.to_string(),
+                p.k.to_string(),
+                p.m.to_string(),
+                r.mode.to_string(),
+                f3(r.wall_s),
+                r.rounds.to_string(),
+                r.messages.to_string(),
+                f3(r.words_per_node),
+                r.peak_engine_words.to_string(),
+                r.rss_hwm_kb.map_or_else(|| "n/a".into(), |kb| kb.to_string()),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    for p in &points {
+        if let [fat, lean] = p.rows.as_slice() {
+            out.push_str(&format!(
+                "    {} n = {}: lean/fat peak engine words = {:.2}, wall = {:.2}\n",
+                p.algo,
+                p.n,
+                lean.peak_engine_words as f64 / fat.peak_engine_words as f64,
+                lean.wall_s / fat.wall_s,
+            ));
+        }
+    }
+    out.push_str(
+        "\n    fat rows are the equivalence oracle: cycle, rounds, messages, words, and max \
+         round traffic\n    are asserted identical to the lean run on the same seed.\n",
+    );
+    for e in &failures {
+        out.push_str(&format!("    FAILED: {e}\n"));
+    }
+    for pt in &params.skipped_heavy {
+        out.push_str(&format!(
+            "    skipped (needs --heavy): clustered DHC2 at n = {}, k = {} \
+             (several minutes per run)\n",
+            pt.n, pt.k
+        ));
+    }
+    if params.emit_json {
+        let path = std::env::var("BENCH_SCALE_OUT").unwrap_or_else(|_| "BENCH_scale.json".into());
+        let json = render_json(&points, params, cores, seed);
+        match std::fs::write(&path, json) {
+            Ok(()) => out.push_str(&format!("    baseline written to {path}\n")),
+            Err(e) => out.push_str(&format!("    could not write {path}: {e}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_reports() {
+        let report = run(&Params::for_effort(Effort::Smoke), 7);
+        assert!(report.contains("memory-lean scale sweep"));
+        assert!(report.contains("lean/fat peak engine words"));
+        assert!(!report.contains("FAILED"));
+        assert!(!report.contains("baseline written"));
+    }
+
+    #[test]
+    fn heavy_gate_drops_big_points_but_keeps_json() {
+        let full = Params::for_effort(Effort::Full);
+        let gated = full.clone().gated(false);
+        assert!(gated.dhc2.iter().all(|pt| pt.n <= HEAVY_SCALE_NODES));
+        assert_eq!(gated.skipped_heavy.len(), 2);
+        assert!(gated.emit_json, "the committed baseline is the non-heavy trajectory");
+        let heavy = full.clone().gated(true);
+        assert_eq!(heavy.dhc2.len(), 4);
+        assert!(heavy.skipped_heavy.is_empty());
+    }
+
+    #[test]
+    fn json_shape() {
+        let point = PointResult {
+            algo: "dhc2",
+            n: 120,
+            k: 3,
+            m: 456,
+            bit_identical: Some(true),
+            rows: vec![
+                ModeRow {
+                    mode: "fat",
+                    workers: 1,
+                    wall_s: 0.5,
+                    rounds: 10,
+                    messages: 100,
+                    words: 200,
+                    words_per_node: 1.7,
+                    peak_engine_words: 999,
+                    peak_words_per_node: 8.3,
+                    rss_hwm_kb: Some(4_096),
+                },
+                ModeRow {
+                    mode: "lean",
+                    workers: 1,
+                    wall_s: 0.4,
+                    rounds: 10,
+                    messages: 100,
+                    words: 200,
+                    words_per_node: 1.7,
+                    peak_engine_words: 777,
+                    peak_words_per_node: 6.5,
+                    rss_hwm_kb: None,
+                },
+            ],
+        };
+        let params = Params::for_effort(Effort::Full).gated(false);
+        let json = render_json(&[point], &params, 1, 7);
+        assert!(json.contains("\"bench\": \"scale\""));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("\"mode\": \"fat\""));
+        assert!(json.contains("\"peak_engine_words\": 777"));
+        assert!(json.contains("\"rss_hwm_kb\": 4096"));
+        assert!(json.contains("\"rss_hwm_kb\": null"));
+        assert!(json.contains("\"skipped_heavy\": [{\"n\": 300000, \"k\": 1500}, "));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -62,8 +62,8 @@ pub fn run(params: &Params, seed: u64) -> String {
             let child_sizes: Vec<f64> = g
                 .neighbors(0)
                 .iter()
-                .filter(|&&w| tree.parent[w] == Some(0))
-                .map(|&w| sizes[w] as f64)
+                .filter(|&&w| tree.parent[(w) as usize] == Some(0))
+                .map(|&w| sizes[(w) as usize] as f64)
                 .collect();
             let balance = if child_sizes.is_empty() {
                 f64::NAN

@@ -11,6 +11,7 @@ pub mod e12_other_models;
 pub mod e13_engine;
 pub mod e14_partition;
 pub mod e15_adversary;
+pub mod e16_scale;
 pub mod e1_dra_steps;
 pub mod e2_partition_balance;
 pub mod e3_dhc1_scaling;
@@ -32,11 +33,11 @@ pub enum Effort {
     Smoke,
 }
 
-/// Runs one experiment by id (`"e1"` … `"e15"`), returning its report.
+/// Runs one experiment by id (`"e1"` … `"e16"`), returning its report.
 /// `heavy` opts into the experiment points that take over a minute per
-/// run (E13's and E14's end-to-end DHC1 at n = 10⁴ and E15's
-/// delay/crash sweeps); without it those points are skipped with a
-/// printed notice.
+/// run (E13's and E14's end-to-end DHC1 at n = 10⁴, E15's delay/crash
+/// sweeps, and E16's scale points past n = 10⁵); without it those
+/// points are skipped with a printed notice.
 ///
 /// # Errors
 ///
@@ -58,6 +59,7 @@ pub fn run_by_id(id: &str, effort: Effort, heavy: bool, seed: u64) -> Result<Str
         "e13" => e13_engine::run(&e13_engine::Params::for_effort(effort).gated(heavy), seed),
         "e14" => e14_partition::run(&e14_partition::Params::for_effort(effort).gated(heavy), seed),
         "e15" => e15_adversary::run(&e15_adversary::Params::for_effort(effort).gated(heavy), seed),
+        "e16" => e16_scale::run(&e16_scale::Params::for_effort(effort).gated(heavy), seed),
         other => return Err(format!("unknown experiment id: {other}")),
     };
     Ok(report)
@@ -65,7 +67,7 @@ pub fn run_by_id(id: &str, effort: Effort, heavy: bool, seed: u64) -> Result<Str
 
 /// All experiments in order: `(id, one-line description)` — what the
 /// binary's `--list` flag prints.
-pub const CATALOG: [(&str, &str); 15] = [
+pub const CATALOG: [(&str, &str); 16] = [
     ("e1", "Theorem 2: DRA rotation-walk steps and rounds on a single partition"),
     ("e2", "Lemmas 4 and 7: random-coloring class balance and intra-class degrees"),
     ("e3", "Theorem 1: DHC1 round/message scaling at p = c ln n / sqrt(n)"),
@@ -81,13 +83,14 @@ pub const CATALOG: [(&str, &str); 15] = [
     ("e13", "Engine throughput baseline: flood-echo and broadcast-storm rounds/sec"),
     ("e14", "Partition-pipeline baseline: zero-copy class views vs materialized subgraphs"),
     ("e15", "Adversary degradation: success rates under seeded drop/delay/crash faults"),
+    ("e16", "Memory-lean scale sweep: fat vs packed/streaming runtime and peak memory"),
 ];
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 15] = {
-    let mut ids = [""; 15];
+pub const ALL_IDS: [&str; 16] = {
+    let mut ids = [""; 16];
     let mut i = 0;
-    while i < 15 {
+    while i < 16 {
         ids[i] = CATALOG[i].0;
         i += 1;
     }
@@ -118,7 +121,7 @@ mod tests {
 
     #[test]
     fn all_ids_listed() {
-        assert_eq!(ALL_IDS.len(), 15);
+        assert_eq!(ALL_IDS.len(), 16);
     }
 
     #[test]

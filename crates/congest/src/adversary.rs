@@ -216,7 +216,7 @@ impl Adversary {
             .iter()
             .filter_map(|c| {
                 members.binary_search(&c.node).ok().map(|local| CrashEvent {
-                    node: local,
+                    node: (local) as u32,
                     at_round: c.at_round,
                     restart_round: c.restart_round,
                 })
@@ -284,7 +284,7 @@ impl AdversaryState {
     pub(crate) fn new(adv: Adversary, n: usize) -> Self {
         let mut events = Vec::with_capacity(adv.crashes.len() * 2);
         for c in &adv.crashes {
-            assert!(c.node < n, "crash schedule names node {} outside 0..{n}", c.node);
+            assert!(c.node < (n) as u32, "crash schedule names node {} outside 0..{n}", c.node);
             events.push((c.at_round, c.node, true));
             if let Some(r) = c.restart_round {
                 events.push((r, c.node, false));
@@ -310,8 +310,8 @@ impl AdversaryState {
                 break;
             }
             self.next_event += 1;
-            if self.down[v] != goes_down {
-                self.down[v] = goes_down;
+            if self.down[(v) as usize] != goes_down {
+                self.down[(v) as usize] = goes_down;
                 on_event(v, goes_down);
             }
         }
@@ -319,7 +319,7 @@ impl AdversaryState {
 
     /// Whether node `v` is currently crashed.
     pub(crate) fn is_down(&self, v: NodeId) -> bool {
-        self.down[v]
+        self.down[(v) as usize]
     }
 }
 

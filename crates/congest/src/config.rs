@@ -111,6 +111,16 @@ impl Config {
         self
     }
 
+    /// Enables or disables the per-round message-count log. `false`
+    /// drops the only O(rounds) metrics vector; the running
+    /// [`Metrics::max_round_traffic`](crate::Metrics::max_round_traffic)
+    /// is maintained either way, so long lean runs keep their headline
+    /// congestion figure at O(1) extra memory.
+    pub fn with_record_round_traffic(mut self, record: bool) -> Self {
+        self.record_round_traffic = record;
+        self
+    }
+
     /// Returns the configuration with the engine worker-thread count
     /// replaced (`0` = all available cores). Never changes results;
     /// see [`engine_threads`](Self::engine_threads).

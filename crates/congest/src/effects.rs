@@ -103,6 +103,16 @@ impl<M: Payload> Effects<M> {
         self.memory = None;
     }
 
+    /// Allocated footprint of the staging vectors, in bytes.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.sends.capacity() * size_of::<(u32, NodeId, M)>()
+            + self.bcasts.capacity() * size_of::<(u32, Option<NodeId>, M)>()
+            + (self.send_words.capacity() + self.bcast_words.capacity()) * size_of::<usize>()
+            + (self.edge_words.capacity() + self.skip_words.capacity())
+                * size_of::<(NodeId, usize)>()
+    }
+
     /// Consumes the next op sequence number.
     pub(crate) fn next_seq(&mut self) -> u32 {
         let s = self.seq;

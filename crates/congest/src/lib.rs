@@ -111,6 +111,7 @@ mod metrics;
 mod network;
 mod parcommit;
 mod payload;
+mod scratch;
 pub mod trace;
 
 pub use adversary::{Adversary, CrashEvent};
@@ -121,7 +122,10 @@ pub use machine::{MachineMap, MachineMetrics, MachineRoundLog};
 pub use mailbox::{Inbox, InboxIter};
 pub use metrics::{Metrics, Report};
 pub use network::Network;
-pub use payload::Payload;
+pub use payload::{
+    EnumCodec, MsgCodec, PackedCodec, PackedMsg, PackedPayload, Payload, PACKED_MAX_WORDS,
+};
+pub use scratch::EngineScratch;
 pub use trace::{Trace, TraceEvent};
 
 /// Node identifier — same dense index space as [`dhc_graph::NodeId`].

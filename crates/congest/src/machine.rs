@@ -82,7 +82,7 @@ impl MachineMap {
 
     /// The machine hosting node `v`.
     pub fn machine_of(&self, v: NodeId) -> usize {
-        self.machine_of[v]
+        self.machine_of[(v) as usize]
     }
 
     /// Number of machines `k`.

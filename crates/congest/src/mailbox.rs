@@ -121,9 +121,73 @@ impl<M: Payload> Mailboxes<M> {
         }
     }
 
+    /// Readies recycled mailboxes for a fresh `n`-node network.
+    ///
+    /// Every buffer is cleared — the previous run may have errored
+    /// mid-round with staged state — and the per-node arrays are resized
+    /// to `n`, keeping all surviving allocation capacity. This is the
+    /// engine-level half of [`crate::EngineScratch`]: a phase that runs
+    /// many same-message-type networks back to back (the `√n` Phase 1
+    /// classes, DHC2's merge levels) pays the mailbox allocations once
+    /// instead of once per network.
+    pub(crate) fn recycle(&mut self, n: usize) {
+        for b in &mut self.front {
+            b.clear();
+        }
+        for b in &mut self.back {
+            b.clear();
+        }
+        self.front.resize_with(n, Vec::new);
+        self.back.resize_with(n, Vec::new);
+        self.recs_front.clear();
+        self.recs_back.clear();
+        self.ranges_front.clear();
+        self.ranges_front.resize(n, (0, 0));
+        self.ranges_back.clear();
+        self.ranges_back.resize(n, (0, 0));
+        self.senders_front.clear();
+        self.senders_back.clear();
+        self.bcount_front.clear();
+        self.bcount_front.resize(n, 0);
+        self.bcount_back.clear();
+        self.bcount_back.resize(n, 0);
+        self.touched.clear();
+        self.ready.clear();
+        self.delayed.clear();
+        for t in &mut self.touched_pool {
+            t.clear();
+        }
+    }
+
+    /// Allocated footprint of every buffer, in bytes: both inbox banks
+    /// (outer spine + per-node capacity), both broadcast arenas, the
+    /// range/counter arrays, and the scheduling lists. Capacities only
+    /// grow during a run, so a finish-time sample *is* the run's peak.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let slot = size_of::<Vec<(NodeId, u32, M)>>();
+        let entry = size_of::<(NodeId, u32, M)>();
+        let inboxes = (self.front.capacity() + self.back.capacity()) * slot
+            + self.front.iter().chain(&self.back).map(|b| b.capacity() * entry).sum::<usize>();
+        let arena =
+            (self.recs_front.capacity() + self.recs_back.capacity()) * size_of::<BcastRec<M>>();
+        let per_node = (self.ranges_front.capacity() + self.ranges_back.capacity())
+            * size_of::<(u32, u32)>()
+            + (self.bcount_front.capacity() + self.bcount_back.capacity()) * size_of::<u32>();
+        let sched = (self.senders_front.capacity()
+            + self.senders_back.capacity()
+            + self.touched.capacity())
+            * size_of::<NodeId>()
+            + self.ready.capacity() * size_of::<(NodeId, usize)>()
+            + self.delayed.capacity() * size_of::<DelayedMsg<M>>()
+            + self.touched_pool.capacity() * size_of::<Vec<NodeId>>()
+            + self.touched_pool.iter().map(|t| t.capacity() * size_of::<NodeId>()).sum::<usize>();
+        inboxes + arena + per_node + sched
+    }
+
     /// Records `to` as activated next round, if it was not already.
     fn note_touch(&mut self, to: NodeId) {
-        if self.back[to].is_empty() && self.bcount_back[to] == 0 {
+        if self.back[(to) as usize].is_empty() && self.bcount_back[(to) as usize] == 0 {
             self.touched.push(to);
         }
     }
@@ -134,7 +198,7 @@ impl<M: Payload> Mailboxes<M> {
     /// by `(sender, seq)`.
     pub(crate) fn stage(&mut self, from: NodeId, seq: u32, to: NodeId, msg: M) {
         self.note_touch(to);
-        self.back[to].push((from, seq, msg));
+        self.back[(to) as usize].push((from, seq, msg));
     }
 
     /// Stages one broadcast record (a single payload copy). The caller —
@@ -144,7 +208,7 @@ impl<M: Payload> Mailboxes<M> {
     /// arena range stays contiguous.
     pub(crate) fn stage_broadcast(&mut self, from: NodeId, seq: u32, skip: Option<NodeId>, msg: M) {
         let idx = self.recs_back.len() as u32;
-        let (start, len) = &mut self.ranges_back[from];
+        let (start, len) = &mut self.ranges_back[(from) as usize];
         if *len == 0 {
             *start = idx;
             self.senders_back.push(from);
@@ -157,7 +221,7 @@ impl<M: Payload> Mailboxes<M> {
     /// a counter bump, no payload copy.
     pub(crate) fn deliver(&mut self, to: NodeId) {
         self.note_touch(to);
-        self.bcount_back[to] += 1;
+        self.bcount_back[(to) as usize] += 1;
     }
 
     /// Flips the buffers: clears the consumed front inboxes and arena
@@ -165,12 +229,12 @@ impl<M: Payload> Mailboxes<M> {
     /// and rebuilds the ready list for the next round.
     pub(crate) fn seal(&mut self) {
         for &(v, _) in &self.ready {
-            self.front[v].clear();
-            self.bcount_front[v] = 0;
+            self.front[(v) as usize].clear();
+            self.bcount_front[(v) as usize] = 0;
         }
         self.recs_front.clear();
         for &s in &self.senders_front {
-            self.ranges_front[s] = (0, 0);
+            self.ranges_front[(s) as usize] = (0, 0);
         }
         self.senders_front.clear();
         std::mem::swap(&mut self.front, &mut self.back);
@@ -180,9 +244,9 @@ impl<M: Payload> Mailboxes<M> {
         std::mem::swap(&mut self.bcount_front, &mut self.bcount_back);
         self.touched.sort_unstable();
         self.ready.clear();
-        self.ready.extend(
-            self.touched.iter().map(|&d| (d, self.front[d].len() + self.bcount_front[d] as usize)),
-        );
+        self.ready.extend(self.touched.iter().map(|&d| {
+            (d, self.front[(d) as usize].len() + self.bcount_front[(d) as usize] as usize)
+        }));
         self.touched.clear();
     }
 
@@ -243,7 +307,7 @@ impl<M: Payload> Mailboxes<M> {
                     e.2
                 }
                 None => {
-                    let base: usize = self.front[d.to]
+                    let base: usize = self.front[(d.to) as usize]
                         .iter()
                         .filter(|&&(f, _, _)| f == d.from)
                         .map(|(_, _, m)| m.words().max(1))
@@ -268,13 +332,13 @@ impl<M: Payload> Mailboxes<M> {
             if !hit.contains(&d.to) {
                 hit.push(d.to);
             }
-            self.front[d.to].push((d.from, d.seq, d.msg));
+            self.front[(d.to) as usize].push((d.from, d.seq, d.msg));
         }
         for to in hit {
             // Stable sort: on `(sender, seq)` ties the fresh message
             // (staged first) keeps priority over the late one.
-            self.front[to].sort_by_key(|&(f, s, _)| (f, s));
-            let count = self.front[to].len() + self.bcount_front[to] as usize;
+            self.front[(to) as usize].sort_by_key(|&(f, s, _)| (f, s));
+            let count = self.front[(to) as usize].len() + self.bcount_front[(to) as usize] as usize;
             // Keep `ready` consistent so the engine activates `to` and
             // the next `seal` clears the injected buffer.
             match self.ready.binary_search_by_key(&to, |&(v, _)| v) {
@@ -289,9 +353,9 @@ impl<M: Payload> Mailboxes<M> {
     /// be the node's sorted neighbor slice — it is how the view resolves
     /// which arena records address the node.
     pub(crate) fn inbox<'a>(&'a self, v: NodeId, nbrs: &'a [NodeId]) -> Inbox<'a, M> {
-        let bcount = self.bcount_front[v] as usize;
+        let bcount = self.bcount_front[(v) as usize] as usize;
         Inbox {
-            direct: &self.front[v],
+            direct: &self.front[(v) as usize],
             recs: &self.recs_front,
             ranges: &self.ranges_front,
             // With no addressed broadcasts the merge degenerates to the
@@ -299,7 +363,7 @@ impl<M: Payload> Mailboxes<M> {
             // skip the arena probe entirely.
             nbrs: if bcount == 0 { &[] } else { nbrs },
             me: v,
-            len: self.front[v].len() + bcount,
+            len: self.front[(v) as usize].len() + bcount,
         }
     }
 
@@ -362,27 +426,27 @@ pub(crate) struct DestPart<'a, M> {
 impl<M: Payload> DestPart<'_, M> {
     /// The half-open node-id range `[lo, hi)` this part covers.
     pub(crate) fn range(&self) -> (NodeId, NodeId) {
-        (self.base, self.base + self.back.len())
+        ((self.base) as u32, (self.base + self.back.len()) as u32)
     }
 
     /// Shard-local twin of [`Mailboxes::stage`]; `to` must lie in
     /// [`range`](Self::range).
     pub(crate) fn stage(&mut self, from: NodeId, seq: u32, to: NodeId, msg: M) {
-        let i = to - self.base;
-        if self.back[i].is_empty() && self.bcount[i] == 0 {
+        let i = to - (self.base) as u32;
+        if self.back[(i) as usize].is_empty() && self.bcount[(i) as usize] == 0 {
             self.touched.push(to);
         }
-        self.back[i].push((from, seq, msg));
+        self.back[(i) as usize].push((from, seq, msg));
     }
 
     /// Shard-local twin of [`Mailboxes::deliver`]; `to` must lie in
     /// [`range`](Self::range).
     pub(crate) fn deliver(&mut self, to: NodeId) {
-        let i = to - self.base;
-        if self.back[i].is_empty() && self.bcount[i] == 0 {
+        let i = to - (self.base) as u32;
+        if self.back[(i) as usize].is_empty() && self.bcount[(i) as usize] == 0 {
             self.touched.push(to);
         }
-        self.bcount[i] += 1;
+        self.bcount[(i) as usize] += 1;
     }
 
     /// Consumes the part, returning the destinations it touched.
@@ -498,7 +562,7 @@ impl<M: Payload> InboxIter<'_, M> {
             loop {
                 let &s = self.nbrs.get(self.ni)?;
                 self.ni += 1;
-                let (start, len) = self.ranges[s];
+                let (start, len) = self.ranges[(s) as usize];
                 if len > 0 {
                     self.cur_sender = s;
                     self.cur = start;

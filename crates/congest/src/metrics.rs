@@ -2,8 +2,16 @@
 //! stated in (rounds, congestion) plus the "fully distributed" resource
 //! accounting (per-node memory and computation balance).
 
+use dhc_graph::NodeId;
+
 /// Aggregated measurements from one [`Network`](crate::Network) run.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Equality (`==`) compares every *observable* field — everything a
+/// protocol run determines bit-for-bit regardless of thread count — and
+/// deliberately **excludes** [`engine_memory_words`](Metrics::engine_memory_words):
+/// buffer capacities legitimately vary with worker count and allocator
+/// growth policy while the computation stays identical.
+#[derive(Debug, Clone, Default)]
 pub struct Metrics {
     /// Rounds executed (the paper's primary cost measure).
     pub rounds: usize,
@@ -25,11 +33,47 @@ pub struct Metrics {
     pub peak_memory_per_node: Vec<usize>,
     /// Messages delivered in each round (empty if recording disabled).
     pub round_traffic: Vec<u64>,
+    /// Largest number of messages delivered in any single round of one
+    /// constituent network — maintained **incrementally** every round,
+    /// so disabling the O(rounds) [`round_traffic`](Metrics::round_traffic)
+    /// log (see [`Config::record_round_traffic`](crate::Config::record_round_traffic))
+    /// keeps the headline congestion figure on long lean runs. Under
+    /// [`absorb_parallel`](Metrics::absorb_parallel) this is the peak of
+    /// any single partition, not the cross-partition per-round sum.
+    pub max_round_traffic: u64,
     /// Largest number of words any directed edge carried in any round.
     pub max_edge_words: usize,
     /// Largest number of messages any single node sent in one round
     /// (the `Δ'` of the Klauck et al. k-machine conversion theorem).
     pub max_node_sends_per_round: usize,
+    /// Sampled peak engine-buffer footprint in 8-byte machine words —
+    /// mailbox banks, broadcast arena, per-worker effect scratch,
+    /// parallel-commit shards, and scheduling lists (see
+    /// [`Network::engine_memory_words`](crate::Network::engine_memory_words)).
+    /// Composes as a max: the peak footprint of any single constituent
+    /// network's buffer set, which for scratch-chained sequential phases
+    /// *is* the real footprint of the one shared set. **Excluded from
+    /// `==`**.
+    pub engine_memory_words: u64,
+}
+
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Self) -> bool {
+        // `engine_memory_words` is intentionally absent: it reports
+        // allocation capacity, which may differ across thread counts
+        // while the run itself is bit-identical.
+        self.rounds == other.rounds
+            && self.messages == other.messages
+            && self.words == other.words
+            && self.sent_per_node == other.sent_per_node
+            && self.received_per_node == other.received_per_node
+            && self.compute_per_node == other.compute_per_node
+            && self.peak_memory_per_node == other.peak_memory_per_node
+            && self.round_traffic == other.round_traffic
+            && self.max_round_traffic == other.max_round_traffic
+            && self.max_edge_words == other.max_edge_words
+            && self.max_node_sends_per_round == other.max_node_sends_per_round
+    }
 }
 
 impl Metrics {
@@ -52,8 +96,10 @@ impl Metrics {
             compute_per_node: vec![0; n],
             peak_memory_per_node: vec![0; n],
             round_traffic: Vec::new(),
+            max_round_traffic: 0,
             max_edge_words: 0,
             max_node_sends_per_round: 0,
+            engine_memory_words: 0,
         }
     }
 
@@ -81,9 +127,11 @@ impl Metrics {
                 self.peak_memory_per_node[i].max(other.peak_memory_per_node[i]);
         }
         self.round_traffic.extend_from_slice(&other.round_traffic);
+        self.max_round_traffic = self.max_round_traffic.max(other.max_round_traffic);
         self.max_edge_words = self.max_edge_words.max(other.max_edge_words);
         self.max_node_sends_per_round =
             self.max_node_sends_per_round.max(other.max_node_sends_per_round);
+        self.engine_memory_words = self.engine_memory_words.max(other.engine_memory_words);
     }
 
     /// Accumulates a run that executed **concurrently** with the runs
@@ -101,7 +149,7 @@ impl Metrics {
     ///
     /// Panics if `node_map`'s length differs from `other`'s node count
     /// or maps outside `self`'s node range.
-    pub fn absorb_parallel(&mut self, other: &Metrics, node_map: &[usize]) {
+    pub fn absorb_parallel(&mut self, other: &Metrics, node_map: &[NodeId]) {
         assert_eq!(
             node_map.len(),
             other.sent_per_node.len(),
@@ -111,11 +159,11 @@ impl Metrics {
         self.messages += other.messages;
         self.words += other.words;
         for (local, &global) in node_map.iter().enumerate() {
-            self.sent_per_node[global] += other.sent_per_node[local];
-            self.received_per_node[global] += other.received_per_node[local];
-            self.compute_per_node[global] += other.compute_per_node[local];
-            self.peak_memory_per_node[global] =
-                self.peak_memory_per_node[global].max(other.peak_memory_per_node[local]);
+            self.sent_per_node[global as usize] += other.sent_per_node[local];
+            self.received_per_node[global as usize] += other.received_per_node[local];
+            self.compute_per_node[(global) as usize] += other.compute_per_node[local];
+            self.peak_memory_per_node[(global) as usize] =
+                self.peak_memory_per_node[(global) as usize].max(other.peak_memory_per_node[local]);
         }
         if self.round_traffic.len() < other.round_traffic.len() {
             self.round_traffic.resize(other.round_traffic.len(), 0);
@@ -123,9 +171,11 @@ impl Metrics {
         for (slot, &traffic) in self.round_traffic.iter_mut().zip(&other.round_traffic) {
             *slot += traffic;
         }
+        self.max_round_traffic = self.max_round_traffic.max(other.max_round_traffic);
         self.max_edge_words = self.max_edge_words.max(other.max_edge_words);
         self.max_node_sends_per_round =
             self.max_node_sends_per_round.max(other.max_node_sends_per_round);
+        self.engine_memory_words = self.engine_memory_words.max(other.engine_memory_words);
     }
 
     /// Maximum per-node compute units (load-balance numerator).
@@ -155,6 +205,15 @@ impl Metrics {
     /// Maximum sampled per-node memory in words.
     pub fn max_memory(&self) -> usize {
         self.peak_memory_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Peak engine footprint in 8-byte machine words: the scratch +
+    /// arena + mailbox buffers behind the simulation (see
+    /// [`engine_memory_words`](Metrics::engine_memory_words)), sampled
+    /// at finish time — capacities only grow during a run, so the
+    /// finish-time sample is the run's peak.
+    pub fn peak_memory_words(&self) -> u64 {
+        self.engine_memory_words
     }
 }
 
@@ -256,5 +315,34 @@ mod tests {
         let m = Metrics::new(0);
         assert_eq!(m.compute_balance(), 0.0);
         assert_eq!(m.max_memory(), 0);
+    }
+
+    #[test]
+    fn engine_footprint_is_outside_equality_and_composes_as_max() {
+        let mut a = Metrics::new(2);
+        let mut b = Metrics::new(2);
+        a.engine_memory_words = 1000;
+        b.engine_memory_words = 64;
+        assert_eq!(a, b, "capacity sampling must not break bit-identity checks");
+        a.merge(&b);
+        assert_eq!(a.peak_memory_words(), 1000);
+        let mut total = Metrics::empty(4);
+        total.absorb_parallel(&a, &[0, 2]);
+        total.absorb_parallel(&b, &[1, 3]);
+        assert_eq!(total.engine_memory_words, 1000);
+    }
+
+    #[test]
+    fn max_round_traffic_is_compared_and_maxed() {
+        let mut a = Metrics::new(2);
+        let mut b = Metrics::new(2);
+        a.max_round_traffic = 7;
+        b.max_round_traffic = 9;
+        assert_ne!(a, b, "the streaming congestion figure is observable");
+        a.merge(&b);
+        assert_eq!(a.max_round_traffic, 9);
+        let mut total = Metrics::empty(4);
+        total.absorb_parallel(&a, &[0, 2]);
+        assert_eq!(total.max_round_traffic, 9);
     }
 }

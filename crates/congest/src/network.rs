@@ -36,6 +36,7 @@ use crate::effects::Effects;
 use crate::machine::{MachineLayer, MachineMap};
 use crate::mailbox::{Inbox, Mailboxes};
 use crate::parcommit::{self, CommitScratch, DestRun, SenderRun, ShardCtx};
+use crate::scratch::{EngineScratch, Parts};
 use crate::trace::{Trace, TraceEvent};
 use crate::{Config, Context, Metrics, NodeId, Protocol, Report, SimError};
 use dhc_graph::{Graph, Topology};
@@ -137,7 +138,31 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
     /// [`SimError::NodeCountMismatch`] if `protocols.len() != n`, or any
     /// fault raised by an `init` callback (e.g. sending to a non-neighbor).
     pub fn new(graph: &'g T, config: Config, protocols: Vec<P>) -> Result<Self, SimError> {
-        Self::new_inner(graph, config, protocols, None)
+        Self::new_inner(graph, config, protocols, None, None)
+    }
+
+    /// Like [`new`](Network::new), but seeded from an [`EngineScratch`]:
+    /// the network starts with the recycled mailbox buffers, broadcast
+    /// arena, effect and commit-shard scratch, and (when the thread
+    /// counts match) the parked worker pool of a previously finished
+    /// network, instead of allocating its own. Pair with
+    /// [`finish_with_scratch`](Network::finish_with_scratch) to keep the
+    /// buffers flowing across a phase's many networks.
+    ///
+    /// Recycling is invisible to execution: every buffer is cleared and
+    /// resized for this network before use, so outcomes, [`Metrics`],
+    /// traces, and errors are bit-identical to [`new`](Network::new).
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Network::new).
+    pub fn new_with_scratch(
+        graph: &'g T,
+        config: Config,
+        protocols: Vec<P>,
+        scratch: &mut EngineScratch<P::Msg>,
+    ) -> Result<Self, SimError> {
+        Self::new_inner(graph, config, protocols, None, Some(scratch))
     }
 
     /// Like [`new`](Network::new), but with the **k-machine accounting
@@ -167,7 +192,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             graph.node_count(),
             "machine map must cover exactly the graph's nodes"
         );
-        Self::new_inner(graph, config, protocols, Some(MachineLayer::new(machines)))
+        Self::new_inner(graph, config, protocols, Some(MachineLayer::new(machines)), None)
     }
 
     fn new_inner(
@@ -175,6 +200,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
         config: Config,
         protocols: Vec<P>,
         machines: Option<MachineLayer>,
+        scratch: Option<&mut EngineScratch<P::Msg>>,
     ) -> Result<Self, SimError> {
         if protocols.len() != graph.node_count() {
             return Err(SimError::NodeCountMismatch {
@@ -184,7 +210,10 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
         }
         let n = graph.node_count();
         let threads = config.effective_engine_threads();
-        let pool = (threads > 1).then(|| WorkerPool::new(threads));
+        let parts = match scratch {
+            Some(s) => s.take_parts(n, threads),
+            None => Parts::fresh(n, threads),
+        };
         let trace_capacity = config.trace_capacity;
         // A null adversary (all knobs zero) is dropped here outright, so
         // attaching `Adversary::none()` provably cannot perturb the run:
@@ -199,24 +228,24 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             nodes: protocols,
             halted: vec![false; n],
             halted_count: 0,
-            mail: Mailboxes::new(n),
-            effects: Vec::new(),
-            scratch_woken: Vec::new(),
-            scratch_active: Vec::new(),
-            scratch_work: Vec::new(),
+            mail: parts.mail,
+            effects: parts.effects,
+            scratch_woken: parts.woken,
+            scratch_active: parts.active,
+            scratch_work: parts.work,
             wakes: BinaryHeap::new(),
             round: 0,
             metrics: Metrics::new(n),
             trace: Trace::with_capacity(trace_capacity),
             finished: false,
-            pool,
+            pool: parts.pool,
             machines,
             adversary,
-            scratch_fates: Vec::new(),
-            scratch_charged: Vec::new(),
+            scratch_fates: parts.fates,
+            scratch_charged: parts.charged,
             scratch_nbrs: Vec::new(),
             scratch_dirs: Vec::new(),
-            commit: CommitScratch::new(),
+            commit: parts.commit,
         };
         // Pre-schedule a wake at every restart round, so a restarted
         // node activates (with an empty inbox) even in an otherwise
@@ -229,7 +258,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                 }
             }
         }
-        let all: Vec<NodeId> = (0..n).collect();
+        let all: Vec<NodeId> = (0..n as NodeId).collect();
         net.run_phase(&all, CallKind::Init)?;
         net.mail.seal();
         Ok(net)
@@ -248,9 +277,33 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
         Ok(())
     }
 
+    /// Samples the engine's buffer footprint in 8-byte machine words:
+    /// the double-buffered mailboxes and broadcast arena, the per-worker
+    /// effect scratch, the parallel-commit shard buffers, and the
+    /// scheduling lists. Buffer capacities only grow during a run, so a
+    /// sample after [`run`](Network::run) is the run's peak; both finish
+    /// paths record it as
+    /// [`Metrics::engine_memory_words`](crate::Metrics::engine_memory_words).
+    pub fn engine_memory_words(&self) -> usize {
+        use std::mem::size_of;
+        let effects = self.effects.capacity() * size_of::<Effects<P::Msg>>()
+            + self.effects.iter().map(Effects::memory_bytes).sum::<usize>();
+        let sched = self.scratch_woken.capacity() * size_of::<NodeId>()
+            + self.scratch_active.capacity() * size_of::<(NodeId, usize)>()
+            + self.scratch_work.capacity() * size_of::<NodeId>()
+            + self.wakes.len() * size_of::<Reverse<(usize, NodeId)>>()
+            + self.scratch_fates.capacity() * size_of::<Fate>()
+            + self.scratch_charged.capacity() * size_of::<(NodeId, usize)>()
+            + self.scratch_nbrs.capacity() * size_of::<&[NodeId]>()
+            + self.scratch_dirs.capacity() * size_of::<(&[NodeId], Option<NodeId>)>();
+        let bytes = self.mail.memory_bytes() + effects + sched + self.commit.memory_bytes();
+        bytes.div_ceil(size_of::<u64>())
+    }
+
     /// Consumes the network, returning the final [`Report`] (by value, no
     /// metrics clone) and the per-node protocol states.
-    pub fn finish(self) -> (Report, Vec<P>) {
+    pub fn finish(mut self) -> (Report, Vec<P>) {
+        self.metrics.engine_memory_words = self.engine_memory_words() as u64;
         (
             Report {
                 metrics: self.metrics,
@@ -258,6 +311,53 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                 machine_log: self.machines.map(MachineLayer::into_log),
             },
             self.nodes,
+        )
+    }
+
+    /// Like [`finish`](Network::finish), but donates the network's
+    /// warmed-up buffers (mailboxes, broadcast arena, effect and
+    /// commit-shard scratch, worker pool) to `scratch`, replacing
+    /// whatever it held, so the next
+    /// [`new_with_scratch`](Network::new_with_scratch) recycles them.
+    /// Works regardless of how this network was constructed, and also
+    /// after an errored [`run`](Network::run) — the taker re-clears
+    /// everything.
+    pub fn finish_with_scratch(mut self, scratch: &mut EngineScratch<P::Msg>) -> (Report, Vec<P>) {
+        self.metrics.engine_memory_words = self.engine_memory_words() as u64;
+        let Network {
+            nodes,
+            halted_count,
+            mail,
+            effects,
+            scratch_woken,
+            scratch_active,
+            scratch_work,
+            metrics,
+            pool,
+            machines,
+            scratch_fates,
+            scratch_charged,
+            commit,
+            ..
+        } = self;
+        scratch.store(Parts {
+            mail,
+            effects,
+            commit,
+            woken: scratch_woken,
+            active: scratch_active,
+            work: scratch_work,
+            fates: scratch_fates,
+            charged: scratch_charged,
+            pool,
+        });
+        (
+            Report {
+                metrics,
+                halted: halted_count,
+                machine_log: machines.map(MachineLayer::into_log),
+            },
+            nodes,
         )
     }
 
@@ -393,7 +493,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                     let w = woken[j];
                     j += 1;
                     let down = self.adversary.as_ref().is_some_and(|st| st.is_down(w));
-                    if !self.halted[w] && !down && self.trace.is_enabled() {
+                    if !self.halted[(w) as usize] && !down && self.trace.is_enabled() {
                         self.trace.push(TraceEvent::Woke { round: self.round, node: w });
                     }
                     active.push((w, 0));
@@ -425,16 +525,19 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
         work.clear();
         for &(v, len) in &active {
             round_messages += len as u64;
-            self.metrics.received_per_node[v] += len as u64;
-            self.metrics.compute_per_node[v] += len as u64;
+            self.metrics.received_per_node[(v) as usize] += len as u64;
+            self.metrics.compute_per_node[(v) as usize] += len as u64;
             let down = self.adversary.as_ref().is_some_and(|st| st.is_down(v));
-            if !self.halted[v] && !down {
+            if !self.halted[(v) as usize] && !down {
                 work.push(v);
             }
         }
+        // The O(rounds) log is optional; the running maximum is not — it
+        // is the streaming congestion figure long lean runs keep.
         if self.config.record_round_traffic {
             self.metrics.round_traffic.push(round_messages);
         }
+        self.metrics.max_round_traffic = self.metrics.max_round_traffic.max(round_messages);
 
         let result = self.run_phase(&work, CallKind::Round);
         self.scratch_woken = woken;
@@ -529,10 +632,10 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                 return Err(err);
             }
             let nbrs = graph.neighbors(v);
-            self.metrics.compute_per_node[v] += fx.compute;
+            self.metrics.compute_per_node[(v) as usize] += fx.compute;
             if let Some(mem) = fx.memory {
-                if mem > self.metrics.peak_memory_per_node[v] {
-                    self.metrics.peak_memory_per_node[v] = mem;
+                if mem > self.metrics.peak_memory_per_node[(v) as usize] {
+                    self.metrics.peak_memory_per_node[(v) as usize] = mem;
                 }
             }
             // Per-directed-edge accounting: every broadcast still counts
@@ -575,7 +678,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                     let ((seq, to, msg), words) = uni.next().expect("peeked");
                     self.metrics.words += words as u64;
                     self.metrics.messages += 1;
-                    self.metrics.sent_per_node[v] += 1;
+                    self.metrics.sent_per_node[(v) as usize] += 1;
                     if self.trace.is_enabled() {
                         self.trace.push(TraceEvent::Sent { round: self.round, from: v, to, words });
                     }
@@ -593,7 +696,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                     }
                     self.metrics.words += words as u64 * count as u64;
                     self.metrics.messages += count as u64;
-                    self.metrics.sent_per_node[v] += count as u64;
+                    self.metrics.sent_per_node[(v) as usize] += count as u64;
                     if self.trace.is_enabled() {
                         for &to in nbrs {
                             if Some(to) != skip {
@@ -636,8 +739,8 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                     }
                 }
             }
-            if fx.halted && !self.halted[v] {
-                self.halted[v] = true;
+            if fx.halted && !self.halted[(v) as usize] {
+                self.halted[(v) as usize] = true;
                 self.halted_count += 1;
                 if self.trace.is_enabled() {
                     self.trace.push(TraceEvent::Halted { round: self.round, node: v });
@@ -723,7 +826,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                 fx_rest = rest;
                 let (nb, rest) = nbrs_rest.split_at(take);
                 nbrs_rest = rest;
-                let next = work_rest.first().map_or(n, |&v| v);
+                let next = work_rest.first().map_or(n, |&v| (v) as usize);
                 let width = next - consumed;
                 let (sent, rest) = sent_rest.split_at_mut(width);
                 sent_rest = rest;
@@ -790,10 +893,10 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                     let v = work[idx + j];
                     let fx = &mut effects[idx + j];
                     debug_assert!(fx.fault.is_none(), "planned shard cannot hold a fault");
-                    metrics.compute_per_node[v] += fx.compute;
+                    metrics.compute_per_node[(v) as usize] += fx.compute;
                     if let Some(mem) = fx.memory {
-                        if mem > metrics.peak_memory_per_node[v] {
-                            metrics.peak_memory_per_node[v] = mem;
+                        if mem > metrics.peak_memory_per_node[(v) as usize] {
+                            metrics.peak_memory_per_node[(v) as usize] = mem;
                         }
                     }
                     cursor += route_node_adversarial(
@@ -926,10 +1029,10 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             return Err(err);
         }
         let nbrs = graph.neighbors(v);
-        metrics.compute_per_node[v] += fx.compute;
+        metrics.compute_per_node[(v) as usize] += fx.compute;
         if let Some(mem) = fx.memory {
-            if mem > metrics.peak_memory_per_node[v] {
-                metrics.peak_memory_per_node[v] = mem;
+            if mem > metrics.peak_memory_per_node[(v) as usize] {
+                metrics.peak_memory_per_node[(v) as usize] = mem;
             }
         }
 
@@ -1039,7 +1142,7 @@ fn carve_jobs<'a, P: Protocol, T: Topology>(
     let mut fx_rest = effects;
     let mut base = 0;
     for &v in work {
-        let (_, tail) = node_rest.split_at_mut(v - base);
+        let (_, tail) = node_rest.split_at_mut((v - base) as usize);
         let (node, tail) = tail.split_first_mut().expect("active node id in range");
         node_rest = tail;
         base = v + 1;
@@ -1097,7 +1200,7 @@ fn route_node_adversarial<M: crate::Payload>(
         let copies: u64 = if fate == Fate::Duplicate { 2 } else { 1 };
         metrics.words += words as u64 * copies;
         metrics.messages += copies;
-        metrics.sent_per_node[v] += copies;
+        metrics.sent_per_node[(v) as usize] += copies;
         if trace_on {
             trace.push(TraceEvent::Sent { round, from: v, to, words });
             match fate {
@@ -1156,8 +1259,8 @@ fn route_node_adversarial<M: crate::Payload>(
             }
         }
     }
-    if fx.halted && !halted[v] {
-        halted[v] = true;
+    if fx.halted && !halted[(v) as usize] {
+        halted[(v) as usize] = true;
         *halted_count += 1;
         if trace_on {
             trace.push(TraceEvent::Halted { round, node: v });

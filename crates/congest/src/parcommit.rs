@@ -141,6 +141,41 @@ impl<M: Payload> CommitScratch<M> {
         }
         debug_assert!(self.buckets.iter().all(Vec::is_empty), "bucket matrix not drained");
     }
+
+    /// Readies a recycled scratch for a new network: the bucket matrix
+    /// is drained (a donor run may have errored between the commit and
+    /// destination passes), keeping every allocation. The shard outs
+    /// need nothing — [`prepare`](Self::prepare) resets them per round.
+    pub(crate) fn recycle(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+    }
+
+    /// Allocated footprint of the shard outs and the bucket matrix, in
+    /// bytes.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let outs: usize = self
+            .outs
+            .iter()
+            .map(|o| {
+                o.wakes.capacity() * size_of::<(usize, NodeId)>()
+                    + o.trace.capacity() * size_of::<TraceEvent>()
+                    + o.bcasts.capacity() * size_of::<(NodeId, u32, Option<NodeId>, M)>()
+                    + o.fates.capacity() * size_of::<Fate>()
+                    + o.charged.capacity() * size_of::<(NodeId, usize)>()
+            })
+            .sum();
+        self.outs.capacity() * size_of::<ShardOut<M>>()
+            + outs
+            + self.buckets.capacity() * size_of::<Vec<(NodeId, u32, NodeId, M)>>()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.capacity() * size_of::<(NodeId, u32, NodeId, M)>())
+                .sum::<usize>()
+    }
 }
 
 /// One sender shard's unit of work: a contiguous run of the round's
@@ -237,11 +272,11 @@ impl<M: Payload> SenderRun<'_, '_, M> {
         for (j, (&v, fx)) in work.iter().zip(effects.iter_mut()).enumerate() {
             debug_assert!(fx.fault.is_none(), "commit pass reached a faulted node");
             let nbrs = nbrs_all[j];
-            let vi = v - node_base;
-            compute[vi] += fx.compute;
+            let vi = v - (node_base) as u32;
+            compute[(vi) as usize] += fx.compute;
             if let Some(mem) = fx.memory {
-                if mem > peak_mem[vi] {
-                    peak_mem[vi] = mem;
+                if mem > peak_mem[(vi) as usize] {
+                    peak_mem[(vi) as usize] = mem;
                 }
             }
             // Route, merged back into call order by op sequence —
@@ -259,14 +294,14 @@ impl<M: Payload> SenderRun<'_, '_, M> {
                     let ((seq, to, msg), words) = uni.next().expect("peeked");
                     out.words += words as u64;
                     out.messages += 1;
-                    sent[vi] += 1;
+                    sent[(vi) as usize] += 1;
                     if ctx.trace_on {
                         out.trace.push(TraceEvent::Sent { round: ctx.round, from: v, to, words });
                     }
                     if let (Some(ms), Some(map)) = (out.machine.as_mut(), ctx.machines) {
                         ms.unicast(map, v, to, words);
                     }
-                    buckets[to / ctx.dest_chunk].push((v, seq, to, msg));
+                    buckets[(to / (ctx.dest_chunk) as u32) as usize].push((v, seq, to, msg));
                 } else {
                     let ((seq, skip, msg), words) = bc.next().expect("peeked");
                     let count = nbrs.len() - usize::from(skip.is_some());
@@ -275,7 +310,7 @@ impl<M: Payload> SenderRun<'_, '_, M> {
                     }
                     out.words += words as u64 * count as u64;
                     out.messages += count as u64;
-                    sent[vi] += count as u64;
+                    sent[(vi) as usize] += count as u64;
                     if ctx.trace_on {
                         for &to in nbrs {
                             if Some(to) != skip {
@@ -311,8 +346,8 @@ impl<M: Payload> SenderRun<'_, '_, M> {
                     }
                 }
             }
-            if fx.halted && !halted[vi] {
-                halted[vi] = true;
+            if fx.halted && !halted[(vi) as usize] {
+                halted[(vi) as usize] = true;
                 out.halts += 1;
                 if ctx.trace_on {
                     out.trace.push(TraceEvent::Halted { round: ctx.round, node: v });

@@ -1,0 +1,177 @@
+//! Cross-network engine buffer recycling.
+//!
+//! A [`Network`](crate::Network) owns a family of arena-style buffers —
+//! per-node mailboxes, the broadcast arena, the per-active-node effect
+//! scratch, the parallel-commit shard buffers, the scheduling scratch,
+//! and (when `engine_threads > 1`) the persistent worker pool. Within
+//! one network they are allocated once and reused every round, but a
+//! *phase* that runs many networks back to back — the `√n` Phase 1
+//! color classes, DHC2's `⌈log k⌉` merge levels — used to pay the full
+//! allocation (and thread-spawn) cost once per network.
+//!
+//! [`EngineScratch`] breaks that: construct with
+//! [`Network::new_with_scratch`](crate::Network::new_with_scratch) and
+//! tear down with
+//! [`Network::finish_with_scratch`](crate::Network::finish_with_scratch),
+//! and the buffers flow from one network to the next. Recycling is
+//! purely an allocation-level affair — every buffer is cleared and
+//! resized for the new node count before use, so execution, metrics,
+//! traces, and errors are bit-identical to fresh construction (pinned
+//! by the `scratch_reuse` test suite).
+//!
+//! The scratch is typed by the **wire message type** `M`, not by the
+//! protocol: any two protocols whose messages travel in the same wire
+//! form can share one scratch. That is what makes the word-packed wire
+//! representation ([`crate::PackedMsg`]) compose with reuse — under
+//! [`crate::PackedCodec`] every protocol's wire type *is* `PackedMsg`,
+//! so one scratch can span, say, the Phase 1 class runs and the
+//! hypernode stitch that follows them.
+
+use crate::adversary::Fate;
+use crate::effects::Effects;
+use crate::mailbox::Mailboxes;
+use crate::parcommit::CommitScratch;
+use crate::{NodeId, Payload};
+use dhc_pool::WorkerPool;
+
+/// Recycled allocations of finished [`Network`](crate::Network)s,
+/// ready to seed the next network carrying the same wire message type.
+///
+/// Starts cold (no buffers, no threads); warms up on the first
+/// [`finish_with_scratch`](crate::Network::finish_with_scratch). A
+/// network constructed from a warm scratch reuses the donor's mailbox
+/// buffers, broadcast arena, effect and commit-shard scratch, and —
+/// when the thread counts match — its worker pool.
+pub struct EngineScratch<M: Payload> {
+    /// Recycled double-buffered mailboxes (per-node inbox vectors, the
+    /// broadcast arenas, ranges, counters, touch lists).
+    pub(crate) mail: Option<Mailboxes<M>>,
+    /// Recycled per-active-node effect scratch.
+    pub(crate) effects: Vec<Effects<M>>,
+    /// Recycled per-shard parallel-commit buffers.
+    pub(crate) commit: CommitScratch<M>,
+    /// Recycled per-round scheduling scratch (due wake-ups).
+    pub(crate) woken: Vec<NodeId>,
+    /// Recycled per-round scheduling scratch (merged active set).
+    pub(crate) active: Vec<(NodeId, usize)>,
+    /// Recycled per-round scheduling scratch (runnable list).
+    pub(crate) work: Vec<NodeId>,
+    /// Recycled adversarial-commit fate scratch.
+    pub(crate) fates: Vec<Fate>,
+    /// Recycled adversarial bandwidth-check scratch.
+    pub(crate) charged: Vec<(NodeId, usize)>,
+    /// Recycled persistent worker pool, with its parked threads.
+    pub(crate) pool: Option<WorkerPool>,
+}
+
+/// The buffer set a [`Network`](crate::Network) is born with — taken
+/// from a warm [`EngineScratch`] or freshly allocated.
+pub(crate) struct Parts<M: Payload> {
+    pub(crate) mail: Mailboxes<M>,
+    pub(crate) effects: Vec<Effects<M>>,
+    pub(crate) commit: CommitScratch<M>,
+    pub(crate) woken: Vec<NodeId>,
+    pub(crate) active: Vec<(NodeId, usize)>,
+    pub(crate) work: Vec<NodeId>,
+    pub(crate) fates: Vec<Fate>,
+    pub(crate) charged: Vec<(NodeId, usize)>,
+    pub(crate) pool: Option<WorkerPool>,
+}
+
+impl<M: Payload> Parts<M> {
+    /// Cold start: what [`Network::new`](crate::Network::new) allocates.
+    pub(crate) fn fresh(n: usize, threads: usize) -> Self {
+        Parts {
+            mail: Mailboxes::new(n),
+            effects: Vec::new(),
+            commit: CommitScratch::new(),
+            woken: Vec::new(),
+            active: Vec::new(),
+            work: Vec::new(),
+            fates: Vec::new(),
+            charged: Vec::new(),
+            pool: (threads > 1).then(|| WorkerPool::new(threads)),
+        }
+    }
+}
+
+impl<M: Payload> EngineScratch<M> {
+    /// An empty (cold) scratch. The first network built from it
+    /// allocates normally; every later one recycles.
+    pub fn new() -> Self {
+        EngineScratch {
+            mail: None,
+            effects: Vec::new(),
+            commit: CommitScratch::new(),
+            woken: Vec::new(),
+            active: Vec::new(),
+            work: Vec::new(),
+            fates: Vec::new(),
+            charged: Vec::new(),
+            pool: None,
+        }
+    }
+
+    /// Whether the scratch holds recycled buffers (i.e. at least one
+    /// network has been finished into it).
+    pub fn is_warm(&self) -> bool {
+        self.mail.is_some()
+    }
+
+    /// Takes the buffer set for a new `n`-node network running on
+    /// `threads` effective engine threads, readying every recycled
+    /// buffer (a donor run may have errored mid-round). The pool is
+    /// reused only when its thread count matches; the effect scratch
+    /// needs no clearing here — the engine resets each entry before
+    /// use.
+    pub(crate) fn take_parts(&mut self, n: usize, threads: usize) -> Parts<M> {
+        let mut mail = match self.mail.take() {
+            Some(m) => m,
+            None => return Parts::fresh(n, threads),
+        };
+        mail.recycle(n);
+        let mut commit = std::mem::replace(&mut self.commit, CommitScratch::new());
+        commit.recycle();
+        let pool = match self.pool.take() {
+            Some(p) if threads > 1 && p.workers() == threads => Some(p),
+            _ => (threads > 1).then(|| WorkerPool::new(threads)),
+        };
+        self.woken.clear();
+        self.active.clear();
+        self.work.clear();
+        self.fates.clear();
+        self.charged.clear();
+        Parts {
+            mail,
+            effects: std::mem::take(&mut self.effects),
+            commit,
+            woken: std::mem::take(&mut self.woken),
+            active: std::mem::take(&mut self.active),
+            work: std::mem::take(&mut self.work),
+            fates: std::mem::take(&mut self.fates),
+            charged: std::mem::take(&mut self.charged),
+            pool,
+        }
+    }
+
+    /// Stores a finished network's buffers for the next taker,
+    /// replacing whatever was held before.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn store(&mut self, parts: Parts<M>) {
+        self.mail = Some(parts.mail);
+        self.effects = parts.effects;
+        self.commit = parts.commit;
+        self.woken = parts.woken;
+        self.active = parts.active;
+        self.work = parts.work;
+        self.fates = parts.fates;
+        self.charged = parts.charged;
+        self.pool = parts.pool;
+    }
+}
+
+impl<M: Payload> Default for EngineScratch<M> {
+    fn default() -> Self {
+        EngineScratch::new()
+    }
+}

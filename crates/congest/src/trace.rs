@@ -109,21 +109,29 @@ impl TraceEvent {
     }
 }
 
-/// A bounded event log. Once `capacity` events are stored, further events
-/// are counted but dropped (protocol runs can produce millions of sends;
-/// the cap keeps tracing safe to leave on).
+/// A bounded event log: a **ring buffer** over the last `capacity`
+/// events, with drop accounting. Protocol runs can produce millions of
+/// sends; the ring holds memory at O(capacity) no matter how long the
+/// run, and keeps the *most recent* window — the part that explains a
+/// stall, a late fault, or the closing rounds of a phase. Events that
+/// fell off the front are counted in [`dropped`](Trace::dropped), so a
+/// truncated log is always detectable.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    events: Vec<TraceEvent>,
+    /// Stored events; once full, `head` marks the oldest entry.
+    ring: Vec<TraceEvent>,
+    /// Index of the oldest stored event (0 until the ring first wraps).
+    head: usize,
     capacity: usize,
+    /// Events overwritten after the ring filled.
     dropped: usize,
 }
 
 impl Trace {
-    /// Creates a trace that keeps at most `capacity` events
+    /// Creates a trace that keeps the last `capacity` events
     /// (0 disables recording entirely).
     pub fn with_capacity(capacity: usize) -> Self {
-        Trace { events: Vec::new(), capacity, dropped: 0 }
+        Trace { ring: Vec::new(), head: 0, capacity, dropped: 0 }
     }
 
     /// Whether recording is enabled.
@@ -132,26 +140,45 @@ impl Trace {
     }
 
     pub(crate) fn push(&mut self, ev: TraceEvent) {
-        if self.events.len() < self.capacity {
-            self.events.push(ev);
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev);
         } else if self.capacity > 0 {
+            self.ring[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
         }
     }
 
-    /// The recorded events, in order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// The recorded events, oldest to newest. The window covers the
+    /// whole run until the ring first fills, then slides forward; check
+    /// [`dropped`](Trace::dropped) for how much fell off the front.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.iter().copied().collect()
     }
 
-    /// Number of events that did not fit the capacity.
+    /// Iterates the recorded events, oldest to newest, without copying.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring[self.head..].iter().chain(self.ring[..self.head].iter())
+    }
+
+    /// Number of recorded events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Number of events that slid out of the window.
     pub fn dropped(&self) -> usize {
         self.dropped
     }
 
-    /// Events belonging to `round`.
+    /// Events belonging to `round` (within the retained window).
     pub fn in_round(&self, round: usize) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.round() == round)
+        self.iter().filter(move |e| e.round() == round)
     }
 }
 
@@ -163,10 +190,26 @@ mod tests {
     fn capacity_enforced() {
         let mut t = Trace::with_capacity(2);
         for i in 0..5 {
-            t.push(TraceEvent::Halted { round: i, node: i });
+            t.push(TraceEvent::Halted { round: i, node: (i) as u32 });
         }
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_window() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..7 {
+            t.push(TraceEvent::Halted { round: i, node: i as u32 });
+        }
+        // Oldest-to-newest, sliding window over the tail of the run.
+        let rounds: Vec<usize> = t.events().iter().map(|e| e.round()).collect();
+        assert_eq!(rounds, vec![4, 5, 6]);
+        assert_eq!(t.dropped(), 4);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.in_round(5).count(), 1);
+        assert_eq!(t.in_round(0).count(), 0, "slid out of the window");
     }
 
     #[test]

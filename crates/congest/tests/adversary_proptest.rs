@@ -35,7 +35,7 @@ impl Protocol for Gossip {
         if self.life == 0 {
             ctx.halt();
         } else {
-            ctx.wake_in(1 + self.id % 2);
+            ctx.wake_in((1 + self.id % 2) as usize);
         }
     }
 
@@ -50,9 +50,9 @@ impl Protocol for Gossip {
         }
         self.life -= 1;
         let n = ctx.n();
-        ctx.send((self.id + n - 1) % n, Tok((self.id as u64) << 8 | r as u64));
-        ctx.send((self.id + 1) % n, Tok((self.id as u64) << 9 | r as u64));
-        ctx.wake_in(1 + (self.id + r) % 3);
+        ctx.send((self.id + (n) as u32 - 1) % (n) as u32, Tok((self.id as u64) << 8 | r as u64));
+        ctx.send((self.id + 1) % (n) as u32, Tok((self.id as u64) << 9 | r as u64));
+        ctx.wake_in((1 + (self.id + (r) as u32) % 3) as usize);
     }
 }
 
@@ -65,8 +65,9 @@ type RunResult =
 
 fn run_gossip(n: usize, lives: &[usize], adv: &Adversary, threads: usize) -> RunResult {
     let g = dhc_graph::generator::cycle_graph(n);
-    let nodes: Vec<Gossip> =
-        (0..n).map(|id| Gossip { id, life: lives[id % lives.len()], got: Vec::new() }).collect();
+    let nodes: Vec<Gossip> = (0..n)
+        .map(|id| Gossip { id: id as u32, life: lives[id % lives.len()], got: Vec::new() })
+        .collect();
     let cfg = Config::default()
         .with_bandwidth_words(4)
         .with_max_rounds(500)
@@ -106,7 +107,7 @@ proptest! {
             .with_delay(delay_ppm, max_delay);
         if crash_at > 0 {
             let restart = (restart > crash_at).then_some(restart);
-            adv = adv.with_crash(crash_node % n, crash_at, restart);
+            adv = adv.with_crash((crash_node % n) as u32, crash_at, restart);
         }
         let baseline = run_gossip(n, &lives, &adv, 1);
         for threads in [2, 4, 0] {

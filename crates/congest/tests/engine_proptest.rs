@@ -48,8 +48,8 @@ impl Protocol for Scripted {
             ctx.halt();
         } else {
             let delta = 1 + self.id % 3;
-            self.expected_wakes.push(delta);
-            ctx.wake_in(delta);
+            self.expected_wakes.push((delta) as usize);
+            ctx.wake_in((delta) as usize);
         }
     }
 
@@ -61,10 +61,10 @@ impl Protocol for Scripted {
             Some((delta, left, right)) => {
                 let n = ctx.n();
                 if left {
-                    ctx.send((self.id + n - 1) % n, Ping);
+                    ctx.send((self.id + (n) as u32 - 1) % (n) as u32, Ping);
                 }
                 if right {
-                    ctx.send((self.id + 1) % n, Ping);
+                    ctx.send((self.id + 1) % (n) as u32, Ping);
                 }
                 self.expected_wakes.push(r + delta);
                 ctx.wake_in(delta);
@@ -87,7 +87,7 @@ fn run_scripts(
     let n = scripts.len();
     let g = dhc_graph::generator::cycle_graph(n);
     let nodes: Vec<Scripted> =
-        scripts.iter().enumerate().map(|(v, s)| Scripted::new(v, s.clone())).collect();
+        scripts.iter().enumerate().map(|(v, s)| Scripted::new((v) as u32, s.clone())).collect();
     let cfg = Config::default().with_trace_capacity(1_000_000).with_engine_threads(threads);
     let mut net = Network::new(&g, cfg, nodes).unwrap();
     net.run().unwrap();

@@ -38,7 +38,7 @@ impl Protocol for Scripted {
             self.halt_round = Some(0);
             ctx.halt();
         } else {
-            ctx.wake_in(1 + self.id % 3);
+            ctx.wake_in((1 + self.id % 3) as usize);
         }
     }
 
@@ -49,10 +49,10 @@ impl Protocol for Scripted {
             Some((delta, left, right, bcast)) => {
                 let n = ctx.n();
                 if left {
-                    ctx.send((self.id + n - 1) % n, Ping);
+                    ctx.send((self.id + (n) as u32 - 1) % (n) as u32, Ping);
                 }
                 if right {
-                    ctx.send((self.id + 1) % n, Ping);
+                    ctx.send((self.id + 1) % (n) as u32, Ping);
                 }
                 if bcast {
                     ctx.send_all(Ping);
@@ -93,7 +93,7 @@ fn run_scripts(
         .iter()
         .enumerate()
         .map(|(v, s)| Scripted {
-            id: v,
+            id: (v) as u32,
             script: s.clone().into(),
             activations: Vec::new(),
             halt_round: None,

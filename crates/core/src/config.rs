@@ -53,6 +53,17 @@ pub struct DhcConfig {
     /// **identical for every value**: the engine commits each round's
     /// effects in ascending node-id order regardless of thread count.
     pub engine_threads: usize,
+    /// Protocol messages travel as **word-packed** wire values
+    /// ([`dhc_congest::PackedMsg`], 28 bytes inline) instead of the
+    /// padded logical enums when `true` — the memory-lean hot path for
+    /// million-node runs. Outcomes, [`dhc_congest::Metrics`], and
+    /// traces are **bit-identical** either way: packing changes only
+    /// the in-memory representation, never the CONGEST word accounting
+    /// (pinned by `crates/core/tests/packed_equivalence.rs`). Applies
+    /// to the DRA (Phase 1), the DHC1 hypernode stitch, Upcast, and
+    /// DHC2's merge levels (whose 9-word bridge decisions ride a wider
+    /// `PackedMsg<9>` wire, 40 bytes vs 56 for the enum).
+    pub packed_payloads: bool,
     /// Phase 1 runs each color class as a **zero-copy**
     /// [`dhc_graph::ClassView`] over one shared
     /// [`dhc_graph::PartitionedGraph`] by default (`false`). Setting
@@ -64,6 +75,12 @@ pub struct DhcConfig {
     /// sorted local-id neighbor lists (pinned by
     /// `crates/core/tests/view_equivalence.rs`).
     pub materialize_phase1: bool,
+    /// Record the engine's per-round message counts (the one O(rounds)
+    /// metrics vector) in every simulation the algorithms run. Default
+    /// `true`; set `false` for long memory-lean runs — the streaming
+    /// [`dhc_congest::Metrics::max_round_traffic`] aggregate is
+    /// maintained incrementally either way.
+    pub record_round_traffic: bool,
     /// Optional seeded fault model applied to **every** simulation an
     /// algorithm runs (Phase-1 per-class runs, DHC1 stitching, DHC2
     /// merge levels, Upcast): message drop / duplicate / bounded delay
@@ -91,6 +108,8 @@ impl DhcConfig {
             parallelism: 1,
             engine_threads: 1,
             materialize_phase1: false,
+            record_round_traffic: true,
+            packed_payloads: false,
             adversary: None,
         }
     }
@@ -145,6 +164,21 @@ impl DhcConfig {
         self
     }
 
+    /// `true` sends protocol messages in the word-packed wire form —
+    /// the memory-lean path. Never changes results; see
+    /// [`packed_payloads`](Self::packed_payloads).
+    pub fn with_packed_payloads(mut self, packed: bool) -> Self {
+        self.packed_payloads = packed;
+        self
+    }
+
+    /// Enables or disables the O(rounds) per-round traffic log; see
+    /// [`record_round_traffic`](Self::record_round_traffic).
+    pub fn with_round_traffic(mut self, record: bool) -> Self {
+        self.record_round_traffic = record;
+        self
+    }
+
     /// Attaches a seeded fault model to every simulation the algorithms
     /// run; see [`adversary`](Self::adversary).
     pub fn with_adversary(mut self, adversary: Adversary) -> Self {
@@ -180,7 +214,8 @@ impl DhcConfig {
         let mut sim = SimConfig::default()
             .with_max_rounds(self.max_rounds)
             .with_bandwidth_words(self.bandwidth_words)
-            .with_engine_threads(self.engine_threads);
+            .with_engine_threads(self.engine_threads)
+            .with_record_round_traffic(self.record_round_traffic);
         if let Some(adv) = &self.adversary {
             sim = sim.with_adversary(adv.clone());
         }
@@ -197,7 +232,8 @@ impl DhcConfig {
         let mut sim = SimConfig::default()
             .with_max_rounds(self.max_rounds)
             .with_bandwidth_words(self.bandwidth_words)
-            .with_engine_threads(self.engine_threads);
+            .with_engine_threads(self.engine_threads)
+            .with_record_round_traffic(self.record_round_traffic);
         if let Some(adv) = &self.adversary {
             sim = sim.with_adversary(adv.for_class(members, color));
         }

@@ -36,41 +36,74 @@
 
 use crate::kmachine::KMachineProbe;
 use crate::output::NodeCycleOutput;
-use crate::runner::{draw_colors, run_phase1, PhaseBreakdown, RunOutcome};
+use crate::runner::{draw_colors, run_phase1_with, Phase1Outcome, PhaseBreakdown, RunOutcome};
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
-use dhc_congest::{Context, Inbox, Network, NodeId, Payload, Protocol, SimError};
+use dhc_congest::{
+    Context, EngineScratch, EnumCodec, Inbox, MsgCodec, Network, NodeId, PackedCodec, PackedMsg,
+    PackedPayload, Payload, Protocol, SimError,
+};
 use dhc_graph::rng::derive_seed;
 use dhc_graph::{Graph, Partition};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::marker::PhantomData;
 
 /// Identifier of one hypernode-rotation broadcast: `(initiator, sequence)`.
-type RotKey = (NodeId, u32);
+pub type RotKey = (NodeId, u32);
 
-/// Messages of the hypernode-stitching phase.
+/// Messages of the hypernode-stitching phase (exposed so equivalence
+/// tests can pin the packed wire form against the enum oracle).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum HypMsg {
+pub enum HypMsg {
     /// A terminal announces itself (and its color) to all neighbors.
-    TermAnnounce { color: u32 },
+    TermAnnounce {
+        /// The sender's partition color.
+        color: u32,
+    },
     /// Live terminal → drawn terminal: extend or rotate.
-    HypProgress { pos: usize },
+    HypProgress {
+        /// The head hypernode's path position.
+        pos: usize,
+    },
     /// Fresh hypernode accepted the extension.
     HypFreshAck,
     /// Entry terminal → its partner: you are the new live exit.
-    BecomeHead { pos: usize },
+    BecomeHead {
+        /// The accepting hypernode's new path position.
+        pos: usize,
+    },
     /// Target was not usable (entry terminal, or early closing attempt).
     HypReject,
     /// Rotation broadcast (flooded over all edges, echo-terminated):
     /// reverse hypernode-path segment `(j, h]`.
-    HypRotation { key: RotKey, h: usize, j: usize, y: NodeId, x: NodeId },
+    HypRotation {
+        /// Instance key.
+        key: RotKey,
+        /// Old head hypernode position.
+        h: usize,
+        /// Rotation pivot hypernode position.
+        j: usize,
+        /// The drawn terminal (the pivot's exit).
+        y: NodeId,
+        /// The drawing live terminal.
+        x: NodeId,
+    },
     /// Echo for [`HypRotation`](HypMsg::HypRotation).
-    HypRotAck { key: RotKey },
+    HypRotAck {
+        /// Instance key.
+        key: RotKey,
+    },
     /// Rotation finished; the new live terminal may act.
     HypResume,
     /// Success flood: closing cross-edge `(x, y)` chosen.
-    HypDone { x: NodeId, y: NodeId },
+    HypDone {
+        /// The drawing live terminal.
+        x: NodeId,
+        /// The closing target (hypernode 0's free terminal).
+        y: NodeId,
+    },
     /// Failure flood: the live terminal ran out of unused edges.
     HypAbort,
 }
@@ -92,6 +125,50 @@ impl Payload for HypMsg {
     }
 }
 
+impl PackedPayload for HypMsg {
+    type Wire = PackedMsg;
+
+    fn pack(&self) -> PackedMsg {
+        match *self {
+            HypMsg::TermAnnounce { color } => PackedMsg::new(0, &[color]),
+            HypMsg::HypProgress { pos } => PackedMsg::new(1, &[pos as u32]),
+            HypMsg::HypFreshAck => PackedMsg::new(2, &[0]),
+            HypMsg::BecomeHead { pos } => PackedMsg::new(3, &[pos as u32]),
+            HypMsg::HypReject => PackedMsg::new(4, &[0]),
+            HypMsg::HypRotation { key, h, j, y, x } => {
+                PackedMsg::new(5, &[key.0, key.1, h as u32, j as u32, y, x])
+            }
+            HypMsg::HypRotAck { key } => PackedMsg::new(6, &[key.0, key.1]),
+            HypMsg::HypResume => PackedMsg::new(7, &[0]),
+            HypMsg::HypDone { x, y } => PackedMsg::new(8, &[x, y]),
+            HypMsg::HypAbort => PackedMsg::new(9, &[0]),
+        }
+    }
+
+    fn unpack(m: &PackedMsg) -> Self {
+        let w = m.payload();
+        match m.tag {
+            0 => HypMsg::TermAnnounce { color: w[0] },
+            1 => HypMsg::HypProgress { pos: w[0] as usize },
+            2 => HypMsg::HypFreshAck,
+            3 => HypMsg::BecomeHead { pos: w[0] as usize },
+            4 => HypMsg::HypReject,
+            5 => HypMsg::HypRotation {
+                key: (w[0], w[1]),
+                h: w[2] as usize,
+                j: w[3] as usize,
+                y: w[4],
+                x: w[5],
+            },
+            6 => HypMsg::HypRotAck { key: (w[0], w[1]) },
+            7 => HypMsg::HypResume,
+            8 => HypMsg::HypDone { x: w[0], y: w[1] },
+            9 => HypMsg::HypAbort,
+            t => panic!("unknown HypMsg tag {t}"),
+        }
+    }
+}
+
 /// Role of a terminal on the hypernode path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TermRole {
@@ -105,9 +182,9 @@ enum TermRole {
     Exit,
 }
 
-/// Per-node state of the stitching protocol.
+/// Per-node state of the stitching protocol, generic over the wire codec.
 #[derive(Debug)]
-pub(crate) struct HypNode {
+pub(crate) struct HypNode<C: MsgCodec<HypMsg> = EnumCodec> {
     id: NodeId,
     color: u32,
     idx: usize,
@@ -140,9 +217,11 @@ pub(crate) struct HypNode {
     pub done: bool,
     /// Set when the stitch aborted.
     pub failed: bool,
+
+    _codec: PhantomData<C>,
 }
 
-impl HypNode {
+impl<C: MsgCodec<HypMsg>> HypNode<C> {
     /// `state` is this node's Phase-1 result; `k` the number of subcycles.
     #[allow(clippy::too_many_arguments)] // mirrors the Phase-1 state tuple
     pub(crate) fn new(
@@ -194,21 +273,22 @@ impl HypNode {
             rot_seq: 0,
             done: false,
             failed: false,
+            _codec: PhantomData,
         }
     }
 
-    fn abort_flood(&mut self, ctx: &mut Context<'_, HypMsg>, skip: Option<NodeId>) {
+    fn abort_flood(&mut self, ctx: &mut Context<'_, C::Wire>, skip: Option<NodeId>) {
         if self.done || self.failed {
             return;
         }
         self.failed = true;
-        ctx.flood_except(skip, HypMsg::HypAbort);
+        ctx.flood_except(skip, C::encode(HypMsg::HypAbort));
         ctx.halt();
     }
 
     fn done_flood(
         &mut self,
-        ctx: &mut Context<'_, HypMsg>,
+        ctx: &mut Context<'_, C::Wire>,
         x: NodeId,
         y: NodeId,
         skip: Option<NodeId>,
@@ -220,18 +300,18 @@ impl HypNode {
         if self.id == x {
             self.link = Some(y);
         }
-        ctx.flood_except(skip, HypMsg::HypDone { x, y });
+        ctx.flood_except(skip, C::encode(HypMsg::HypDone { x, y }));
         ctx.halt();
     }
 
     /// The live terminal draws the next unused cross edge.
-    fn head_act(&mut self, ctx: &mut Context<'_, HypMsg>) {
+    fn head_act(&mut self, ctx: &mut Context<'_, C::Wire>) {
         debug_assert!(self.live && !self.awaiting);
         match self.unused.pop() {
             None => self.abort_flood(ctx, None),
             Some((t, _)) => {
                 let pos = self.hypidx.expect("live terminal's hypernode is on the path");
-                ctx.send(t, HypMsg::HypProgress { pos });
+                ctx.send(t, C::encode(HypMsg::HypProgress { pos }));
                 self.awaiting = true;
                 ctx.charge_compute(1);
             }
@@ -244,7 +324,7 @@ impl HypNode {
         }
     }
 
-    fn on_progress(&mut self, ctx: &mut Context<'_, HypMsg>, x: NodeId, pos: usize) {
+    fn on_progress(&mut self, ctx: &mut Context<'_, C::Wire>, x: NodeId, pos: usize) {
         self.remove_unused(x);
         match self.hypidx {
             None => {
@@ -252,8 +332,8 @@ impl HypNode {
                 self.role = TermRole::Entry;
                 self.link = Some(x);
                 self.hypidx = Some(pos + 1);
-                ctx.send(self.partner, HypMsg::BecomeHead { pos: pos + 1 });
-                ctx.send(x, HypMsg::HypFreshAck);
+                ctx.send(self.partner, C::encode(HypMsg::BecomeHead { pos: pos + 1 }));
+                ctx.send(x, C::encode(HypMsg::HypFreshAck));
             }
             Some(j) => {
                 match self.role {
@@ -268,7 +348,13 @@ impl HypNode {
                         self.rot_parent = None;
                         self.rot_initiator = true;
                         self.rot_pending = ctx.degree();
-                        ctx.send_all(HypMsg::HypRotation { key, h: pos, j, y: self.id, x });
+                        ctx.send_all(C::encode(HypMsg::HypRotation {
+                            key,
+                            h: pos,
+                            j,
+                            y: self.id,
+                            x,
+                        }));
                     }
                     TermRole::Free => {
                         // Only hypernode 0's open start is Free-on-path.
@@ -278,13 +364,13 @@ impl HypNode {
                             self.link = Some(x);
                             self.done_flood(ctx, x, self.id, None);
                         } else {
-                            ctx.send(x, HypMsg::HypReject);
+                            ctx.send(x, C::encode(HypMsg::HypReject));
                         }
                     }
                     _ => {
                         // Entry terminal (or live exit, unreachable):
                         // unusable in this orientation.
-                        ctx.send(x, HypMsg::HypReject);
+                        ctx.send(x, C::encode(HypMsg::HypReject));
                     }
                 }
             }
@@ -323,17 +409,17 @@ impl HypNode {
         }
     }
 
-    fn rot_complete_check(&mut self, ctx: &mut Context<'_, HypMsg>) {
+    fn rot_complete_check(&mut self, ctx: &mut Context<'_, C::Wire>) {
         if self.rot_pending != 0 || self.rot_key.is_none() {
             return;
         }
         if self.rot_initiator {
             let target = self.rot_resume_target.expect("initiator saved old link");
-            ctx.send(target, HypMsg::HypResume);
+            ctx.send(target, C::encode(HypMsg::HypResume));
             self.rot_initiator = false;
         } else if let Some(p) = self.rot_parent {
             let key = self.rot_key.expect("checked above");
-            ctx.send(p, HypMsg::HypRotAck { key });
+            ctx.send(p, C::encode(HypMsg::HypRotAck { key }));
             self.rot_parent = None;
         }
     }
@@ -341,7 +427,7 @@ impl HypNode {
     #[allow(clippy::too_many_arguments)] // one parameter per message field
     fn on_rotation(
         &mut self,
-        ctx: &mut Context<'_, HypMsg>,
+        ctx: &mut Context<'_, C::Wire>,
         from: NodeId,
         key: RotKey,
         h: usize,
@@ -359,7 +445,7 @@ impl HypNode {
         self.rot_initiator = false;
         self.apply_rotation(h, j, y, x);
         self.rot_pending = ctx.degree() - 1;
-        ctx.send_all_except(from, HypMsg::HypRotation { key, h, j, y, x });
+        ctx.send_all_except(from, C::encode(HypMsg::HypRotation { key, h, j, y, x }));
         self.rot_complete_check(ctx);
     }
 
@@ -374,10 +460,10 @@ impl HypNode {
     }
 }
 
-impl Protocol for HypNode {
-    type Msg = HypMsg;
+impl<C: MsgCodec<HypMsg>> Protocol for HypNode<C> {
+    type Msg = C::Wire;
 
-    fn init(&mut self, ctx: &mut Context<'_, HypMsg>) {
+    fn init(&mut self, ctx: &mut Context<'_, C::Wire>) {
         if ctx.degree() == 0 {
             // Unreachable after a successful Phase 1, but keeps the engine
             // from stalling on degenerate inputs.
@@ -386,7 +472,7 @@ impl Protocol for HypNode {
             return;
         }
         if self.is_terminal {
-            ctx.send_all(HypMsg::TermAnnounce { color: self.color });
+            ctx.send_all(C::encode(HypMsg::TermAnnounce { color: self.color }));
         }
         if self.live {
             // Ensure the initial head is invoked after the announce round
@@ -395,12 +481,12 @@ impl Protocol for HypNode {
         }
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, HypMsg>, inbox: Inbox<'_, HypMsg>) {
+    fn round(&mut self, ctx: &mut Context<'_, C::Wire>, inbox: Inbox<'_, C::Wire>) {
         if !self.announces_seen {
             self.announces_seen = true;
             if self.is_terminal {
                 for (from, msg) in inbox.iter() {
-                    if let HypMsg::TermAnnounce { color } = *msg {
+                    if let HypMsg::TermAnnounce { color } = C::decode(msg) {
                         if color != self.color {
                             self.unused.push((from, color));
                         }
@@ -417,7 +503,7 @@ impl Protocol for HypNode {
             if self.done || self.failed {
                 break;
             }
-            match *msg {
+            match C::decode(msg) {
                 HypMsg::TermAnnounce { .. } => {}
                 HypMsg::HypProgress { pos } => self.on_progress(ctx, from, pos),
                 HypMsg::HypFreshAck => {
@@ -488,11 +574,41 @@ pub(crate) fn run(
             next += 1;
         }
     }
-    let colors: Vec<u32> = (0..n).map(|v| relabel[&partition.color(v)]).collect();
+    let colors: Vec<u32> = (0..n).map(|v| relabel[&partition.color((v) as u32)]).collect();
     let k = next as usize;
     let compacted = Partition::from_colors(colors, k);
 
-    let phase1 = run_phase1(graph, &compacted, cfg, km.as_deref_mut())?;
+    if cfg.packed_payloads {
+        // On the packed wire every protocol's messages are `PackedMsg`,
+        // so the `√n` Phase 1 class networks and the whole-graph stitch
+        // network chain through one buffer set.
+        let mut scratch: EngineScratch<PackedMsg> = EngineScratch::new();
+        let phase1 = run_phase1_with::<PackedCodec>(
+            graph,
+            &compacted,
+            cfg,
+            km.as_deref_mut(),
+            Some(&mut scratch),
+        )?;
+        stitch::<PackedCodec>(graph, cfg, km, k, &phase1, &mut scratch)
+    } else {
+        // Enum wires differ per protocol (`DraMsg` vs `HypMsg`); Phase 1
+        // chains its own internal scratch, the stitch starts cold.
+        let phase1 = run_phase1_with::<EnumCodec>(graph, &compacted, cfg, km.as_deref_mut(), None)?;
+        stitch::<EnumCodec>(graph, cfg, km, k, &phase1, &mut EngineScratch::new())
+    }
+}
+
+/// The hypernode stitch (Phase 2), pinned to a wire codec, seeded from
+/// `scratch` — warm with the Phase 1 buffers on the packed path.
+fn stitch<C: MsgCodec<HypMsg>>(
+    graph: &Graph,
+    cfg: &DhcConfig,
+    km: Option<&mut KMachineProbe>,
+    k: usize,
+    phase1: &Phase1Outcome,
+    scratch: &mut EngineScratch<C::Wire>,
+) -> Result<RunOutcome, DhcError> {
     let mut metrics = phase1.metrics.clone();
     let mut phases = vec![PhaseBreakdown {
         name: "phase1".to_string(),
@@ -507,17 +623,17 @@ pub(crate) fn run(
         return Ok(RunOutcome { cycle, metrics, phases });
     }
 
-    let nodes: Vec<HypNode> = phase1
+    let nodes: Vec<HypNode<C>> = phase1
         .states
         .iter()
         .enumerate()
         .map(|(v, s)| {
-            HypNode::new(v, s.color, s.cycindex, s.succ, s.pred, s.cycle_size, k, cfg.seed)
+            HypNode::new((v) as u32, s.color, s.cycindex, s.succ, s.pred, s.cycle_size, k, cfg.seed)
         })
         .collect();
     let mut net = match km.as_deref() {
         Some(p) => Network::new_with_machines(graph, cfg.sim_config(), nodes, p.global_map())?,
-        None => Network::new(graph, cfg.sim_config(), nodes)?,
+        None => Network::new_with_scratch(graph, cfg.sim_config(), nodes, scratch)?,
     };
     let run_result = net.run();
     let (report, nodes) = net.finish();

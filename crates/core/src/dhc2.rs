@@ -36,7 +36,10 @@ use crate::kmachine::KMachineProbe;
 use crate::output::pairs_from_links;
 use crate::runner::{draw_colors, run_phase1, PhaseBreakdown, RunOutcome};
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
-use dhc_congest::{Context, Inbox, Metrics, Network, NodeId, Payload, Protocol, SimError};
+use dhc_congest::{
+    Context, EngineScratch, EnumCodec, Inbox, Metrics, MsgCodec, Network, NodeId, PackedCodec,
+    PackedMsg, PackedPayload, Payload, Protocol, SimError,
+};
 use dhc_graph::{Graph, Partition};
 use std::collections::{HashMap, HashSet};
 
@@ -185,6 +188,99 @@ impl Payload for MergeMsg {
     }
 }
 
+/// The merge level's packed wire form: 9 `u32` slots (a bridge decision is
+/// four node ids, two indices, two sizes, and a case), 40 bytes inline
+/// versus 56 for the padded enum. The bridge case rides in the tag;
+/// logical [`words`](Payload::words) are preserved exactly — a
+/// `CollectReply` is 9 CONGEST words whether or not a candidate is inside.
+impl PackedPayload for MergeMsg {
+    type Wire = PackedMsg<9>;
+
+    fn pack(&self) -> PackedMsg<9> {
+        match *self {
+            MergeMsg::Color { color } => PackedMsg::new(0, &[color]),
+            MergeMsg::SuccPred { succ, pred, idx, size } => {
+                PackedMsg::new(1, &[succ, pred, idx as u32, size as u32])
+            }
+            MergeMsg::NbrItem { x } => PackedMsg::new(2, &[x]),
+            MergeMsg::NbrEnd => PackedMsg::new(3, &[0]),
+            MergeMsg::CollectReq => PackedMsg::new(4, &[0]),
+            MergeMsg::NoBridge => PackedMsg::new(5, &[0]),
+            MergeMsg::CollectReply { best: None } => PackedMsg::new(6, &[0; 9]),
+            MergeMsg::CollectReply { best: Some(c) } => PackedMsg::new(
+                if c.case == Case::SuccSide { 7 } else { 8 },
+                &[
+                    c.v_id,
+                    c.w_id,
+                    c.u_id,
+                    c.x_id,
+                    c.v_idx as u32,
+                    c.w_idx as u32,
+                    c.s2 as u32,
+                    0,
+                    0,
+                ],
+            ),
+            MergeMsg::Decision(d) => PackedMsg::new(
+                if d.case == Case::SuccSide { 9 } else { 10 },
+                &[
+                    d.v_id,
+                    d.w_id,
+                    d.u_id,
+                    d.x_id,
+                    d.v_idx as u32,
+                    d.w_idx as u32,
+                    d.s1 as u32,
+                    d.s2 as u32,
+                    0,
+                ],
+            ),
+        }
+    }
+
+    fn unpack(m: &PackedMsg<9>) -> Self {
+        let w = m.payload();
+        match m.tag {
+            0 => MergeMsg::Color { color: w[0] },
+            1 => MergeMsg::SuccPred {
+                succ: w[0],
+                pred: w[1],
+                idx: w[2] as usize,
+                size: w[3] as usize,
+            },
+            2 => MergeMsg::NbrItem { x: w[0] },
+            3 => MergeMsg::NbrEnd,
+            4 => MergeMsg::CollectReq,
+            5 => MergeMsg::NoBridge,
+            6 => MergeMsg::CollectReply { best: None },
+            t @ (7 | 8) => MergeMsg::CollectReply {
+                best: Some(Candidate {
+                    v_id: w[0],
+                    w_id: w[1],
+                    u_id: w[2],
+                    x_id: w[3],
+                    v_idx: w[4] as usize,
+                    w_idx: w[5] as usize,
+                    s2: w[6] as usize,
+                    case: if t == 7 { Case::SuccSide } else { Case::PredSide },
+                }),
+            },
+            t @ (9 | 10) => MergeMsg::Decision(Decision {
+                v_id: w[0],
+                w_id: w[1],
+                u_id: w[2],
+                x_id: w[3],
+                v_idx: w[4] as usize,
+                w_idx: w[5] as usize,
+                s1: w[6] as usize,
+                s2: w[7] as usize,
+                case: if t == 9 { Case::SuccSide } else { Case::PredSide },
+            }),
+            t => panic!("unknown MergeMsg tag {t}"),
+        }
+    }
+}
+
 /// Role of a node at this level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Role {
@@ -197,8 +293,14 @@ enum Role {
 }
 
 /// Per-node protocol state for one merge level.
+///
+/// Generic over the wire [`MsgCodec`]: [`EnumCodec`] (default) exchanges
+/// the [`MergeMsg`] enum itself, [`PackedCodec`](dhc_congest::PackedCodec)
+/// the 9-word [`PackedMsg`] form. Both execute identically — the codec
+/// only chooses the in-memory representation in flight.
 #[derive(Debug)]
-pub(crate) struct MergeNode {
+pub(crate) struct MergeNode<C: MsgCodec<MergeMsg> = EnumCodec> {
+    _codec: std::marker::PhantomData<C>,
     id: NodeId,
     st: CycleState,
     role: Role,
@@ -237,7 +339,7 @@ pub(crate) struct MergeNode {
     pub no_bridge: bool,
 }
 
-impl MergeNode {
+impl<C: MsgCodec<MergeMsg>> MergeNode<C> {
     pub(crate) fn new(id: NodeId, st: CycleState, colors_remaining: usize) -> Self {
         let role = if st.color % 2 == 1 {
             Role::Passive
@@ -247,6 +349,7 @@ impl MergeNode {
             Role::Leftover
         };
         MergeNode {
+            _codec: std::marker::PhantomData,
             id,
             st,
             role,
@@ -282,16 +385,16 @@ impl MergeNode {
     }
 
     /// Sends up to 4 queued neighbor-list items (+ terminator) per round.
-    fn pump_pipeline(&mut self, ctx: &mut Context<'_, MergeMsg>) {
+    fn pump_pipeline(&mut self, ctx: &mut Context<'_, C::Wire>) {
         if self.role != Role::Active || self.sent_end {
             return;
         }
         let to = self.st.pred;
         for _ in 0..4 {
             match self.send_queue.pop() {
-                Some(x) => ctx.send(to, MergeMsg::NbrItem { x }),
+                Some(x) => ctx.send(to, C::encode(MergeMsg::NbrItem { x })),
                 None => {
-                    ctx.send(to, MergeMsg::NbrEnd);
+                    ctx.send(to, C::encode(MergeMsg::NbrEnd));
                     self.sent_end = true;
                     return;
                 }
@@ -302,7 +405,7 @@ impl MergeNode {
 
     /// Computes this node's best local bridge candidate once all inputs
     /// arrived.
-    fn finalize_candidate(&mut self, ctx: &mut Context<'_, MergeMsg>) {
+    fn finalize_candidate(&mut self, ctx: &mut Context<'_, C::Wire>) {
         if self.role != Role::Active || self.cand_ready || !self.nbr_end_received {
             return;
         }
@@ -341,7 +444,7 @@ impl MergeNode {
     }
 
     /// Collect-wave completion check (active color class).
-    fn collect_check(&mut self, ctx: &mut Context<'_, MergeMsg>) {
+    fn collect_check(&mut self, ctx: &mut Context<'_, C::Wire>) {
         if self.role != Role::Active
             || !self.collect_seen
             || !self.cand_ready
@@ -352,7 +455,7 @@ impl MergeNode {
         }
         self.collect_replied = true;
         match self.collect_parent {
-            Some(p) => ctx.send(p, MergeMsg::CollectReply { best: self.best }),
+            Some(p) => ctx.send(p, C::encode(MergeMsg::CollectReply { best: self.best })),
             None => {
                 // Coordinator: decide.
                 debug_assert!(self.is_coordinator());
@@ -387,19 +490,20 @@ impl MergeNode {
     /// Floods `msg` over the two paired color classes, optionally
     /// skipping the neighbor it arrived from. Broadcasts when the relay
     /// set is the whole neighborhood (observationally identical).
-    fn relay_flood(&self, ctx: &mut Context<'_, MergeMsg>, msg: MergeMsg, skip: Option<NodeId>) {
+    fn relay_flood(&self, ctx: &mut Context<'_, C::Wire>, msg: MergeMsg, skip: Option<NodeId>) {
+        let wire = C::encode(msg);
         if self.relay_all {
-            ctx.flood_except(skip, msg);
+            ctx.flood_except(skip, wire);
         } else {
             for &to in &self.relay_nbrs {
                 if Some(to) != skip {
-                    ctx.send(to, msg.clone());
+                    ctx.send(to, wire.clone());
                 }
             }
         }
     }
 
-    fn on_decision(&mut self, ctx: &mut Context<'_, MergeMsg>, from: NodeId, d: Decision) {
+    fn on_decision(&mut self, ctx: &mut Context<'_, C::Wire>, from: NodeId, d: Decision) {
         if self.decided || self.no_bridge {
             return;
         }
@@ -409,7 +513,7 @@ impl MergeNode {
         ctx.halt();
     }
 
-    fn on_no_bridge(&mut self, ctx: &mut Context<'_, MergeMsg>, from: NodeId) {
+    fn on_no_bridge(&mut self, ctx: &mut Context<'_, C::Wire>, from: NodeId) {
         if self.decided || self.no_bridge {
             return;
         }
@@ -419,20 +523,20 @@ impl MergeNode {
     }
 }
 
-impl Protocol for MergeNode {
-    type Msg = MergeMsg;
+impl<C: MsgCodec<MergeMsg>> Protocol for MergeNode<C> {
+    type Msg = C::Wire;
 
-    fn init(&mut self, ctx: &mut Context<'_, MergeMsg>) {
+    fn init(&mut self, ctx: &mut Context<'_, C::Wire>) {
         if ctx.degree() == 0 {
             // Unreachable after a successful Phase 1; guards degenerate use.
             self.no_bridge = true;
             ctx.halt();
             return;
         }
-        ctx.send_all(MergeMsg::Color { color: self.st.color });
+        ctx.send_all(C::encode(MergeMsg::Color { color: self.st.color }));
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, MergeMsg>, inbox: Inbox<'_, MergeMsg>) {
+    fn round(&mut self, ctx: &mut Context<'_, C::Wire>, inbox: Inbox<'_, C::Wire>) {
         if !self.colors_known {
             self.colors_known = true;
             let (active_c, partner_c) = match self.role {
@@ -446,8 +550,8 @@ impl Protocol for MergeNode {
                     return;
                 }
             };
-            for (from, msg) in inbox.iter() {
-                if let MergeMsg::Color { color } = *msg {
+            for (from, wire) in inbox.iter() {
+                if let MergeMsg::Color { color } = C::decode(wire) {
                     if color == self.st.color {
                         self.same_nbrs.push(from);
                     }
@@ -472,7 +576,7 @@ impl Protocol for MergeNode {
                         self.collect_pending = self.same_nbrs.len();
                         let nbrs = self.same_nbrs.clone();
                         for to in nbrs {
-                            ctx.send(to, MergeMsg::CollectReq);
+                            ctx.send(to, C::encode(MergeMsg::CollectReq));
                         }
                         // A coordinator with no same-color neighbors would be
                         // a 1-node cycle, which Phase 1 excludes (size >= 3).
@@ -480,15 +584,15 @@ impl Protocol for MergeNode {
                 }
                 Role::Passive => {
                     // Answer with cycle bookkeeping (the `verified` data).
-                    let msg = MergeMsg::SuccPred {
+                    let wire = C::encode(MergeMsg::SuccPred {
                         succ: self.st.succ,
                         pred: self.st.pred,
                         idx: self.st.idx,
                         size: self.st.size,
-                    };
+                    });
                     let nbrs = self.partner_nbrs.clone();
                     for to in nbrs {
-                        ctx.send(to, msg.clone());
+                        ctx.send(to, wire.clone());
                     }
                 }
                 Role::Leftover => unreachable!("handled above"),
@@ -496,11 +600,11 @@ impl Protocol for MergeNode {
             return;
         }
 
-        for (from, msg) in inbox.iter() {
+        for (from, wire) in inbox.iter() {
             if self.decided || self.no_bridge {
                 break;
             }
-            match *msg {
+            match C::decode(wire) {
                 MergeMsg::Color { .. } => {}
                 MergeMsg::SuccPred { succ, pred, idx, size } => {
                     self.succpred.push((from, succ, pred, idx, size));
@@ -521,7 +625,7 @@ impl Protocol for MergeNode {
                         let nbrs = self.same_nbrs.clone();
                         for to in nbrs {
                             if to != from {
-                                ctx.send(to, MergeMsg::CollectReq);
+                                ctx.send(to, C::encode(MergeMsg::CollectReq));
                             }
                         }
                     }
@@ -591,7 +695,7 @@ pub(crate) fn run_with_colors(
             next += 1;
         }
     }
-    let colors: Vec<u32> = (0..n).map(|v| relabel[&partition.color(v)]).collect();
+    let colors: Vec<u32> = (0..n).map(|v| relabel[&partition.color((v) as u32)]).collect();
     let k = next as usize;
     let compacted = Partition::from_colors(colors, k);
 
@@ -615,17 +719,45 @@ pub(crate) fn run_with_colors(
         })
         .collect();
 
+    if cfg.packed_payloads {
+        run_merge_levels::<PackedCodec>(graph, cfg, &mut states, k, &mut metrics, &mut phases, km)?;
+    } else {
+        run_merge_levels::<EnumCodec>(graph, cfg, &mut states, k, &mut metrics, &mut phases, km)?;
+    }
+
+    let succ: Vec<Option<NodeId>> = states.iter().map(|s| Some(s.succ)).collect();
+    let pred: Vec<Option<NodeId>> = states.iter().map(|s| Some(s.pred)).collect();
+    let pairs = pairs_from_links(&succ, &pred)?;
+    let cycle = cycle_from_incident_pairs(graph, &pairs)?;
+    Ok(RunOutcome { cycle, metrics, phases })
+}
+
+/// The `⌈log₂ k⌉` merge levels, monomorphized on the wire codec (the
+/// [`DhcConfig::packed_payloads`] dispatch happens once, in
+/// [`run_with_colors`]). All levels speak the same wire type, so one
+/// buffer set chains through every level's whole-graph network.
+fn run_merge_levels<C: MsgCodec<MergeMsg>>(
+    graph: &Graph,
+    cfg: &DhcConfig,
+    states: &mut [CycleState],
+    k: usize,
+    metrics: &mut Metrics,
+    phases: &mut Vec<PhaseBreakdown>,
+    mut km: Option<&mut KMachineProbe>,
+) -> Result<(), DhcError> {
+    let n = graph.node_count();
     let mut colors_remaining = k;
     let mut level = 0usize;
+    let mut merge_scratch: EngineScratch<C::Wire> = EngineScratch::new();
     while colors_remaining > 1 {
-        let nodes: Vec<MergeNode> =
-            (0..n).map(|v| MergeNode::new(v, states[v], colors_remaining)).collect();
+        let nodes: Vec<MergeNode<C>> =
+            (0..n).map(|v| MergeNode::new((v) as u32, states[v], colors_remaining)).collect();
         let mut net = match km.as_deref() {
             Some(p) => Network::new_with_machines(graph, cfg.sim_config(), nodes, p.global_map())?,
-            None => Network::new(graph, cfg.sim_config(), nodes)?,
+            None => Network::new_with_scratch(graph, cfg.sim_config(), nodes, &mut merge_scratch)?,
         };
         let run_result = net.run();
-        let (report, nodes) = net.finish();
+        let (report, nodes) = net.finish_with_scratch(&mut merge_scratch);
         let level_metrics: Metrics = report.metrics;
         let level_machine_log = report.machine_log;
         match run_result {
@@ -660,18 +792,14 @@ pub(crate) fn run_with_colors(
         colors_remaining = colors_remaining.div_ceil(2);
         level += 1;
     }
-
-    let succ: Vec<Option<NodeId>> = states.iter().map(|s| Some(s.succ)).collect();
-    let pred: Vec<Option<NodeId>> = states.iter().map(|s| Some(s.pred)).collect();
-    let pairs = pairs_from_links(&succ, &pred)?;
-    let cycle = cycle_from_incident_pairs(graph, &pairs)?;
-    Ok(RunOutcome { cycle, metrics, phases })
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dhc_graph::{generator, rng::rng_from_seed, thresholds};
+    use proptest::prelude::*;
 
     #[test]
     fn apply_decision_succ_side_matches_manual_splice() {
@@ -724,17 +852,17 @@ mod tests {
             assert_eq!(st.color, 0);
         }
         // Walk the successor map: must be one 6-cycle with consistent idx.
-        let succ: Vec<usize> = sts.iter().map(|s| s.succ).collect();
+        let succ: Vec<u32> = sts.iter().map(|s| s.succ).collect();
         let mut seen = [false; 6];
         let mut cur = 0;
         for _ in 0..6 {
             assert!(!seen[cur]);
             seen[cur] = true;
-            cur = succ[cur];
+            cur = succ[cur] as usize;
         }
         assert_eq!(cur, 0);
         for (i, st) in sts.iter().enumerate() {
-            let next = sts[st.succ].idx;
+            let next = sts[st.succ as usize].idx;
             assert_eq!(next, (st.idx + 1) % 6, "node {i}");
         }
     }
@@ -774,17 +902,17 @@ mod tests {
         assert_eq!(sts[4].pred, 1);
         assert_eq!(sts[3].succ, 2); // x -> u
         assert_eq!(sts[2].pred, 3);
-        let succ: Vec<usize> = sts.iter().map(|s| s.succ).collect();
+        let succ: Vec<u32> = sts.iter().map(|s| s.succ).collect();
         let mut cur = 0;
         let mut seen = [false; 6];
         for _ in 0..6 {
             assert!(!seen[cur]);
             seen[cur] = true;
-            cur = succ[cur];
+            cur = succ[cur] as usize;
         }
         assert_eq!(cur, 0);
         for st in &sts {
-            let next = sts[st.succ].idx;
+            let next = sts[st.succ as usize].idx;
             assert_eq!(next, (st.idx + 1) % 6);
         }
     }
@@ -872,5 +1000,85 @@ mod tests {
         let b = run(&g, &cfg, None).unwrap();
         assert_eq!(a.cycle.order(), b.cycle.order());
         assert_eq!(a.metrics.rounds, b.metrics.rounds);
+    }
+
+    #[test]
+    fn clustered_explicit_colors_packed_matches_enum() {
+        // The e16 operating point in miniature: dense clusters as classes,
+        // merge-tree-aligned bridges, and the 9-word packed merge wire
+        // pinned bit-for-bit against the enum oracle.
+        let (k, s) = (5, 24);
+        let p = 8.0 * (s as f64).ln() / (s as f64 - 1.0);
+        let (g, colors) =
+            generator::clustered(k, s, p.min(1.0), 3.0, &mut rng_from_seed(60)).unwrap();
+        let partition = Partition::from_colors(colors, k);
+        let base = (61..69)
+            .map(DhcConfig::new)
+            .find(|cfg| run_with_colors(&g, cfg, &partition, None).is_ok())
+            .expect("clustered DHC2 should succeed for at least one of 8 seeds");
+        let fat = run_with_colors(&g, &base, &partition, None).unwrap();
+        let lean = run_with_colors(&g, &base.clone().with_packed_payloads(true), &partition, None)
+            .unwrap();
+        assert_eq!(fat.cycle.order(), lean.cycle.order());
+        assert_eq!(fat.metrics, lean.metrics);
+        assert_eq!(fat.phases, lean.phases);
+    }
+
+    proptest! {
+        /// Every merge-level message survives the 9-word packed wire form
+        /// unchanged, with identical CONGEST word accounting.
+        #[test]
+        fn merge_msg_packs_losslessly(m in merge_msg_strategy()) {
+            let packed = m.pack();
+            prop_assert_eq!(packed.words(), m.words());
+            prop_assert_eq!(MergeMsg::unpack(&packed), m.clone());
+        }
+    }
+
+    fn cand_strategy() -> impl Strategy<Value = Candidate> {
+        let id = any::<u32>();
+        let idx = 0usize..(1usize << 32);
+        let case = any::<bool>().prop_map(|b| if b { Case::SuccSide } else { Case::PredSide });
+        ((id, id, id, id), (idx.clone(), idx.clone(), idx, case)).prop_map(
+            |((v_id, w_id, u_id, x_id), (v_idx, w_idx, s2, case))| Candidate {
+                v_id,
+                w_id,
+                u_id,
+                x_id,
+                v_idx,
+                w_idx,
+                s2,
+                case,
+            },
+        )
+    }
+
+    fn merge_msg_strategy() -> impl Strategy<Value = MergeMsg> {
+        let id = any::<u32>();
+        let idx = 0usize..(1usize << 32);
+        prop_oneof![
+            id.prop_map(|color| MergeMsg::Color { color }),
+            (id, id, idx.clone(), idx.clone())
+                .prop_map(|(succ, pred, idx, size)| MergeMsg::SuccPred { succ, pred, idx, size }),
+            id.prop_map(|x| MergeMsg::NbrItem { x }),
+            Just(MergeMsg::NbrEnd),
+            Just(MergeMsg::CollectReq),
+            Just(MergeMsg::NoBridge),
+            prop_oneof![Just(None), cand_strategy().prop_map(Some)]
+                .prop_map(|best| MergeMsg::CollectReply { best }),
+            (cand_strategy(), idx.clone(), idx).prop_map(|(c, s1, s2)| {
+                MergeMsg::Decision(Decision {
+                    case: c.case,
+                    v_idx: c.v_idx,
+                    w_idx: c.w_idx,
+                    s1,
+                    s2,
+                    v_id: c.v_id,
+                    w_id: c.w_id,
+                    u_id: c.u_id,
+                    x_id: c.x_id,
+                })
+            }),
+        ]
     }
 }

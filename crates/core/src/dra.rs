@@ -28,11 +28,14 @@
 //! flood, so the simulation always terminates with a typed outcome.
 
 use crate::error::PartitionFailure;
-use dhc_congest::{Context, Inbox, NodeId, Payload, Protocol};
+use dhc_congest::{
+    Context, EnumCodec, Inbox, MsgCodec, NodeId, PackedMsg, PackedPayload, Payload, Protocol,
+};
 use dhc_graph::rng::derive_seed;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::marker::PhantomData;
 
 /// Identifier of one rotation broadcast instance: `(initiator, sequence)`.
 pub type RotKey = (NodeId, u32);
@@ -118,6 +121,50 @@ impl Payload for DraMsg {
     }
 }
 
+impl PackedPayload for DraMsg {
+    type Wire = PackedMsg;
+
+    fn pack(&self) -> PackedMsg {
+        match *self {
+            DraMsg::Color { color } => PackedMsg::new(0, &[color]),
+            DraMsg::Wave { root } => PackedMsg::new(1, &[root]),
+            DraMsg::WaveAck { root, count } => PackedMsg::new(2, &[root, count as u32]),
+            DraMsg::Progress { pos } => PackedMsg::new(3, &[pos as u32]),
+            DraMsg::FreshAck => PackedMsg::new(4, &[0]),
+            DraMsg::Rotation { key, h, j, vj, vh } => {
+                PackedMsg::new(5, &[key.0, key.1, h as u32, j as u32, vj, vh])
+            }
+            DraMsg::RotAck { key } => PackedMsg::new(6, &[key.0, key.1]),
+            DraMsg::Resume => PackedMsg::new(7, &[0]),
+            DraMsg::Done { tail, head, size } => PackedMsg::new(8, &[tail, head, size as u32]),
+            DraMsg::Abort { reason } => PackedMsg::new(9, &[reason as u32]),
+        }
+    }
+
+    fn unpack(m: &PackedMsg) -> Self {
+        let w = m.payload();
+        match m.tag {
+            0 => DraMsg::Color { color: w[0] },
+            1 => DraMsg::Wave { root: w[0] },
+            2 => DraMsg::WaveAck { root: w[0], count: w[1] as usize },
+            3 => DraMsg::Progress { pos: w[0] as usize },
+            4 => DraMsg::FreshAck,
+            5 => DraMsg::Rotation {
+                key: (w[0], w[1]),
+                h: w[2] as usize,
+                j: w[3] as usize,
+                vj: w[4],
+                vh: w[5],
+            },
+            6 => DraMsg::RotAck { key: (w[0], w[1]) },
+            7 => DraMsg::Resume,
+            8 => DraMsg::Done { tail: w[0], head: w[1], size: w[2] as usize },
+            9 => DraMsg::Abort { reason: w[0] as u8 },
+            t => panic!("unknown DraMsg tag {t}"),
+        }
+    }
+}
+
 fn encode_failure(f: PartitionFailure) -> u8 {
     match f {
         PartitionFailure::TooSmall => 0,
@@ -133,8 +180,13 @@ fn decode_failure(b: u8) -> PartitionFailure {
 }
 
 /// Per-node state of the DRA protocol.
+///
+/// Generic over the wire [`MsgCodec`]: [`EnumCodec`] (default) exchanges
+/// the [`DraMsg`] enum itself, [`PackedCodec`](dhc_congest::PackedCodec)
+/// the word-packed [`PackedMsg`] form. Both execute identically — the
+/// codec only chooses the in-memory representation in flight.
 #[derive(Debug)]
-pub struct DraNode {
+pub struct DraNode<C: MsgCodec<DraMsg> = EnumCodec> {
     id: NodeId,
     /// Partition color of this node.
     pub color: u32,
@@ -184,9 +236,11 @@ pub struct DraNode {
     pub done: bool,
     /// Set when this node's partition aborted.
     pub failed: Option<PartitionFailure>,
+
+    _codec: PhantomData<C>,
 }
 
-impl DraNode {
+impl<C: MsgCodec<DraMsg>> DraNode<C> {
     /// Creates the protocol state for node `id` with partition color
     /// `color`; randomness is derived from `(seed, id)`.
     pub fn new(id: NodeId, color: u32, seed: u64) -> Self {
@@ -227,6 +281,7 @@ impl DraNode {
             rot_seq: 0,
             done: false,
             failed: None,
+            _codec: PhantomData,
         }
     }
 
@@ -235,20 +290,20 @@ impl DraNode {
         self.is_leader
     }
 
-    fn fail_and_flood(&mut self, ctx: &mut Context<'_, DraMsg>, reason: PartitionFailure) {
+    fn fail_and_flood(&mut self, ctx: &mut Context<'_, C::Wire>, reason: PartitionFailure) {
         self.failed = Some(reason);
         self.flood(ctx, DraMsg::Abort { reason: encode_failure(reason) }, None);
         ctx.halt();
     }
 
     /// The head draws the next unused edge and sends `Progress`.
-    fn head_act(&mut self, ctx: &mut Context<'_, DraMsg>) {
+    fn head_act(&mut self, ctx: &mut Context<'_, C::Wire>) {
         debug_assert!(self.is_head && !self.awaiting_reply && !self.await_resume);
         match self.unused.pop() {
             None => self.fail_and_flood(ctx, PartitionFailure::OutOfEdges),
             Some(u) => {
                 let pos = self.cycindex.expect("head is on the path");
-                ctx.send(u, DraMsg::Progress { pos });
+                ctx.send(u, C::encode(DraMsg::Progress { pos }));
                 self.awaiting_reply = true;
                 ctx.charge_compute(1);
             }
@@ -265,26 +320,27 @@ impl DraNode {
     /// neighbor (the relay pattern). Uses the broadcast fabric when the
     /// partition spans the whole neighborhood — one payload copy instead
     /// of `deg(v)` — and is observationally identical either way.
-    fn flood(&self, ctx: &mut Context<'_, DraMsg>, msg: DraMsg, skip: Option<NodeId>) {
+    fn flood(&self, ctx: &mut Context<'_, C::Wire>, msg: DraMsg, skip: Option<NodeId>) {
         if self.flood_all {
-            ctx.flood_except(skip, msg);
+            ctx.flood_except(skip, C::encode(msg));
         } else {
+            let wire = C::encode(msg);
             for &to in &self.part_nbrs {
                 if Some(to) != skip {
-                    ctx.send(to, msg.clone());
+                    ctx.send(to, wire.clone());
                 }
             }
         }
     }
 
-    fn wave_complete_check(&mut self, ctx: &mut Context<'_, DraMsg>) {
+    fn wave_complete_check(&mut self, ctx: &mut Context<'_, C::Wire>) {
         if self.wave_pending != 0 {
             return;
         }
         match self.wave_parent {
             Some(p) => {
                 let count = 1 + self.wave_acc;
-                ctx.send(p, DraMsg::WaveAck { root: self.best_root, count });
+                ctx.send(p, C::encode(DraMsg::WaveAck { root: self.best_root, count }));
             }
             None => {
                 if self.best_root == self.id {
@@ -304,18 +360,18 @@ impl DraNode {
         }
     }
 
-    fn rot_complete_check(&mut self, ctx: &mut Context<'_, DraMsg>) {
+    fn rot_complete_check(&mut self, ctx: &mut Context<'_, C::Wire>) {
         if self.rot_pending != 0 || self.rot_key.is_none() {
             return;
         }
         if self.rot_initiator {
             let target =
                 self.rot_resume_target.expect("initiator saved its old successor as resume target");
-            ctx.send(target, DraMsg::Resume);
+            ctx.send(target, C::encode(DraMsg::Resume));
             self.rot_initiator = false;
         } else if let Some(p) = self.rot_parent {
             let key = self.rot_key.expect("checked above");
-            ctx.send(p, DraMsg::RotAck { key });
+            ctx.send(p, C::encode(DraMsg::RotAck { key }));
         }
         // Keep rot_key so late duplicates of this instance are recognized;
         // pending stays 0 and further duplicates are ignored via saturation.
@@ -354,7 +410,7 @@ impl DraNode {
         }
     }
 
-    fn on_progress(&mut self, ctx: &mut Context<'_, DraMsg>, s: NodeId, pos: usize) {
+    fn on_progress(&mut self, ctx: &mut Context<'_, C::Wire>, s: NodeId, pos: usize) {
         self.remove_unused(s);
         match self.cycindex {
             None => {
@@ -362,7 +418,7 @@ impl DraNode {
                 self.cycindex = Some(pos + 1);
                 self.pred = Some(s);
                 self.is_head = true;
-                ctx.send(s, DraMsg::FreshAck);
+                ctx.send(s, C::encode(DraMsg::FreshAck));
                 self.head_act(ctx);
             }
             Some(0) if self.is_leader && self.cycle_size == Some(pos + 1) => {
@@ -396,7 +452,7 @@ impl DraNode {
     #[allow(clippy::too_many_arguments)] // one parameter per message field
     fn on_rotation(
         &mut self,
-        ctx: &mut Context<'_, DraMsg>,
+        ctx: &mut Context<'_, C::Wire>,
         s: NodeId,
         key: RotKey,
         h: usize,
@@ -421,7 +477,7 @@ impl DraNode {
 
     fn on_done(
         &mut self,
-        ctx: &mut Context<'_, DraMsg>,
+        ctx: &mut Context<'_, C::Wire>,
         s: NodeId,
         tail: NodeId,
         head: NodeId,
@@ -441,7 +497,7 @@ impl DraNode {
         ctx.halt();
     }
 
-    fn on_abort(&mut self, ctx: &mut Context<'_, DraMsg>, s: NodeId, reason: u8) {
+    fn on_abort(&mut self, ctx: &mut Context<'_, C::Wire>, s: NodeId, reason: u8) {
         if self.done || self.failed.is_some() {
             return;
         }
@@ -451,10 +507,10 @@ impl DraNode {
     }
 }
 
-impl Protocol for DraNode {
-    type Msg = DraMsg;
+impl<C: MsgCodec<DraMsg>> Protocol for DraNode<C> {
+    type Msg = C::Wire;
 
-    fn init(&mut self, ctx: &mut Context<'_, DraMsg>) {
+    fn init(&mut self, ctx: &mut Context<'_, C::Wire>) {
         if ctx.degree() == 0 {
             // An isolated node can never participate (and would otherwise
             // never be invoked again): fail its 1-node partition component.
@@ -462,14 +518,14 @@ impl Protocol for DraNode {
             ctx.halt();
             return;
         }
-        ctx.send_all(DraMsg::Color { color: self.color });
+        ctx.send_all(C::encode(DraMsg::Color { color: self.color }));
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, DraMsg>, inbox: Inbox<'_, DraMsg>) {
+    fn round(&mut self, ctx: &mut Context<'_, C::Wire>, inbox: Inbox<'_, C::Wire>) {
         if !self.colors_known {
             // Round 1: all Color messages arrive together.
             for (from, msg) in inbox.iter() {
-                if let DraMsg::Color { color } = *msg {
+                if let DraMsg::Color { color } = C::decode(msg) {
                     if color == self.color {
                         self.part_nbrs.push(from);
                     }
@@ -497,7 +553,7 @@ impl Protocol for DraNode {
             if self.done || self.failed.is_some() {
                 break;
             }
-            match *msg {
+            match C::decode(msg) {
                 DraMsg::Color { .. } => {}
                 DraMsg::Wave { root } => {
                     if root < self.best_root {
@@ -572,7 +628,7 @@ mod tests {
 
     #[test]
     fn new_node_defaults() {
-        let n = DraNode::new(5, 2, 9);
+        let n: DraNode = DraNode::new(5, 2, 9);
         assert_eq!(n.color, 2);
         assert!(n.cycindex.is_none());
         assert!(!n.is_leader());

@@ -89,7 +89,7 @@ impl RandomVertexPartition {
     ///
     /// Panics if `v >= n`.
     pub fn machine_of(&self, v: NodeId) -> usize {
-        self.assignment[v]
+        self.assignment[(v) as usize]
     }
 
     /// The full `node → machine` assignment.
@@ -283,7 +283,7 @@ impl KMachineProbe {
     }
 
     pub(crate) fn machine_of(&self, v: NodeId) -> usize {
-        self.assignment[v]
+        self.assignment[(v) as usize]
     }
 
     /// The map for a whole-graph network (global node ids).
@@ -294,7 +294,7 @@ impl KMachineProbe {
     /// The map for a partition-class network: local ids through the
     /// class member list (`local → global`).
     pub(crate) fn class_map(&self, members: &[NodeId]) -> MachineMap {
-        MachineMap::new(members.iter().map(|&g| self.assignment[g]).collect(), self.k)
+        MachineMap::new(members.iter().map(|&g| self.assignment[(g) as usize]).collect(), self.k)
     }
 
     /// Test-only: a probe with an explicit assignment (the public path

@@ -81,6 +81,6 @@ pub use kmachine::{
 };
 pub use output::{cycle_from_incident_pairs, NodeCycleOutput};
 pub use runner::{
-    run_collect_all, run_dhc1, run_dhc2, run_dra, run_partition_cycles, run_upcast, PhaseBreakdown,
-    RunOutcome, Subcycle,
+    run_collect_all, run_dhc1, run_dhc2, run_dhc2_with_colors, run_dra, run_partition_cycles,
+    run_upcast, PhaseBreakdown, RunOutcome, Subcycle,
 };

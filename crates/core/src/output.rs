@@ -51,36 +51,36 @@ pub fn cycle_from_incident_pairs(
     }
     // Walk from node 0; at each node pick the incident neighbor we did not
     // come from.
-    let mut order = Vec::with_capacity(n);
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
     let mut prev = usize::MAX;
     let mut cur = 0usize;
     for _ in 0..n {
-        order.push(cur);
+        order.push(cur as NodeId);
         let p = &pairs[cur];
-        if p.a >= n || p.b >= n {
+        if p.a >= (n) as u32 || p.b >= (n) as u32 {
             return Err(DhcError::InvalidCycle(CycleError::RepeatedOrInvalidNode {
-                node: p.a.max(p.b),
+                node: (p.a.max(p.b)) as usize,
             }));
         }
         let next = if prev == usize::MAX {
             p.a
-        } else if p.a == prev {
+        } else if p.a == (prev) as u32 {
             p.b
-        } else if p.b == prev {
+        } else if p.b == (prev) as u32 {
             p.a
         } else {
             // Inconsistent: we arrived from a node this one does not list.
             return Err(DhcError::InvalidCycle(CycleError::MissingSuccessor { node: cur }));
         };
         // Mutual consistency: `next` must list `cur`.
-        let np = &pairs[next.min(n - 1)];
-        if next >= n || (np.a != cur && np.b != cur) {
+        let np = &pairs[(next.min((n - 1) as u32)) as usize];
+        if next >= (n) as u32 || (np.a != (cur) as u32 && np.b != (cur) as u32) {
             return Err(DhcError::InvalidCycle(CycleError::MissingSuccessor {
-                node: next.min(n - 1),
+                node: (next.min((n - 1) as u32)) as usize,
             }));
         }
         prev = cur;
-        cur = next;
+        cur = (next) as usize;
         if cur == 0 && order.len() < n {
             return Err(DhcError::InvalidCycle(CycleError::NotASingleCycle {
                 cycle_length: order.len(),
@@ -125,7 +125,9 @@ mod tests {
     use dhc_graph::generator;
 
     fn ring_pairs(n: usize) -> Vec<NodeCycleOutput> {
-        (0..n).map(|i| NodeCycleOutput::new((i + n - 1) % n, (i + 1) % n)).collect()
+        (0..n)
+            .map(|i| NodeCycleOutput::new(((i + n - 1) % n) as u32, ((i + 1) % n) as u32))
+            .collect()
     }
 
     #[test]
@@ -179,8 +181,8 @@ mod tests {
 
     #[test]
     fn pairs_from_links_roundtrip() {
-        let succ: Vec<Option<usize>> = vec![Some(1), Some(2), Some(0)];
-        let pred: Vec<Option<usize>> = vec![Some(2), Some(0), Some(1)];
+        let succ: Vec<Option<u32>> = vec![Some(1), Some(2), Some(0)];
+        let pred: Vec<Option<u32>> = vec![Some(2), Some(0), Some(1)];
         let pairs = pairs_from_links(&succ, &pred).unwrap();
         let g = generator::cycle_graph(3);
         assert!(cycle_from_incident_pairs(&g, &pairs).is_ok());
@@ -188,8 +190,8 @@ mod tests {
 
     #[test]
     fn pairs_from_links_missing_errors() {
-        let succ: Vec<Option<usize>> = vec![Some(1), None, Some(0)];
-        let pred: Vec<Option<usize>> = vec![Some(2), Some(0), Some(1)];
+        let succ: Vec<Option<u32>> = vec![Some(1), None, Some(0)];
+        let pred: Vec<Option<u32>> = vec![Some(2), Some(0), Some(1)];
         assert!(pairs_from_links(&succ, &pred).is_err());
     }
 }

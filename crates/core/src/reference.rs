@@ -105,7 +105,7 @@ fn phase1_cycles(graph: &Graph, partition: &Partition, seed: u64) -> Result<Vec<
                 reason: crate::error::PartitionFailure::OutOfEdges,
             }
         })?;
-        let order: Vec<NodeId> = cycle.order().iter().map(|&local| map[local]).collect();
+        let order: Vec<NodeId> = cycle.order().iter().map(|&local| map[(local) as usize]).collect();
         cycles.push(Cycle { order });
     }
     Ok(cycles)

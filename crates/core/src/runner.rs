@@ -1,13 +1,13 @@
 //! High-level entry points: run a whole algorithm on a graph and get back
 //! a verified cycle plus metrics.
 
-use crate::dra::DraNode;
+use crate::dra::{DraMsg, DraNode};
 use crate::error::PartitionFailure;
 use crate::kmachine::KMachineProbe;
 use crate::output::pairs_from_links;
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
 use dhc_congest::machine::{MachineMap, MachineRoundLog};
-use dhc_congest::{Metrics, Network};
+use dhc_congest::{EngineScratch, EnumCodec, Metrics, MsgCodec, Network, PackedCodec};
 use dhc_graph::rng::{derive_seed, rng_from_seed};
 use dhc_graph::{Graph, HamiltonianCycle, NodeId, Partition, PartitionedGraph, Topology};
 
@@ -90,19 +90,20 @@ struct PartitionRun<'a> {
 /// neighbor lists). Messages that crossed partition boundaries in a
 /// whole-graph simulation carried only the round-1 color exchange,
 /// which the subgraph construction resolves up front.
-fn run_one_partition<'a, T: Topology>(
+fn run_one_partition<'a, T: Topology, C: MsgCodec<DraMsg>>(
     topo: &T,
     color: u32,
     map: &'a [NodeId],
     cfg: &DhcConfig,
     seed_base: u64,
     machines: Option<MachineMap>,
+    mut scratch: Option<&mut EngineScratch<C::Wire>>,
 ) -> Result<PartitionRun<'a>, DhcError> {
-    let protocols: Vec<DraNode> = map
+    let protocols: Vec<DraNode<C>> = map
         .iter()
         .enumerate()
         .map(|(local, &global)| {
-            DraNode::with_rng_stream(local, color, derive_seed(seed_base, global as u64))
+            DraNode::with_rng_stream((local) as u32, color, derive_seed(seed_base, global as u64))
         })
         .collect();
     // Per-class simulator config: a configured adversary is translated
@@ -110,10 +111,19 @@ fn run_one_partition<'a, T: Topology>(
     let sim = cfg.sim_config_for_class(color, map);
     let mut net = match machines {
         Some(m) => Network::new_with_machines(topo, sim, protocols, m)?,
-        None => Network::new(topo, sim, protocols)?,
+        None => match scratch.as_deref_mut() {
+            Some(s) => Network::new_with_scratch(topo, sim, protocols, s)?,
+            None => Network::new(topo, sim, protocols)?,
+        },
     };
-    net.run()?;
-    let (report, nodes) = net.finish();
+    // Even on error, route teardown through the scratch so a failed
+    // class donates its buffers to the next attempt.
+    let run_result = net.run();
+    let (report, nodes) = match scratch {
+        Some(s) => net.finish_with_scratch(s),
+        None => net.finish(),
+    };
+    run_result?;
     let raw = nodes
         .iter()
         .map(|node| RawPhase1 {
@@ -121,8 +131,8 @@ fn run_one_partition<'a, T: Topology>(
             failed: node.failed,
             done: node.done,
             cycindex: node.cycindex,
-            succ: node.succ.map(|s| map[s]),
-            pred: node.pred.map(|p| map[p]),
+            succ: node.succ.map(|s| map[(s) as usize]),
+            pred: node.pred.map(|p| map[(p) as usize]),
             cycle_size: node.cycle_size,
         })
         .collect();
@@ -149,7 +159,7 @@ fn account_cross_color_exchange(
         // cross-color degree (degree minus same-color neighbors).
         Some(pg) => (0..n)
             .map(|v| {
-                let c = pg.cross_degree(v) as u64;
+                let c = pg.cross_degree((v) as u32) as u64;
                 total += c;
                 c
             })
@@ -158,9 +168,9 @@ fn account_cross_color_exchange(
         None => {
             let mut cross = vec![0u64; n];
             for (u, v) in graph.edges() {
-                if colors[u] != colors[v] {
-                    cross[u] += 1;
-                    cross[v] += 1;
+                if colors[(u) as usize] != colors[(v) as usize] {
+                    cross[(u) as usize] += 1;
+                    cross[(v) as usize] += 1;
                     total += 2;
                 }
             }
@@ -185,6 +195,7 @@ fn account_cross_color_exchange(
     } else {
         metrics.round_traffic[0] += total;
     }
+    metrics.max_round_traffic = metrics.max_round_traffic.max(metrics.round_traffic[0]);
     // In round 1 every node's outbox is its full degree, and each edge
     // carries at least the 1-word color announcement.
     let max_degree = graph.max_degree();
@@ -213,6 +224,29 @@ pub(crate) fn run_phase1(
     cfg: &DhcConfig,
     km: Option<&mut KMachineProbe>,
 ) -> Result<Phase1Outcome, DhcError> {
+    if cfg.packed_payloads {
+        run_phase1_with::<PackedCodec>(graph, partition, cfg, km, None)
+    } else {
+        run_phase1_with::<EnumCodec>(graph, partition, cfg, km, None)
+    }
+}
+
+/// [`run_phase1`] pinned to a wire codec (the flag dispatch happens once,
+/// up front — every per-class simulation below is monomorphized on `C`).
+///
+/// When the classes run sequentially, one [`EngineScratch`] chains
+/// through all of them, so the `√n` per-class networks share a single
+/// set of mailbox/effect/commit buffers instead of allocating `√n`
+/// sets. A caller-provided `ext` scratch joins that chain (and keeps
+/// the warmed buffers afterwards) — [`crate::dhc1`]'s packed path hands
+/// the same scratch to the stitch network, whose wire type coincides.
+pub(crate) fn run_phase1_with<C: MsgCodec<DraMsg>>(
+    graph: &Graph,
+    partition: &Partition,
+    cfg: &DhcConfig,
+    km: Option<&mut KMachineProbe>,
+    ext: Option<&mut EngineScratch<C::Wire>>,
+) -> Result<Phase1Outcome, DhcError> {
     let n = graph.node_count();
     let seed_base = derive_seed(cfg.seed, 0x0001);
     let jobs: Vec<usize> =
@@ -225,33 +259,40 @@ pub(crate) fn run_phase1(
     // probe itself is only touched again after the jobs complete.
     let spec = km.as_deref();
     let threads = cfg.effective_parallelism(jobs.len());
-    let run_job = |&class: &usize| -> Result<PartitionRun<'_>, DhcError> {
+    let run_job = |&class: &usize,
+                   scratch: Option<&mut EngineScratch<C::Wire>>|
+     -> Result<PartitionRun<'_>, DhcError> {
         let members = partition.class(class);
         let color = class as u32;
         let machines = spec.map(|p| p.class_map(members));
         match &pg {
             Some(pg) => {
                 let view = pg.class_view(class).expect("job classes are non-empty");
-                run_one_partition(&view, color, members, cfg, seed_base, machines)
+                run_one_partition::<_, C>(&view, color, members, cfg, seed_base, machines, scratch)
             }
             None => {
                 let (sub, _) = graph
                     .induced_subgraph(members)
                     .expect("partition classes hold valid, distinct node ids");
-                run_one_partition(&sub, color, members, cfg, seed_base, machines)
+                run_one_partition::<_, C>(&sub, color, members, cfg, seed_base, machines, scratch)
             }
         }
     };
     let results: Vec<Result<PartitionRun<'_>, DhcError>> = if threads <= 1 {
-        jobs.iter().map(run_job).collect()
+        // Sequential classes share one buffer set — the caller's, when
+        // provided, so the reuse extends beyond this phase.
+        let mut own = EngineScratch::new();
+        let scratch = ext.unwrap_or(&mut own);
+        jobs.iter().map(|class| run_job(class, Some(&mut *scratch))).collect()
     } else {
         // The pool joins its workers when dropped at the end of this
         // call; per-round reuse lives inside the engine's own pool, this
-        // one only amortizes across the partition classes.
+        // one only amortizes across the partition classes. Concurrent
+        // classes cannot share one scratch; each allocates its own.
         let pool = dhc_pool::WorkerPool::new(threads);
         let mut slots: Vec<(usize, Option<Result<PartitionRun<'_>, DhcError>>)> =
             jobs.iter().map(|&c| (c, None)).collect();
-        pool.run_mut(&mut slots, &|_, (class, slot)| *slot = Some(run_job(class)));
+        pool.run_mut(&mut slots, &|_, (class, slot)| *slot = Some(run_job(class, None)));
         slots.into_iter().map(|(_, slot)| slot.expect("pool ran every job")).collect()
     };
 
@@ -270,7 +311,7 @@ pub(crate) fn run_phase1(
             pl.absorb_parallel(log);
         }
         for (local, &global) in run.map.iter().enumerate() {
-            raw_of[global] = Some(run.raw[local]);
+            raw_of[(global) as usize] = Some(run.raw[local]);
         }
     }
     account_cross_color_exchange(&mut metrics, graph, partition.colors(), pg.as_ref());
@@ -296,18 +337,18 @@ pub(crate) fn run_phase1(
         for u in 0..n {
             let epoch = u as u32 + 1;
             touched.clear();
-            for &v in graph.neighbors(u) {
+            for &v in graph.neighbors((u) as u32) {
                 let m = p.machine_of(v);
                 if same_epoch[m] != epoch && cross_epoch[m] != epoch {
                     touched.push(m);
                 }
-                if colors[u] == colors[v] {
+                if colors[u] == colors[(v) as usize] {
                     same_epoch[m] = epoch;
                 } else {
                     cross_epoch[m] = epoch;
                 }
             }
-            let mu = p.machine_of(u);
+            let mu = p.machine_of((u) as u32);
             for &m in &touched {
                 if cross_epoch[m] == epoch && same_epoch[m] != epoch {
                     pl.charge(0, mu, m, 1);
@@ -410,7 +451,7 @@ pub fn run_partition_cycles(
     let mut by_color: std::collections::BTreeMap<u32, Vec<(usize, NodeId)>> =
         std::collections::BTreeMap::new();
     for (v, st) in outcome.states.iter().enumerate() {
-        by_color.entry(st.color).or_default().push((st.cycindex, v));
+        by_color.entry(st.color).or_default().push((st.cycindex, (v) as u32));
     }
     let mut cycles = Vec::with_capacity(by_color.len());
     for (color, mut members) in by_color {
@@ -491,6 +532,36 @@ pub(crate) fn draw_colors(n: usize, cfg: &DhcConfig) -> (Partition, usize) {
 /// missing bridges, or simulation faults.
 pub fn run_dhc2(graph: &Graph, cfg: &DhcConfig) -> Result<RunOutcome, DhcError> {
     crate::dhc2::run(graph, cfg, None)
+}
+
+/// [`run_dhc2`] with an explicit Phase-1 coloring instead of the random
+/// draw — the entry point for clustered operating points (see
+/// [`dhc_graph::generator::clustered`]) where the graph's community
+/// structure *is* the partition. `cfg.partitions` is ignored.
+///
+/// # Errors
+///
+/// Returns a [`DhcError`] on invalid configuration, partition failure,
+/// missing bridges, or simulation faults.
+///
+/// # Panics
+///
+/// Panics if `colors.len() != graph.node_count()`, `num_colors == 0`, or
+/// any color is `>= num_colors`.
+pub fn run_dhc2_with_colors(
+    graph: &Graph,
+    cfg: &DhcConfig,
+    colors: &[u32],
+    num_colors: usize,
+) -> Result<RunOutcome, DhcError> {
+    cfg.validate()?;
+    let n = graph.node_count();
+    if n < 3 {
+        return Err(DhcError::GraphTooSmall { n });
+    }
+    assert_eq!(colors.len(), n, "one color per node");
+    let partition = Partition::from_colors(colors.to_vec(), num_colors);
+    crate::dhc2::run_with_colors(graph, cfg, &partition, None)
 }
 
 /// Runs **DHC1** (the paper's Algorithm 2): Phase-1 partition DRA plus the
@@ -649,12 +720,13 @@ mod tests {
         assert_eq!(round0.round, 0);
         let mut expected = vec![0u64; k * k];
         for u in 0..6 {
-            let mut machines: Vec<usize> = g.neighbors(u).iter().map(|&v| assignment[v]).collect();
+            let mut machines: Vec<usize> =
+                g.neighbors(u).iter().map(|&v| assignment[v as usize]).collect();
             machines.sort_unstable();
             machines.dedup();
             for m in machines {
-                if m != assignment[u] {
-                    expected[assignment[u] * k + m] += 1;
+                if m != assignment[u as usize] {
+                    expected[assignment[u as usize] * k + m] += 1;
                 }
             }
         }

@@ -31,7 +31,10 @@ use crate::kmachine::KMachineProbe;
 use crate::output::NodeCycleOutput;
 use crate::runner::{PhaseBreakdown, RunOutcome};
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
-use dhc_congest::{Context, Inbox, Network, NodeId, Payload, Protocol};
+use dhc_congest::{
+    Context, EnumCodec, Inbox, MsgCodec, Network, NodeId, PackedCodec, PackedMsg, PackedPayload,
+    Payload, Protocol,
+};
 use dhc_graph::rng::derive_seed;
 use dhc_graph::{Graph, GraphBuilder};
 use dhc_rotation::{posa_with_restarts, PosaConfig};
@@ -39,26 +42,48 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
 
 /// Records forwarded per tree edge per round (each is ≤ 3 words, so 4 of
 /// them fit the default 16-word budget).
 const BATCH: usize = 4;
 
-/// Messages of the Upcast protocol.
+/// Messages of the Upcast protocol (exposed so equivalence tests can
+/// pin the packed wire form against the enum oracle).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum UpMsg {
+pub enum UpMsg {
     /// Leader-election flood (minimum id wins).
-    Wave { root: NodeId },
+    Wave {
+        /// Candidate leader id.
+        root: NodeId,
+    },
     /// Election echo: subtree size.
-    WaveAck { root: NodeId, count: usize },
+    WaveAck {
+        /// The wave this ack belongs to.
+        root: NodeId,
+        /// Nodes in the acked subtree (including the sender).
+        count: usize,
+    },
     /// Root → tree: election finished, begin upcasting.
     Start,
     /// One sampled edge `(owner, other)`, traveling rootward.
-    EdgeRec { owner: NodeId, other: NodeId },
+    EdgeRec {
+        /// The node that sampled the edge.
+        owner: NodeId,
+        /// The edge's other endpoint.
+        other: NodeId,
+    },
     /// A child finished its subtree's upcast stream.
     UpEnd,
     /// One downcast record: `target`'s two cycle neighbors.
-    Down { target: NodeId, pa: NodeId, pb: NodeId },
+    Down {
+        /// The node this record is for.
+        target: NodeId,
+        /// One cycle neighbor.
+        pa: NodeId,
+        /// The other cycle neighbor.
+        pb: NodeId,
+    },
     /// Abort flood (root solve failed or graph disconnected).
     Abort,
 }
@@ -73,9 +98,39 @@ impl Payload for UpMsg {
     }
 }
 
-/// Per-node state of the Upcast protocol.
+impl PackedPayload for UpMsg {
+    type Wire = PackedMsg;
+
+    fn pack(&self) -> PackedMsg {
+        match *self {
+            UpMsg::Wave { root } => PackedMsg::new(0, &[root]),
+            UpMsg::WaveAck { root, count } => PackedMsg::new(1, &[root, count as u32]),
+            UpMsg::Start => PackedMsg::new(2, &[0]),
+            UpMsg::EdgeRec { owner, other } => PackedMsg::new(3, &[owner, other]),
+            UpMsg::UpEnd => PackedMsg::new(4, &[0]),
+            UpMsg::Down { target, pa, pb } => PackedMsg::new(5, &[target, pa, pb]),
+            UpMsg::Abort => PackedMsg::new(6, &[0]),
+        }
+    }
+
+    fn unpack(m: &PackedMsg) -> Self {
+        let w = m.payload();
+        match m.tag {
+            0 => UpMsg::Wave { root: w[0] },
+            1 => UpMsg::WaveAck { root: w[0], count: w[1] as usize },
+            2 => UpMsg::Start,
+            3 => UpMsg::EdgeRec { owner: w[0], other: w[1] },
+            4 => UpMsg::UpEnd,
+            5 => UpMsg::Down { target: w[0], pa: w[1], pb: w[2] },
+            6 => UpMsg::Abort,
+            t => panic!("unknown UpMsg tag {t}"),
+        }
+    }
+}
+
+/// Per-node state of the Upcast protocol, generic over the wire codec.
 #[derive(Debug)]
-pub(crate) struct UpcastNode {
+pub(crate) struct UpcastNode<C: MsgCodec<UpMsg> = EnumCodec> {
     id: NodeId,
     rng: SmallRng,
     /// `true` for the collect-everything baseline (sample = all edges).
@@ -116,9 +171,11 @@ pub(crate) struct UpcastNode {
     /// Size of the routing table (= descendants in the BFS tree); the
     /// Lemma 18 subtree-balance experiment reads this.
     pub subtree_descendants: usize,
+
+    _codec: PhantomData<C>,
 }
 
-impl UpcastNode {
+impl<C: MsgCodec<UpMsg>> UpcastNode<C> {
     pub(crate) fn new(id: NodeId, cfg: &DhcConfig, all_edges: bool) -> Self {
         UpcastNode {
             id,
@@ -146,6 +203,7 @@ impl UpcastNode {
             aborted: false,
             root_edge_count: 0,
             subtree_descendants: 0,
+            _codec: PhantomData,
         }
     }
 
@@ -153,13 +211,16 @@ impl UpcastNode {
         self.parent.is_none() && self.best_root == self.id
     }
 
-    fn wave_check(&mut self, ctx: &mut Context<'_, UpMsg>) {
+    fn wave_check(&mut self, ctx: &mut Context<'_, C::Wire>) {
         if self.pending != 0 {
             return;
         }
         match self.parent {
             Some(p) => {
-                ctx.send(p, UpMsg::WaveAck { root: self.best_root, count: 1 + self.acc });
+                ctx.send(
+                    p,
+                    C::encode(UpMsg::WaveAck { root: self.best_root, count: 1 + self.acc }),
+                );
             }
             None if self.best_root == self.id => {
                 let count = 1 + self.acc;
@@ -174,7 +235,7 @@ impl UpcastNode {
         }
     }
 
-    fn begin_upcast(&mut self, ctx: &mut Context<'_, UpMsg>) {
+    fn begin_upcast(&mut self, ctx: &mut Context<'_, C::Wire>) {
         self.started = true;
         self.up_end_pending = self.children.len();
         // Draw the samples.
@@ -201,7 +262,7 @@ impl UpcastNode {
         }
         let children = self.children.clone();
         for c in children {
-            ctx.send(c, UpMsg::Start);
+            ctx.send(c, C::encode(UpMsg::Start));
         }
         // Pumping happens once, at the end of the round callback.
     }
@@ -211,7 +272,7 @@ impl UpcastNode {
         (self.sample_factor * n.ln()).ceil() as usize
     }
 
-    fn pump_up(&mut self, ctx: &mut Context<'_, UpMsg>) {
+    fn pump_up(&mut self, ctx: &mut Context<'_, C::Wire>) {
         if !self.started || self.is_root() {
             return;
         }
@@ -220,7 +281,7 @@ impl UpcastNode {
         while sent < BATCH {
             match self.upqueue.pop_front() {
                 Some((owner, other)) => {
-                    ctx.send(p, UpMsg::EdgeRec { owner, other });
+                    ctx.send(p, C::encode(UpMsg::EdgeRec { owner, other }));
                     sent += 1;
                 }
                 None => break,
@@ -229,12 +290,12 @@ impl UpcastNode {
         if !self.upqueue.is_empty() {
             ctx.wake_in(1);
         } else if !self.sent_up_end && self.up_end_pending == 0 {
-            ctx.send(p, UpMsg::UpEnd);
+            ctx.send(p, C::encode(UpMsg::UpEnd));
             self.sent_up_end = true;
         }
     }
 
-    fn root_finish_check(&mut self, ctx: &mut Context<'_, UpMsg>) {
+    fn root_finish_check(&mut self, ctx: &mut Context<'_, C::Wire>) {
         if !self.is_root() || self.solved || self.up_end_pending != 0 || !self.started {
             return;
         }
@@ -270,26 +331,33 @@ impl UpcastNode {
         let succ = cycle.to_successors();
         let mut pred = vec![0usize; n];
         for (v, &s) in succ.iter().enumerate() {
-            pred[s] = v;
+            pred[(s) as usize] = v;
         }
-        for t in 0..n {
+        for t in 0..n as NodeId {
             if t == self.id {
-                self.output = Some(NodeCycleOutput::new(pred[t], succ[t]));
+                self.output =
+                    Some(NodeCycleOutput::new(pred[t as usize] as NodeId, succ[t as usize]));
             } else if let Some(&child) = self.route.get(&t) {
-                self.downqueues.entry(child).or_default().push_back((t, pred[t], succ[t]));
+                self.downqueues.entry(child).or_default().push_back((
+                    t,
+                    pred[t as usize] as NodeId,
+                    succ[t as usize],
+                ));
             }
         }
         // Pumping happens once, at the end of the round callback.
     }
 
-    fn pump_down(&mut self, ctx: &mut Context<'_, UpMsg>) {
+    fn pump_down(&mut self, ctx: &mut Context<'_, C::Wire>) {
         let mut any_left = false;
         let children: Vec<NodeId> = self.downqueues.keys().copied().collect();
         for c in children {
             let q = self.downqueues.get_mut(&c).expect("key just listed");
             for _ in 0..BATCH {
                 match q.pop_front() {
-                    Some((target, pa, pb)) => ctx.send(c, UpMsg::Down { target, pa, pb }),
+                    Some((target, pa, pb)) => {
+                        ctx.send(c, C::encode(UpMsg::Down { target, pa, pb }))
+                    }
                     None => break,
                 }
             }
@@ -304,7 +372,7 @@ impl UpcastNode {
         }
     }
 
-    fn halt_check(&mut self, ctx: &mut Context<'_, UpMsg>) {
+    fn halt_check(&mut self, ctx: &mut Context<'_, C::Wire>) {
         let queues_empty = self.downqueues.values().all(VecDeque::is_empty);
         if !queues_empty || !self.solved {
             return;
@@ -318,21 +386,21 @@ impl UpcastNode {
         }
     }
 
-    fn abort(&mut self, ctx: &mut Context<'_, UpMsg>, skip: Option<NodeId>) {
+    fn abort(&mut self, ctx: &mut Context<'_, C::Wire>, skip: Option<NodeId>) {
         if self.aborted {
             return;
         }
         self.aborted = true;
         // Flood over all edges so even non-tree neighbors terminate.
-        ctx.flood_except(skip, UpMsg::Abort);
+        ctx.flood_except(skip, C::encode(UpMsg::Abort));
         ctx.halt();
     }
 }
 
-impl Protocol for UpcastNode {
-    type Msg = UpMsg;
+impl<C: MsgCodec<UpMsg>> Protocol for UpcastNode<C> {
+    type Msg = C::Wire;
 
-    fn init(&mut self, ctx: &mut Context<'_, UpMsg>) {
+    fn init(&mut self, ctx: &mut Context<'_, C::Wire>) {
         self.best_root = self.id;
         self.parent = None;
         self.pending = ctx.degree();
@@ -342,10 +410,10 @@ impl Protocol for UpcastNode {
             ctx.halt();
             return;
         }
-        ctx.send_all(UpMsg::Wave { root: self.id });
+        ctx.send_all(C::encode(UpMsg::Wave { root: self.id }));
     }
 
-    fn round(&mut self, ctx: &mut Context<'_, UpMsg>, inbox: Inbox<'_, UpMsg>) {
+    fn round(&mut self, ctx: &mut Context<'_, C::Wire>, inbox: Inbox<'_, C::Wire>) {
         // Election waves are handled as a batch with a *randomized* parent
         // choice among the senders that delivered the best root this round.
         // (Deterministic tie-breaking would funnel whole BFS levels through
@@ -353,7 +421,7 @@ impl Protocol for UpcastNode {
         // relies on for the pipelined congestion bound.)
         let wave_min = inbox
             .iter()
-            .filter_map(|(_, m)| match *m {
+            .filter_map(|(_, m)| match C::decode(m) {
                 UpMsg::Wave { root } => Some(root),
                 _ => None,
             })
@@ -361,7 +429,7 @@ impl Protocol for UpcastNode {
         if let Some(r) = wave_min {
             let senders: Vec<NodeId> = inbox
                 .iter()
-                .filter(|&(_, m)| matches!(*m, UpMsg::Wave { root } if root == r))
+                .filter(|&(_, m)| matches!(C::decode(m), UpMsg::Wave { root } if root == r))
                 .map(|(f, _)| f)
                 .collect();
             if r < self.best_root {
@@ -372,7 +440,7 @@ impl Protocol for UpcastNode {
                 self.children.clear();
                 // The co-senders of this wave already count as responses.
                 self.pending = (ctx.degree() - 1).saturating_sub(senders.len() - 1);
-                ctx.send_all_except(parent, UpMsg::Wave { root: r });
+                ctx.send_all_except(parent, C::encode(UpMsg::Wave { root: r }));
                 self.wave_check(ctx);
             } else if r == self.best_root {
                 self.pending = self.pending.saturating_sub(senders.len());
@@ -383,7 +451,7 @@ impl Protocol for UpcastNode {
             if self.aborted {
                 return;
             }
-            match *msg {
+            match C::decode(msg) {
                 UpMsg::Wave { .. } => {} // handled in the batch above
                 UpMsg::WaveAck { root, count } => {
                     if root == self.best_root {
@@ -457,12 +525,27 @@ pub(crate) fn run(
     all_edges: bool,
     km: Option<&mut KMachineProbe>,
 ) -> Result<RunOutcome, DhcError> {
+    if cfg.packed_payloads {
+        run_with::<PackedCodec>(graph, cfg, all_edges, km)
+    } else {
+        run_with::<EnumCodec>(graph, cfg, all_edges, km)
+    }
+}
+
+/// [`run`] pinned to a wire codec.
+fn run_with<C: MsgCodec<UpMsg>>(
+    graph: &Graph,
+    cfg: &DhcConfig,
+    all_edges: bool,
+    km: Option<&mut KMachineProbe>,
+) -> Result<RunOutcome, DhcError> {
     cfg.validate()?;
     let n = graph.node_count();
     if n < 3 {
         return Err(DhcError::GraphTooSmall { n });
     }
-    let nodes: Vec<UpcastNode> = (0..n).map(|v| UpcastNode::new(v, cfg, all_edges)).collect();
+    let nodes: Vec<UpcastNode<C>> =
+        (0..n).map(|v| UpcastNode::new((v) as u32, cfg, all_edges)).collect();
     let mut net = match km.as_deref() {
         Some(p) => Network::new_with_machines(graph, cfg.sim_config(), nodes, p.global_map())?,
         None => Network::new(graph, cfg.sim_config(), nodes)?,

@@ -1,0 +1,190 @@
+//! Pins the word-packed wire representation to the enum oracle.
+//!
+//! Two layers:
+//!
+//! * **Round-trip**: `unpack(pack(m)) == m` and `pack(m).words() ==
+//!   m.words()` for every protocol message variant, over proptest-drawn
+//!   field values — packing changes the in-memory form, never the
+//!   identity or the CONGEST accounting.
+//! * **Execution**: DRA / DHC1 / DHC2 / Upcast outcomes, metrics, and
+//!   phase breakdowns are **bit-identical** with
+//!   [`DhcConfig::with_packed_payloads`] on and off, at engine thread
+//!   counts 1 and 4. Packed messages report the same `words()`, every
+//!   per-node RNG stream is untouched, so the executions must not
+//!   diverge anywhere.
+
+use dhc_congest::{PackedPayload, Payload};
+use dhc_core::dhc1::HypMsg;
+use dhc_core::dra::DraMsg;
+use dhc_core::upcast::UpMsg;
+use dhc_core::{run_dhc1, run_dhc2, run_dra, run_upcast, DhcConfig, RunOutcome};
+use dhc_graph::rng::rng_from_seed;
+use dhc_graph::{generator, thresholds};
+use proptest::prelude::*;
+
+const ENGINE_THREADS: [usize; 2] = [1, 4];
+
+fn assert_roundtrip<M: PackedPayload + PartialEq + std::fmt::Debug>(m: M) {
+    let packed = m.pack();
+    assert_eq!(packed.words(), m.words(), "packed words diverged for {m:?}");
+    assert_eq!(M::unpack(&packed), m, "round-trip diverged for {m:?}");
+}
+
+fn dra_msg_strategy() -> impl Strategy<Value = DraMsg> {
+    let id = any::<u32>();
+    let idx = 0usize..(1usize << 32);
+    prop_oneof![
+        id.prop_map(|color| DraMsg::Color { color }),
+        id.prop_map(|root| DraMsg::Wave { root }),
+        (id, idx.clone()).prop_map(|(root, count)| DraMsg::WaveAck { root, count }),
+        idx.clone().prop_map(|pos| DraMsg::Progress { pos }),
+        Just(DraMsg::FreshAck),
+        ((id, id), idx.clone(), idx.clone(), id, id)
+            .prop_map(|(key, h, j, vj, vh)| DraMsg::Rotation { key, h, j, vj, vh }),
+        (id, id).prop_map(|key| DraMsg::RotAck { key: (key.0, key.1) }),
+        Just(DraMsg::Resume),
+        (id, id, idx).prop_map(|(tail, head, size)| DraMsg::Done { tail, head, size }),
+        any::<u8>().prop_map(|reason| DraMsg::Abort { reason }),
+    ]
+}
+
+fn hyp_msg_strategy() -> impl Strategy<Value = HypMsg> {
+    let id = any::<u32>();
+    let idx = 0usize..(1usize << 32);
+    prop_oneof![
+        id.prop_map(|color| HypMsg::TermAnnounce { color }),
+        idx.clone().prop_map(|pos| HypMsg::HypProgress { pos }),
+        Just(HypMsg::HypFreshAck),
+        idx.clone().prop_map(|pos| HypMsg::BecomeHead { pos }),
+        Just(HypMsg::HypReject),
+        ((id, id), idx.clone(), idx, id, id).prop_map(|(key, h, j, y, x)| HypMsg::HypRotation {
+            key,
+            h,
+            j,
+            y,
+            x
+        }),
+        (id, id).prop_map(|key| HypMsg::HypRotAck { key: (key.0, key.1) }),
+        Just(HypMsg::HypResume),
+        (id, id).prop_map(|(x, y)| HypMsg::HypDone { x, y }),
+        Just(HypMsg::HypAbort),
+    ]
+}
+
+fn up_msg_strategy() -> impl Strategy<Value = UpMsg> {
+    let id = any::<u32>();
+    let idx = 0usize..(1usize << 32);
+    prop_oneof![
+        id.prop_map(|root| UpMsg::Wave { root }),
+        (id, idx).prop_map(|(root, count)| UpMsg::WaveAck { root, count }),
+        Just(UpMsg::Start),
+        (id, id).prop_map(|(owner, other)| UpMsg::EdgeRec { owner, other }),
+        Just(UpMsg::UpEnd),
+        (id, id, id).prop_map(|(target, pa, pb)| UpMsg::Down { target, pa, pb }),
+        Just(UpMsg::Abort),
+    ]
+}
+
+proptest! {
+    /// Every DRA message survives the packed wire form unchanged, with
+    /// identical CONGEST word accounting.
+    #[test]
+    fn dra_msg_packs_losslessly(m in dra_msg_strategy()) {
+        assert_roundtrip(m);
+    }
+
+    /// Every hypernode-stitch message survives the packed wire form
+    /// unchanged, with identical CONGEST word accounting.
+    #[test]
+    fn hyp_msg_packs_losslessly(m in hyp_msg_strategy()) {
+        assert_roundtrip(m);
+    }
+
+    /// Every Upcast message survives the packed wire form unchanged, with
+    /// identical CONGEST word accounting.
+    #[test]
+    fn up_msg_packs_losslessly(m in up_msg_strategy()) {
+        assert_roundtrip(m);
+    }
+}
+
+fn assert_outcomes_identical(fat: &RunOutcome, lean: &RunOutcome, what: &str) {
+    assert_eq!(fat.cycle.order(), lean.cycle.order(), "{what}: cycle diverged");
+    assert_eq!(fat.metrics, lean.metrics, "{what}: metrics diverged");
+    assert_eq!(fat.phases, lean.phases, "{what}: phase breakdown diverged");
+}
+
+#[test]
+fn dra_bit_identical_packed_vs_enum_at_thread_counts() {
+    let n = 144;
+    let g = generator::gnp(n, 0.5, &mut rng_from_seed(120)).unwrap();
+    let base = (121..129)
+        .map(DhcConfig::new)
+        .find(|cfg| run_dra(&g, cfg).is_ok())
+        .expect("DRA should succeed for at least one of 8 seeds");
+    for threads in ENGINE_THREADS {
+        let cfg = base.clone().with_engine_threads(threads);
+        let fat = run_dra(&g, &cfg).unwrap();
+        let lean = run_dra(&g, &cfg.clone().with_packed_payloads(true)).unwrap();
+        assert_outcomes_identical(&fat, &lean, &format!("dra @ {threads} threads"));
+    }
+}
+
+#[test]
+fn dhc1_bit_identical_packed_vs_enum_at_thread_counts() {
+    let n = 196;
+    let p = thresholds::edge_probability(n, 0.5, 6.0);
+    let g = generator::gnp(n, p, &mut rng_from_seed(130)).unwrap();
+    let base = (131..139)
+        .map(|seed| DhcConfig::new(seed).with_partitions(8))
+        .find(|cfg| run_dhc1(&g, cfg).is_ok())
+        .expect("DHC1 should succeed for at least one of 8 seeds");
+    for threads in ENGINE_THREADS {
+        let cfg = base.clone().with_engine_threads(threads);
+        let fat = run_dhc1(&g, &cfg).unwrap();
+        let lean = run_dhc1(&g, &cfg.clone().with_packed_payloads(true)).unwrap();
+        assert_outcomes_identical(&fat, &lean, &format!("dhc1 @ {threads} threads"));
+    }
+}
+
+#[test]
+fn dhc2_bit_identical_packed_vs_enum_at_thread_counts() {
+    let n = 192;
+    let p = thresholds::edge_probability(n, 0.5, 6.0);
+    let g = generator::gnp(n, p, &mut rng_from_seed(140)).unwrap();
+    let base = (141..149)
+        .map(|seed| DhcConfig::new(seed).with_partitions(6))
+        .find(|cfg| run_dhc2(&g, cfg).is_ok())
+        .expect("DHC2 should succeed for at least one of 8 seeds");
+    for threads in ENGINE_THREADS {
+        let cfg = base.clone().with_engine_threads(threads);
+        let fat = run_dhc2(&g, &cfg).unwrap();
+        let lean = run_dhc2(&g, &cfg.clone().with_packed_payloads(true)).unwrap();
+        assert_outcomes_identical(&fat, &lean, &format!("dhc2 @ {threads} threads"));
+    }
+}
+
+#[test]
+fn upcast_bit_identical_packed_vs_enum_at_thread_counts() {
+    let n = 200;
+    let p = thresholds::edge_probability(n, 0.5, 2.0);
+    let g = generator::gnp(n, p, &mut rng_from_seed(150)).unwrap();
+    for threads in ENGINE_THREADS {
+        let cfg = DhcConfig::new(151).with_engine_threads(threads);
+        let fat = run_upcast(&g, &cfg).unwrap();
+        let lean = run_upcast(&g, &cfg.clone().with_packed_payloads(true)).unwrap();
+        assert_outcomes_identical(&fat, &lean, &format!("upcast @ {threads} threads"));
+    }
+}
+
+#[test]
+fn packed_failures_are_bit_identical() {
+    // A disconnected graph fails Phase 1; the typed error must not depend
+    // on the wire representation.
+    let g =
+        dhc_graph::Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+    let cfg = DhcConfig::new(0);
+    let fat = run_dra(&g, &cfg).unwrap_err();
+    let lean = run_dra(&g, &cfg.with_packed_payloads(true)).unwrap_err();
+    assert_eq!(format!("{fat:?}"), format!("{lean:?}"));
+}

@@ -10,7 +10,7 @@ use dhc_graph::{generator, rng::rng_from_seed, thresholds, Partition};
 /// Runs the DRA phase directly and returns the nodes.
 fn run_dra_protocol(g: &dhc_graph::Graph, colors: &[u32], seed: u64) -> Vec<DraNode> {
     let nodes: Vec<DraNode> =
-        (0..g.node_count()).map(|v| DraNode::new(v, colors[v], seed)).collect();
+        (0..g.node_count()).map(|v| DraNode::new((v) as u32, colors[v], seed)).collect();
     let mut net =
         Network::new(g, Config::default().with_bandwidth_words(16), nodes).expect("valid network");
     net.run().expect("protocol terminates");
@@ -49,10 +49,10 @@ fn dra_succ_pred_are_mutually_inverse() {
     for (v, nd) in nodes.iter().enumerate() {
         let s = nd.succ.expect("complete");
         let p = nd.pred.expect("complete");
-        assert_eq!(nodes[s].pred, Some(v), "succ/pred inverse broken at {v}");
-        assert_eq!(nodes[p].succ, Some(v), "pred/succ inverse broken at {v}");
+        assert_eq!(nodes[(s) as usize].pred, Some(v as u32), "succ/pred inverse broken at {v}");
+        assert_eq!(nodes[(p) as usize].succ, Some(v as u32), "pred/succ inverse broken at {v}");
         // Path neighbors are graph neighbors (cycle edges are real).
-        assert!(g.has_edge(v, s));
+        assert!(g.has_edge((v) as u32, s));
     }
 }
 
@@ -64,7 +64,7 @@ fn dra_indices_follow_successors() {
     for (v, nd) in nodes.iter().enumerate() {
         let s = nd.succ.expect("complete");
         let vi = nd.cycindex.expect("complete");
-        let si = nodes[s].cycindex.expect("complete");
+        let si = nodes[(s) as usize].cycindex.expect("complete");
         assert_eq!(si, (vi + 1) % n, "index order broken at {v}");
     }
 }
@@ -106,7 +106,7 @@ fn dra_respects_partition_boundaries() {
     let nodes = run_dra_protocol(&g, &colors, 89);
     for (v, nd) in nodes.iter().enumerate() {
         if let Some(s) = nd.succ {
-            assert_eq!(colors[v], colors[s], "cycle edge ({v},{s}) crosses partitions");
+            assert_eq!(colors[v], colors[(s) as usize], "cycle edge ({v},{s}) crosses partitions");
         }
     }
 }

@@ -74,7 +74,7 @@ impl Graph {
     ///
     /// Panics if `v >= n`.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.offsets[v + 1] - self.offsets[v]
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
     }
 
     /// Sorted neighbor list of node `v`.
@@ -83,7 +83,7 @@ impl Graph {
     ///
     /// Panics if `v >= n`.
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
     }
 
     /// Whether the undirected edge `{u, v}` is present. `O(log deg(u))`.
@@ -103,12 +103,12 @@ impl Graph {
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.node_count()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
     }
 
     /// Minimum degree over all nodes (0 for the empty graph).
     pub fn min_degree(&self) -> usize {
-        (0..self.node_count()).map(|v| self.degree(v)).min().unwrap_or(0)
+        (0..self.node_count()).map(|v| self.degree(v as NodeId)).min().unwrap_or(0)
     }
 
     /// Average degree `2m / n` (0 for the empty graph).
@@ -145,14 +145,17 @@ impl Graph {
             return Err(GraphError::EmptySelection);
         }
         let n = self.node_count();
-        let mut to_local: Vec<Option<usize>> = vec![None; n];
+        let mut to_local: Vec<Option<NodeId>> = vec![None; n];
         let mut degree_sum = 0usize;
         for (local, &g) in nodes.iter().enumerate() {
-            if g >= n {
-                return Err(GraphError::NodeOutOfRange { node: g, n });
+            if g as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: g as usize, n });
             }
-            assert!(to_local[g].is_none(), "duplicate node {g} in induced_subgraph selection");
-            to_local[g] = Some(local);
+            assert!(
+                to_local[g as usize].is_none(),
+                "duplicate node {g} in induced_subgraph selection"
+            );
+            to_local[g as usize] = Some(local as NodeId);
             degree_sum += self.degree(g);
         }
         // Each internal edge is pushed once (u < v) and contributes 2 to
@@ -160,8 +163,9 @@ impl Graph {
         // count: the builder never reallocates while collecting.
         let mut b = GraphBuilder::with_capacity(nodes.len(), degree_sum / 2);
         for (local_u, &g_u) in nodes.iter().enumerate() {
+            let local_u = local_u as NodeId;
             for &g_v in self.neighbors(g_u) {
-                if let Some(local_v) = to_local[g_v] {
+                if let Some(local_v) = to_local[g_v as usize] {
                     if local_u < local_v {
                         b.add_edge(local_u, local_v)?;
                     }
@@ -199,7 +203,7 @@ impl Iterator for EdgeIter<'_> {
     fn next(&mut self) -> Option<Self::Item> {
         let g = self.graph;
         let n = g.node_count();
-        while self.u < n {
+        while (self.u as usize) < n {
             let nbrs = g.neighbors(self.u);
             while self.idx < nbrs.len() {
                 let v = nbrs[self.idx];
@@ -263,14 +267,14 @@ impl GraphBuilder {
     ///
     /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
-        if u >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        if u as usize >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u as usize, n: self.n });
         }
-        if v >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        if v as usize >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v as usize, n: self.n });
         }
         if u == v {
-            return Err(GraphError::SelfLoop { node: u });
+            return Err(GraphError::SelfLoop { node: u as usize });
         }
         self.edges.push(if u < v { (u, v) } else { (v, u) });
         Ok(self)
@@ -288,8 +292,8 @@ impl GraphBuilder {
         let m = self.edges.len();
         let mut deg = vec![0usize; self.n];
         for &(u, v) in &self.edges {
-            deg[u] += 1;
-            deg[v] += 1;
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(self.n + 1);
         let mut acc = 0usize;
@@ -301,10 +305,10 @@ impl GraphBuilder {
         let mut cursor = offsets.clone();
         let mut neighbors = vec![0 as NodeId; 2 * m];
         for &(u, v) in &self.edges {
-            neighbors[cursor[u]] = v;
-            cursor[u] += 1;
-            neighbors[cursor[v]] = u;
-            cursor[v] += 1;
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
         }
         // Each per-node slice was filled from edges sorted by (min, max); the
         // slice for u receives targets in nondecreasing order only for the

@@ -13,15 +13,15 @@ pub const UNREACHABLE: usize = usize::MAX;
 ///
 /// Panics if `source >= n`.
 pub fn distances(graph: &Graph, source: NodeId) -> Vec<usize> {
-    assert!(source < graph.node_count(), "source {source} out of range");
+    assert!((source as usize) < graph.node_count(), "source {source} out of range");
     let mut dist = vec![UNREACHABLE; graph.node_count()];
     let mut queue = VecDeque::new();
-    dist[source] = 0;
+    dist[source as usize] = 0;
     queue.push_back(source);
     while let Some(v) = queue.pop_front() {
         for &w in graph.neighbors(v) {
-            if dist[w] == UNREACHABLE {
-                dist[w] = dist[v] + 1;
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dist[v as usize] + 1;
                 queue.push_back(w);
             }
         }
@@ -74,8 +74,8 @@ impl BfsTree {
         let mut order: Vec<NodeId> = self.levels.iter().flatten().copied().collect();
         order.reverse();
         for v in order {
-            if let Some(p) = self.parent[v] {
-                size[p] += size[v];
+            if let Some(p) = self.parent[v as usize] {
+                size[p as usize] += size[v as usize];
             }
         }
         size
@@ -89,20 +89,20 @@ impl BfsTree {
 ///
 /// Panics if `root >= n`.
 pub fn bfs_tree(graph: &Graph, root: NodeId) -> BfsTree {
-    assert!(root < graph.node_count(), "root {root} out of range");
+    assert!((root as usize) < graph.node_count(), "root {root} out of range");
     let n = graph.node_count();
     let mut parent = vec![None; n];
     let mut depth = vec![UNREACHABLE; n];
     let mut levels: Vec<Vec<NodeId>> = vec![vec![root]];
-    depth[root] = 0;
+    depth[root as usize] = 0;
     let mut frontier = vec![root];
     while !frontier.is_empty() {
         let mut next = Vec::new();
         for &v in &frontier {
             for &w in graph.neighbors(v) {
-                if depth[w] == UNREACHABLE {
-                    depth[w] = depth[v] + 1;
-                    parent[w] = Some(v);
+                if depth[w as usize] == UNREACHABLE {
+                    depth[w as usize] = depth[v as usize] + 1;
+                    parent[w as usize] = Some(v);
                     next.push(w);
                 }
             }
@@ -131,12 +131,12 @@ pub fn bfs_tree_randomized<R: rand::Rng + ?Sized>(
     root: NodeId,
     rng: &mut R,
 ) -> BfsTree {
-    assert!(root < graph.node_count(), "root {root} out of range");
+    assert!((root as usize) < graph.node_count(), "root {root} out of range");
     let n = graph.node_count();
     let mut parent = vec![None; n];
     let mut depth = vec![UNREACHABLE; n];
     let mut levels: Vec<Vec<NodeId>> = vec![vec![root]];
-    depth[root] = 0;
+    depth[root as usize] = 0;
     let mut frontier = vec![root];
     let mut d = 0usize;
     loop {
@@ -146,8 +146,8 @@ pub fn bfs_tree_randomized<R: rand::Rng + ?Sized>(
         let mut next: Vec<NodeId> = Vec::new();
         for &v in &frontier {
             for &w in graph.neighbors(v) {
-                if depth[w] == UNREACHABLE {
-                    depth[w] = d;
+                if depth[w as usize] == UNREACHABLE {
+                    depth[w as usize] = d;
                     next.push(w);
                 }
             }
@@ -157,10 +157,14 @@ pub fn bfs_tree_randomized<R: rand::Rng + ?Sized>(
         }
         next.sort_unstable();
         for &w in &next {
-            let candidates: Vec<NodeId> =
-                graph.neighbors(w).iter().copied().filter(|&u| depth[u] == d - 1).collect();
+            let candidates: Vec<NodeId> = graph
+                .neighbors(w)
+                .iter()
+                .copied()
+                .filter(|&u| depth[u as usize] == d - 1)
+                .collect();
             let pick = candidates[rng.gen_range(0..candidates.len())];
-            parent[w] = Some(pick);
+            parent[w as usize] = Some(pick);
         }
         levels.push(next.clone());
         frontier = next;
@@ -180,11 +184,11 @@ pub fn component_count(graph: &Graph) -> usize {
         count += 1;
         let mut queue = VecDeque::new();
         seen[s] = true;
-        queue.push_back(s);
+        queue.push_back(s as NodeId);
         while let Some(v) = queue.pop_front() {
             for &w in graph.neighbors(v) {
-                if !seen[w] {
-                    seen[w] = true;
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
                     queue.push_back(w);
                 }
             }
@@ -203,13 +207,13 @@ pub fn components(graph: &Graph) -> Vec<Vec<NodeId>> {
         if seen[s] {
             continue;
         }
-        let mut comp = vec![s];
+        let mut comp = vec![s as NodeId];
         seen[s] = true;
-        let mut queue = VecDeque::from([s]);
+        let mut queue = VecDeque::from([s as NodeId]);
         while let Some(v) = queue.pop_front() {
             for &w in graph.neighbors(v) {
-                if !seen[w] {
-                    seen[w] = true;
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
                     comp.push(w);
                     queue.push_back(w);
                 }
@@ -279,8 +283,8 @@ mod tests {
             assert_eq!(t.depth[v], dist, "depth mismatch at {v}");
             if v != 0 {
                 let p = t.parent[v].unwrap();
-                assert!(g.has_edge(v, p));
-                assert_eq!(t.depth[p] + 1, t.depth[v]);
+                assert!(g.has_edge(v as NodeId, p));
+                assert_eq!(t.depth[p as usize] + 1, t.depth[v]);
             }
         }
         assert_eq!(t.subtree_sizes()[0], 25);

@@ -121,16 +121,20 @@ impl HamiltonianCycle {
         }
         let mut seen = vec![false; n];
         for &v in &order {
-            if v >= n || seen[v] {
-                return Err(CycleError::RepeatedOrInvalidNode { node: v });
+            if v as usize >= n || seen[v as usize] {
+                return Err(CycleError::RepeatedOrInvalidNode { node: v as usize });
             }
-            seen[v] = true;
+            seen[v as usize] = true;
         }
         for i in 0..n {
             let from = order[i];
             let to = order[(i + 1) % n];
             if !graph.has_edge(from, to) {
-                return Err(CycleError::MissingEdge { from, to, position: i });
+                return Err(CycleError::MissingEdge {
+                    from: from as usize,
+                    to: to as usize,
+                    position: i,
+                });
             }
         }
         Ok(HamiltonianCycle { order })
@@ -153,15 +157,15 @@ impl HamiltonianCycle {
         if succ.len() != n {
             return Err(CycleError::NotAPermutation { expected: n, actual: succ.len() });
         }
-        let mut order = Vec::with_capacity(n);
-        let mut v = 0;
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        let mut v: NodeId = 0;
         for _ in 0..n {
             order.push(v);
-            match succ[v] {
-                None => return Err(CycleError::MissingSuccessor { node: v }),
+            match succ[v as usize] {
+                None => return Err(CycleError::MissingSuccessor { node: v as usize }),
                 Some(w) => {
-                    if w >= n {
-                        return Err(CycleError::RepeatedOrInvalidNode { node: w });
+                    if w as usize >= n {
+                        return Err(CycleError::RepeatedOrInvalidNode { node: w as usize });
                     }
                     v = w;
                 }
@@ -222,7 +226,7 @@ impl HamiltonianCycle {
         let n = self.order.len();
         let mut succ = vec![0; n];
         for i in 0..n {
-            succ[self.order[i]] = self.order[(i + 1) % n];
+            succ[self.order[i] as usize] = self.order[(i + 1) % n];
         }
         succ
     }
@@ -310,7 +314,7 @@ mod tests {
     fn successors_round_trip() {
         let g = generator::complete(5);
         let hc = HamiltonianCycle::from_order(&g, vec![3, 1, 4, 0, 2]).unwrap();
-        let succ: Vec<Option<usize>> = hc.to_successors().into_iter().map(Some).collect();
+        let succ: Vec<Option<NodeId>> = hc.to_successors().into_iter().map(Some).collect();
         let hc2 = HamiltonianCycle::from_successors(&g, &succ).unwrap();
         assert_eq!(hc2.edge_set(), hc.edge_set());
     }

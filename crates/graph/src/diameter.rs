@@ -17,7 +17,7 @@ pub fn exact(graph: &Graph) -> Option<usize> {
     }
     let mut diam = 0usize;
     for v in 0..n {
-        let ecc = eccentricity(graph, v)?;
+        let ecc = eccentricity(graph, v as NodeId)?;
         diam = diam.max(ecc);
     }
     Some(diam)
@@ -59,7 +59,7 @@ pub fn two_sweep_lower_bound(graph: &Graph, start: NodeId) -> Option<usize> {
         }
         if x > best {
             best = x;
-            far = v;
+            far = v as NodeId;
         }
     }
     eccentricity(graph, far)

@@ -70,7 +70,7 @@ pub fn chung_lu<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Result<Graph, 
             // Accept with the true probability / bound ratio.
             let p_true = (w(i) * w(j) / total).min(1.0);
             if rng.gen_range(0.0..1.0) < p_true / p_bound {
-                b.add_edge(order[i], order[j])?;
+                b.add_edge(order[i] as u32, order[j] as u32)?;
             }
             p_bound = p_true;
             j += 1;

@@ -1,7 +1,7 @@
 //! Deterministic graph families used as fixtures in tests, examples,
 //! and sanity experiments.
 
-use crate::Graph;
+use crate::{Graph, NodeId};
 
 /// The cycle `C_n` (`n >= 3`): node `i` is adjacent to `i ± 1 (mod n)`.
 ///
@@ -10,7 +10,8 @@ use crate::Graph;
 /// Panics if `n < 3`.
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "a cycle needs at least 3 nodes, got {n}");
-    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).expect("cycle edges are always valid")
+    Graph::from_edges(n, (0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId)))
+        .expect("cycle edges are always valid")
 }
 
 /// The path `P_n`: nodes `0..n` connected in a line. `n = 0` and `n = 1`
@@ -19,12 +20,13 @@ pub fn path(n: usize) -> Graph {
     if n < 2 {
         return Graph::empty(n);
     }
-    Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).expect("path edges are always valid")
+    Graph::from_edges(n, (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId)))
+        .expect("path edges are always valid")
 }
 
 /// The complete graph `K_n`.
 pub fn complete(n: usize) -> Graph {
-    let edges = (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v)));
+    let edges = (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u as NodeId, v as NodeId)));
     Graph::from_edges(n, edges).expect("complete edges are always valid")
 }
 
@@ -33,7 +35,7 @@ pub fn star(n: usize) -> Graph {
     if n < 2 {
         return Graph::empty(n);
     }
-    Graph::from_edges(n, (1..n).map(|v| (0, v))).expect("star edges are always valid")
+    Graph::from_edges(n, (1..n).map(|v| (0, v as NodeId))).expect("star edges are always valid")
 }
 
 /// The `rows × cols` grid graph.
@@ -42,12 +44,12 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     let mut edges = Vec::new();
     for r in 0..rows {
         for c in 0..cols {
-            let v = r * cols + c;
+            let v = (r * cols + c) as NodeId;
             if c + 1 < cols {
                 edges.push((v, v + 1));
             }
             if r + 1 < rows {
-                edges.push((v, v + cols));
+                edges.push((v, v + cols as NodeId));
             }
         }
     }
@@ -57,9 +59,9 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 /// The Petersen graph: 10 nodes, 15 edges, 3-regular, famously
 /// **not** Hamiltonian — the canonical negative fixture for cycle finders.
 pub fn petersen() -> Graph {
-    let mut edges = Vec::with_capacity(15);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(15);
     // Outer 5-cycle 0..4, inner 5-star 5..9, spokes i -> i+5.
-    for i in 0..5 {
+    for i in 0..5u32 {
         edges.push((i, (i + 1) % 5));
         edges.push((5 + i, 5 + (i + 2) % 5));
         edges.push((i, i + 5));
@@ -75,7 +77,7 @@ mod tests {
     fn cycle_structure() {
         let g = cycle(5);
         assert_eq!(g.edge_count(), 5);
-        assert!((0..5).all(|v| g.degree(v) == 2));
+        assert!((0..5u32).all(|v| g.degree(v) == 2));
         assert!(g.is_connected());
     }
 
@@ -99,14 +101,14 @@ mod tests {
     fn complete_structure() {
         let g = complete(6);
         assert_eq!(g.edge_count(), 15);
-        assert!((0..6).all(|v| g.degree(v) == 5));
+        assert!((0..6u32).all(|v| g.degree(v) == 5));
     }
 
     #[test]
     fn star_structure() {
         let g = star(5);
         assert_eq!(g.degree(0), 4);
-        assert!((1..5).all(|v| g.degree(v) == 1));
+        assert!((1..5u32).all(|v| g.degree(v) == 1));
     }
 
     #[test]
@@ -124,7 +126,7 @@ mod tests {
         let g = petersen();
         assert_eq!(g.node_count(), 10);
         assert_eq!(g.edge_count(), 15);
-        assert!((0..10).all(|v| g.degree(v) == 3));
+        assert!((0..10u32).all(|v| g.degree(v) == 3));
         assert!(g.is_connected());
     }
 }

@@ -46,7 +46,7 @@ pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, Gr
             }
             let key = if u < v { (u, v) } else { (v, u) };
             if seen.insert(key) {
-                b.add_edge(key.0, key.1)?;
+                b.add_edge(key.0 as u32, key.1 as u32)?;
             }
         }
     } else {
@@ -56,7 +56,7 @@ pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, Gr
             let j = rng.gen_range(i..max);
             universe.swap(i, j);
             let (u, v) = unrank(universe[i]);
-            b.add_edge(u, v)?;
+            b.add_edge(u as u32, v as u32)?;
         }
     }
     Ok(b.build())
@@ -109,7 +109,7 @@ mod tests {
     fn full_graph() {
         let g = gnm(6, 15, &mut rng_from_seed(0)).unwrap();
         assert_eq!(g.edge_count(), 15);
-        for u in 0..6 {
+        for u in 0..6u32 {
             assert_eq!(g.degree(u), 5);
         }
     }

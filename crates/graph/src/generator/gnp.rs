@@ -56,7 +56,7 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, Grap
             v += 1;
         }
         if v < n {
-            b.add_edge(v, w as usize)?;
+            b.add_edge(v as u32, w as u32)?;
         }
     }
     Ok(b.build())
@@ -117,8 +117,8 @@ mod tests {
     fn no_self_loops_or_duplicates_by_construction() {
         let g = gnp(150, 0.2, &mut rng_from_seed(9)).unwrap();
         for v in 0..g.node_count() {
-            let nbrs = g.neighbors(v);
-            assert!(!nbrs.contains(&v));
+            let nbrs = g.neighbors(v as u32);
+            assert!(!nbrs.contains(&(v as u32)));
             for pair in nbrs.windows(2) {
                 assert!(pair[0] < pair[1]);
             }

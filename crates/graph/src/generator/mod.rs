@@ -6,12 +6,14 @@
 
 mod chung_lu;
 pub mod classic;
+mod clustered;
 mod gnm;
 mod gnp;
 mod regular;
 
 pub use chung_lu::chung_lu;
 pub use classic::{complete, cycle as cycle_graph, grid, path as path_graph, petersen, star};
+pub use clustered::clustered;
 pub use gnm::gnm;
 pub use gnp::gnp;
 pub use regular::random_regular;

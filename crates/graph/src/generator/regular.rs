@@ -59,7 +59,7 @@ pub fn random_regular<R: Rng + ?Sized>(
         if let Some(edges) = try_pairing(n, d, rng) {
             let mut b = GraphBuilder::with_capacity(n, edges.len());
             for (u, v) in edges {
-                b.add_edge(u, v)?;
+                b.add_edge(u as u32, v as u32)?;
             }
             return Ok(b.build());
         }

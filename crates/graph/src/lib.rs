@@ -61,4 +61,17 @@ pub use topology::Topology;
 pub use view::{ClassView, PartitionedGraph};
 
 /// Node identifier inside a [`Graph`]: a dense index in `0..n`.
-pub type NodeId = usize;
+///
+/// Stored as `u32` — a CONGEST word is `Θ(log n)` bits and every graph
+/// this workspace simulates satisfies `n ≤ 2³²`, so a 32-bit id *is* a
+/// word. Halving the id width halves the footprint of every id-bearing
+/// array on the hot path (CSR neighbor lists, partition member lists,
+/// grouped intra-class adjacency, message routing buckets). Indexing
+/// into `Vec`s widens with `as usize` (infallible on 64-bit targets).
+pub type NodeId = u32;
+
+/// Widens a [`NodeId`] to a `usize` index (infallible: `u32 → usize`).
+#[inline(always)]
+pub const fn nix(v: NodeId) -> usize {
+    v as usize
+}

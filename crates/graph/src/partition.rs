@@ -24,7 +24,7 @@ use rand::Rng;
 ///
 /// let p = Partition::random(100, 4, &mut rng_from_seed(0));
 /// assert_eq!(p.class_count(), 4);
-/// assert_eq!(p.classes().map(<[usize]>::len).sum::<usize>(), 100);
+/// assert_eq!(p.classes().map(<[u32]>::len).sum::<usize>(), 100);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
@@ -77,7 +77,7 @@ impl Partition {
         let mut cursor = offsets.clone();
         let mut members = vec![0 as NodeId; n];
         for (v, &c) in color.iter().enumerate() {
-            members[cursor[c as usize]] = v;
+            members[cursor[c as usize]] = v as NodeId;
             cursor[c as usize] += 1;
         }
         Partition { color, offsets, members }
@@ -89,7 +89,7 @@ impl Partition {
     ///
     /// Panics if `v >= n`.
     pub fn color(&self, v: NodeId) -> u32 {
-        self.color[v]
+        self.color[v as usize]
     }
 
     /// Per-node colors.
@@ -176,8 +176,8 @@ mod tests {
         let mut seen = [false; 200];
         for (c, class) in p.classes().enumerate() {
             for &v in class {
-                assert!(!seen[v], "node {v} in two classes");
-                seen[v] = true;
+                assert!(!seen[v as usize], "node {v} in two classes");
+                seen[v as usize] = true;
                 assert_eq!(p.color(v) as usize, c);
             }
         }

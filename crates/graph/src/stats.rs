@@ -23,7 +23,7 @@ pub fn degree_stats(graph: &Graph) -> DegreeStats {
     if n == 0 {
         return DegreeStats { min: 0, max: 0, mean: 0.0, stddev: 0.0, histogram: Vec::new() };
     }
-    let degrees: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    let degrees: Vec<usize> = (0..n).map(|v| graph.degree(v as u32)).collect();
     let min = *degrees.iter().min().expect("n > 0");
     let max = *degrees.iter().max().expect("n > 0");
     let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
@@ -74,7 +74,7 @@ pub fn mean_clustering(graph: &Graph) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    (0..n).map(|v| clustering_at(graph, v)).sum::<f64>() / n as f64
+    (0..n).map(|v| clustering_at(graph, v as u32)).sum::<f64>() / n as f64
 }
 
 #[cfg(test)]

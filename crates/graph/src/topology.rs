@@ -61,7 +61,7 @@ pub trait Topology {
 
     /// Maximum degree over all nodes (0 for the empty topology).
     fn max_degree(&self) -> usize {
-        (0..self.node_count()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.node_count()).map(|v| self.degree(v as u32)).max().unwrap_or(0)
     }
 
     /// Memory footprint of the topology's index structures in machine

@@ -89,27 +89,42 @@ impl<'a> PartitionedGraph<'a> {
         let mut local = vec![0 as NodeId; n];
         for class in partition.classes() {
             for (l, &v) in class.iter().enumerate() {
-                local[v] = l;
+                local[v as usize] = l as NodeId;
             }
+        }
+
+        // Count pass: each node's same-color degree. Sizing `intra` from
+        // the actual same-color degree sum (instead of the old `2m` guess
+        // from `graph.words()`) means the grouped array never over-reserves
+        // on sparse class mixes — on a k-class random coloring only ~1/k of
+        // the adjacency is intra-class, so the guess wasted (k-1)/k of the
+        // allocation.
+        let mut intra_offsets = Vec::with_capacity(n + 1);
+        intra_offsets.push(0);
+        let mut same_total = 0usize;
+        for v in 0..n {
+            let c = colors[v];
+            let same =
+                graph.neighbors(v as NodeId).iter().filter(|&&w| colors[w as usize] == c).count();
+            same_total += same;
+            intra_offsets.push(same_total);
         }
 
         // Group each neighbor slice: keep the same-color entries, already
         // translated to local ids. Order within the slice is preserved,
         // so each list stays ascending in the local id space.
-        let mut intra_offsets = Vec::with_capacity(n + 1);
-        let mut intra = Vec::with_capacity(graph.words().saturating_sub(n + 1));
+        let mut intra = Vec::with_capacity(same_total);
         let mut class_half_edges = vec![0usize; k];
-        intra_offsets.push(0);
         for v in 0..n {
             let c = colors[v];
-            for &w in graph.neighbors(v) {
-                if colors[w] == c {
-                    intra.push(local[w]);
+            for &w in graph.neighbors(v as NodeId) {
+                if colors[w as usize] == c {
+                    intra.push(local[w as usize]);
                 }
             }
             class_half_edges[c as usize] += intra.len() - intra_offsets[v];
-            intra_offsets.push(intra.len());
         }
+        debug_assert_eq!(intra.len(), same_total);
         let class_edges = class_half_edges.into_iter().map(|h| h / 2).collect();
 
         PartitionedGraph { graph, partition, local, intra_offsets, intra, class_edges }
@@ -154,7 +169,7 @@ impl<'a> PartitionedGraph<'a> {
     ///
     /// Panics if `v >= n`.
     pub fn intra_degree(&self, v: NodeId) -> usize {
-        self.intra_offsets[v + 1] - self.intra_offsets[v]
+        self.intra_offsets[v as usize + 1] - self.intra_offsets[v as usize]
     }
 
     /// Number of cross-color neighbors of global node `v` (the edges the
@@ -203,7 +218,7 @@ impl ClassView<'_> {
     ///
     /// Panics if `v >= len`.
     pub fn to_global(&self, v: NodeId) -> NodeId {
-        self.members[v]
+        self.members[v as usize]
     }
 
     /// The local id of global node `g`, or `None` if `g` is not in this
@@ -213,7 +228,7 @@ impl ClassView<'_> {
     ///
     /// Panics if `g` is out of range for the backing graph.
     pub fn to_local(&self, g: NodeId) -> Option<NodeId> {
-        (self.pg.partition.color(g) as usize == self.class).then(|| self.pg.local[g])
+        (self.pg.partition.color(g) as usize == self.class).then(|| self.pg.local[g as usize])
     }
 }
 
@@ -227,7 +242,7 @@ impl Topology for ClassView<'_> {
     }
 
     fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        let g = self.members[v];
+        let g = self.members[v as usize] as usize;
         &self.pg.intra[self.pg.intra_offsets[g]..self.pg.intra_offsets[g + 1]]
     }
 
@@ -258,7 +273,7 @@ mod tests {
             assert_eq!(view.members(), &map[..]);
             assert_eq!(view.node_count(), sub.node_count());
             assert_eq!(view.edge_count(), sub.edge_count());
-            for v in 0..sub.node_count() {
+            for v in 0..sub.node_count() as u32 {
                 assert_eq!(view.neighbors(v), sub.neighbors(v), "class {c} node {v}");
                 assert_eq!(view.degree(v), sub.degree(v));
                 assert_eq!(view.to_local(view.to_global(v)), Some(v));

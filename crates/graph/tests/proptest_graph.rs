@@ -4,7 +4,7 @@ use dhc_graph::{bfs, generator, rng::rng_from_seed, Graph, HamiltonianCycle, Par
 use proptest::prelude::*;
 
 /// Strategy: arbitrary simple-graph edge list over n nodes.
-fn edges_strategy(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+fn edges_strategy(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
     prop::collection::vec((0..n, 0..n), 0..max_edges)
         .prop_map(|pairs| pairs.into_iter().filter(|(u, v)| u != v).collect::<Vec<_>>())
 }
@@ -13,14 +13,14 @@ proptest! {
     #[test]
     fn csr_degree_sums_to_twice_edges(edges in edges_strategy(20, 60)) {
         let g = Graph::from_edges(20, edges).unwrap();
-        let deg_sum: usize = (0..20).map(|v| g.degree(v)).sum();
+        let deg_sum: usize = (0..20u32).map(|v| g.degree(v)).sum();
         prop_assert_eq!(deg_sum, 2 * g.edge_count());
     }
 
     #[test]
     fn adjacency_is_symmetric(edges in edges_strategy(16, 48)) {
         let g = Graph::from_edges(16, edges).unwrap();
-        for u in 0..16 {
+        for u in 0..16u32 {
             for &v in g.neighbors(u) {
                 prop_assert!(g.has_edge(v, u));
             }
@@ -41,13 +41,16 @@ proptest! {
     #[test]
     fn induced_subgraph_preserves_adjacency(edges in edges_strategy(14, 50), sel_bits in 0u32..(1 << 14)) {
         let g = Graph::from_edges(14, edges).unwrap();
-        let nodes: Vec<usize> = (0..14).filter(|i| sel_bits & (1 << i) != 0).collect();
+        let nodes: Vec<u32> = (0..14u32).filter(|i| sel_bits & (1 << i) != 0).collect();
         prop_assume!(!nodes.is_empty());
         let (sub, map) = g.induced_subgraph(&nodes).unwrap();
         for lu in 0..sub.node_count() {
             for lv in 0..sub.node_count() {
                 if lu != lv {
-                    prop_assert_eq!(sub.has_edge(lu, lv), g.has_edge(map[lu], map[lv]));
+                    prop_assert_eq!(
+                        sub.has_edge(lu as u32, lv as u32),
+                        g.has_edge(map[lu], map[lv])
+                    );
                 }
             }
         }
@@ -56,13 +59,13 @@ proptest! {
     #[test]
     fn partition_classes_are_disjoint_cover(seed in any::<u64>(), k in 1usize..10) {
         let p = Partition::random(64, k, &mut rng_from_seed(seed));
-        let total: usize = p.classes().map(<[usize]>::len).sum();
+        let total: usize = p.classes().map(<[u32]>::len).sum();
         prop_assert_eq!(total, 64);
         let mut seen = [false; 64];
         for class in p.classes() {
             for &v in class {
-                prop_assert!(!seen[v]);
-                seen[v] = true;
+                prop_assert!(!seen[v as usize]);
+                seen[v as usize] = true;
             }
         }
     }
@@ -73,7 +76,7 @@ proptest! {
         let a = generator::gnp(n, p, &mut rng_from_seed(seed)).unwrap();
         let b = generator::gnp(n, p, &mut rng_from_seed(seed)).unwrap();
         prop_assert_eq!(&a, &b);
-        for v in 0..n {
+        for v in 0..n as u32 {
             prop_assert!(!a.neighbors(v).contains(&v));
         }
     }
@@ -83,6 +86,7 @@ proptest! {
         let g = Graph::from_edges(15, edges).unwrap();
         let d = bfs::distances(&g, 0);
         for (u, v) in g.edges() {
+            let (u, v) = (u as usize, v as usize);
             if d[u] != bfs::UNREACHABLE && d[v] != bfs::UNREACHABLE {
                 let du = d[u] as i64;
                 let dv = d[v] as i64;
@@ -94,9 +98,9 @@ proptest! {
     #[test]
     fn cycle_roundtrip_any_rotation(shift in 0usize..12) {
         let g = generator::cycle_graph(12);
-        let order: Vec<usize> = (0..12).map(|i| (i + shift) % 12).collect();
+        let order: Vec<u32> = (0..12).map(|i| ((i + shift) % 12) as u32).collect();
         let hc = HamiltonianCycle::from_order(&g, order).unwrap();
-        let succ: Vec<Option<usize>> = hc.to_successors().into_iter().map(Some).collect();
+        let succ: Vec<Option<u32>> = hc.to_successors().into_iter().map(Some).collect();
         let hc2 = HamiltonianCycle::from_successors(&g, &succ).unwrap();
         prop_assert_eq!(hc.edge_set(), hc2.edge_set());
     }

@@ -38,6 +38,7 @@ proptest! {
 
             // Degree-for-degree, edge-for-edge (slices, order included).
             for (v, &mapped) in map.iter().enumerate() {
+                let v = v as u32;
                 prop_assert_eq!(view.degree(v), sub.degree(v));
                 prop_assert_eq!(view.neighbors(v), sub.neighbors(v));
                 // O(1) round trip through the global id space.
@@ -47,8 +48,8 @@ proptest! {
             }
 
             // Edge queries agree with the oracle in both directions.
-            for lu in 0..sub.node_count() {
-                for lv in 0..sub.node_count() {
+            for lu in 0..sub.node_count() as u32 {
+                for lv in 0..sub.node_count() as u32 {
                     prop_assert_eq!(view.has_edge(lu, lv), sub.has_edge(lu, lv));
                 }
             }
@@ -58,7 +59,7 @@ proptest! {
         }
         // Views cover every node exactly once; cross + intra = all edges.
         prop_assert_eq!(covered, n);
-        let cross_total: usize = (0..n).map(|v| pg.cross_degree(v)).sum();
+        let cross_total: usize = (0..n).map(|v| pg.cross_degree(v as u32)).sum();
         prop_assert_eq!(intra_edges + cross_total / 2, g.edge_count());
     }
 
@@ -74,11 +75,11 @@ proptest! {
         for c in 0..partition.class_count() {
             let Ok(view) = pg.class_view(c) else { continue };
             let mut degree_sum = 0usize;
-            for v in 0..view.node_count() {
+            for v in 0..view.node_count() as u32 {
                 let nbrs = view.neighbors(v);
                 // Strictly ascending, in range, no self-loops.
                 prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
-                prop_assert!(nbrs.iter().all(|&w| w < view.node_count()));
+                prop_assert!(nbrs.iter().all(|&w| (w as usize) < view.node_count()));
                 prop_assert!(!nbrs.contains(&v));
                 // Symmetric.
                 for &w in nbrs {

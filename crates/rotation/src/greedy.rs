@@ -36,17 +36,17 @@ pub fn greedy<R: Rng + ?Sized>(graph: &Graph, restarts: usize, rng: &mut R) -> G
     }
     for _ in 0..restarts.max(1) {
         let mut on_path = vec![false; n];
-        let start = rng.gen_range(0..n);
+        let start = rng.gen_range(0..n) as NodeId;
         let mut order = vec![start];
-        on_path[start] = true;
+        on_path[start as usize] = true;
         loop {
             let head = *order.last().expect("non-empty");
             let fresh: Vec<NodeId> =
-                graph.neighbors(head).iter().copied().filter(|&w| !on_path[w]).collect();
+                graph.neighbors(head).iter().copied().filter(|&w| !on_path[w as usize]).collect();
             match fresh.choose(rng) {
                 None => break,
                 Some(&w) => {
-                    on_path[w] = true;
+                    on_path[w as usize] = true;
                     order.push(w);
                     steps += 1;
                 }

@@ -40,9 +40,9 @@ impl RotationPath {
     ///
     /// Panics if `start >= n`.
     pub fn new(n: usize, start: NodeId) -> Self {
-        assert!(start < n, "start {start} out of range for {n} nodes");
+        assert!(start < (n) as u32, "start {start} out of range for {n} nodes");
         let mut position = vec![None; n];
-        position[start] = Some(0);
+        position[(start) as usize] = Some(0);
         RotationPath { order: vec![start], position, rotations: 0 }
     }
 
@@ -72,12 +72,12 @@ impl RotationPath {
     ///
     /// Panics if `v` is outside the universe.
     pub fn contains(&self, v: NodeId) -> bool {
-        self.position[v].is_some()
+        self.position[(v) as usize].is_some()
     }
 
     /// Position of `v` on the path, if present.
     pub fn position_of(&self, v: NodeId) -> Option<usize> {
-        self.position[v]
+        self.position[(v) as usize]
     }
 
     /// The visiting order.
@@ -96,8 +96,8 @@ impl RotationPath {
     ///
     /// Panics if `v` is already on the path or outside the universe.
     pub fn extend(&mut self, v: NodeId) {
-        assert!(self.position[v].is_none(), "node {v} already on path");
-        self.position[v] = Some(self.order.len());
+        assert!(self.position[(v) as usize].is_none(), "node {v} already on path");
+        self.position[(v) as usize] = Some(self.order.len());
         self.order.push(v);
     }
 
@@ -121,7 +121,7 @@ impl RotationPath {
         }
         self.order[j + 1..].reverse();
         for i in j + 1..self.order.len() {
-            self.position[self.order[i]] = Some(i);
+            self.position[(self.order[i]) as usize] = Some(i);
         }
         self.rotations += 1;
     }
@@ -185,9 +185,9 @@ mod tests {
         assert_eq!(p.head(), 3);
         // Check the renumbering formula: for old position i (0-based) in
         // j+1..=h, new position = h + j + 1 - i.
-        let (h, j) = (7, 2);
+        let (h, j) = (7usize, 2usize);
         for old_i in (j + 1)..=h {
-            let node = old_i; // nodes were laid out in order initially
+            let node = old_i as u32; // nodes were laid out in order initially
             assert_eq!(p.position_of(node), Some(h + j + 1 - old_i));
         }
     }

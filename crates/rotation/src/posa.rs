@@ -94,7 +94,7 @@ pub fn posa_subsampled<R: Rng + ?Sized>(
     let mut unused: Vec<Vec<NodeId>> = Vec::with_capacity(graph.node_count());
     for v in 0..graph.node_count() {
         let mut list: Vec<NodeId> =
-            graph.neighbors(v).iter().copied().filter(|_| rng.gen_bool(keep)).collect();
+            graph.neighbors((v) as u32).iter().copied().filter(|_| rng.gen_bool(keep)).collect();
         list.shuffle(rng);
         unused.push(list);
     }
@@ -147,7 +147,7 @@ pub fn posa_with_restarts<R: Rng + ?Sized>(
 fn full_unused_lists<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Vec<Vec<NodeId>> {
     (0..graph.node_count())
         .map(|v| {
-            let mut list = graph.neighbors(v).to_vec();
+            let mut list = graph.neighbors((v) as u32).to_vec();
             list.shuffle(rng);
             list
         })
@@ -171,7 +171,7 @@ fn run_directed<R: Rng + ?Sized>(
     let budget = config.budget(n);
     let start = match config.start {
         Some(s) => s,
-        None => rng.gen_range(0..n),
+        None => (rng.gen_range(0..n)) as u32,
     };
     let mut path = RotationPath::new(n, start);
     let mut stats = RotationStats::default();
@@ -183,17 +183,17 @@ fn run_directed<R: Rng + ?Sized>(
         let head = path.head();
         // Draw a random unused edge at the head; also unmark the reverse
         // direction (the paper's line 13).
-        let u = match unused[head].pop() {
+        let u = match unused[(head) as usize].pop() {
             None => {
                 return Err(RotationError::OutOfEdges {
-                    head,
+                    head: head as usize,
                     steps: stats.steps,
                     path_len: path.len(),
                 });
             }
             Some(u) => {
-                if let Some(pos) = unused[u].iter().position(|&x| x == head) {
-                    unused[u].swap_remove(pos);
+                if let Some(pos) = unused[u as usize].iter().position(|&x| x == head) {
+                    unused[u as usize].swap_remove(pos);
                 }
                 u
             }

@@ -12,11 +12,11 @@ proptest! {
         rotate_at in prop::collection::vec(0usize..20, 0..10),
     ) {
         let mut path = RotationPath::new(30, 0);
-        let mut members = vec![0usize];
+        let mut members = vec![0u32];
         for v in extends {
-            if !path.contains(v) {
-                path.extend(v);
-                members.push(v);
+            if !path.contains(v as u32) {
+                path.extend(v as u32);
+                members.push(v as u32);
             }
         }
         for j in rotate_at {
@@ -43,7 +43,7 @@ proptest! {
         prop_assume!(j + 2 < len);
         let mut path = RotationPath::new(25, 0);
         for v in 1..len {
-            path.extend(v);
+            path.extend((v) as u32);
         }
         let before = path.order().to_vec();
         path.rotate(j);

@@ -99,7 +99,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("G({n}, {p:.3}), {} edges, connected: {}\n", g.edge_count(), g.is_connected());
 
     let nodes: Vec<Elect> = (0..n)
-        .map(|id| Elect { id, best: id, parent: None, pending: 0, acc: 0, leader_count: None })
+        .map(|id| Elect {
+            id: id as u32,
+            best: id as u32,
+            parent: None,
+            pending: 0,
+            acc: 0,
+            leader_count: None,
+        })
         .collect();
     // A node may adopt improving roots twice in one round and forward both
     // waves over the same edge; allow a few words per edge per round.

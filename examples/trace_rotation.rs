@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A transparent re-implementation of the solver loop so every step can
     // be printed (the library version is dhc::rotation::posa).
-    let mut unused: Vec<Vec<usize>> = (0..n)
+    let mut unused: Vec<Vec<u32>> = (0..n as u32)
         .map(|v| {
             let mut l = g.neighbors(v).to_vec();
             l.shuffle(&mut rng);
@@ -31,16 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     let start = rng.gen_range(0..n);
-    let mut path = RotationPath::new(n, start);
+    let mut path = RotationPath::new(n, (start) as u32);
     println!("start at node {start}");
     for step in 1..=10_000 {
         let head = path.head();
-        let Some(u) = unused[head].pop() else {
+        let Some(u) = unused[(head) as usize].pop() else {
             println!("step {step}: head {head} ran out of unused edges — failure (event E2)");
             return Ok(());
         };
-        if let Some(pos) = unused[u].iter().position(|&x| x == head) {
-            unused[u].swap_remove(pos);
+        if let Some(pos) = unused[u as usize].iter().position(|&x| x == head) {
+            unused[u as usize].swap_remove(pos);
         }
         if !path.contains(u) {
             path.extend(u);

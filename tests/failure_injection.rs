@@ -95,7 +95,7 @@ fn crashing_a_leader_quorum_yields_a_typed_error_not_a_hang() {
     // instead of an infinite stall.
     let n = 96;
     let g = generator::gnp(n, 0.5, &mut rng_from_seed(40)).unwrap();
-    let adv = Adversary::seeded(41).with_crash(0, 2, None).with_crash(n - 1, 2, None);
+    let adv = Adversary::seeded(41).with_crash(0, 2, None).with_crash((n - 1) as u32, 2, None);
     let cfg = DhcConfig::new(42).with_partitions(2).with_max_rounds(2_000).with_adversary(adv);
     let err = run_dra(&g, &cfg).unwrap_err();
     assert!(matches!(err, DhcError::Simulation(_) | DhcError::PartitionFailed { .. }), "{err:?}");

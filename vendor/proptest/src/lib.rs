@@ -2,9 +2,10 @@
 //!
 //! Supports the subset this workspace's property tests use: the
 //! [`proptest!`] macro (with an optional `#![proptest_config(..)]`
-//! header), range / tuple / `prop_map` / `any::<T>()` /
-//! `prop::collection::vec` strategies, and the `prop_assert!` /
-//! `prop_assert_eq!` / `prop_assume!` assertion macros.
+//! header), range / tuple / `prop_map` / `any::<T>()` / [`Just`] /
+//! [`prop_oneof!`] / `prop::collection::vec` strategies, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` assertion
+//! macros.
 //!
 //! Unlike real proptest there is **no shrinking**: a failing case panics
 //! with the deterministic case index so it can be replayed. Case streams
@@ -18,8 +19,8 @@ use std::ops::Range;
 /// Everything a test needs: `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, CaseOutcome,
-        ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        CaseOutcome, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -155,6 +156,61 @@ impl_tuple_strategy! {
     (A.0, B.1);
     (A.0, B.1, C.2);
     (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+/// Strategy yielding one fixed value (real proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed same-value strategies; built by
+/// [`prop_oneof!`]. (Real proptest weights its variants; this shim
+/// supports only the unweighted form.)
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union").field("options", &self.options.len()).finish()
+    }
+}
+
+impl<T> Union<T> {
+    /// A strategy drawing uniformly among `options`; must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Uniform choice among strategies producing the same value type:
+/// `prop_oneof![s1, s2, ...]` (unweighted form only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
 }
 
 /// Types with a canonical "any value" strategy.
@@ -175,6 +231,18 @@ impl Arbitrary for u32 {
     }
 }
 
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
@@ -184,6 +252,14 @@ impl Arbitrary for bool {
 /// Strategy for any value of `T` (see [`any`]).
 #[derive(Debug, Default)]
 pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Any<T> {}
 
 impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
@@ -373,6 +449,11 @@ mod tests {
             prop_assert!(x < 50);
             prop_assert!(ys.len() < 5);
             prop_assert_eq!(z, z, "identity must hold for {}", z);
+        }
+
+        #[test]
+        fn oneof_and_just_cover_all_options(x in prop_oneof![Just(0usize), 1usize..3, Just(9usize)]) {
+            prop_assert!(x < 3usize || x == 9usize);
         }
 
         /// An assume inside the body's own loop must reject the whole
