@@ -1,0 +1,78 @@
+//! Writing (and carrying forward) the committed `BENCH_*.json`
+//! baselines in the shared `dhc-bench/v1` envelope ([`dhc_obs::schema`]).
+//!
+//! Heavy rows (multi-minute runs gated behind `--heavy`) live in the
+//! same documents as the cheap rows. A non-`--heavy` refresh must not
+//! silently lose them, so emitters read the committed document first
+//! and re-append its heavy-kind records verbatim via
+//! [`carried_records`].
+
+use dhc_obs::json::Json;
+use dhc_obs::schema::BenchDoc;
+
+/// Resolves a baseline's output path: the `env_var` override (used by
+/// tests to keep runs off the committed files) or the committed
+/// `default` at the workspace root.
+pub fn baseline_path(env_var: &str, default: &str) -> String {
+    std::env::var(env_var).unwrap_or_else(|_| default.into())
+}
+
+/// Records of the given `kinds` from an existing baseline document,
+/// verbatim — how a non-`--heavy` run carries committed heavy rows
+/// forward instead of dropping them. A missing, unreadable, or
+/// pre-envelope file yields an empty list (there is nothing to carry).
+pub fn carried_records(path: &str, kinds: &[&str]) -> Vec<Json> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    let Ok(doc) = Json::parse(&text) else { return Vec::new() };
+    let Some(records) = doc.get("records").and_then(Json::as_array) else { return Vec::new() };
+    records
+        .iter()
+        .filter(|r| r.get("kind").and_then(Json::as_str).is_some_and(|k| kinds.contains(&k)))
+        .cloned()
+        .collect()
+}
+
+/// Writes the rendered document to `path`, returning the status line
+/// experiments append to their report.
+pub fn write_baseline(path: &str, doc: &BenchDoc) -> String {
+    match std::fs::write(path, doc.render()) {
+        Ok(()) => format!("    baseline written to {path}\n"),
+        Err(e) => format!("    could not write {path}: {e}\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhc_obs::schema::Record;
+
+    #[test]
+    fn carry_forward_roundtrip() {
+        let mut doc = BenchDoc::new("e99", "t", "w", 1, 0);
+        doc.push(Record::new("cheap").u64("n", 1));
+        doc.push(Record::new("heavy").u64("n", 1_000_000).f3("wall_s", 123.456));
+        let dir = std::env::temp_dir().join(format!("dhc-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_t.json");
+        let path = path.to_str().unwrap();
+        assert!(write_baseline(path, &doc).contains("baseline written"));
+
+        let carried = carried_records(path, &["heavy"]);
+        assert_eq!(carried.len(), 1);
+        assert_eq!(carried[0].get("n").and_then(Json::as_u64), Some(1_000_000));
+
+        // A refreshed doc with the heavy record re-appended still validates.
+        let mut fresh = BenchDoc::new("e99", "t", "w", 1, 0);
+        fresh.push(Record::new("cheap").u64("n", 2));
+        for rec in carried {
+            fresh.push_json(rec);
+        }
+        assert!(dhc_obs::schema::validate(&fresh.render()).is_ok());
+
+        // Nothing to carry from missing or pre-envelope files.
+        assert!(carried_records("/nonexistent/BENCH.json", &["heavy"]).is_empty());
+        std::fs::write(path, r#"{"bench": "old", "results": []}"#).unwrap();
+        assert!(carried_records(path, &["heavy"]).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! cargo run --release -p dhc-bench --bin experiments -- \
-//!     [--list] [--quick|--smoke] [--heavy] [--seed S] <id>...|all
+//!     [--list] [--quick|--smoke] [--heavy] [--progress|--no-progress] [--seed S] <id>...|all
 //! ```
 //!
 //! `--list` prints every experiment id with its one-line description and
 //! exits. `--heavy` opts into the points that run for over a minute each
 //! (E13's and E14's end-to-end DHC1 at n = 10⁴, E15's delay/crash
 //! sweeps); they are skipped with a notice otherwise so
-//! `experiments all` stays tractable.
+//! `experiments all` stays tractable. `--progress` attaches the
+//! `dhc-obs` stderr heartbeat to the long E13/E16 runs (live round and
+//! message counts every two seconds); it defaults **on** under
+//! `--heavy` — a million-node sweep should never look hung — and
+//! `--no-progress` turns it back off.
 
 use dhc_bench::experiments::{run_by_id, Effort, ALL_IDS, CATALOG};
 use std::time::Instant;
@@ -18,6 +22,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut effort = Effort::Full;
     let mut heavy = false;
+    let mut progress: Option<bool> = None;
     let mut seed = 20180424u64; // paper's arXiv date
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -32,6 +37,8 @@ fn main() {
             "--quick" => effort = Effort::Quick,
             "--smoke" => effort = Effort::Smoke,
             "--heavy" => heavy = true,
+            "--progress" => progress = Some(true),
+            "--no-progress" => progress = Some(false),
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage("missing value after --seed"));
                 seed = v.parse().unwrap_or_else(|_| usage("--seed expects an integer"));
@@ -44,13 +51,16 @@ fn main() {
     if ids.is_empty() {
         usage("no experiment selected");
     }
+    // Heavy runs take minutes per point; default the heartbeat on so
+    // they never look hung.
+    let progress = progress.unwrap_or(heavy);
     println!(
         "# dhc experiments (effort: {:?}, seed: {seed})\n# Chatterjee, Fathi, Pandurangan, Pham: Distributed Hamiltonian Cycles (ICDCS 2018)\n",
         effort
     );
     for id in ids {
         let start = Instant::now();
-        match run_by_id(&id, effort, heavy, seed) {
+        match run_by_id(&id, effort, heavy, progress, seed) {
             Ok(report) => {
                 println!("{report}");
                 println!("    [{id} took {:.1}s]\n", start.elapsed().as_secs_f64());
@@ -66,7 +76,8 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments [--list] [--quick|--smoke] [--heavy] [--seed S] <e1..e16|all>..."
+        "usage: experiments [--list] [--quick|--smoke] [--heavy] [--progress|--no-progress] \
+         [--seed S] <e1..e16|all>..."
     );
     std::process::exit(2)
 }

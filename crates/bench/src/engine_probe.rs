@@ -21,7 +21,7 @@
 //! identical (same rounds, messages, metrics; pinned by
 //! `crates/congest/tests/broadcast_equivalence.rs`).
 
-use dhc_congest::{Config, Context, Inbox, Network, NodeId, Payload, Protocol};
+use dhc_congest::{CollectorHandle, Config, Context, Inbox, Network, NodeId, Payload, Protocol};
 use dhc_graph::Graph;
 
 /// Flood-echo messages.
@@ -119,7 +119,24 @@ impl Protocol for FloodEcho {
 /// Panics if the simulation faults — only possible on a disconnected
 /// graph (the flood then stalls).
 pub fn flood_echo(graph: &Graph, engine_threads: usize) -> (usize, u64) {
-    flood_echo_mode(graph, engine_threads, false)
+    flood_echo_observed(graph, engine_threads, None)
+}
+
+/// [`flood_echo`] with an optional telemetry collector attached — the
+/// probe E13 uses to measure collector overhead (attached vs detached
+/// wall-clock on the same engine-bound workload; the simulated results
+/// are bit-identical either way, pinned by
+/// `crates/core/tests/obs_equivalence.rs`).
+///
+/// # Panics
+///
+/// Like [`flood_echo`].
+pub fn flood_echo_observed(
+    graph: &Graph,
+    engine_threads: usize,
+    collector: Option<CollectorHandle>,
+) -> (usize, u64) {
+    flood_echo_mode(graph, engine_threads, false, collector)
 }
 
 /// [`flood_echo`] with the floods expanded into per-neighbor unicasts —
@@ -129,15 +146,23 @@ pub fn flood_echo(graph: &Graph, engine_threads: usize) -> (usize, u64) {
 ///
 /// Like [`flood_echo`].
 pub fn flood_echo_unicast(graph: &Graph, engine_threads: usize) -> (usize, u64) {
-    flood_echo_mode(graph, engine_threads, true)
+    flood_echo_mode(graph, engine_threads, true, None)
 }
 
-fn flood_echo_mode(graph: &Graph, engine_threads: usize, expand: bool) -> (usize, u64) {
+fn flood_echo_mode(
+    graph: &Graph,
+    engine_threads: usize,
+    expand: bool,
+    collector: Option<CollectorHandle>,
+) -> (usize, u64) {
     let nodes: Vec<FloodEcho> =
         (0..graph.node_count()).map(|_| FloodEcho { expand, ..FloodEcho::default() }).collect();
     // A node may forward the wave to a neighbor and decline that same
     // neighbor's wave in one round: two 1-word messages per edge.
-    let cfg = Config::default().with_bandwidth_words(2).with_engine_threads(engine_threads);
+    let mut cfg = Config::default().with_bandwidth_words(2).with_engine_threads(engine_threads);
+    if let Some(col) = collector {
+        cfg = cfg.with_collector(col);
+    }
     let mut net = Network::new(graph, cfg, nodes).expect("probe network");
     net.run().expect("flood-echo completes on a connected graph");
     (net.metrics().rounds, net.metrics().messages)

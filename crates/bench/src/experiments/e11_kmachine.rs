@@ -14,6 +14,7 @@
 //! constant of the `Õ`. Upcast rides along as the contrast: its root
 //! hotspot keeps the links into the root's machine saturated.
 
+use crate::baseline::{baseline_path, write_baseline};
 use crate::table::{f3, Table};
 use crate::workload::{floored_partitions, OperatingPoint};
 use dhc_core::{
@@ -21,6 +22,8 @@ use dhc_core::{
     KMachineReport, RunOutcome,
 };
 use dhc_graph::Graph;
+use dhc_obs::json::Json;
+use dhc_obs::schema::{BenchDoc, Record};
 
 use super::Effort;
 
@@ -151,40 +154,39 @@ fn sweep(
     Err(format!("{algo} did not succeed in 8 seeds at n = {n}"))
 }
 
-fn render_json(points: &[Point], params: &Params, seed: u64, dhc2_decreasing: bool) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"kmachine\",\n");
-    out.push_str(
-        "  \"workload\": \"measured k-machine simulation (RVP, free intra-machine messages, \
-         per-link dilation) vs the KNPR bound, G(n, c ln n / sqrt n)\",\n",
+/// The baseline document in the shared `dhc-bench/v1` envelope: one
+/// flat `kmachine-point` record per `(algo, k)` sweep row, the link
+/// budget and the headline monotonicity check in `meta`.
+fn render_doc(points: &[Point], params: &Params, seed: u64, dhc2_decreasing: bool) -> BenchDoc {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut doc = BenchDoc::new(
+        "e11",
+        "kmachine",
+        "measured k-machine simulation (RVP, free intra-machine messages, per-link dilation) vs \
+         the KNPR bound, G(n, c ln n / sqrt n)",
+        cores,
+        seed,
     );
-    out.push_str(&format!("  \"seed\": {seed},\n"));
-    out.push_str(&format!("  \"link_bandwidth_words\": {},\n", params.link_bandwidth_words));
-    out.push_str(&format!("  \"dhc2_rounds_strictly_decrease_in_k\": {dhc2_decreasing},\n"));
-    out.push_str("  \"results\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"algo\": \"{}\", \"n\": {}, \"k\": {}, \"congest_rounds\": {}, \
-             \"kmachine_rounds\": {}, \"max_dilation\": {}, \"bound\": {:.1}, \
-             \"factor\": {:.4}, \"rvp_balance\": {:.3}, \"cross_words\": {}, \
-             \"intra_words\": {}, \"max_link_total_words\": {}}}{}\n",
-            p.algo,
-            p.n,
-            p.k,
-            p.congest_rounds,
-            p.kmachine_rounds,
-            p.max_dilation,
-            p.bound,
-            p.factor,
-            p.rvp_balance,
-            p.cross_words,
-            p.intra_words,
-            p.max_link_total,
-            if i + 1 < points.len() { "," } else { "" },
-        ));
+    doc.meta("link_bandwidth_words", Json::usize(params.link_bandwidth_words));
+    doc.meta("dhc2_rounds_strictly_decrease_in_k", Json::Bool(dhc2_decreasing));
+    for p in points {
+        doc.push(
+            Record::new("kmachine-point")
+                .str("algo", p.algo)
+                .usize("n", p.n)
+                .usize("k", p.k)
+                .usize("congest_rounds", p.congest_rounds)
+                .usize("kmachine_rounds", p.kmachine_rounds)
+                .usize("max_dilation", p.max_dilation)
+                .f1("bound", p.bound)
+                .field("factor", Json::Num(format!("{:.4}", p.factor)))
+                .f3("rvp_balance", p.rvp_balance)
+                .u64("cross_words", p.cross_words)
+                .u64("intra_words", p.intra_words)
+                .u64("max_link_total_words", p.max_link_total),
+        );
     }
-    out.push_str("  ]\n}\n");
-    out
+    doc
 }
 
 /// Whether one algorithm's measured rounds strictly decrease along the
@@ -254,12 +256,9 @@ pub fn run(params: &Params, seed: u64) -> String {
     );
 
     if params.emit_json {
-        let path =
-            std::env::var("BENCH_KMACHINE_OUT").unwrap_or_else(|_| "BENCH_kmachine.json".into());
-        match std::fs::write(&path, render_json(&points, params, seed, dhc2_decreasing)) {
-            Ok(()) => out.push_str(&format!("    baseline written to {path}\n")),
-            Err(e) => out.push_str(&format!("    could not write {path}: {e}\n")),
-        }
+        let path = baseline_path("BENCH_KMACHINE_OUT", "BENCH_kmachine.json");
+        let doc = render_doc(&points, params, seed, dhc2_decreasing);
+        out.push_str(&write_baseline(&path, &doc));
     }
     out
 }
@@ -283,7 +282,7 @@ mod tests {
     }
 
     #[test]
-    fn json_shape() {
+    fn doc_validates_and_keeps_point_fields() {
         let p = Point {
             algo: "dhc2",
             n: 96,
@@ -298,11 +297,15 @@ mod tests {
             intra_words: 100,
             max_link_total: 60,
         };
-        let json = render_json(&[p], &Params::for_effort(Effort::Smoke), 9, true);
-        assert!(json.contains("\"bench\": \"kmachine\""));
-        assert!(json.contains("\"kmachine_rounds\": 25"));
-        assert!(json.contains("\"dhc2_rounds_strictly_decrease_in_k\": true"));
-        assert!(json.trim_end().ends_with('}'));
+        let text = render_doc(&[p], &Params::for_effort(Effort::Smoke), 9, true).render();
+        dhc_obs::schema::validate(&text).expect("schema-valid document");
+        assert!(text.contains("\"bench\": \"kmachine\""), "{text}");
+        assert!(text.contains("\"dhc2_rounds_strictly_decrease_in_k\":true"), "{text}");
+        assert!(text.contains("\"kind\":\"kmachine-point\""), "{text}");
+        assert!(text.contains("\"kmachine_rounds\":25"), "{text}");
+        // The factor keeps its four-decimal precision through the writer.
+        assert!(text.contains("\"factor\":0.2500"), "{text}");
+        assert!(text.contains("\"max_link_total_words\":60"), "{text}");
     }
 
     #[test]

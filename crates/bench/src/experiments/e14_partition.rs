@@ -16,11 +16,14 @@
 //! binary's `--heavy` flag; the two modes must produce **bit-identical**
 //! cycles and metrics, which the experiment asserts.
 
+use crate::baseline::{baseline_path, carried_records, write_baseline};
 use crate::partition_probe::{setup_copy, setup_graph, setup_partition, setup_view};
 use crate::table::{f3, Table};
 use dhc_core::{run_dhc1, DhcConfig};
 use dhc_graph::rng::rng_from_seed;
 use dhc_graph::Graph;
+use dhc_obs::json::Json;
+use dhc_obs::schema::{BenchDoc, Record};
 use std::time::Instant;
 
 use super::Effort;
@@ -91,15 +94,15 @@ impl Params {
 
     /// Applies the `--heavy` gate: without the flag, end-to-end points
     /// above [`HEAVY_E2E_NODES`] are dropped so `experiments all` stays
-    /// tractable. The JSON baseline write is disabled too — a rewrite
-    /// without the heavy rows would silently lose the committed ones —
-    /// and `run` prints a one-line notice naming what was skipped.
+    /// tractable. The baseline write survives the gate: the committed
+    /// `dhc1-e2e` records are carried forward verbatim (see
+    /// [`crate::baseline::carried_records`]), so a non-heavy refresh
+    /// updates the setup rows without losing the end-to-end ones.
     pub fn gated(mut self, heavy: bool) -> Self {
         if !heavy {
             if let Some(pt) = self.e2e {
                 if pt.n > HEAVY_E2E_NODES {
                     self.e2e = None;
-                    self.emit_json = false;
                     self.skipped_heavy = Some(pt);
                 }
             }
@@ -190,57 +193,53 @@ fn measure_e2e(pt: E2ePoint, seed: u64) -> Result<(Vec<E2eSample>, bool), String
     Err(format!("DHC1 did not succeed in 8 seeds at n = {}, k = {}", pt.n, pt.k))
 }
 
-fn render_json(
+/// The baseline document in the shared `dhc-bench/v1` envelope: one
+/// `setup` record per size, one flat `dhc1-e2e` record per Phase-1
+/// mode, carried-forward committed end-to-end records re-appended
+/// verbatim when this run skipped the heavy point.
+fn render_doc(
     setup: &[SetupSample],
     e2e: Option<(E2ePoint, &[E2eSample], bool)>,
+    carried: Vec<Json>,
     cores: usize,
     seed: u64,
-) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"partition\",\n");
-    out.push_str(
-        "  \"workload\": \"phase-1 setup (view vs copy, k = sqrt(n)) + end-to-end DHC1\",\n",
+) -> BenchDoc {
+    let mut doc = BenchDoc::new(
+        "e14",
+        "partition",
+        "phase-1 setup (view vs copy, k = sqrt(n)) + end-to-end DHC1",
+        cores,
+        seed,
     );
-    out.push_str(&format!("  \"cores\": {cores},\n"));
-    out.push_str(&format!("  \"seed\": {seed},\n"));
-    out.push_str("  \"setup\": [\n");
-    for (i, s) in setup.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"n\": {}, \"k\": {}, \"m\": {}, \"copy_ms\": {:.3}, \"view_ms\": {:.3}, \
-             \"speedup\": {:.2}}}{}\n",
-            s.n,
-            s.k,
-            s.m,
-            s.copy_ms,
-            s.view_ms,
-            s.copy_ms / s.view_ms,
-            if i + 1 < setup.len() { "," } else { "" },
-        ));
+    for s in setup {
+        doc.push(
+            Record::new("setup")
+                .usize("n", s.n)
+                .usize("k", s.k)
+                .usize("m", s.m)
+                .f3("copy_ms", s.copy_ms)
+                .f3("view_ms", s.view_ms)
+                .field("speedup", Json::Num(format!("{:.2}", s.copy_ms / s.view_ms))),
+        );
     }
-    out.push_str("  ],\n");
-    match e2e {
-        Some((pt, samples, identical)) => {
-            out.push_str(&format!(
-                "  \"dhc1_e2e\": {{\"n\": {}, \"k\": {}, \"bit_identical\": {}, \"runs\": [\n",
-                pt.n, pt.k, identical
-            ));
-            for (i, s) in samples.iter().enumerate() {
-                out.push_str(&format!(
-                    "    {{\"mode\": \"{}\", \"wall_s\": {:.3}, \"rounds\": {}, \
-                     \"messages\": {}}}{}\n",
-                    s.mode,
-                    s.wall_s,
-                    s.rounds,
-                    s.messages,
-                    if i + 1 < samples.len() { "," } else { "" },
-                ));
-            }
-            out.push_str("  ]}\n");
+    if let Some((pt, samples, identical)) = e2e {
+        for s in samples {
+            doc.push(
+                Record::new("dhc1-e2e")
+                    .usize("n", pt.n)
+                    .usize("k", pt.k)
+                    .bool("bit_identical", identical)
+                    .str("mode", s.mode)
+                    .f3("wall_s", s.wall_s)
+                    .usize("rounds", s.rounds)
+                    .u64("messages", s.messages),
+            );
         }
-        None => out.push_str("  \"dhc1_e2e\": null\n"),
     }
-    out.push_str("}\n");
-    out
+    for rec in carried {
+        doc.push_json(rec);
+    }
+    doc
 }
 
 /// Runs E14 and renders its report (optionally writing the JSON baseline).
@@ -310,16 +309,17 @@ pub fn run(params: &Params, seed: u64) -> String {
     }
 
     if params.emit_json {
-        let path =
-            std::env::var("BENCH_PARTITION_OUT").unwrap_or_else(|_| "BENCH_partition.json".into());
+        let path = baseline_path("BENCH_PARTITION_OUT", "BENCH_partition.json");
         let e2e = params
             .e2e
             .filter(|_| !e2e_rows.is_empty())
             .map(|pt| (pt, &e2e_rows[..], e2e_identical));
-        match std::fs::write(&path, render_json(&setup, e2e, cores, seed)) {
-            Ok(()) => out.push_str(&format!("    baseline written to {path}\n")),
-            Err(e) => out.push_str(&format!("    could not write {path}: {e}\n")),
-        }
+        // A gated run measured no end-to-end point: keep the committed
+        // records instead of dropping them.
+        let carried =
+            if e2e.is_none() { carried_records(&path, &["dhc1-e2e"]) } else { Vec::new() };
+        let doc = render_doc(&setup, e2e, carried, cores, seed);
+        out.push_str(&write_baseline(&path, &doc));
     }
     out
 }
@@ -336,14 +336,26 @@ mod tests {
     }
 
     #[test]
-    fn json_shape() {
+    fn doc_validates_and_carries_e2e_records_forward() {
         let setup = vec![SetupSample { n: 100, k: 10, m: 50, copy_ms: 2.0, view_ms: 1.0 }];
         let e2e = vec![E2eSample { mode: "view", wall_s: 1.5, rounds: 9, messages: 11 }];
-        let json = render_json(&setup, Some((E2ePoint { n: 100, k: 10 }, &e2e, true)), 1, 7);
-        assert!(json.contains("\"speedup\": 2.00"));
-        assert!(json.contains("\"bit_identical\": true"));
-        assert!(json.trim_end().ends_with('}'));
-        let no_e2e = render_json(&setup, None, 1, 7);
-        assert!(no_e2e.contains("\"dhc1_e2e\": null"));
+        let text =
+            render_doc(&setup, Some((E2ePoint { n: 100, k: 10 }, &e2e, true)), Vec::new(), 1, 7)
+                .render();
+        dhc_obs::schema::validate(&text).expect("schema-valid document");
+        assert!(text.contains("\"bench\": \"partition\""), "{text}");
+        assert!(text.contains("\"speedup\":2.00"), "{text}");
+        assert!(text.contains("\"bit_identical\":true"), "{text}");
+        assert!(text.contains("\"mode\":\"view\""), "{text}");
+
+        // A gated run re-appends the committed e2e records verbatim.
+        let carried = vec![Json::obj()
+            .set("kind", Json::str("dhc1-e2e"))
+            .set("n", Json::usize(10_000))
+            .set("mode", Json::str("copy"))];
+        let text = render_doc(&setup, None, carried, 1, 7).render();
+        dhc_obs::schema::validate(&text).expect("schema-valid document");
+        assert!(text.contains("\"n\":10000"), "{text}");
+        assert!(text.contains("\"mode\":\"copy\""), "{text}");
     }
 }

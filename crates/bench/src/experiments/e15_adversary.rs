@@ -14,11 +14,14 @@
 //! cap under loss) and algorithmic failures (e.g. a partition whose
 //! surviving traffic no longer supports a subcycle).
 
+use crate::baseline::{baseline_path, carried_records, write_baseline};
 use crate::table::Table;
 use dhc_congest::SimError;
 use dhc_core::{run_dhc1, run_dhc2, run_dra, Adversary, DhcConfig, DhcError, RunOutcome};
 use dhc_graph::rng::rng_from_seed;
 use dhc_graph::{generator, thresholds, Graph};
+use dhc_obs::json::Json;
+use dhc_obs::schema::{BenchDoc, Record};
 
 use super::Effort;
 
@@ -101,15 +104,16 @@ impl Params {
 
     /// Applies the `--heavy` gate: without the flag the delay and crash
     /// sweeps (the long tail of the runtime — every delayed run walks
-    /// real extra rounds instead of failing fast) are dropped, and the
-    /// JSON baseline write is disabled so a partial report never
-    /// replaces the committed full one.
+    /// real extra rounds instead of failing fast) are dropped. The
+    /// baseline write survives the gate: the committed delay/crash
+    /// records are carried forward verbatim (see
+    /// [`crate::baseline::carried_records`]), so a non-heavy refresh
+    /// updates the drop curves without losing the heavy sweeps.
     pub fn gated(mut self, heavy: bool) -> Self {
         let has_heavy = !self.delay_points.is_empty() || !self.crash_counts.is_empty();
         if !heavy && has_heavy {
             self.delay_points.clear();
             self.crash_counts.clear();
-            self.emit_json = false;
             self.skipped_heavy = true;
         }
         self
@@ -219,62 +223,67 @@ fn curve_table(out: &mut String, knob_header: &str, points: &[CurvePoint], trial
     out.push_str(&t.render());
 }
 
-fn json_points(out: &mut String, knob_key: &str, points: &[CurvePoint], trials: usize) {
-    for (i, p) in points.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"{knob_key}\": {}, \"success\": {}, \"round_limit\": {}, \"other\": {}, \
-             \"rate\": {:.4}, \"mean_rounds\": {:.1}}}{}\n",
-            p.knob,
-            p.tally.success,
-            p.tally.round_limit,
-            p.tally.other,
-            p.tally.rate(trials),
-            p.tally.mean_rounds,
-            if i + 1 < points.len() { "," } else { "" },
-        ));
-    }
+fn tally_record(kind: &str, tally: &Tally, trials: usize) -> Record {
+    Record::new(kind)
+        .usize("success", tally.success)
+        .usize("round_limit", tally.round_limit)
+        .usize("other", tally.other)
+        .f3("rate", tally.rate(trials))
+        .f1("mean_rounds", tally.mean_rounds)
 }
 
-fn render_json(
+/// The baseline document in the shared `dhc-bench/v1` envelope: one
+/// flat record per sweep point (`drop-curve` / `delay-sweep` /
+/// `crash-sweep`), the operating point in `meta`, carried-forward
+/// committed heavy records re-appended verbatim.
+fn render_doc(
     params: &Params,
     seed: u64,
     drop_curves: &[(&'static str, Vec<CurvePoint>)],
-    delay: &[CurvePoint],
-    crash: &[CurvePoint],
-) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"adversary\",\n");
-    out.push_str(
-        "  \"workload\": \"success-rate degradation under seeded faults (drop/delay/crash)\",\n",
+    delay: &[(u32, usize, Tally)],
+    crash: &[(usize, Tally)],
+    carried: Vec<Json>,
+    cores: usize,
+) -> BenchDoc {
+    let mut doc = BenchDoc::new(
+        "e15",
+        "adversary",
+        "success-rate degradation under seeded faults (drop/delay/crash)",
+        cores,
+        seed,
     );
-    out.push_str(&format!(
-        "  \"n\": {}, \"partitions\": {}, \"trials\": {}, \"max_rounds\": {}, \"seed\": {seed},\n",
-        params.n, params.partitions, params.trials, params.max_rounds
-    ));
-    out.push_str("  \"drop_curves\": {\n");
-    for (i, (name, points)) in drop_curves.iter().enumerate() {
-        out.push_str(&format!("  \"{name}\": [\n"));
-        json_points(&mut out, "drop_ppm", points, params.trials);
-        out.push_str(&format!("  ]{}\n", if i + 1 < drop_curves.len() { "," } else { "" }));
-    }
-    out.push_str("  },\n");
-    for (key, points) in [("delay_sweep", delay), ("crash_sweep", crash)] {
-        if points.is_empty() {
-            out.push_str(&format!("  \"{key}\": null"));
-        } else {
-            out.push_str(&format!("  \"{key}\": [\n"));
-            json_points(
-                &mut out,
-                if key == "delay_sweep" { "point" } else { "crashes" },
-                points,
-                params.trials,
+    doc.meta("n", Json::usize(params.n));
+    doc.meta("partitions", Json::usize(params.partitions));
+    doc.meta("trials", Json::usize(params.trials));
+    doc.meta("max_rounds", Json::usize(params.max_rounds));
+    for (name, points) in drop_curves {
+        for (ppm, p) in params.drop_ppms.iter().zip(points) {
+            doc.push(
+                tally_record("drop-curve", &p.tally, params.trials)
+                    .str("algo", *name)
+                    .u64("drop_ppm", u64::from(*ppm)),
             );
-            out.push_str("  ]");
         }
-        out.push_str(if key == "delay_sweep" { ",\n" } else { "\n" });
     }
-    out.push_str("}\n");
-    out
+    for &(ppm, max_delay, tally) in delay {
+        doc.push(
+            tally_record("delay-sweep", &tally, params.trials)
+                .str("algo", "dhc2")
+                .u64("delay_ppm", u64::from(ppm))
+                .usize("max_delay", max_delay),
+        );
+    }
+    for &(count, tally) in crash {
+        doc.push(
+            tally_record("crash-sweep", &tally, params.trials)
+                .str("algo", "dhc2")
+                .usize("crashes", count),
+        );
+    }
+    for rec in carried {
+        doc.push_json(rec);
+    }
+    doc
 }
 
 /// Runs E15 and renders its report (optionally writing the JSON baseline).
@@ -336,24 +345,31 @@ pub fn run(params: &Params, seed: u64) -> String {
     }
 
     let dhc2 = &subjects[2];
-    let mut delay_curve = Vec::new();
+    let mut delay_curve: Vec<(u32, usize, Tally)> = Vec::new();
     if !params.delay_points.is_empty() {
         out.push_str("  DHC2 under bounded per-delivery delay (ppm, max rounds late):\n");
         delay_curve = params
             .delay_points
             .iter()
-            .map(|&(ppm, max_delay)| CurvePoint {
-                knob: format!("[{ppm}, {max_delay}]"),
-                tally: dhc2.sweep_point(params, seed, |fs| {
+            .map(|&(ppm, max_delay)| {
+                let tally = dhc2.sweep_point(params, seed, |fs| {
                     Adversary::seeded(fs).with_delay(ppm, max_delay)
-                }),
+                });
+                (ppm, max_delay, tally)
             })
             .collect();
-        curve_table(&mut out, "[ppm, max_delay]", &delay_curve, params.trials);
+        let table_points: Vec<CurvePoint> = delay_curve
+            .iter()
+            .map(|&(ppm, max_delay, tally)| CurvePoint {
+                knob: format!("[{ppm}, {max_delay}]"),
+                tally,
+            })
+            .collect();
+        curve_table(&mut out, "[ppm, max_delay]", &table_points, params.trials);
         out.push('\n');
     }
 
-    let mut crash_curve = Vec::new();
+    let mut crash_curve: Vec<(usize, Tally)> = Vec::new();
     if !params.crash_counts.is_empty() {
         out.push_str(
             "  DHC2 under node crashes (staggered rounds 3+; every other node restarts 10 \
@@ -362,25 +378,34 @@ pub fn run(params: &Params, seed: u64) -> String {
         crash_curve = params
             .crash_counts
             .iter()
-            .map(|&count| CurvePoint {
-                knob: count.to_string(),
-                tally: dhc2.sweep_point(params, seed, |fs| {
+            .map(|&count| {
+                let tally = dhc2.sweep_point(params, seed, |fs| {
                     crash_schedule(Adversary::seeded(fs), count, n)
-                }),
+                });
+                (count, tally)
             })
             .collect();
-        curve_table(&mut out, "crashes", &crash_curve, params.trials);
+        let table_points: Vec<CurvePoint> = crash_curve
+            .iter()
+            .map(|&(count, tally)| CurvePoint { knob: count.to_string(), tally })
+            .collect();
+        curve_table(&mut out, "crashes", &table_points, params.trials);
         out.push('\n');
     }
 
     if params.emit_json {
-        let path =
-            std::env::var("BENCH_ADVERSARY_OUT").unwrap_or_else(|_| "BENCH_adversary.json".into());
-        let json = render_json(params, seed, &drop_curves, &delay_curve, &crash_curve);
-        match std::fs::write(&path, json) {
-            Ok(()) => out.push_str(&format!("    baseline written to {path}\n")),
-            Err(e) => out.push_str(&format!("    could not write {path}: {e}\n")),
-        }
+        let path = baseline_path("BENCH_ADVERSARY_OUT", "BENCH_adversary.json");
+        // A gated run measured no delay/crash points: keep the
+        // committed heavy records instead of dropping them.
+        let carried = if params.skipped_heavy {
+            carried_records(&path, &["delay-sweep", "crash-sweep"])
+        } else {
+            Vec::new()
+        };
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let doc =
+            render_doc(params, seed, &drop_curves, &delay_curve, &crash_curve, carried, cores);
+        out.push_str(&write_baseline(&path, &doc));
     }
     out
 }
@@ -397,34 +422,41 @@ mod tests {
     }
 
     #[test]
-    fn heavy_gate_drops_delay_and_crash_sweeps() {
+    fn heavy_gate_drops_delay_and_crash_sweeps_but_keeps_baseline_write() {
         let full = Params::for_effort(Effort::Full);
         let gated = full.clone().gated(false);
         assert!(gated.delay_points.is_empty() && gated.crash_counts.is_empty());
-        assert!(!gated.emit_json && gated.skipped_heavy);
+        // The write survives the gate: the committed delay/crash records
+        // are carried forward, so a non-heavy run refreshes drop curves.
+        assert!(gated.emit_json && gated.skipped_heavy);
         let heavy = full.clone().gated(true);
         assert!(!heavy.delay_points.is_empty() && heavy.emit_json && !heavy.skipped_heavy);
         // Smoke has no heavy sweeps, so the gate is a no-op on it.
         let smoke = Params::for_effort(Effort::Smoke).gated(false);
-        assert!(!smoke.skipped_heavy);
+        assert!(!smoke.skipped_heavy && !smoke.emit_json);
     }
 
     #[test]
-    fn json_shape() {
+    fn doc_validates_and_carries_heavy_records_forward() {
         let params = Params::for_effort(Effort::Smoke);
-        let pt = |knob: &str| CurvePoint {
-            knob: knob.to_string(),
-            tally: Tally { success: 2, round_limit: 0, other: 0, mean_rounds: 9.0 },
-        };
+        let t = Tally { success: 2, round_limit: 0, other: 0, mean_rounds: 9.0 };
+        let pt = |knob: &str| CurvePoint { knob: knob.to_string(), tally: t };
         let curves = vec![("dra", vec![pt("0"), pt("200000")])];
-        let json = render_json(&params, 7, &curves, &[], &[]);
-        assert!(json.contains("\"bench\": \"adversary\""));
-        assert!(json.contains("\"drop_ppm\": 0"));
-        assert!(json.contains("\"delay_sweep\": null"));
-        assert!(json.contains("\"crash_sweep\": null"));
-        assert!(json.trim_end().ends_with('}'));
-        let with_sweeps = render_json(&params, 7, &curves, &[pt("[100000, 1]")], &[pt("2")]);
-        assert!(with_sweeps.contains("\"point\": [100000, 1]"));
-        assert!(with_sweeps.contains("\"crashes\": 2"));
+        let carried = vec![Json::obj()
+            .set("kind", Json::str("crash-sweep"))
+            .set("algo", Json::str("dhc2"))
+            .set("crashes", Json::usize(4))];
+        let doc = render_doc(&params, 7, &curves, &[(100_000, 1, t)], &[(2, t)], carried, 1);
+        let text = doc.render();
+        dhc_obs::schema::validate(&text).expect("schema-valid document");
+        assert!(text.contains("\"bench\": \"adversary\""), "{text}");
+        assert!(text.contains("\"kind\":\"drop-curve\""), "{text}");
+        assert!(text.contains("\"drop_ppm\":0"), "{text}");
+        assert!(text.contains("\"delay_ppm\":100000"), "{text}");
+        assert!(text.contains("\"max_delay\":1"), "{text}");
+        assert!(text.contains("\"crashes\":2"), "{text}");
+        // The carried-forward committed record survives verbatim.
+        assert!(text.contains("\"crashes\":4"), "{text}");
+        assert!(text.contains("\"rate\":1.000"), "{text}");
     }
 }

@@ -29,13 +29,17 @@
 //! the non-heavy trajectory), with the skipped points listed in a
 //! `skipped_heavy` array so the omission is explicit.
 
+use crate::baseline::{baseline_path, carried_records, write_baseline};
 use crate::table::{f3, Table};
 use dhc_congest::Config as SimConfig;
-use dhc_core::{run_dhc2_with_colors, run_dra, DhcConfig, RunOutcome};
+use dhc_core::{run_dhc2_with_colors, run_dra, CollectorHandle, DhcConfig, RunOutcome};
 use dhc_graph::generator::{clustered, gnp};
 use dhc_graph::rng::rng_from_seed;
 use dhc_graph::Graph;
-use std::time::Instant;
+use dhc_obs::json::Json;
+use dhc_obs::schema::{BenchDoc, Record};
+use dhc_obs::RunObserver;
+use std::time::{Duration, Instant};
 
 use super::Effort;
 
@@ -86,8 +90,13 @@ pub struct Params {
     /// Whether to write `BENCH_scale.json` (disabled for smoke runs).
     pub emit_json: bool,
     /// Heavy points dropped by [`gated`](Params::gated); listed in the
-    /// report and in the JSON's `skipped_heavy` array.
+    /// report and in the JSON's `skipped_heavy` meta array.
     pub skipped_heavy: Vec<ScalePoint>,
+    /// Attach a heartbeat collector to every run so the multi-minute
+    /// points (n >= 3*10^5) print live round counts to stderr (the
+    /// experiments binary's `--progress` flag, default on for
+    /// `--heavy`).
+    pub progress: bool,
 }
 
 impl Params {
@@ -105,6 +114,7 @@ impl Params {
                 cluster_size: CLUSTER_SIZE,
                 emit_json: true,
                 skipped_heavy: Vec::new(),
+                progress: false,
             },
             Effort::Quick => Params {
                 dra_sizes: vec![1_000],
@@ -112,6 +122,7 @@ impl Params {
                 cluster_size: CLUSTER_SIZE,
                 emit_json: true,
                 skipped_heavy: Vec::new(),
+                progress: false,
             },
             Effort::Smoke => Params {
                 dra_sizes: vec![200],
@@ -119,6 +130,7 @@ impl Params {
                 cluster_size: 40,
                 emit_json: false,
                 skipped_heavy: Vec::new(),
+                progress: false,
             },
         }
     }
@@ -202,7 +214,14 @@ fn timed(
     k: usize,
     cfg: &DhcConfig,
     mode: &'static str,
+    progress: Option<&CollectorHandle>,
 ) -> Result<(ModeRow, RunOutcome), String> {
+    let cfg = &match progress {
+        // Live round counts on stderr; pure observation, so the fat/lean
+        // bit-identity assertion is unaffected (obs_equivalence).
+        Some(col) => cfg.clone().with_collector(col.clone()),
+        None => cfg.clone(),
+    };
     let rss_ok = reset_rss_hwm();
     let t0 = Instant::now();
     let out = execute(algo, g, colors, k, cfg)?;
@@ -234,16 +253,22 @@ fn measure_point(
     colors: Option<&[u32]>,
     k: usize,
     seed: u64,
+    progress: bool,
 ) -> Result<PointResult, String> {
     let n = g.node_count();
+    let collector = progress
+        .then(|| CollectorHandle::new(RunObserver::new().with_heartbeat(Duration::from_secs(2))));
+    let collector = collector.as_ref();
     for attempt in 0..8u64 {
         let base = DhcConfig::new(seed ^ (0xE16C + attempt)).with_partitions(k);
         let lean_cfg = base.clone().with_packed_payloads(true).with_round_traffic(false);
-        let Ok((lean_row, lean)) = timed(algo, g, colors, k, &lean_cfg, "lean") else { continue };
+        let Ok((lean_row, lean)) = timed(algo, g, colors, k, &lean_cfg, "lean", collector) else {
+            continue;
+        };
         let mut rows = vec![lean_row];
         let mut bit_identical = None;
         if n <= FAT_ORACLE_MAX_NODES {
-            let (fat_row, fat) = timed(algo, g, colors, k, &base, "fat")?;
+            let (fat_row, fat) = timed(algo, g, colors, k, &base, "fat", collector)?;
             let same = fat.cycle.order() == lean.cycle.order()
                 && fat.metrics.rounds == lean.metrics.rounds
                 && fat.metrics.messages == lean.metrics.messages
@@ -262,67 +287,73 @@ fn measure_point(
     Err(format!("{algo} did not succeed in 8 seeds at n = {n}, k = {k}"))
 }
 
-fn render_json(points: &[PointResult], params: &Params, cores: usize, seed: u64) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"scale\",\n");
-    out.push_str(
-        "  \"workload\": \"DRA on G(n, 6 ln n/(n-1)) + clustered DHC2 (k clusters of s nodes, \
-         intra G(s, 8 ln s/(s-1)), ceil(3 sqrt(|A||B|)) cross edges per merge pair); fat = enum \
-         payloads + round log, lean = packed wire + streaming metrics\",\n",
+/// The baseline document in the shared `dhc-bench/v1` envelope: one
+/// flat `scale-row` record per measured mode (point fields repeated on
+/// each row), cluster constants and skipped heavy points in `meta`,
+/// carried-forward committed heavy rows re-appended verbatim.
+fn render_doc(
+    points: &[PointResult],
+    params: &Params,
+    carried: Vec<Json>,
+    cores: usize,
+    seed: u64,
+) -> BenchDoc {
+    let mut doc = BenchDoc::new(
+        "e16",
+        "scale",
+        "DRA on G(n, 6 ln n/(n-1)) + clustered DHC2 (k clusters of s nodes, intra \
+         G(s, 8 ln s/(s-1)), ceil(3 sqrt(|A||B|)) cross edges per merge pair); fat = enum \
+         payloads + round log, lean = packed wire + streaming metrics",
+        cores,
+        seed,
     );
-    out.push_str(&format!("  \"cores\": {cores},\n"));
-    out.push_str(&format!("  \"seed\": {seed},\n"));
-    out.push_str(&format!("  \"cluster_size\": {},\n", params.cluster_size));
-    out.push_str(&format!("  \"intra_degree_mult\": {INTRA_DEGREE_MULT},\n"));
-    out.push_str(&format!("  \"bridge_factor\": {BRIDGE_FACTOR},\n"));
-    out.push_str("  \"points\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        let bit = match p.bit_identical {
-            Some(b) => b.to_string(),
-            None => "null".into(),
-        };
-        out.push_str(&format!(
-            "    {{\"algo\": \"{}\", \"n\": {}, \"k\": {}, \"m\": {}, \"bit_identical\": {}, \
-             \"rows\": [\n",
-            p.algo, p.n, p.k, p.m, bit
-        ));
-        for (j, r) in p.rows.iter().enumerate() {
-            let rss = match r.rss_hwm_kb {
-                Some(kb) => kb.to_string(),
-                None => "null".into(),
+    doc.meta("cluster_size", Json::usize(params.cluster_size));
+    doc.meta("intra_degree_mult", Json::f1(INTRA_DEGREE_MULT));
+    doc.meta("bridge_factor", Json::f1(BRIDGE_FACTOR));
+    doc.meta(
+        "skipped_heavy",
+        Json::Arr(
+            params
+                .skipped_heavy
+                .iter()
+                .map(|pt| Json::obj().set("n", Json::usize(pt.n)).set("k", Json::usize(pt.k)))
+                .collect(),
+        ),
+    );
+    for p in points {
+        for r in &p.rows {
+            let bit = match p.bit_identical {
+                Some(b) => Json::Bool(b),
+                None => Json::Null,
             };
-            out.push_str(&format!(
-                "      {{\"mode\": \"{}\", \"workers\": {}, \"wall_s\": {:.3}, \"rounds\": {}, \
-                 \"messages\": {}, \"words\": {}, \"words_per_node\": {:.1}, \
-                 \"peak_engine_words\": {}, \"peak_words_per_node\": {:.1}, \
-                 \"rss_hwm_kb\": {}}}{}\n",
-                r.mode,
-                r.workers,
-                r.wall_s,
-                r.rounds,
-                r.messages,
-                r.words,
-                r.words_per_node,
-                r.peak_engine_words,
-                r.peak_words_per_node,
-                rss,
-                if j + 1 < p.rows.len() { "," } else { "" },
-            ));
+            let rss = match r.rss_hwm_kb {
+                Some(kb) => Json::u64(kb),
+                None => Json::Null,
+            };
+            doc.push(
+                Record::new("scale-row")
+                    .str("algo", p.algo)
+                    .usize("n", p.n)
+                    .usize("k", p.k)
+                    .usize("m", p.m)
+                    .field("bit_identical", bit)
+                    .str("mode", r.mode)
+                    .usize("workers", r.workers)
+                    .f3("wall_s", r.wall_s)
+                    .usize("rounds", r.rounds)
+                    .u64("messages", r.messages)
+                    .u64("words", r.words)
+                    .f1("words_per_node", r.words_per_node)
+                    .u64("peak_engine_words", r.peak_engine_words)
+                    .f1("peak_words_per_node", r.peak_words_per_node)
+                    .field("rss_hwm_kb", rss),
+            );
         }
-        out.push_str(&format!("    ]}}{}\n", if i + 1 < points.len() { "," } else { "" }));
     }
-    out.push_str("  ],\n");
-    out.push_str("  \"skipped_heavy\": [");
-    for (i, pt) in params.skipped_heavy.iter().enumerate() {
-        out.push_str(&format!(
-            "{{\"n\": {}, \"k\": {}}}{}",
-            pt.n,
-            pt.k,
-            if i + 1 < params.skipped_heavy.len() { ", " } else { "" }
-        ));
+    for rec in carried {
+        doc.push_json(rec);
     }
-    out.push_str("]\n}\n");
-    out
+    doc
 }
 
 /// Runs E16 and renders its report (optionally writing the JSON baseline).
@@ -352,7 +383,7 @@ pub fn run(params: &Params, seed: u64) -> String {
     for &n in &params.dra_sizes {
         let p = (6.0 * (n as f64).ln() / (n as f64 - 1.0)).min(1.0);
         let g = gnp(n, p, &mut rng_from_seed(seed ^ 0xE16)).expect("valid gnp");
-        match measure_point("dra", &g, None, 1, seed) {
+        match measure_point("dra", &g, None, 1, seed, params.progress) {
             Ok(pt) => points.push(pt),
             Err(e) => failures.push(e),
         }
@@ -362,7 +393,7 @@ pub fn run(params: &Params, seed: u64) -> String {
         let (g, colors) = clustered(k, s, intra_p, BRIDGE_FACTOR, &mut rng_from_seed(seed ^ 0xE16))
             .expect("valid clustered graph");
         debug_assert_eq!(g.node_count(), n, "point n must equal k * cluster_size");
-        match measure_point("dhc2", &g, Some(&colors), k, seed) {
+        match measure_point("dhc2", &g, Some(&colors), k, seed, params.progress) {
             Ok(pt) => points.push(pt),
             Err(e) => failures.push(e),
         }
@@ -411,12 +442,16 @@ pub fn run(params: &Params, seed: u64) -> String {
         ));
     }
     if params.emit_json {
-        let path = std::env::var("BENCH_SCALE_OUT").unwrap_or_else(|_| "BENCH_scale.json".into());
-        let json = render_json(&points, params, cores, seed);
-        match std::fs::write(&path, json) {
-            Ok(()) => out.push_str(&format!("    baseline written to {path}\n")),
-            Err(e) => out.push_str(&format!("    could not write {path}: {e}\n")),
-        }
+        let path = baseline_path("BENCH_SCALE_OUT", "BENCH_scale.json");
+        // Committed rows above everything measured this run (the heavy
+        // trajectory a non-heavy refresh must not lose) come along.
+        let measured_max = points.iter().map(|p| p.n).max().unwrap_or(0) as u64;
+        let carried: Vec<Json> = carried_records(&path, &["scale-row"])
+            .into_iter()
+            .filter(|r| r.get("n").and_then(Json::as_u64).is_some_and(|n| n > measured_max))
+            .collect();
+        let doc = render_doc(&points, params, carried, cores, seed);
+        out.push_str(&write_baseline(&path, &doc));
     }
     out
 }
@@ -447,7 +482,7 @@ mod tests {
     }
 
     #[test]
-    fn json_shape() {
+    fn doc_validates_and_carries_heavy_rows_forward() {
         let point = PointResult {
             algo: "dhc2",
             n: 120,
@@ -482,14 +517,21 @@ mod tests {
             ],
         };
         let params = Params::for_effort(Effort::Full).gated(false);
-        let json = render_json(&[point], &params, 1, 7);
-        assert!(json.contains("\"bench\": \"scale\""));
-        assert!(json.contains("\"bit_identical\": true"));
-        assert!(json.contains("\"mode\": \"fat\""));
-        assert!(json.contains("\"peak_engine_words\": 777"));
-        assert!(json.contains("\"rss_hwm_kb\": 4096"));
-        assert!(json.contains("\"rss_hwm_kb\": null"));
-        assert!(json.contains("\"skipped_heavy\": [{\"n\": 300000, \"k\": 1500}, "));
-        assert!(json.trim_end().ends_with('}'));
+        let carried = vec![Json::obj()
+            .set("kind", Json::str("scale-row"))
+            .set("n", Json::u64(1_000_000))
+            .set("mode", Json::str("lean"))];
+        let doc = render_doc(&[point], &params, carried, 1, 7);
+        let text = doc.render();
+        let checked = dhc_obs::schema::validate(&text);
+        assert!(checked.is_ok(), "{checked:?}");
+        assert!(text.contains("\"bench\": \"scale\""));
+        assert!(text.contains("\"kind\":\"scale-row\""));
+        assert!(text.contains("\"bit_identical\":true"));
+        assert!(text.contains("\"peak_engine_words\":777"));
+        assert!(text.contains("\"rss_hwm_kb\":4096"));
+        assert!(text.contains("\"rss_hwm_kb\":null"));
+        assert!(text.contains("\"n\":1000000"));
+        assert!(text.contains("\"skipped_heavy\":[{\"n\":300000,\"k\":1500},"));
     }
 }

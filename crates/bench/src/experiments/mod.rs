@@ -37,12 +37,21 @@ pub enum Effort {
 /// `heavy` opts into the experiment points that take over a minute per
 /// run (E13's and E14's end-to-end DHC1 at n = 10⁴, E15's delay/crash
 /// sweeps, and E16's scale points past n = 10⁵); without it those
-/// points are skipped with a printed notice.
+/// points are skipped with a printed notice. `progress` attaches a
+/// `dhc-obs` [`dhc_obs::RunObserver`] with a stderr heartbeat to the
+/// long-running runs (E13's end-to-end DHC1, E16's scale points) so
+/// multi-minute sweeps show live round counts.
 ///
 /// # Errors
 ///
 /// Returns `Err` with the unknown id for anything else.
-pub fn run_by_id(id: &str, effort: Effort, heavy: bool, seed: u64) -> Result<String, String> {
+pub fn run_by_id(
+    id: &str,
+    effort: Effort,
+    heavy: bool,
+    progress: bool,
+    seed: u64,
+) -> Result<String, String> {
     let report = match id {
         "e1" => e1_dra_steps::run(&e1_dra_steps::Params::for_effort(effort), seed),
         "e2" => e2_partition_balance::run(&e2_partition_balance::Params::for_effort(effort), seed),
@@ -56,10 +65,18 @@ pub fn run_by_id(id: &str, effort: Effort, heavy: bool, seed: u64) -> Result<Str
         "e10" => e10_ablations::run(&e10_ablations::Params::for_effort(effort), seed),
         "e11" => e11_kmachine::run(&e11_kmachine::Params::for_effort(effort), seed),
         "e12" => e12_other_models::run(&e12_other_models::Params::for_effort(effort), seed),
-        "e13" => e13_engine::run(&e13_engine::Params::for_effort(effort).gated(heavy), seed),
+        "e13" => {
+            let mut p = e13_engine::Params::for_effort(effort).gated(heavy);
+            p.progress = progress;
+            e13_engine::run(&p, seed)
+        }
         "e14" => e14_partition::run(&e14_partition::Params::for_effort(effort).gated(heavy), seed),
         "e15" => e15_adversary::run(&e15_adversary::Params::for_effort(effort).gated(heavy), seed),
-        "e16" => e16_scale::run(&e16_scale::Params::for_effort(effort).gated(heavy), seed),
+        "e16" => {
+            let mut p = e16_scale::Params::for_effort(effort).gated(heavy);
+            p.progress = progress;
+            e16_scale::run(&p, seed)
+        }
         other => return Err(format!("unknown experiment id: {other}")),
     };
     Ok(report)
@@ -103,14 +120,16 @@ mod tests {
 
     #[test]
     fn unknown_id_is_error() {
-        assert!(run_by_id("e42", Effort::Smoke, false, 0).is_err());
+        assert!(run_by_id("e42", Effort::Smoke, false, false, 0).is_err());
     }
 
     #[test]
-    fn heavy_gate_drops_full_e2e_point_and_baseline_write() {
+    fn heavy_gate_drops_full_e2e_point_but_keeps_baseline_write() {
         let full = e14_partition::Params::for_effort(Effort::Full);
         let gated = full.clone().gated(false);
-        assert!(gated.e2e.is_none() && !gated.emit_json && gated.skipped_heavy.is_some());
+        // The write survives the gate: the committed `dhc1-e2e` records
+        // are carried forward, so a non-heavy run refreshes setup rows.
+        assert!(gated.e2e.is_none() && gated.emit_json && gated.skipped_heavy.is_some());
         let heavy = full.clone().gated(true);
         assert_eq!(heavy.e2e.map(|p| p.n), Some(10_000));
         assert!(heavy.emit_json);

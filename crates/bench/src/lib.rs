@@ -11,6 +11,9 @@
 //! * [`workload`] — the `G(n, p)` operating points of the paper
 //!   (`p = c ln n / n^δ`) plus trial-sweep plumbing with
 //!   `std::thread`-based parallelism;
+//! * [`baseline`] — writing and carrying forward the committed
+//!   `BENCH_*.json` baselines in the shared `dhc-bench/v1` envelope
+//!   (`dhc_obs::schema`);
 //! * [`engine_probe`] — the flood-echo and broadcast-storm
 //!   microprotocols used to track the round engine's throughput, each
 //!   with a per-neighbor-unicast twin as the pre-broadcast-fabric
@@ -18,7 +21,7 @@
 //! * [`partition_probe`] — the Phase-1 setup workload comparing
 //!   zero-copy class views against materialized induced subgraphs
 //!   (`benches/partition.rs`, experiment E14);
-//! * [`experiments`] — one module per experiment (`e1` … `e14`).
+//! * [`experiments`] — one module per experiment (`e1` … `e16`).
 //!
 //! Regenerate everything with:
 //!
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod engine_probe;
 pub mod experiments;
 pub mod partition_probe;

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::adversary::Adversary;
+use dhc_obs::CollectorHandle;
 
 /// Engine configuration: round budget, bandwidth, and metric sampling.
 ///
@@ -63,6 +64,14 @@ pub struct Config {
     /// runs the clean synchronous CONGEST engine unchanged; see
     /// [`Adversary`].
     pub adversary: Option<Adversary>,
+    /// Optional telemetry collector (see [`dhc_obs`]). Like the
+    /// k-machine layer, a collector is **pure observation**: it is
+    /// driven once per committed round from the engine's sequential
+    /// bookkeeping, after the commit fold, so attaching one cannot
+    /// change outcomes, [`Metrics`](crate::Metrics), traces, or realized
+    /// fault schedules at any thread/shard count. `None` (the default)
+    /// skips every telemetry code path.
+    pub collector: Option<CollectorHandle>,
 }
 
 impl Default for Config {
@@ -76,6 +85,7 @@ impl Default for Config {
             engine_threads: 1,
             commit_shards: 0,
             adversary: None,
+            collector: None,
         }
     }
 }
@@ -155,6 +165,13 @@ impl Config {
         self.adversary = Some(adversary);
         self
     }
+
+    /// Returns the configuration with the given telemetry collector
+    /// attached. Pure observation — see [`collector`](Self::collector).
+    pub fn with_collector(mut self, collector: CollectorHandle) -> Self {
+        self.collector = Some(collector);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +217,20 @@ mod tests {
     fn effective_engine_threads_resolves_zero() {
         assert_eq!(Config::default().with_engine_threads(4).effective_engine_threads(), 4);
         assert!(Config::default().with_engine_threads(0).effective_engine_threads() >= 1);
+    }
+
+    #[test]
+    fn collector_attaches_and_compares_by_identity() {
+        struct Noop;
+        impl dhc_obs::Collector for Noop {}
+        assert_eq!(Config::default().collector, None);
+        let handle = CollectorHandle::new(Noop);
+        let a = Config::default().with_collector(handle.clone());
+        let b = Config::default().with_collector(handle);
+        let c = Config::default().with_collector(CollectorHandle::new(Noop));
+        // Same collector → equal configs; different collector → not.
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -116,7 +116,11 @@ pub mod trace;
 
 pub use adversary::{Adversary, CrashEvent};
 pub use config::Config;
+// Telemetry vocabulary (defined in `dhc-obs`, attached via
+// [`Config::with_collector`]) — re-exported so engine users need not
+// depend on the telemetry crate directly.
 pub use context::Context;
+pub use dhc_obs::{Collector, CollectorHandle, FaultObs, RoundObs, Span};
 pub use error::SimError;
 pub use machine::{MachineMap, MachineMetrics, MachineRoundLog};
 pub use mailbox::{Inbox, InboxIter};

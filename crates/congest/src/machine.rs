@@ -562,6 +562,14 @@ impl MachineLayer {
         self.log.rounds.push(MachineRound { round, links });
     }
 
+    /// The just-closed round's sorted directed link loads — valid after
+    /// [`end_round`](Self::end_round), which pushes one entry per
+    /// executed round (so the log's last entry *is* the current round).
+    /// Read by the engine's telemetry emission; never mutated by it.
+    pub(crate) fn last_round_links(&self) -> &[(u32, u64)] {
+        self.log.rounds.last().map_or(&[], |r| &r.links[..])
+    }
+
     /// Consumes the layer, returning its log.
     pub(crate) fn into_log(self) -> MachineRoundLog {
         self.log

@@ -115,6 +115,45 @@ pub struct Network<'g, P: Protocol, T: Topology = Graph> {
     scratch_dirs: Vec<(&'g [NodeId], Option<NodeId>)>,
     /// Reusable per-shard buffers of the parallel commit fold.
     commit: CommitScratch<P::Msg>,
+    /// Optional telemetry collector (see [`dhc_obs`]), cloned out of the
+    /// config once so emission needs no config borrow. Driven only from
+    /// the sequential post-fold bookkeeping, after the round is fully
+    /// committed — pure observation, like the machine layer.
+    obs: Option<dhc_obs::CollectorHandle>,
+    /// Reusable telemetry scratch: this round's per-executed-node
+    /// compute charges. The sequential fold fills it as it commits
+    /// (reading fields it touches anyway); only when the sharded fold
+    /// is about to drain the effects in parallel does a dedicated
+    /// pre-walk gather them first. Only filled when a collector is
+    /// attached.
+    obs_compute: Vec<u64>,
+    /// This round's per-op telemetry tallies, accumulated alongside
+    /// [`Network::obs_compute`] (see [`ObsPre`]).
+    obs_scratch: ObsPre,
+    /// Whether the pre-walk already filled the scratch this round, so
+    /// the sequential fold (running after a sharded back-off) doesn't
+    /// double-count.
+    obs_prefilled: bool,
+    /// This round's realized delivery fates `[dropped, duplicated,
+    /// delayed]`, tallied by the adversarial routing.
+    obs_fates: [u64; 3],
+    /// This round's crash-schedule events `[crashes, restarts]`.
+    obs_crash: [u64; 2],
+}
+
+/// Per-round telemetry tallies: per-op counts read off the effect
+/// buffers before the fold drains them (inline in the sequential fold,
+/// via a pre-walk when the sharded fold will drain them in parallel),
+/// plus the pre-fold message/word totals so the emitted
+/// [`dhc_obs::RoundObs`] carries this round's deltas.
+#[derive(Clone, Copy, Default)]
+struct ObsPre {
+    unicast_ops: u64,
+    broadcast_ops: u64,
+    pre_messages: u64,
+    pre_words: u64,
+    wakes_scheduled: u64,
+    halts: u64,
 }
 
 /// One active node's unit of work for the compute phase.
@@ -222,6 +261,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             Some(adv) if !adv.is_null() => Some(AdversaryState::new(adv.clone(), n)),
             _ => None,
         };
+        let obs = config.collector.clone();
         let mut net = Network {
             graph,
             config,
@@ -246,6 +286,12 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             scratch_nbrs: Vec::new(),
             scratch_dirs: Vec::new(),
             commit: parts.commit,
+            obs,
+            obs_compute: Vec::new(),
+            obs_scratch: ObsPre::default(),
+            obs_prefilled: false,
+            obs_fates: [0; 3],
+            obs_crash: [0; 2],
         };
         // Pre-schedule a wake at every restart round, so a restarted
         // node activates (with an empty inbox) even in an otherwise
@@ -259,7 +305,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             }
         }
         let all: Vec<NodeId> = (0..n as NodeId).collect();
-        net.run_phase(&all, CallKind::Init)?;
+        net.run_phase(&all, CallKind::Init, &[], 0)?;
         net.mail.seal();
         Ok(net)
     }
@@ -441,9 +487,11 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                 return Err(e);
             }
             let round = self.round;
-            let Network { adversary, trace, .. } = &mut *self;
+            let Network { adversary, trace, obs_crash, .. } = &mut *self;
+            *obs_crash = [0; 2];
             if let Some(st) = adversary.as_mut() {
                 st.advance(round, |node, went_down| {
+                    obs_crash[usize::from(!went_down)] += 1;
                     trace.push(if went_down {
                         TraceEvent::Crashed { round, node }
                     } else {
@@ -539,7 +587,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
         }
         self.metrics.max_round_traffic = self.metrics.max_round_traffic.max(round_messages);
 
-        let result = self.run_phase(&work, CallKind::Round);
+        let result = self.run_phase(&work, CallKind::Round, &active, round_messages);
         self.scratch_woken = woken;
         self.scratch_active = active;
         self.scratch_work = work;
@@ -556,7 +604,18 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
     /// id): the parallel compute phase followed by the commit fold —
     /// sharded across the worker pool on busy rounds, sequential
     /// otherwise, with bit-identical results either way.
-    fn run_phase(&mut self, work: &[NodeId], kind: CallKind) -> Result<(), SimError> {
+    ///
+    /// `active` and `delivered` describe this round's delivery (the full
+    /// activated set with inbox lengths, and the delivered message
+    /// count); they are consumed only by the telemetry emission, which
+    /// runs once per *successfully* committed round, after the fold.
+    fn run_phase(
+        &mut self,
+        work: &[NodeId],
+        kind: CallKind,
+        active: &[(NodeId, usize)],
+        delivered: u64,
+    ) -> Result<(), SimError> {
         if self.effects.len() < work.len() {
             self.effects.resize_with(work.len(), Effects::default);
         }
@@ -595,8 +654,30 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             }
         }
 
+        // --- Telemetry bookkeeping: the fold drains the effect buffers,
+        // so per-op counts and compute charges must be read off before
+        // they drain. The sequential fold accumulates them inline (it
+        // touches every field anyway); only when the sharded fold is
+        // about to drain the effects in parallel does a dedicated
+        // pre-walk run. Reads only; skipped entirely without a
+        // collector. ---
+        let obs_attached = self.obs.is_some();
+        if obs_attached {
+            self.obs_compute.clear();
+            self.obs_fates = [0; 3];
+            self.obs_prefilled = false;
+            self.obs_scratch = ObsPre {
+                pre_messages: self.metrics.messages,
+                pre_words: self.metrics.words,
+                ..ObsPre::default()
+            };
+        }
+
         // --- Commit fold: ascending node id. ---
         let shards = self.commit_shard_count(work.len());
+        if obs_attached && shards > 0 {
+            self.obs_prewalk(work.len());
+        }
         let committed_sharded = shards > 0 && self.try_commit_sharded(work, shards);
         if !committed_sharded {
             self.commit_sequential(work)?;
@@ -609,7 +690,61 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             ml.end_round(self.round);
         }
         self.metrics.rounds = self.round;
+        if obs_attached {
+            self.emit_round_obs(work.len(), active, delivered);
+        }
         Ok(())
+    }
+
+    /// Gathers the per-op telemetry tallies with a dedicated walk over
+    /// this round's effect buffers — needed only when the sharded fold
+    /// is about to drain them in parallel (the sequential fold
+    /// accumulates the same tallies inline as it commits).
+    fn obs_prewalk(&mut self, executed: usize) {
+        let o = &mut self.obs_scratch;
+        for fx in &self.effects[..executed] {
+            o.unicast_ops += fx.sends.len() as u64;
+            o.broadcast_ops += fx.bcasts.len() as u64;
+            self.obs_compute.push(fx.compute);
+            if fx.halted {
+                o.halts += 1;
+            } else if fx.wake.is_some() {
+                o.wakes_scheduled += 1;
+            }
+        }
+        self.obs_prefilled = true;
+    }
+
+    /// Emits this committed round's [`dhc_obs::RoundObs`] to the
+    /// attached collector. Runs strictly after the fold (and after the
+    /// machine layer closed its round), on the caller's thread, reading
+    /// engine state without mutating any of it — the collector observes
+    /// the exact committed round and provably cannot perturb it.
+    fn emit_round_obs(&mut self, executed: usize, active: &[(NodeId, usize)], delivered: u64) {
+        let Some(obs) = self.obs.clone() else { return };
+        let pre = self.obs_scratch;
+        let ev = dhc_obs::RoundObs {
+            round: self.round,
+            executed,
+            delivered,
+            inbox: active,
+            compute: &self.obs_compute,
+            unicast_ops: pre.unicast_ops,
+            broadcast_ops: pre.broadcast_ops,
+            messages: self.metrics.messages - pre.pre_messages,
+            words: self.metrics.words - pre.pre_words,
+            wakes_scheduled: pre.wakes_scheduled,
+            halts: pre.halts,
+            faults: dhc_obs::FaultObs {
+                dropped: self.obs_fates[0],
+                duplicated: self.obs_fates[1],
+                delayed: self.obs_fates[2],
+                crashes: self.obs_crash[0],
+                restarts: self.obs_crash[1],
+            },
+            machine_links: self.machines.as_ref().map_or(&[], MachineLayer::last_round_links),
+        };
+        obs.with(|c| c.on_round(&ev));
     }
 
     /// The reference commit fold: one pass over the effects in ascending
@@ -620,7 +755,23 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
     fn commit_sequential(&mut self, work: &[NodeId]) -> Result<(), SimError> {
         let graph = self.graph;
         let adversarial = self.adversary.is_some();
+        // Telemetry tallies ride the fold's own walk (the effect fields
+        // are in cache right here), unless a sharded attempt's pre-walk
+        // already gathered them before backing off to this path.
+        let fuse_obs = self.obs.is_some() && !self.obs_prefilled;
         for (i, &v) in work.iter().enumerate() {
+            if fuse_obs {
+                let fx = &self.effects[i];
+                let o = &mut self.obs_scratch;
+                o.unicast_ops += fx.sends.len() as u64;
+                o.broadcast_ops += fx.bcasts.len() as u64;
+                if fx.halted {
+                    o.halts += 1;
+                } else if fx.wake.is_some() {
+                    o.wakes_scheduled += 1;
+                }
+                self.obs_compute.push(fx.compute);
+            }
             if adversarial {
                 // The fault-influenced commit lives in its own fold so the
                 // clean path below stays exactly the pre-adversary engine.
@@ -797,6 +948,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             commit,
             scratch_nbrs,
             scratch_dirs,
+            obs_fates,
             ..
         } = &mut *self;
 
@@ -912,6 +1064,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
                         wakes,
                         halted,
                         halted_count,
+                        obs_fates,
                     );
                 }
                 debug_assert_eq!(cursor, fates.len(), "shard fate plan out of sync");
@@ -1021,6 +1174,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             halted_count,
             scratch_fates,
             scratch_charged,
+            obs_fates,
             ..
         } = self;
         let st = adversary.as_mut().expect("adversarial commit without an adversary");
@@ -1076,6 +1230,7 @@ impl<'g, P: Protocol, T: Topology> Network<'g, P, T> {
             wakes,
             halted,
             halted_count,
+            obs_fates,
         );
         debug_assert_eq!(used, scratch_fates.len(), "fate scratch out of sync");
         Ok(())
@@ -1173,7 +1328,9 @@ fn dispatch<I: Send, F: Fn(&mut I) + Sync>(pool: Option<&WorkerPool>, items: &mu
 /// dropped ones charged but never staged, duplicated ones staged twice,
 /// delayed ones parked in the mailbox delay queue until their due
 /// round. Finishes the node's wake/halt bookkeeping and returns how
-/// many fates it consumed.
+/// many fates it consumed. `fate_tally` accumulates the realized
+/// non-deliver fates `[dropped, duplicated, delayed]` for the round's
+/// telemetry event (pure counting — it influences nothing).
 #[allow(clippy::too_many_arguments)]
 fn route_node_adversarial<M: crate::Payload>(
     v: NodeId,
@@ -1188,6 +1345,7 @@ fn route_node_adversarial<M: crate::Payload>(
     wakes: &mut BinaryHeap<Reverse<(usize, NodeId)>>,
     halted: &mut [bool],
     halted_count: &mut usize,
+    fate_tally: &mut [u64; 3],
 ) -> usize {
     let trace_on = trace.is_enabled();
     let mut fi = 0;
@@ -1197,6 +1355,12 @@ fn route_node_adversarial<M: crate::Payload>(
     let mut commit_one = |to: NodeId, seq: u32, words: usize, msg: M| {
         let fate = fates[fi];
         fi += 1;
+        match fate {
+            Fate::Deliver => {}
+            Fate::Drop => fate_tally[0] += 1,
+            Fate::Duplicate => fate_tally[1] += 1,
+            Fate::Delay(_) => fate_tally[2] += 1,
+        }
         let copies: u64 = if fate == Fate::Duplicate { 2 } else { 1 };
         metrics.words += words as u64 * copies;
         metrics.messages += copies;
@@ -1481,10 +1645,8 @@ mod tests {
         let mut net = Network::new(&g, cfg, flood_nodes(3)).unwrap();
         net.run().unwrap();
         let trace = net.trace();
-        let sends =
-            trace.events().iter().filter(|e| matches!(e, crate::TraceEvent::Sent { .. })).count();
-        let halts =
-            trace.events().iter().filter(|e| matches!(e, crate::TraceEvent::Halted { .. })).count();
+        let sends = trace.iter().filter(|e| matches!(e, crate::TraceEvent::Sent { .. })).count();
+        let halts = trace.iter().filter(|e| matches!(e, crate::TraceEvent::Halted { .. })).count();
         assert_eq!(sends as u64, net.metrics().messages);
         assert_eq!(halts, 3);
         assert_eq!(trace.dropped(), 0);
@@ -1499,7 +1661,6 @@ mod tests {
         net.run().unwrap();
         let woke: Vec<usize> = net
             .trace()
-            .events()
             .iter()
             .filter_map(|e| match e {
                 TraceEvent::Woke { round, node: 0 } => Some(*round),
@@ -1515,7 +1676,7 @@ mod tests {
         let g = dhc_graph::generator::path_graph(2);
         let mut net = Network::new(&g, Config::default(), flood_nodes(2)).unwrap();
         net.run().unwrap();
-        assert!(net.trace().events().is_empty());
+        assert!(net.trace().is_empty());
     }
 
     /// Node 1 answers its first delivery with two messages to node 0 in
@@ -1609,8 +1770,7 @@ mod tests {
         // 2 unicasts + 1 broadcast to its single neighbor (the hub).
         assert_eq!(net.metrics().messages, 5);
         let sends =
-            net.trace().events().iter().filter(|e| matches!(e, TraceEvent::Sent { .. })).count()
-                as u64;
+            net.trace().iter().filter(|e| matches!(e, TraceEvent::Sent { .. })).count() as u64;
         assert_eq!(sends, net.metrics().messages);
     }
 
@@ -1718,7 +1878,6 @@ mod tests {
         assert_eq!(net.metrics().sent_per_node[0], 1);
         let drops = net
             .trace()
-            .events()
             .iter()
             .filter(|e| matches!(e, TraceEvent::Dropped { from: 0, to: 1, .. }))
             .count();
@@ -1768,7 +1927,6 @@ mod tests {
         assert_eq!(net.nodes()[1].got, vec![(2, 0, 9)]);
         assert!(net
             .trace()
-            .events()
             .iter()
             .any(|e| matches!(e, TraceEvent::Delayed { from: 0, to: 1, until: 2, .. })));
     }
@@ -1783,7 +1941,7 @@ mod tests {
         let mut net = Network::new(&g, adversary_cfg(adv), recorders(2)).unwrap();
         net.run().unwrap();
         assert_eq!(net.nodes()[1].got, vec![], "delivery while down must be suppressed");
-        let ev = net.trace().events();
+        let ev = net.trace();
         assert!(ev.iter().any(|e| matches!(e, TraceEvent::Crashed { node: 1, .. })));
         assert!(ev.iter().any(|e| matches!(e, TraceEvent::Restarted { node: 1, round: 4 })));
         // The node ran again after restart: it halted at its round-8 wake.
@@ -1824,7 +1982,7 @@ mod tests {
             }
             let mut net = Network::new(&g, cfg, flood_nodes(16)).unwrap();
             net.run().unwrap();
-            let trace = net.trace().events().to_vec();
+            let trace = net.trace().events();
             let (report, _) = net.finish();
             (report.metrics, trace)
         };
@@ -1849,7 +2007,7 @@ mod tests {
             let mut net = Network::new(&g, cfg, recorders(16)).unwrap();
             let outcome = net.run().map_err(|e| format!("{e:?}"));
             let got: Vec<_> = net.nodes().iter().map(|r| r.got.clone()).collect();
-            let trace = net.trace().events().to_vec();
+            let trace = net.trace().events();
             let (report, _) = net.finish();
             (outcome, got, report.metrics, trace)
         };
@@ -1877,7 +2035,7 @@ mod tests {
             let cfg = Config::default().with_trace_capacity(10_000).with_engine_threads(threads);
             let mut net = Network::new(&g, cfg, flood_nodes(16)).unwrap();
             net.run().unwrap();
-            let trace = net.trace().events().to_vec();
+            let trace = net.trace().events();
             let (report, _) = net.finish();
             (report.metrics, trace)
         };
@@ -1885,5 +2043,124 @@ mod tests {
         for threads in [2, 4, 0] {
             assert_eq!(baseline, run(threads), "diverged at engine_threads = {threads}");
         }
+    }
+
+    /// Builds a shared [`dhc_obs::RunObserver`] and a config carrying it.
+    fn observed_cfg(
+        cfg: Config,
+    ) -> (Config, std::sync::Arc<std::sync::Mutex<dhc_obs::RunObserver>>) {
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(dhc_obs::RunObserver::new()));
+        let cfg = cfg.with_collector(dhc_obs::CollectorHandle::new(shared.clone()));
+        (cfg, shared)
+    }
+
+    #[test]
+    fn collector_counts_match_metrics() {
+        let g = dhc_graph::generator::grid(4, 4);
+        let (cfg, shared) = observed_cfg(Config::default());
+        let mut net = Network::new(&g, cfg, flood_nodes(16)).unwrap();
+        net.run().unwrap();
+        let (report, _) = net.finish();
+        let obs = shared.lock().unwrap();
+        let c = *obs.counters();
+        assert_eq!(c.messages, report.metrics.messages);
+        assert_eq!(c.max_round, report.metrics.rounds as u64);
+        assert_eq!(c.halts, 16);
+        // Flood uses send_all: broadcasts, no unicasts.
+        assert!(c.broadcast_ops > 0);
+        assert_eq!(c.unicast_ops, 0);
+        // Deliveries lag sends by a round, so messages still in flight
+        // when every node halts are committed but never delivered.
+        assert!(c.delivered > 0 && c.delivered <= report.metrics.messages);
+        // Round 1's traffic equals node 0's init broadcast degree.
+        assert!(obs.round_traffic_hist().count() > 0);
+        assert!(obs.inbox_hist().count() > 0);
+        assert_eq!(obs.machine_link_hist().count(), 0, "no machine layer attached");
+    }
+
+    #[test]
+    fn collector_attachment_is_pure_observation() {
+        // Attached-vs-detached runs are bit-identical, and the
+        // collector's deterministic aggregates are themselves identical
+        // at every thread/shard count — clean and adversarial.
+        let g = dhc_graph::generator::grid(4, 4);
+        let adv = crate::Adversary::seeded(5)
+            .with_drop_ppm(200_000)
+            .with_duplicate_ppm(150_000)
+            .with_delay(200_000, 3)
+            .with_crash(3, 2, Some(5));
+        for adversary in [None, Some(adv)] {
+            let base_cfg = || {
+                let mut cfg = Config::default().with_bandwidth_words(4).with_trace_capacity(10_000);
+                if let Some(adv) = &adversary {
+                    cfg = cfg.with_adversary(adv.clone());
+                }
+                cfg
+            };
+            let run = |cfg: Config| {
+                let mut net = Network::new(&g, cfg, recorders(16)).unwrap();
+                let outcome = net.run().map_err(|e| format!("{e:?}"));
+                let got: Vec<_> = net.nodes().iter().map(|r| r.got.clone()).collect();
+                let trace = net.trace().events();
+                let (report, _) = net.finish();
+                (outcome, got, report.metrics, trace)
+            };
+            let detached = run(base_cfg());
+            let mut summaries = Vec::new();
+            for (threads, shards) in [(1, 0), (1, 3), (4, 0), (4, 3)] {
+                let (cfg, shared) = observed_cfg(
+                    base_cfg().with_engine_threads(threads).with_commit_shards(shards),
+                );
+                assert_eq!(
+                    detached,
+                    run(cfg),
+                    "attached run diverged at threads={threads} shards={shards}"
+                );
+                summaries.push(shared.lock().unwrap().summary_json().render());
+            }
+            summaries.dedup();
+            assert_eq!(summaries.len(), 1, "collector aggregates diverged across configs");
+        }
+    }
+
+    /// Broadcasts every round until round 6, then halts — enough
+    /// traffic that every configured fate is realized.
+    struct Gossip;
+    impl Protocol for Gossip {
+        type Msg = Token;
+        fn init(&mut self, ctx: &mut Context<'_, Token>) {
+            ctx.send_all(Token(0));
+        }
+        fn round(&mut self, ctx: &mut Context<'_, Token>, _inbox: Inbox<'_, Token>) {
+            if ctx.round_number() < 6 {
+                ctx.send_all(Token(1));
+            } else {
+                ctx.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn collector_sees_fates_crashes_and_machine_links() {
+        let g = dhc_graph::generator::grid(4, 4);
+        let adv = crate::Adversary::seeded(5)
+            .with_drop_ppm(200_000)
+            .with_duplicate_ppm(150_000)
+            .with_delay(200_000, 3)
+            .with_crash(3, 2, Some(5));
+        let (cfg, shared) =
+            observed_cfg(Config::default().with_bandwidth_words(4).with_adversary(adv));
+        let machines = MachineMap::new((0..16).map(|v| v % 4).collect(), 4);
+        let nodes: Vec<Gossip> = (0..16).map(|_| Gossip).collect();
+        let mut net = Network::new_with_machines(&g, cfg, nodes, machines).unwrap();
+        let _ = net.run();
+        let obs = shared.lock().unwrap();
+        let c = obs.counters();
+        assert!(c.dropped > 0, "drop adversary produced no observed drops");
+        assert!(c.duplicated > 0);
+        assert!(c.delayed > 0);
+        assert_eq!(c.crashes, 1);
+        assert_eq!(c.restarts, 1);
+        assert!(obs.machine_link_hist().count() > 0, "machine layer produced no link loads");
     }
 }

@@ -149,7 +149,9 @@ impl Trace {
         }
     }
 
-    /// The recorded events, oldest to newest. The window covers the
+    /// The recorded events, oldest to newest, as an owned snapshot
+    /// (**clones the ring** — prefer the borrowing [`iter`](Trace::iter)
+    /// unless the events must outlive the trace). The window covers the
     /// whole run until the ring first fills, then slides forward; check
     /// [`dropped`](Trace::dropped) for how much fell off the front.
     pub fn events(&self) -> Vec<TraceEvent> {
@@ -192,7 +194,7 @@ mod tests {
         for i in 0..5 {
             t.push(TraceEvent::Halted { round: i, node: (i) as u32 });
         }
-        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.iter().count(), 2);
         assert_eq!(t.dropped(), 3);
     }
 
@@ -203,7 +205,7 @@ mod tests {
             t.push(TraceEvent::Halted { round: i, node: i as u32 });
         }
         // Oldest-to-newest, sliding window over the tail of the run.
-        let rounds: Vec<usize> = t.events().iter().map(|e| e.round()).collect();
+        let rounds: Vec<usize> = t.iter().map(|e| e.round()).collect();
         assert_eq!(rounds, vec![4, 5, 6]);
         assert_eq!(t.dropped(), 4);
         assert_eq!(t.len(), 3);
@@ -217,7 +219,7 @@ mod tests {
         let mut t = Trace::with_capacity(0);
         t.push(TraceEvent::Halted { round: 0, node: 0 });
         assert!(!t.is_enabled());
-        assert!(t.events().is_empty());
+        assert!(t.iter().next().is_none());
         assert_eq!(t.dropped(), 0);
     }
 
@@ -229,6 +231,8 @@ mod tests {
         t.push(TraceEvent::Sent { round: 2, from: 1, to: 0, words: 3 });
         assert_eq!(t.in_round(2).count(), 2);
         assert_eq!(t.in_round(1).count(), 1);
+        // The owned-snapshot compat wrapper mirrors iter() exactly.
         assert_eq!(t.events()[0].round(), 1);
+        assert!(t.events().iter().eq(t.iter()));
     }
 }

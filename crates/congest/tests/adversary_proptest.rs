@@ -76,7 +76,7 @@ fn run_gossip(n: usize, lives: &[usize], adv: &Adversary, threads: usize) -> Run
         .with_adversary(adv.clone());
     let mut net = Network::new(&g, cfg, nodes).unwrap();
     let outcome = net.run().map_err(|e| format!("{e:?}"));
-    let trace = net.trace().events().to_vec();
+    let trace = net.trace().events();
     let logs: Vec<_> = net.nodes().iter().map(|nd| nd.got.clone()).collect();
     let (report, _) = net.finish();
     (outcome, report.metrics, trace, logs)

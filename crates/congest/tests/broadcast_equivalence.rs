@@ -131,7 +131,7 @@ fn run_scripts(
         .with_engine_threads(threads);
     let mut net = Network::new(&g, cfg, nodes).unwrap();
     net.run().unwrap();
-    let trace = net.trace().events().to_vec();
+    let trace = net.trace().events();
     let (report, nodes) = net.finish();
     (report.metrics, trace, nodes.into_iter().map(|nd| nd.log).collect())
 }

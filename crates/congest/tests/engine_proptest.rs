@@ -92,7 +92,7 @@ fn run_scripts(
     let mut net = Network::new(&g, cfg, nodes).unwrap();
     net.run().unwrap();
     assert!(net.is_finished());
-    let trace = net.trace().events().to_vec();
+    let trace = net.trace().events();
     let (report, nodes) = net.finish();
     let logs =
         nodes.into_iter().map(|nd| (nd.activations, nd.expected_wakes, nd.halt_round)).collect();

@@ -118,7 +118,7 @@ fn run_scripts(
         Network::new(&g, cfg, nodes).expect("init cannot fault")
     };
     let outcome = net.run().map_err(|e| format!("{e:?}"));
-    let trace = net.trace().events().to_vec();
+    let trace = net.trace().events();
     let (report, nodes) = net.finish();
     let logs = nodes.into_iter().map(|nd| (nd.activations, nd.halt_round)).collect();
     (outcome, report.metrics, trace, logs, report.machine_log)

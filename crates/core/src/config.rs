@@ -1,6 +1,6 @@
 //! Algorithm configuration.
 
-use dhc_congest::{Adversary, Config as SimConfig, NodeId};
+use dhc_congest::{Adversary, CollectorHandle, Config as SimConfig, NodeId};
 
 /// Configuration shared by all distributed algorithms in this crate.
 ///
@@ -53,6 +53,13 @@ pub struct DhcConfig {
     /// **identical for every value**: the engine commits each round's
     /// effects in ascending node-id order regardless of thread count.
     pub engine_threads: usize,
+    /// Shard count for the round engine's commit fold
+    /// (`dhc_congest::Config::commit_shards`): `0` (the default)
+    /// auto-shards, any other value forces that many shards. Results
+    /// are **identical for every value** — the sharded merge reproduces
+    /// the sequential fold bit for bit; the knob exists for
+    /// benchmarking and the equivalence suites.
+    pub commit_shards: usize,
     /// Protocol messages travel as **word-packed** wire values
     /// ([`dhc_congest::PackedMsg`], 28 bytes inline) instead of the
     /// padded logical enums when `true` — the memory-lean hot path for
@@ -91,6 +98,15 @@ pub struct DhcConfig {
     /// to class-local ids and give each class its own fault stream (see
     /// [`Adversary::for_class`]).
     pub adversary: Option<Adversary>,
+    /// Optional telemetry collector (see the `dhc-obs` crate), attached to
+    /// **every** simulation an algorithm runs (Phase-1 per-class runs,
+    /// DHC1 stitching, DHC2 merge levels, Upcast) and driven by the
+    /// runners' span hierarchy (`run → phase → class / merge-level`).
+    /// Pure observation: outcomes, [`dhc_congest::Metrics`], traces,
+    /// and realized fault schedules are **bit-identical** with and
+    /// without a collector at every `engine_threads` / `commit_shards`
+    /// setting (pinned by `crates/core/tests/obs_equivalence.rs`).
+    pub collector: Option<CollectorHandle>,
 }
 
 impl DhcConfig {
@@ -107,10 +123,12 @@ impl DhcConfig {
             root_solve_retries: 8,
             parallelism: 1,
             engine_threads: 1,
+            commit_shards: 0,
             materialize_phase1: false,
             record_round_traffic: true,
             packed_payloads: false,
             adversary: None,
+            collector: None,
         }
     }
 
@@ -154,6 +172,14 @@ impl DhcConfig {
         self
     }
 
+    /// Forces the round engine's commit-fold shard count (`0` = auto).
+    /// Never changes results, only scheduling; see
+    /// [`commit_shards`](Self::commit_shards).
+    pub fn with_commit_shards(mut self, shards: usize) -> Self {
+        self.commit_shards = shards;
+        self
+    }
+
     /// Selects the Phase-1 subgraph representation: `false` (the
     /// default) simulates each color class on a zero-copy class view,
     /// `true` materializes induced subgraphs — the equivalence oracle.
@@ -186,6 +212,13 @@ impl DhcConfig {
         self
     }
 
+    /// Attaches a telemetry collector to every simulation the algorithms
+    /// run. Pure observation — see [`collector`](Self::collector).
+    pub fn with_collector(mut self, collector: CollectorHandle) -> Self {
+        self.collector = Some(collector);
+        self
+    }
+
     /// The concrete worker-thread count for `jobs` independent
     /// partition simulations, resolving `parallelism == 0` to the
     /// machine's available cores and never exceeding the job count.
@@ -215,9 +248,13 @@ impl DhcConfig {
             .with_max_rounds(self.max_rounds)
             .with_bandwidth_words(self.bandwidth_words)
             .with_engine_threads(self.engine_threads)
+            .with_commit_shards(self.commit_shards)
             .with_record_round_traffic(self.record_round_traffic);
         if let Some(adv) = &self.adversary {
             sim = sim.with_adversary(adv.clone());
+        }
+        if let Some(col) = &self.collector {
+            sim = sim.with_collector(col.clone());
         }
         sim
     }
@@ -233,9 +270,13 @@ impl DhcConfig {
             .with_max_rounds(self.max_rounds)
             .with_bandwidth_words(self.bandwidth_words)
             .with_engine_threads(self.engine_threads)
+            .with_commit_shards(self.commit_shards)
             .with_record_round_traffic(self.record_round_traffic);
         if let Some(adv) = &self.adversary {
             sim = sim.with_adversary(adv.for_class(members, color));
+        }
+        if let Some(col) = &self.collector {
+            sim = sim.with_collector(col.clone());
         }
         sim
     }
@@ -312,6 +353,20 @@ mod tests {
         assert_eq!(cfg.sim_config().engine_threads, 1);
         let cfg = cfg.with_engine_threads(0);
         assert_eq!(cfg.sim_config().engine_threads, 0);
+    }
+
+    #[test]
+    fn collector_propagates_to_every_sim_config() {
+        struct Noop;
+        impl dhc_congest::Collector for Noop {}
+        let cfg = DhcConfig::new(0);
+        assert_eq!(cfg.sim_config().collector, None);
+        assert_eq!(cfg.sim_config_for_class(0, &[0, 1]).collector, None);
+        let handle = CollectorHandle::new(Noop);
+        let cfg = cfg.with_collector(handle.clone());
+        // Both whole-graph and per-class simulations share the one handle.
+        assert_eq!(cfg.sim_config().collector, Some(handle.clone()));
+        assert_eq!(cfg.sim_config_for_class(3, &[0, 1]).collector, Some(handle));
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::runner::{draw_colors, run_phase1_with, Phase1Outcome, PhaseBreakdown,
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
 use dhc_congest::{
     Context, EngineScratch, EnumCodec, Inbox, MsgCodec, Network, NodeId, PackedCodec, PackedMsg,
-    PackedPayload, Payload, Protocol, SimError,
+    PackedPayload, Payload, Protocol, SimError, Span,
 };
 use dhc_graph::rng::derive_seed;
 use dhc_graph::{Graph, Partition};
@@ -578,7 +578,8 @@ pub(crate) fn run(
     let k = next as usize;
     let compacted = Partition::from_colors(colors, k);
 
-    if cfg.packed_payloads {
+    let mut run_span = Span::root(cfg.collector.as_ref(), "run", format!("dhc1 n={n} k={k}"));
+    let outcome = if cfg.packed_payloads {
         // On the packed wire every protocol's messages are `PackedMsg`,
         // so the `√n` Phase 1 class networks and the whole-graph stitch
         // network chain through one buffer set.
@@ -589,14 +590,28 @@ pub(crate) fn run(
             cfg,
             km.as_deref_mut(),
             Some(&mut scratch),
+            &run_span,
         )?;
-        stitch::<PackedCodec>(graph, cfg, km, k, &phase1, &mut scratch)
+        stitch::<PackedCodec>(graph, cfg, km, k, &phase1, &mut scratch, &run_span)?
     } else {
         // Enum wires differ per protocol (`DraMsg` vs `HypMsg`); Phase 1
         // chains its own internal scratch, the stitch starts cold.
-        let phase1 = run_phase1_with::<EnumCodec>(graph, &compacted, cfg, km.as_deref_mut(), None)?;
-        stitch::<EnumCodec>(graph, cfg, km, k, &phase1, &mut EngineScratch::new())
+        let phase1 = run_phase1_with::<EnumCodec>(
+            graph,
+            &compacted,
+            cfg,
+            km.as_deref_mut(),
+            None,
+            &run_span,
+        )?;
+        stitch::<EnumCodec>(graph, cfg, km, k, &phase1, &mut EngineScratch::new(), &run_span)?
+    };
+    run_span.add(outcome.metrics.rounds as u64, outcome.metrics.messages, outcome.metrics.words);
+    drop(run_span);
+    if let Some(col) = &cfg.collector {
+        col.flush();
     }
+    Ok(outcome)
 }
 
 /// The hypernode stitch (Phase 2), pinned to a wire codec, seeded from
@@ -608,6 +623,7 @@ fn stitch<C: MsgCodec<HypMsg>>(
     k: usize,
     phase1: &Phase1Outcome,
     scratch: &mut EngineScratch<C::Wire>,
+    parent: &Span,
 ) -> Result<RunOutcome, DhcError> {
     let mut metrics = phase1.metrics.clone();
     let mut phases = vec![PhaseBreakdown {
@@ -623,6 +639,7 @@ fn stitch<C: MsgCodec<HypMsg>>(
         return Ok(RunOutcome { cycle, metrics, phases });
     }
 
+    let mut phase_span = parent.child("phase", format!("hypernode-stitch k={k}"));
     let nodes: Vec<HypNode<C>> = phase1
         .states
         .iter()
@@ -667,6 +684,8 @@ fn stitch<C: MsgCodec<HypMsg>>(
     if let (Some(p), Some(log)) = (km, phase2_machine_log) {
         p.absorb_phase_log(log);
     }
+    phase_span.add(phase2_metrics.rounds as u64, phase2_metrics.messages, phase2_metrics.words);
+    drop(phase_span);
     phases.push(PhaseBreakdown {
         name: "hypernode-stitch".to_string(),
         rounds: phase2_metrics.rounds,

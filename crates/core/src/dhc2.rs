@@ -38,7 +38,7 @@ use crate::runner::{draw_colors, run_phase1, PhaseBreakdown, RunOutcome};
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
 use dhc_congest::{
     Context, EngineScratch, EnumCodec, Inbox, Metrics, MsgCodec, Network, NodeId, PackedCodec,
-    PackedMsg, PackedPayload, Payload, Protocol, SimError,
+    PackedMsg, PackedPayload, Payload, Protocol, SimError, Span,
 };
 use dhc_graph::{Graph, Partition};
 use std::collections::{HashMap, HashSet};
@@ -699,7 +699,8 @@ pub(crate) fn run_with_colors(
     let k = next as usize;
     let compacted = Partition::from_colors(colors, k);
 
-    let phase1 = run_phase1(graph, &compacted, cfg, km.as_deref_mut())?;
+    let mut run_span = Span::root(cfg.collector.as_ref(), "run", format!("dhc2 n={n} k={k}"));
+    let phase1 = run_phase1(graph, &compacted, cfg, km.as_deref_mut(), &run_span)?;
     let mut metrics = phase1.metrics.clone();
     let mut phases = vec![PhaseBreakdown {
         name: "phase1".to_string(),
@@ -720,15 +721,38 @@ pub(crate) fn run_with_colors(
         .collect();
 
     if cfg.packed_payloads {
-        run_merge_levels::<PackedCodec>(graph, cfg, &mut states, k, &mut metrics, &mut phases, km)?;
+        run_merge_levels::<PackedCodec>(
+            graph,
+            cfg,
+            &mut states,
+            k,
+            &mut metrics,
+            &mut phases,
+            km,
+            &run_span,
+        )?;
     } else {
-        run_merge_levels::<EnumCodec>(graph, cfg, &mut states, k, &mut metrics, &mut phases, km)?;
+        run_merge_levels::<EnumCodec>(
+            graph,
+            cfg,
+            &mut states,
+            k,
+            &mut metrics,
+            &mut phases,
+            km,
+            &run_span,
+        )?;
     }
 
     let succ: Vec<Option<NodeId>> = states.iter().map(|s| Some(s.succ)).collect();
     let pred: Vec<Option<NodeId>> = states.iter().map(|s| Some(s.pred)).collect();
     let pairs = pairs_from_links(&succ, &pred)?;
     let cycle = cycle_from_incident_pairs(graph, &pairs)?;
+    run_span.add(metrics.rounds as u64, metrics.messages, metrics.words);
+    drop(run_span);
+    if let Some(col) = &cfg.collector {
+        col.flush();
+    }
     Ok(RunOutcome { cycle, metrics, phases })
 }
 
@@ -736,6 +760,7 @@ pub(crate) fn run_with_colors(
 /// [`DhcConfig::packed_payloads`] dispatch happens once, in
 /// [`run_with_colors`]). All levels speak the same wire type, so one
 /// buffer set chains through every level's whole-graph network.
+#[allow(clippy::too_many_arguments)]
 fn run_merge_levels<C: MsgCodec<MergeMsg>>(
     graph: &Graph,
     cfg: &DhcConfig,
@@ -744,12 +769,15 @@ fn run_merge_levels<C: MsgCodec<MergeMsg>>(
     metrics: &mut Metrics,
     phases: &mut Vec<PhaseBreakdown>,
     mut km: Option<&mut KMachineProbe>,
+    parent: &Span,
 ) -> Result<(), DhcError> {
     let n = graph.node_count();
     let mut colors_remaining = k;
     let mut level = 0usize;
     let mut merge_scratch: EngineScratch<C::Wire> = EngineScratch::new();
     while colors_remaining > 1 {
+        let mut level_span =
+            parent.child("merge-level", format!("merge-level-{level} cycles={colors_remaining}"));
         let nodes: Vec<MergeNode<C>> =
             (0..n).map(|v| MergeNode::new((v) as u32, states[v], colors_remaining)).collect();
         let mut net = match km.as_deref() {
@@ -784,6 +812,8 @@ fn run_merge_levels<C: MsgCodec<MergeMsg>>(
         if let (Some(p), Some(log)) = (km.as_deref_mut(), level_machine_log) {
             p.absorb_phase_log(log);
         }
+        level_span.add(level_metrics.rounds as u64, level_metrics.messages, level_metrics.words);
+        drop(level_span);
         phases.push(PhaseBreakdown {
             name: format!("merge-level-{level}"),
             rounds: level_metrics.rounds,

@@ -338,7 +338,17 @@ fn run_kmachine(
     kcfg.validate()?;
     let rvp = RandomVertexPartition::new(graph.node_count(), kcfg.k, kcfg.rvp_seed);
     let mut probe = KMachineProbe::new(&rvp, kcfg.link_bandwidth_words);
+    // The k-machine wrapper gets its own root span; the wrapped
+    // algorithm opens its usual `run` root alongside, so the JSONL
+    // stream shows both the conversion and the underlying execution.
+    let mut km_span = dhc_congest::Span::root(
+        cfg.collector.as_ref(),
+        "kmachine",
+        format!("kmachine k={} n={}", kcfg.k, graph.node_count()),
+    );
     let outcome = run(graph, cfg, Some(&mut probe))?;
+    km_span.add(outcome.metrics.rounds as u64, outcome.metrics.messages, outcome.metrics.words);
+    drop(km_span);
     let estimate = ConversionEstimate::from_metrics(&outcome.metrics, kcfg.k);
     let KMachineProbe { acc, logs, .. } = probe;
     let mut machine =

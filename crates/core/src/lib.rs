@@ -73,7 +73,9 @@ mod runner;
 pub mod upcast;
 
 pub use config::DhcConfig;
-pub use dhc_congest::{Adversary, CrashEvent};
+pub use dhc_congest::{
+    Adversary, Collector, CollectorHandle, CrashEvent, FaultObs, RoundObs, Span,
+};
 pub use error::{DhcError, PartitionFailure};
 pub use kmachine::{
     run_dhc1_kmachine, run_dhc2_kmachine, run_dra_kmachine, run_upcast_kmachine, KMachineConfig,

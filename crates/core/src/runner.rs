@@ -7,7 +7,7 @@ use crate::kmachine::KMachineProbe;
 use crate::output::pairs_from_links;
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
 use dhc_congest::machine::{MachineMap, MachineRoundLog};
-use dhc_congest::{EngineScratch, EnumCodec, Metrics, MsgCodec, Network, PackedCodec};
+use dhc_congest::{EngineScratch, EnumCodec, Metrics, MsgCodec, Network, PackedCodec, Span};
 use dhc_graph::rng::{derive_seed, rng_from_seed};
 use dhc_graph::{Graph, HamiltonianCycle, NodeId, Partition, PartitionedGraph, Topology};
 
@@ -223,11 +223,12 @@ pub(crate) fn run_phase1(
     partition: &Partition,
     cfg: &DhcConfig,
     km: Option<&mut KMachineProbe>,
+    parent: &Span,
 ) -> Result<Phase1Outcome, DhcError> {
     if cfg.packed_payloads {
-        run_phase1_with::<PackedCodec>(graph, partition, cfg, km, None)
+        run_phase1_with::<PackedCodec>(graph, partition, cfg, km, None, parent)
     } else {
-        run_phase1_with::<EnumCodec>(graph, partition, cfg, km, None)
+        run_phase1_with::<EnumCodec>(graph, partition, cfg, km, None, parent)
     }
 }
 
@@ -246,11 +247,13 @@ pub(crate) fn run_phase1_with<C: MsgCodec<DraMsg>>(
     cfg: &DhcConfig,
     km: Option<&mut KMachineProbe>,
     ext: Option<&mut EngineScratch<C::Wire>>,
+    parent: &Span,
 ) -> Result<Phase1Outcome, DhcError> {
     let n = graph.node_count();
     let seed_base = derive_seed(cfg.seed, 0x0001);
     let jobs: Vec<usize> =
         (0..partition.class_count()).filter(|&c| !partition.class(c).is_empty()).collect();
+    let mut phase_span = parent.child("phase", format!("phase1 classes={}", jobs.len()));
 
     // The zero-copy grouping; `None` selects the copying oracle.
     let pg = (!cfg.materialize_phase1).then(|| PartitionedGraph::new(graph, partition));
@@ -265,7 +268,8 @@ pub(crate) fn run_phase1_with<C: MsgCodec<DraMsg>>(
         let members = partition.class(class);
         let color = class as u32;
         let machines = spec.map(|p| p.class_map(members));
-        match &pg {
+        let mut span = phase_span.child("class", format!("class {color} n={}", members.len()));
+        let result = match &pg {
             Some(pg) => {
                 let view = pg.class_view(class).expect("job classes are non-empty");
                 run_one_partition::<_, C>(&view, color, members, cfg, seed_base, machines, scratch)
@@ -276,7 +280,11 @@ pub(crate) fn run_phase1_with<C: MsgCodec<DraMsg>>(
                     .expect("partition classes hold valid, distinct node ids");
                 run_one_partition::<_, C>(&sub, color, members, cfg, seed_base, machines, scratch)
             }
+        };
+        if let Ok(run) = &result {
+            span.add(run.metrics.rounds as u64, run.metrics.messages, run.metrics.words);
         }
+        result
     };
     let results: Vec<Result<PartitionRun<'_>, DhcError>> = if threads <= 1 {
         // Sequential classes share one buffer set — the caller's, when
@@ -315,6 +323,7 @@ pub(crate) fn run_phase1_with<C: MsgCodec<DraMsg>>(
         }
     }
     account_cross_color_exchange(&mut metrics, graph, partition.colors(), pg.as_ref());
+    phase_span.add(metrics.rounds as u64, metrics.messages, metrics.words);
     // The synthesized round-1 cross-partition color announcements cross
     // machine links too. Each announcement is one **broadcast** op
     // (`send_all(Color)` in init), so the machine layer's semantics
@@ -446,7 +455,13 @@ pub fn run_partition_cycles(
     if n < 3 {
         return Err(DhcError::GraphTooSmall { n });
     }
-    let outcome = run_phase1(graph, partition, cfg, None)?;
+    let mut run_span = Span::root(cfg.collector.as_ref(), "run", format!("partition-cycles n={n}"));
+    let outcome = run_phase1(graph, partition, cfg, None, &run_span)?;
+    run_span.add(outcome.metrics.rounds as u64, outcome.metrics.messages, outcome.metrics.words);
+    drop(run_span);
+    if let Some(col) = &cfg.collector {
+        col.flush();
+    }
     // Group nodes per color and order them by cycindex.
     let mut by_color: std::collections::BTreeMap<u32, Vec<(usize, NodeId)>> =
         std::collections::BTreeMap::new();
@@ -501,7 +516,8 @@ pub(crate) fn run_dra_with(
         return Err(DhcError::GraphTooSmall { n });
     }
     let partition = Partition::from_colors(vec![0u32; n], 1);
-    let outcome = run_phase1(graph, &partition, cfg, km)?;
+    let mut run_span = Span::root(cfg.collector.as_ref(), "run", format!("dra n={n}"));
+    let outcome = run_phase1(graph, &partition, cfg, km, &run_span)?;
     let succ: Vec<Option<NodeId>> = outcome.states.iter().map(|s| Some(s.succ)).collect();
     let pred: Vec<Option<NodeId>> = outcome.states.iter().map(|s| Some(s.pred)).collect();
     let pairs = pairs_from_links(&succ, &pred)?;
@@ -511,6 +527,11 @@ pub(crate) fn run_dra_with(
         rounds: outcome.metrics.rounds,
         messages: outcome.metrics.messages,
     }];
+    run_span.add(outcome.metrics.rounds as u64, outcome.metrics.messages, outcome.metrics.words);
+    drop(run_span);
+    if let Some(col) = &cfg.collector {
+        col.flush();
+    }
     Ok(RunOutcome { cycle, metrics: outcome.metrics, phases })
 }
 
@@ -711,9 +732,15 @@ mod tests {
         let probe = (5..13)
             .find_map(|seed| {
                 let mut probe = KMachineProbe::with_assignment(assignment.clone(), k, 4);
-                run_phase1(&g, &partition, &DhcConfig::new(seed), Some(&mut probe))
-                    .ok()
-                    .map(|_| probe)
+                run_phase1(
+                    &g,
+                    &partition,
+                    &DhcConfig::new(seed),
+                    Some(&mut probe),
+                    &Span::disabled(),
+                )
+                .ok()
+                .map(|_| probe)
             })
             .expect("Phase 1 on two triangles should succeed for at least one of 8 seeds");
         let round0 = &probe.logs()[0].rounds()[0];

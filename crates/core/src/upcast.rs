@@ -33,7 +33,7 @@ use crate::runner::{PhaseBreakdown, RunOutcome};
 use crate::{cycle_from_incident_pairs, DhcConfig, DhcError};
 use dhc_congest::{
     Context, EnumCodec, Inbox, MsgCodec, Network, NodeId, PackedCodec, PackedMsg, PackedPayload,
-    Payload, Protocol,
+    Payload, Protocol, Span,
 };
 use dhc_graph::rng::derive_seed;
 use dhc_graph::{Graph, GraphBuilder};
@@ -544,6 +544,9 @@ fn run_with<C: MsgCodec<UpMsg>>(
     if n < 3 {
         return Err(DhcError::GraphTooSmall { n });
     }
+    let algo = if all_edges { "collect-all" } else { "upcast" };
+    let mut run_span = Span::root(cfg.collector.as_ref(), "run", format!("{algo} n={n}"));
+    let mut phase_span = run_span.child("phase", algo);
     let nodes: Vec<UpcastNode<C>> =
         (0..n).map(|v| UpcastNode::new((v) as u32, cfg, all_edges)).collect();
     let mut net = match km.as_deref() {
@@ -564,10 +567,18 @@ fn run_with<C: MsgCodec<UpMsg>>(
         .collect::<Result<_, _>>()?;
     let cycle = cycle_from_incident_pairs(graph, &pairs)?;
     let phases = vec![PhaseBreakdown {
-        name: if all_edges { "collect-all" } else { "upcast" }.to_string(),
+        name: algo.to_string(),
         rounds: report.metrics.rounds,
         messages: report.metrics.messages,
     }];
+    let m = &report.metrics;
+    phase_span.add(m.rounds as u64, m.messages, m.words);
+    drop(phase_span);
+    run_span.add(m.rounds as u64, m.messages, m.words);
+    drop(run_span);
+    if let Some(col) = &cfg.collector {
+        col.flush();
+    }
     Ok(RunOutcome { cycle, metrics: report.metrics, phases })
 }
 

@@ -194,7 +194,7 @@ fn traces_bit_identical_with_null_adversary() {
         let (pt, pm) = run_traced(&g, threads, None);
         for null in null_adversaries() {
             let (at, am) = run_traced(&g, threads, Some(null));
-            assert_eq!(pt.events(), at.events(), "trace @ {threads} threads");
+            assert!(pt.iter().eq(at.iter()), "trace @ {threads} threads");
             assert_eq!(pm, am, "metrics @ {threads} threads");
         }
     }

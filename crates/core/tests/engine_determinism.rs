@@ -75,7 +75,7 @@ fn dra_trace_identical_across_engine_threads() {
             .with_engine_threads(threads);
         let mut net = Network::new(&g, cfg, nodes).unwrap();
         net.run().unwrap();
-        let trace: Vec<TraceEvent> = net.trace().events().to_vec();
+        let trace: Vec<TraceEvent> = net.trace().events();
         let (report, nodes) = net.finish();
         let links: Vec<_> = nodes.iter().map(|nd| (nd.cycindex, nd.succ, nd.pred)).collect();
         (report, trace, links)

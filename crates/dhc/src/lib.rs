@@ -14,7 +14,12 @@
 //!   machine-pair links, round dilation);
 //! * [`rotation`] — the sequential Angluin–Valiant / Pósa rotation solver;
 //! * [`core`] — the paper's distributed algorithms (DRA, DHC1, DHC2,
-//!   Upcast) and their runners.
+//!   Upcast) and their runners;
+//! * [`obs`] — the streaming telemetry layer: pure-observation
+//!   [`Collector`]s driven by the engine's commit fold, `run → phase →
+//!   class / merge-level` spans, float-free log2 histograms, and
+//!   versioned JSONL run records (attach via
+//!   [`DhcConfig::with_collector`]).
 //!
 //! # Quickstart
 //!
@@ -41,6 +46,7 @@
 pub use dhc_congest as congest;
 pub use dhc_core as core;
 pub use dhc_graph as graph;
+pub use dhc_obs as obs;
 pub use dhc_rotation as rotation;
 
 // Most-used items at the top level for convenience.
@@ -51,6 +57,7 @@ pub use dhc_core::{
     KMachineReport, RunOutcome,
 };
 pub use dhc_graph::{ClassView, Graph, HamiltonianCycle, Partition, PartitionedGraph, Topology};
+pub use dhc_obs::{Collector, CollectorHandle, Hist, Manifest, RunObserver, Span};
 
 /// Compiles the workspace README's code blocks as doctests, so the
 /// documented quickstart can never drift from the real API.

@@ -1,0 +1,252 @@
+//! Float-free streaming histograms with log2 buckets.
+
+/// A streaming histogram over `u64` samples with 65 logarithmic
+/// buckets: bucket 0 holds the value `0`, bucket `b > 0` holds
+/// `[2^(b-1), 2^b - 1]`. Recording, merging, and percentile queries are
+/// all integer arithmetic, so summaries are bit-for-bit deterministic
+/// regardless of platform or thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    counts: [u64; 65],
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist { counts: [0; 65], total: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Hist::default()
+    }
+
+    /// The bucket index for `v`: 0 for 0, else `floor(log2 v) + 1`.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The largest value bucket `b` can hold (its reported percentile
+    /// bound): 0, 1, 3, 7, …, `u64::MAX`.
+    pub fn bucket_bound(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << b) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` samples of value `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::bucket_of(v)] += n;
+        self.total += n;
+        self.sum += v as u128 * n as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Records every sample in `vals` — equivalent to calling
+    /// [`record`](Hist::record) per element, but the total/sum/max
+    /// accumulate in registers and fold into the histogram once. This is
+    /// the per-round hot path for per-node samples (`RunObserver`
+    /// records whole inbox/compute slices every committed round), where
+    /// the per-element read-modify-write of the scalar fields is most of
+    /// [`record`](Hist::record)'s cost.
+    pub fn record_all(&mut self, vals: impl IntoIterator<Item = u64>) {
+        let (mut k, mut s, mut mx) = (0u64, 0u128, self.max);
+        for v in vals {
+            self.counts[Self::bucket_of(v)] += 1;
+            k += 1;
+            s += v as u128;
+            mx = mx.max(v);
+        }
+        if k > 0 {
+            self.total += k;
+            self.sum += s;
+            self.max = mx;
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Integer mean (sum / count, truncating; 0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum / self.total as u128).min(u64::MAX as u128) as u64
+        }
+    }
+
+    /// The raw bucket counts (index via [`Hist::bucket_bound`]).
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.counts
+    }
+
+    /// The `p`-th percentile (integer percent, `1..=100`) as the upper
+    /// bound of the bucket containing the rank-`ceil(total*p/100)`
+    /// sample in sorted order. Exact [`max`](Self::max) is reported for
+    /// `p = 100`. Returns 0 when empty.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if p >= 100 {
+            return self.max;
+        }
+        let rank = (self.total as u128 * p as u128).div_ceil(100).max(1);
+        let mut cum: u128 = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            cum += c as u128;
+            if cum >= rank {
+                // Never report past the observed maximum.
+                return Self::bucket_bound(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median bucket bound.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// 90th-percentile bucket bound.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90)
+    }
+
+    /// 99th-percentile bucket bound.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_all_matches_per_element_record() {
+        let vals = [0u64, 1, 3, 7, 1, 0, u64::MAX, 42, 42, 1 << 40];
+        let mut one = Hist::new();
+        for &v in &vals {
+            one.record(v);
+        }
+        let mut all = Hist::new();
+        all.record_all(vals.iter().copied());
+        assert_eq!(one, all);
+        // Recording into a non-empty histogram keeps max/total/sum right.
+        all.record_all([5u64, 9]);
+        one.record(5);
+        one.record(9);
+        assert_eq!(one, all);
+        // Empty input is a no-op (and must not clobber max with 0).
+        all.record_all(std::iter::empty());
+        assert_eq!(one, all);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 1);
+        assert_eq!(Hist::bucket_of(2), 2);
+        assert_eq!(Hist::bucket_of(3), 2);
+        assert_eq!(Hist::bucket_of(4), 3);
+        assert_eq!(Hist::bucket_of(u64::MAX), 64);
+        assert_eq!(Hist::bucket_bound(0), 0);
+        assert_eq!(Hist::bucket_bound(1), 1);
+        assert_eq!(Hist::bucket_bound(2), 3);
+        assert_eq!(Hist::bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_bounds() {
+        let mut h = Hist::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.mean(), 50);
+        // Rank 50 is value 50, bucket 6 ([32,63]) → bound 63.
+        assert_eq!(h.p50(), 63);
+        // Rank 90 is value 90, bucket 7 ([64,127]) → capped at max 100.
+        assert_eq!(h.p90(), 100);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.percentile(100), 100);
+        assert_eq!(h.percentile(1), 1);
+    }
+
+    #[test]
+    fn empty_and_zeroes() {
+        let mut h = Hist::new();
+        assert_eq!(h.p50(), 0);
+        assert!(h.is_empty());
+        h.record_n(0, 10);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut both = Hist::new();
+        for v in [0u64, 1, 5, 1000, 65536] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 7, 7, 123456789] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+}

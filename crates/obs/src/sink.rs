@@ -1,0 +1,556 @@
+//! A batteries-included [`Collector`]: streaming counters + histograms,
+//! an optional stderr heartbeat, and an optional versioned JSONL sink.
+
+use crate::json::Json;
+use crate::{Collector, Hist, RoundObs, SpanClose, SpanObs};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// JSONL record-stream version (the `"v"` field of every record).
+pub const JSONL_VERSION: u64 = 1;
+
+/// Static facts about a run, emitted as the leading JSONL `manifest`
+/// record. Built by the caller (who knows the config); `new` fills in
+/// host facts.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    label: String,
+    seed: u64,
+    entries: Vec<(String, String)>,
+    host_cores: usize,
+    git: String,
+}
+
+impl Manifest {
+    /// A manifest for run `label` with the master `seed`. Captures host
+    /// core count and `git describe` (best-effort; `"unknown"` when
+    /// unavailable).
+    pub fn new(label: impl Into<String>, seed: u64) -> Manifest {
+        Manifest {
+            label: label.into(),
+            seed,
+            entries: Vec::new(),
+            host_cores: std::thread::available_parallelism().map_or(1, usize::from),
+            git: git_describe(),
+        }
+    }
+
+    /// Attaches a config key/value pair (stringified by the caller).
+    pub fn with(mut self, key: impl Into<String>, value: impl ToString) -> Manifest {
+        self.entries.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// The `git describe` string captured at construction.
+    pub fn git(&self) -> &str {
+        &self.git
+    }
+
+    fn to_json(&self) -> Json {
+        let mut config = Json::obj();
+        for (k, v) in &self.entries {
+            config = config.set(k.clone(), Json::str(v.clone()));
+        }
+        Json::obj()
+            .set("rec", Json::str("manifest"))
+            .set("v", Json::u64(JSONL_VERSION))
+            .set("label", Json::str(self.label.clone()))
+            .set("seed", Json::u64(self.seed))
+            .set("git", Json::str(self.git.clone()))
+            .set("host_cores", Json::usize(self.host_cores))
+            .set("config", config)
+    }
+}
+
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Deterministic cumulative counters maintained by [`RunObserver`].
+/// Every field is a pure function of the simulated execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsCounters {
+    /// Rounds observed (commit-fold completions, including `init`).
+    pub rounds_observed: u64,
+    /// Highest round number seen.
+    pub max_round: u64,
+    /// Node activations that executed their callback.
+    pub executed: u64,
+    /// Messages delivered into inboxes.
+    pub delivered: u64,
+    /// Unicast send operations.
+    pub unicast_ops: u64,
+    /// Broadcast operations.
+    pub broadcast_ops: u64,
+    /// Per-directed-edge messages charged.
+    pub messages: u64,
+    /// Message-words charged.
+    pub words: u64,
+    /// Wake-ups scheduled.
+    pub wakes_scheduled: u64,
+    /// Node halts.
+    pub halts: u64,
+    /// Deliveries dropped by the adversary.
+    pub dropped: u64,
+    /// Deliveries duplicated by the adversary.
+    pub duplicated: u64,
+    /// Deliveries delayed by the adversary.
+    pub delayed: u64,
+    /// Node crashes.
+    pub crashes: u64,
+    /// Node restarts.
+    pub restarts: u64,
+    /// Spans opened.
+    pub spans_opened: u64,
+    /// Spans closed.
+    pub spans_closed: u64,
+}
+
+struct Heartbeat {
+    every: Duration,
+    started: Instant,
+    last_beat: Instant,
+    last_messages: u64,
+    label: String,
+}
+
+struct JsonlSink {
+    writer: Box<dyn Write + Send>,
+    flush_every_rounds: u64,
+    rounds_since_flush: u64,
+}
+
+/// The standard collector: maintains [`ObsCounters`] and four [`Hist`]s
+/// (round traffic, inbox sizes, per-node compute, machine link loads),
+/// and optionally emits a stderr heartbeat and/or a JSONL record
+/// stream.
+///
+/// All counter/histogram state is deterministic; wall-clock only drives
+/// heartbeat pacing and the `elapsed_ms`/`wall_ns` fields of emitted
+/// records.
+pub struct RunObserver {
+    counters: ObsCounters,
+    round_traffic: Hist,
+    inbox: Hist,
+    node_compute: Hist,
+    machine_link: Hist,
+    heartbeat: Option<Heartbeat>,
+    sink: Option<JsonlSink>,
+}
+
+impl Default for RunObserver {
+    fn default() -> Self {
+        RunObserver::new()
+    }
+}
+
+impl RunObserver {
+    /// A silent observer: counters and histograms only.
+    pub fn new() -> RunObserver {
+        RunObserver {
+            counters: ObsCounters::default(),
+            round_traffic: Hist::new(),
+            inbox: Hist::new(),
+            node_compute: Hist::new(),
+            machine_link: Hist::new(),
+            heartbeat: None,
+            sink: None,
+        }
+    }
+
+    /// Enables the stderr heartbeat, printing at most once per `every`.
+    pub fn with_heartbeat(mut self, every: Duration) -> RunObserver {
+        let now = Instant::now();
+        self.heartbeat = Some(Heartbeat {
+            every,
+            started: now,
+            last_beat: now,
+            last_messages: 0,
+            label: String::new(),
+        });
+        self
+    }
+
+    /// Streams JSONL records to `writer`. Pair with
+    /// [`with_manifest`](Self::with_manifest) to lead the stream with a
+    /// manifest record.
+    pub fn with_jsonl_writer(mut self, writer: Box<dyn Write + Send>) -> RunObserver {
+        self.sink = Some(JsonlSink { writer, flush_every_rounds: 4096, rounds_since_flush: 0 });
+        self
+    }
+
+    /// Creates (truncates) `path` and streams JSONL records to it.
+    pub fn with_jsonl_path(
+        self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<RunObserver> {
+        let file = std::fs::File::create(path)?;
+        Ok(self.with_jsonl_writer(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Emits a `progress` record every `rounds` observed rounds
+    /// (default 4096). Ignored without a JSONL sink.
+    pub fn with_flush_every(mut self, rounds: u64) -> RunObserver {
+        if let Some(sink) = &mut self.sink {
+            sink.flush_every_rounds = rounds.max(1);
+        }
+        self
+    }
+
+    /// Writes the manifest record now (call after attaching the sink).
+    pub fn with_manifest(mut self, manifest: &Manifest) -> RunObserver {
+        self.emit(manifest.to_json());
+        self
+    }
+
+    /// The cumulative counters.
+    pub fn counters(&self) -> &ObsCounters {
+        &self.counters
+    }
+
+    /// Per-round delivered-message counts.
+    pub fn round_traffic_hist(&self) -> &Hist {
+        &self.round_traffic
+    }
+
+    /// Per-activation inbox sizes.
+    pub fn inbox_hist(&self) -> &Hist {
+        &self.inbox
+    }
+
+    /// Per-activation protocol compute charges.
+    pub fn node_compute_hist(&self) -> &Hist {
+        &self.node_compute
+    }
+
+    /// Per-round directed machine-link word loads (k-machine runs).
+    pub fn machine_link_hist(&self) -> &Hist {
+        &self.machine_link
+    }
+
+    /// A deterministic JSON summary of counters and histogram
+    /// percentiles (no wall-clock fields) — what tests compare and
+    /// experiments embed in bench documents.
+    pub fn summary_json(&self) -> Json {
+        let c = &self.counters;
+        Json::obj()
+            .set("rounds_observed", Json::u64(c.rounds_observed))
+            .set("max_round", Json::u64(c.max_round))
+            .set("executed", Json::u64(c.executed))
+            .set("delivered", Json::u64(c.delivered))
+            .set("unicast_ops", Json::u64(c.unicast_ops))
+            .set("broadcast_ops", Json::u64(c.broadcast_ops))
+            .set("messages", Json::u64(c.messages))
+            .set("words", Json::u64(c.words))
+            .set("wakes_scheduled", Json::u64(c.wakes_scheduled))
+            .set("halts", Json::u64(c.halts))
+            .set(
+                "faults",
+                Json::obj()
+                    .set("dropped", Json::u64(c.dropped))
+                    .set("duplicated", Json::u64(c.duplicated))
+                    .set("delayed", Json::u64(c.delayed))
+                    .set("crashes", Json::u64(c.crashes))
+                    .set("restarts", Json::u64(c.restarts)),
+            )
+            .set(
+                "hists",
+                Json::obj()
+                    .set("round_traffic", hist_json(&self.round_traffic))
+                    .set("inbox", hist_json(&self.inbox))
+                    .set("node_compute", hist_json(&self.node_compute))
+                    .set("machine_link", hist_json(&self.machine_link)),
+            )
+    }
+
+    fn emit(&mut self, record: Json) {
+        if let Some(sink) = &mut self.sink {
+            // Telemetry must never take the run down: swallow I/O errors.
+            let _ = writeln!(sink.writer, "{}", record.render());
+        }
+    }
+
+    fn emit_progress(&mut self) {
+        if self.sink.is_none() {
+            return;
+        }
+        let c = self.counters;
+        let record = Json::obj()
+            .set("rec", Json::str("progress"))
+            .set("v", Json::u64(JSONL_VERSION))
+            .set("round", Json::u64(c.max_round))
+            .set("rounds_observed", Json::u64(c.rounds_observed))
+            .set("messages", Json::u64(c.messages))
+            .set("words", Json::u64(c.words))
+            .set("halts", Json::u64(c.halts));
+        self.emit(record);
+    }
+
+    fn emit_hists(&mut self) {
+        if self.sink.is_none() {
+            return;
+        }
+        for (name, hist) in [
+            ("round_traffic", self.round_traffic.clone()),
+            ("inbox", self.inbox.clone()),
+            ("node_compute", self.node_compute.clone()),
+            ("machine_link", self.machine_link.clone()),
+        ] {
+            if hist.is_empty() {
+                continue;
+            }
+            let record = Json::obj()
+                .set("rec", Json::str("hist"))
+                .set("v", Json::u64(JSONL_VERSION))
+                .set("name", Json::str(name))
+                .set("summary", hist_json(&hist));
+            self.emit(record);
+        }
+    }
+
+    fn beat(&mut self) {
+        let Some(hb) = &mut self.heartbeat else { return };
+        if hb.last_beat.elapsed() < hb.every {
+            return;
+        }
+        let dt = hb.last_beat.elapsed().as_secs_f64();
+        let rate = if dt > 0.0 {
+            (self.counters.messages.saturating_sub(hb.last_messages)) as f64 / dt
+        } else {
+            0.0
+        };
+        hb.last_beat = Instant::now();
+        hb.last_messages = self.counters.messages;
+        let label = if hb.label.is_empty() { "run" } else { hb.label.as_str() };
+        eprintln!(
+            "[dhc-obs {:>7.1}s] {} round {} | {} msgs ({:.0}/s) | {} halted",
+            hb.started.elapsed().as_secs_f64(),
+            label,
+            self.counters.max_round,
+            self.counters.messages,
+            rate,
+            self.counters.halts,
+        );
+    }
+}
+
+/// Renders one histogram's deterministic summary.
+fn hist_json(h: &Hist) -> Json {
+    Json::obj()
+        .set("count", Json::u64(h.count()))
+        .set("sum", Json::Num(h.sum().to_string()))
+        .set("max", Json::u64(h.max()))
+        .set("mean", Json::u64(h.mean()))
+        .set("p50", Json::u64(h.p50()))
+        .set("p90", Json::u64(h.p90()))
+        .set("p99", Json::u64(h.p99()))
+}
+
+impl Collector for RunObserver {
+    fn on_round(&mut self, round: &RoundObs<'_>) {
+        let c = &mut self.counters;
+        c.rounds_observed += 1;
+        c.max_round = c.max_round.max(round.round as u64);
+        c.executed += round.executed as u64;
+        c.delivered += round.delivered;
+        c.unicast_ops += round.unicast_ops;
+        c.broadcast_ops += round.broadcast_ops;
+        c.messages += round.messages;
+        c.words += round.words;
+        c.wakes_scheduled += round.wakes_scheduled;
+        c.halts += round.halts;
+        c.dropped += round.faults.dropped;
+        c.duplicated += round.faults.duplicated;
+        c.delayed += round.faults.delayed;
+        c.crashes += round.faults.crashes;
+        c.restarts += round.faults.restarts;
+
+        if round.round > 0 {
+            self.round_traffic.record(round.delivered);
+        }
+        self.inbox.record_all(round.inbox.iter().map(|&(_, len)| len as u64));
+        self.node_compute.record_all(round.compute.iter().copied());
+        self.machine_link.record_all(round.machine_links.iter().map(|&(_, words)| words));
+
+        if let Some(sink) = &mut self.sink {
+            sink.rounds_since_flush += 1;
+            if sink.rounds_since_flush >= sink.flush_every_rounds {
+                sink.rounds_since_flush = 0;
+                self.emit_progress();
+            }
+        }
+        // Cheap elapsed check, throttled by `every` inside beat().
+        if self.heartbeat.is_some() && self.counters.rounds_observed % 64 == 0 {
+            self.beat();
+        }
+    }
+
+    fn on_span_open(&mut self, span: &SpanObs) {
+        self.counters.spans_opened += 1;
+        if let Some(hb) = &mut self.heartbeat {
+            hb.label = span.label.clone();
+        }
+        if self.sink.is_some() {
+            let record = Json::obj()
+                .set("rec", Json::str("span-open"))
+                .set("v", Json::u64(JSONL_VERSION))
+                .set("id", Json::u64(span.id))
+                .set("parent", span.parent.map_or(Json::Null, Json::u64))
+                .set("kind", Json::str(span.kind))
+                .set("label", Json::str(span.label.clone()));
+            self.emit(record);
+        }
+    }
+
+    fn on_span_close(&mut self, span: &SpanObs, close: &SpanClose) {
+        self.counters.spans_closed += 1;
+        if self.sink.is_some() {
+            let record = Json::obj()
+                .set("rec", Json::str("span"))
+                .set("v", Json::u64(JSONL_VERSION))
+                .set("id", Json::u64(span.id))
+                .set("parent", span.parent.map_or(Json::Null, Json::u64))
+                .set("kind", Json::str(span.kind))
+                .set("label", Json::str(span.label.clone()))
+                .set("wall_ns", Json::u64(close.wall_ns))
+                .set("rounds", Json::u64(close.rounds))
+                .set("messages", Json::u64(close.messages))
+                .set("words", Json::u64(close.words));
+            self.emit(record);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.emit_progress();
+        self.emit_hists();
+        if let Some(sink) = &mut self.sink {
+            let _ = sink.writer.flush();
+        }
+    }
+}
+
+impl Drop for RunObserver {
+    fn drop(&mut self) {
+        if self.sink.is_some() {
+            self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultObs;
+    use std::sync::{Arc, Mutex};
+
+    /// A Write sink shared with the test (the observer owns a clone).
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn round(n: usize, delivered: u64, inbox: &[(u32, usize)]) -> RoundObs<'_> {
+        RoundObs {
+            round: n,
+            executed: inbox.len(),
+            delivered,
+            inbox,
+            compute: &[],
+            unicast_ops: delivered,
+            broadcast_ops: 0,
+            messages: delivered,
+            words: delivered * 2,
+            wakes_scheduled: 0,
+            halts: 0,
+            faults: FaultObs::default(),
+            machine_links: &[],
+        }
+    }
+
+    #[test]
+    fn counters_and_hists_accumulate() {
+        let mut obs = RunObserver::new();
+        obs.on_round(&round(0, 0, &[]));
+        obs.on_round(&round(1, 4, &[(0, 2), (1, 2)]));
+        obs.on_round(&round(2, 6, &[(0, 3), (1, 3)]));
+        let c = obs.counters();
+        assert_eq!(c.rounds_observed, 3);
+        assert_eq!(c.max_round, 2);
+        assert_eq!(c.delivered, 10);
+        assert_eq!(c.words, 20);
+        // Round 0 (init) is excluded from the traffic histogram.
+        assert_eq!(obs.round_traffic_hist().count(), 2);
+        assert_eq!(obs.inbox_hist().count(), 4);
+        assert_eq!(obs.inbox_hist().max(), 3);
+    }
+
+    #[test]
+    fn jsonl_stream_is_parseable_and_versioned() {
+        let shared = Shared::default();
+        let manifest = Manifest::new("unit-test", 42).with("n", 16).with("algo", "dra");
+        let mut obs = RunObserver::new()
+            .with_jsonl_writer(Box::new(shared.clone()))
+            .with_flush_every(1)
+            .with_manifest(&manifest);
+        obs.on_span_open(&SpanObs { id: 1, parent: None, kind: "run", label: "t".into() });
+        obs.on_round(&round(0, 0, &[]));
+        obs.on_round(&round(1, 3, &[(0, 3)]));
+        obs.on_span_close(
+            &SpanObs { id: 1, parent: None, kind: "run", label: "t".into() },
+            &SpanClose { wall_ns: 5, rounds: 1, messages: 3, words: 6 },
+        );
+        obs.flush();
+        drop(obs);
+
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        let recs: Vec<Json> =
+            text.lines().map(|l| Json::parse(l).expect("valid JSONL line")).collect();
+        assert!(recs.len() >= 5);
+        let kinds: Vec<&str> =
+            recs.iter().map(|r| r.get("rec").and_then(Json::as_str).unwrap()).collect();
+        assert_eq!(kinds[0], "manifest");
+        assert!(kinds.contains(&"span-open"));
+        assert!(kinds.contains(&"progress"));
+        assert!(kinds.contains(&"span"));
+        assert!(kinds.contains(&"hist"));
+        for r in &recs {
+            assert_eq!(r.get("v").and_then(Json::as_u64), Some(JSONL_VERSION));
+        }
+        let manifest_rec = &recs[0];
+        assert_eq!(manifest_rec.get("seed").and_then(Json::as_u64), Some(42));
+        assert_eq!(
+            manifest_rec.get("config").and_then(|c| c.get("n")).and_then(Json::as_str),
+            Some("16")
+        );
+    }
+
+    #[test]
+    fn summary_json_is_deterministic() {
+        let build = || {
+            let mut obs = RunObserver::new();
+            for r in 0..50usize {
+                obs.on_round(&round(r, (r as u64) * 3, &[(0, r), (1, r + 1)]));
+            }
+            obs.summary_json().render()
+        };
+        assert_eq!(build(), build());
+        let parsed = Json::parse(&build()).unwrap();
+        assert!(parsed.get("hists").and_then(|h| h.get("round_traffic")).is_some());
+    }
+}
